@@ -1,0 +1,58 @@
+// Ablation A1: the paper's adaptive-defense thesis — "the system could
+// adjust the IDS detection strength in response to the attacker strength
+// detected at runtime" — evaluated as a full 3×3 matrix: for each
+// attacker function, which detection function yields the highest MTTSF
+// at its own optimal TIDS?
+//
+// Uses the CampaignProgress attacker metric (DESIGN.md): the paper's
+// printed ratio (Tm+UCm)/Tm is confined to [1, 1.5] by the C2 failure
+// boundary, which suppresses exactly the attacker-shape differences
+// this ablation studies; the prose reading ("rate ∝ number of
+// compromised nodes in the system") escalates over the whole campaign.
+#include "bench_common.h"
+
+int main() {
+  using namespace midas;
+  bench::print_header(
+      "Ablation A1: attacker function x detection function matrix",
+      "best detection strength tracks attacker strength (diagonal "
+      "dominance of the matched pairs)");
+
+  const auto grid = core::paper_t_ids_grid();
+  const auto shapes = {ids::Shape::Logarithmic, ids::Shape::Linear,
+                       ids::Shape::Polynomial};
+
+  util::Table table({"attacker \\ detection", "logarithmic", "linear",
+                     "polynomial", "best detection"});
+  util::CsvWriter csv("abl_attacker_matrix.csv");
+  csv.header({"attacker", "detection", "optimal_t_ids", "mttsf", "ctotal"});
+
+  for (const auto attacker : shapes) {
+    std::vector<std::string> row{to_string(attacker)};
+    double best = -1.0;
+    std::string best_name;
+    for (const auto detection : shapes) {
+      core::Params p = core::Params::paper_defaults();
+      p.attacker_progress = core::AttackerProgress::CampaignProgress;
+      p.attacker_shape = attacker;
+      p.detection_shape = detection;
+      const auto sweep = core::sweep_t_ids(p, grid);
+      const auto& opt = sweep.best_mttsf();
+      row.push_back(util::Table::sci(opt.eval.mttsf) + " @" +
+                    util::Table::fix(opt.t_ids, 0) + "s");
+      csv.row({to_string(attacker), to_string(detection),
+               util::CsvWriter::num(opt.t_ids),
+               util::CsvWriter::num(opt.eval.mttsf),
+               util::CsvWriter::num(opt.eval.ctotal)});
+      if (opt.eval.mttsf > best) {
+        best = opt.eval.mttsf;
+        best_name = to_string(detection);
+      }
+    }
+    row.push_back(best_name);
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::printf("\ncsv written: abl_attacker_matrix.csv\n");
+  return 0;
+}

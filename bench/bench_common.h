@@ -1,0 +1,73 @@
+// Shared helpers for the figure-reproduction benches: each bench prints
+// the paper-figure series as an aligned table, writes a CSV next to the
+// binary, and states the qualitative checks the paper's figure makes.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace midas::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_claim) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("paper result to reproduce: %s\n\n", paper_claim.c_str());
+}
+
+/// A named MTTSF or Ctotal series over the TIDS grid.
+struct Series {
+  std::string label;
+  core::SweepResult sweep;
+};
+
+enum class Metric { Mttsf, Ctotal };
+
+inline double metric_of(const core::SweepPoint& pt, Metric m) {
+  return m == Metric::Mttsf ? pt.eval.mttsf : pt.eval.ctotal;
+}
+
+/// Prints a grid × series table plus per-series optima, and writes CSV.
+inline void report(const std::vector<double>& grid,
+                   const std::vector<Series>& series, Metric metric,
+                   const std::string& csv_path) {
+  std::vector<std::string> header{"TIDS(s)"};
+  for (const auto& s : series) header.push_back(s.label);
+  util::Table table(header);
+
+  util::CsvWriter csv(csv_path);
+  std::vector<std::string> csv_row = header;
+  csv.row(csv_row);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> row{util::Table::fix(grid[i], 0)};
+    csv_row = {util::CsvWriter::num(grid[i])};
+    for (const auto& s : series) {
+      const double v = metric_of(s.sweep.points[i], metric);
+      row.push_back(util::Table::sci(v));
+      csv_row.push_back(util::CsvWriter::num(v));
+    }
+    table.add_row(row);
+    csv.row(csv_row);
+  }
+  table.print(std::cout);
+
+  std::printf("\noptimal TIDS per series (%s):\n",
+              metric == Metric::Mttsf ? "max MTTSF" : "min Ctotal");
+  for (const auto& s : series) {
+    const auto& best = metric == Metric::Mttsf ? s.sweep.best_mttsf()
+                                               : s.sweep.best_ctotal();
+    std::printf("  %-24s TIDS* = %5.0f s   %s = %.3e\n", s.label.c_str(),
+                best.t_ids,
+                metric == Metric::Mttsf ? "MTTSF" : "Ctotal",
+                metric_of(best, metric));
+  }
+  std::printf("\ncsv written: %s\n\n", csv_path.c_str());
+}
+
+}  // namespace midas::bench

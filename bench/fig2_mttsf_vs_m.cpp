@@ -1,0 +1,27 @@
+// Figure 2 reproduction: MTTSF vs TIDS as the number of vote-
+// participants m varies (linear attacker, linear detection).
+//
+// Paper claims checked here:
+//   * each m-curve is unimodal in TIDS (rises to an optimum, then falls);
+//   * larger m → larger MTTSF (lower false-alarm probability);
+//   * larger m → SMALLER optimal TIDS (paper: 480/60/15/5 s for
+//     m = 3/5/7/9).
+#include "bench_common.h"
+
+int main() {
+  using namespace midas;
+  bench::print_header(
+      "Figure 2: effect of m on MTTSF and optimal TIDS",
+      "unimodal curves; larger m -> larger MTTSF, smaller optimal TIDS "
+      "(paper: 480/60/15/5 s for m=3/5/7/9)");
+
+  const auto grid = core::paper_t_ids_grid();
+  std::vector<bench::Series> series;
+  for (const int m : {3, 5, 7, 9}) {
+    core::Params p = core::Params::paper_defaults();
+    p.num_voters = m;
+    series.push_back({"m=" + std::to_string(m), core::sweep_t_ids(p, grid)});
+  }
+  bench::report(grid, series, bench::Metric::Mttsf, "fig2_mttsf_vs_m.csv");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 3 reproduction: total communication cost Ĉtotal vs TIDS as the
+// number of vote-participants m varies (linear attacker & detection).
+//
+// Paper claims checked here:
+//   * each curve has a cost-minimising TIDS (tradeoff: shorter TIDS →
+//     more IDS/eviction traffic; longer TIDS → more surviving members →
+//     more group-communication traffic);
+//   * larger m → higher Ĉtotal (fewer false evictions keep more members
+//     active, plus more voting traffic);
+//   * the optimal TIDS location is less sensitive to m than in Fig. 2.
+#include "bench_common.h"
+
+int main() {
+  using namespace midas;
+  bench::print_header(
+      "Figure 3: effect of m on Ctotal and optimal TIDS",
+      "unimodal cost curves; larger m -> higher Ctotal; cost-optimal "
+      "TIDS insensitive to m");
+
+  const auto grid = core::paper_t_ids_grid();
+  std::vector<bench::Series> series;
+  for (const int m : {3, 5, 7, 9}) {
+    core::Params p = core::Params::paper_defaults();
+    p.num_voters = m;
+    series.push_back({"m=" + std::to_string(m), core::sweep_t_ids(p, grid)});
+  }
+  bench::report(grid, series, bench::Metric::Ctotal, "fig3_cost_vs_m.csv");
+  return 0;
+}

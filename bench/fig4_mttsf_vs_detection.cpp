@@ -1,0 +1,56 @@
+// Figure 4 reproduction: MTTSF vs TIDS for the three detection functions
+// (logarithmic / linear / polynomial) under a LINEAR attacker, m = 5.
+//
+// Paper claims checked here:
+//   * every detection function has its own optimal TIDS;
+//   * the linear detection function (matching the linear attacker) wins
+//     overall;
+//   * the aggressive polynomial detection does best when TIDS is large,
+//     the conservative logarithmic detection when TIDS is small.
+#include "bench_common.h"
+
+int main() {
+  using namespace midas;
+  bench::print_header(
+      "Figure 4: MTTSF vs TIDS per detection function (linear attacker, "
+      "m = 5)",
+      "linear detection best overall; poly best at large TIDS; log best "
+      "at small TIDS");
+
+  const auto grid = core::paper_t_ids_grid();
+  std::vector<bench::Series> series;
+  for (const auto shape : {ids::Shape::Logarithmic, ids::Shape::Linear,
+                           ids::Shape::Polynomial}) {
+    core::Params p = core::Params::paper_defaults();
+    p.attacker_shape = ids::Shape::Linear;
+    p.detection_shape = shape;
+    series.push_back(
+        {to_string(shape) + " detection", core::sweep_t_ids(p, grid)});
+  }
+  bench::report(grid, series, bench::Metric::Mttsf,
+                "fig4_mttsf_vs_detection.csv");
+
+  // The paper's crossover claims, stated explicitly for the harness log:
+  const auto& log_pts = series[0].sweep.points;
+  const auto& lin_pts = series[1].sweep.points;
+  const auto& poly_pts = series[2].sweep.points;
+  std::printf("crossover checks:\n");
+  std::printf("  smallest TIDS (%g s): log %s poly  (paper: log wins)\n",
+              log_pts.front().t_ids,
+              log_pts.front().eval.mttsf > poly_pts.front().eval.mttsf
+                  ? ">"
+                  : "<=");
+  std::printf("  largest TIDS (%g s): poly %s log  (paper: poly wins)\n",
+              log_pts.back().t_ids,
+              poly_pts.back().eval.mttsf > log_pts.back().eval.mttsf ? ">"
+                                                                     : "<=");
+  double best_lin = 0.0, best_other = 0.0;
+  for (const auto& pt : lin_pts) best_lin = std::max(best_lin, pt.eval.mttsf);
+  for (const auto& pt : log_pts)
+    best_other = std::max(best_other, pt.eval.mttsf);
+  for (const auto& pt : poly_pts)
+    best_other = std::max(best_other, pt.eval.mttsf);
+  std::printf("  overall: linear %s {log, poly}  (paper: linear wins)\n",
+              best_lin >= best_other ? ">=" : "<");
+  return 0;
+}

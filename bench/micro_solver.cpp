@@ -1,0 +1,68 @@
+// Microbenchmarks of the SPN→CTMC pipeline: reachability generation,
+// absorbing solve, and full model evaluation at several population
+// sizes.  Tracks the solver cost that dominates every figure bench.
+#include <benchmark/benchmark.h>
+
+#include "core/gcs_spn_model.h"
+#include "spn/absorbing.h"
+#include "spn/reachability.h"
+
+namespace {
+
+using namespace midas;
+
+core::Params params_for(int n, bool groups) {
+  core::Params p = core::Params::paper_defaults();
+  p.n_init = n;
+  if (!groups) p.max_groups = 1;
+  return p;
+}
+
+void BM_Reachability(benchmark::State& state) {
+  const core::GcsSpnModel model(
+      params_for(static_cast<int>(state.range(0)), false));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const auto g = spn::explore(model.net());
+    states = g.num_states();
+    benchmark::DoNotOptimize(g.edges.data());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Reachability)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_AbsorbingSolve(benchmark::State& state) {
+  const core::GcsSpnModel model(
+      params_for(static_cast<int>(state.range(0)), false));
+  const auto g = spn::explore(model.net());
+  const spn::AbsorbingAnalyzer analyzer(g);
+  for (auto _ : state) {
+    const auto res = analyzer.solve();
+    benchmark::DoNotOptimize(res.mtta);
+  }
+  state.counters["states"] = static_cast<double>(g.num_states());
+}
+BENCHMARK(BM_AbsorbingSolve)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_FullEvaluation(benchmark::State& state) {
+  const core::GcsSpnModel model(
+      params_for(static_cast<int>(state.range(0)), true));
+  for (auto _ : state) {
+    const auto ev = model.evaluate();
+    benchmark::DoNotOptimize(ev.mttsf);
+  }
+}
+BENCHMARK(BM_FullEvaluation)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_ModelConstruction(benchmark::State& state) {
+  const auto p = params_for(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    const core::GcsSpnModel model(p);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_ModelConstruction)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

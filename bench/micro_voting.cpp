@@ -1,0 +1,55 @@
+// Microbenchmarks of the voting-probability evaluation (paper Eq. 1):
+// single closed-form evaluations across quorum sizes, the brute-force
+// oracle for contrast, and the full table precomputation the model
+// constructor performs.
+#include <benchmark/benchmark.h>
+
+#include "ids/voting.h"
+
+namespace {
+
+using namespace midas::ids;
+
+void BM_ClosedForm(benchmark::State& state) {
+  const VotingParams p{state.range(0), 0.01, 0.01};
+  for (auto _ : state) {
+    const auto r = voting_error_rates(p, 60, 15);
+    benchmark::DoNotOptimize(r.pfp);
+  }
+}
+BENCHMARK(BM_ClosedForm)->Arg(3)->Arg(5)->Arg(9)->Arg(15);
+
+void BM_BruteForceOracle(benchmark::State& state) {
+  const VotingParams p{5, 0.01, 0.01};
+  const auto pool = state.range(0);
+  for (auto _ : state) {
+    const auto r = voting_error_rates_bruteforce(p, pool, pool / 2);
+    benchmark::DoNotOptimize(r.pfn);
+  }
+}
+BENCHMARK(BM_BruteForceOracle)->Arg(4)->Arg(8);
+
+void BM_TablePrecompute(benchmark::State& state) {
+  const VotingParams p{5, 0.01, 0.01};
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    const VotingTable table(p, n, n);
+    benchmark::DoNotOptimize(&table);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TablePrecompute)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+void BM_TableLookup(benchmark::State& state) {
+  const VotingTable table({5, 0.01, 0.01}, 100, 100);
+  std::int64_t g = 0;
+  for (auto _ : state) {
+    g = (g + 7) % 100;
+    benchmark::DoNotOptimize(table.at(g, g / 2).pfp);
+  }
+}
+BENCHMARK(BM_TableLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

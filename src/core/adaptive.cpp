@@ -1,0 +1,87 @@
+#include "core/adaptive.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace midas::core {
+
+AdaptiveController::AdaptiveController(Params base,
+                                       std::optional<double> cost_budget)
+    : base_(std::move(base)), cost_budget_(cost_budget) {
+  base_.validate();
+}
+
+void AdaptiveController::observe(const IntrusionObservation& obs) {
+  if (!history_.empty() && obs.time_s < history_.back().time_s) {
+    throw std::invalid_argument(
+        "AdaptiveController: observations must be time-ordered");
+  }
+  history_.push_back(obs);
+}
+
+AttackerEstimate AdaptiveController::estimate_attacker() const {
+  AttackerEstimate est;
+  est.samples = history_.size();
+  if (history_.empty() || history_.back().time_s <= 0.0) {
+    est.lambda_c = base_.lambda_c;
+    return est;
+  }
+
+  // First-order approximation: base rate = events / horizon.
+  est.lambda_c =
+      static_cast<double>(history_.size()) / history_.back().time_s;
+
+  if (history_.size() < 4) {
+    est.shape = base_.attacker_shape;
+    return est;
+  }
+
+  // Shape classification from inter-arrival trend: for a linear-in-mc
+  // attacker the gaps shrink mildly; logarithmic attackers slow down
+  // (growing gaps); polynomial attackers accelerate hard (sharply
+  // shrinking gaps).  Compare the mean gap of the first and second half.
+  const std::size_t n = history_.size();
+  const std::size_t half = n / 2;
+  double first = 0.0, second = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double gap = history_[i].time_s - history_[i - 1].time_s;
+    if (i <= half) {
+      first += gap;
+    } else {
+      second += gap;
+    }
+  }
+  first /= static_cast<double>(half);
+  second /= static_cast<double>(n - 1 - half);
+  est.reliable = true;
+
+  const double ratio = second / std::max(first, 1e-12);
+  // Thresholds chosen from the shape factors at the paper's p = 3 (see
+  // tests/test_adaptive.cpp for the calibration sweep).
+  if (ratio > 1.15) {
+    est.shape = ids::Shape::Logarithmic;
+  } else if (ratio < 0.6) {
+    est.shape = ids::Shape::Polynomial;
+  } else {
+    est.shape = ids::Shape::Linear;
+  }
+  return est;
+}
+
+PolicyChoice AdaptiveController::recommend() const {
+  Params p = base_;
+  const auto est = estimate_attacker();
+  if (est.samples >= 2 && est.lambda_c > 0.0) {
+    p.lambda_c = est.lambda_c;
+  }
+  p.attacker_shape = est.shape;
+  if (est.reliable) {
+    // The shape was classified from campaign escalation, so model the
+    // attacker with the escalating progress metric (see DESIGN.md §3).
+    p.attacker_progress = AttackerProgress::CampaignProgress;
+  }
+  const auto grid = paper_t_ids_grid();
+  return optimize_policy(p, grid, cost_budget_);
+}
+
+}  // namespace midas::core

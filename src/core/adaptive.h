@@ -1,0 +1,63 @@
+// Adaptive distributed IDS controller — the paper's third contribution:
+// "a robust, efficient, and adaptive distributed intrusion detection
+// mechanism that dynamically adjusts the intrusion detection interval
+// and detection function optimally reacting to dynamically changing
+// attacker strength."
+//
+// The controller (a) estimates the attacker's base compromising rate by
+// first-order approximation from the observed eviction history (the
+// paper §4.1: "λc can be obtained by first-order approximation from
+// observing the number of compromised nodes over a time period"),
+// (b) classifies the attacker shape from the curvature of the
+// cumulative-compromise curve, and (c) re-optimises the detection
+// function and TIDS against the analytical model, optionally under a
+// communication budget.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/params.h"
+
+namespace midas::core {
+
+/// One observed intrusion (a confirmed eviction of a compromised node).
+struct IntrusionObservation {
+  double time_s = 0.0;
+};
+
+struct AttackerEstimate {
+  double lambda_c = 0.0;   // base compromising rate (events/s)
+  ids::Shape shape = ids::Shape::Linear;
+  std::size_t samples = 0;
+  bool reliable = false;   // needs >= 4 observations to classify shape
+};
+
+class AdaptiveController {
+ public:
+  /// `base` supplies everything except the attacker/detection settings
+  /// being adapted; `cost_budget` caps Ĉtotal when present.
+  AdaptiveController(Params base, std::optional<double> cost_budget);
+
+  /// Feeds one detection event (time of a confirmed intrusion).
+  void observe(const IntrusionObservation& obs);
+
+  /// Current attacker estimate from the observation history.
+  [[nodiscard]] AttackerEstimate estimate_attacker() const;
+
+  /// Re-optimises the policy for the current estimate; falls back to the
+  /// base parameters when the history is too thin.
+  [[nodiscard]] PolicyChoice recommend() const;
+
+  [[nodiscard]] const std::vector<IntrusionObservation>& history() const {
+    return history_;
+  }
+
+ private:
+  Params base_;
+  std::optional<double> cost_budget_;
+  std::vector<IntrusionObservation> history_;
+};
+
+}  // namespace midas::core

@@ -1,0 +1,269 @@
+#include "core/gcs_spn_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "ids/functions.h"
+#include "spn/reliability_ode.h"
+
+namespace midas::core {
+
+namespace {
+
+/// Rounded per-group share of a system-wide token count.
+std::int64_t per_group(std::int64_t total, std::int64_t groups) {
+  if (groups <= 1) return total;
+  const double share =
+      static_cast<double>(total) / static_cast<double>(groups);
+  return static_cast<std::int64_t>(std::llround(share));
+}
+
+}  // namespace
+
+GcsSpnModel::GcsSpnModel(Params params) : params_(std::move(params)) {
+  params_.validate();
+  voting_ = std::make_shared<const ids::VotingTable>(
+      ids::VotingParams{params_.num_voters, params_.p1, params_.p2},
+      params_.n_init, params_.n_init);
+  cost_ = std::make_shared<const gcs::CostModel>(params_.cost);
+  build();
+}
+
+bool GcsSpnModel::failed_c1(const spn::Marking& m) const {
+  return m[gf_] > 0;
+}
+
+bool GcsSpnModel::failed_c2(const spn::Marking& m) const {
+  const std::int64_t tm = m[tm_];
+  const std::int64_t ucm = m[ucm_];
+  const std::int64_t members = tm + ucm;
+  if (members == 0) return true;  // extinct group: availability lost
+  // UCm/(Tm+UCm) > f  ⇔  UCm > f·members, exact in integers for f = 1/3
+  // via UCm·3 > members; general f handled in doubles with a half-ulp
+  // guard so the boundary (exactly 1/3) does NOT fail, matching "more
+  // than 1/3".
+  return static_cast<double>(ucm) >
+         params_.byzantine_fraction * static_cast<double>(members) +
+             1e-9;
+}
+
+bool GcsSpnModel::alive(const spn::Marking& m) const {
+  return !failed_c1(m) && !failed_c2(m);
+}
+
+double GcsSpnModel::mc(const spn::Marking& m) const {
+  if (params_.attacker_progress == AttackerProgress::CampaignProgress) {
+    // Cumulative campaign: every compromised node, detected or not.
+    // (DCm also counts false evictions — the shrunken group is easier
+    // prey either way; see DESIGN.md.)
+    return 1.0 + static_cast<double>(m[ucm_] + m[dcm_]);
+  }
+  const double tm = m[tm_];
+  const double ucm = m[ucm_];
+  if (tm <= 0.0) return 1.0;  // guarded out; safe fallback
+  return (tm + ucm) / tm;
+}
+
+double GcsSpnModel::md(const spn::Marking& m) const {
+  const double members = m[tm_] + m[ucm_];
+  if (members <= 0.0) return 1.0;
+  return std::max(1.0, static_cast<double>(params_.n_init) / members);
+}
+
+ids::VotingErrorRates GcsSpnModel::voting_rates(
+    const spn::Marking& m) const {
+  const std::int64_t groups = std::max<std::int64_t>(m[ng_], 1);
+  return voting_->at(per_group(m[tm_], groups),
+                     per_group(m[ucm_], groups));
+}
+
+gcs::CostBreakdown GcsSpnModel::cost_rates(const spn::Marking& m) const {
+  gcs::GroupState s;
+  s.members = static_cast<double>(m[tm_] + m[ucm_]);
+  s.groups = static_cast<double>(std::max<std::int32_t>(m[ng_], 1));
+  s.initial_size = static_cast<double>(params_.n_init);
+
+  const double det = ids::detection_rate(params_.detection_shape,
+                                         params_.t_ids, md(m),
+                                         params_.p_index);
+  const auto g = static_cast<std::size_t>(s.groups);
+  double pm_rate = 0.0;
+  if (params_.max_groups > 1) {
+    if (g < params_.partition_rates.size() &&
+        static_cast<std::int32_t>(g) < params_.max_groups) {
+      pm_rate += params_.partition_rates[g];
+    }
+    if (g < params_.merge_rates.size() && g > 1) {
+      pm_rate += params_.merge_rates[g];
+    }
+  }
+  return cost_->breakdown(s, params_.lambda_q, params_.lambda_join,
+                          params_.mu_leave, det,
+                          static_cast<std::size_t>(params_.num_voters),
+                          pm_rate);
+}
+
+void GcsSpnModel::build() {
+  tm_ = net_.add_place("Tm", params_.n_init);
+  ucm_ = net_.add_place("UCm", 0);
+  dcm_ = net_.add_place("DCm", 0);
+  gf_ = net_.add_place("GF", 0);
+  ng_ = net_.add_place("NG", 1);
+
+  // Shared guard: the group is only live while neither failure condition
+  // holds — this is what makes C1/C2 states absorbing (paper §4).
+  auto alive_guard = [this](const spn::Marking& m) { return alive(m); };
+
+  // Impulse: one eviction forces a GDH rekey of the affected group.
+  auto eviction_impulse = [this](const spn::Marking& m) {
+    gcs::GroupState s;
+    s.members = static_cast<double>(m[tm_] + m[ucm_]);
+    s.groups = static_cast<double>(std::max<std::int32_t>(m[ng_], 1));
+    s.initial_size = static_cast<double>(params_.n_init);
+    return cost_->eviction_impulse_bits(s);
+  };
+
+  // T_CP: a trusted member is compromised at the attacker rate A(mc).
+  net_.transition("T_CP")
+      .input(tm_)
+      .output(ucm_)
+      .rate([this](const spn::Marking& m) {
+        return ids::attacker_rate(params_.attacker_shape, params_.lambda_c,
+                                  mc(m), params_.p_index);
+      })
+      .guard(alive_guard)
+      .add();
+
+  // T_IDS: a compromised-undetected node is caught by the voting IDS.
+  net_.transition("T_IDS")
+      .input(ucm_)
+      .output(dcm_)
+      .rate([this](const spn::Marking& m) {
+        const double det = ids::detection_rate(
+            params_.detection_shape, params_.t_ids, md(m), params_.p_index);
+        return static_cast<double>(m[ucm_]) * det *
+               (1.0 - voting_rates(m).pfn);
+      })
+      .guard(alive_guard)
+      .impulse(eviction_impulse)
+      .add();
+
+  // T_FA: a trusted node is falsely accused and evicted.
+  net_.transition("T_FA")
+      .input(tm_)
+      .output(dcm_)
+      .rate([this](const spn::Marking& m) {
+        const double det = ids::detection_rate(
+            params_.detection_shape, params_.t_ids, md(m), params_.p_index);
+        return static_cast<double>(m[tm_]) * det * voting_rates(m).pfp;
+      })
+      .guard(alive_guard)
+      .impulse(eviction_impulse)
+      .add();
+
+  // T_DRQ: an undetected compromised member requests and obtains data —
+  // host IDS misses with probability p1 — and the group leaks (C1).
+  net_.transition("T_DRQ")
+      .input(ucm_)
+      .output(gf_)
+      .rate([this](const spn::Marking& m) {
+        return params_.p1 * params_.lambda_q *
+               static_cast<double>(m[ucm_]);
+      })
+      .guard(alive_guard)
+      .add();
+
+  // Group birth–death (T_PAR / T_MER) when mobility supports partitions.
+  if (params_.max_groups > 1) {
+    net_.transition("T_PAR")
+        .input(ng_)
+        .output(ng_, 2)
+        .rate([this](const spn::Marking& m) {
+          const auto g = static_cast<std::size_t>(m[ng_]);
+          return g < params_.partition_rates.size()
+                     ? params_.partition_rates[g]
+                     : 0.0;
+        })
+        .guard([this, alive_guard](const spn::Marking& m) {
+          // Each group needs at least one member post-split.
+          return alive_guard(m) && m[ng_] < params_.max_groups &&
+                 m[tm_] + m[ucm_] > m[ng_];
+        })
+        .add();
+
+    net_.transition("T_MER")
+        .input(ng_, 2)
+        .output(ng_)
+        .rate([this](const spn::Marking& m) {
+          const auto g = static_cast<std::size_t>(m[ng_]);
+          return g < params_.merge_rates.size() ? params_.merge_rates[g]
+                                                : 0.0;
+        })
+        .guard(alive_guard)
+        .add();
+  }
+}
+
+std::vector<double> GcsSpnModel::reliability_at(
+    std::span<const double> times) const {
+  // The backward-equation integrator handles the stiff mission-length
+  // horizons that uniformisation cannot (Λ·t up to ~1e8 at the paper's
+  // parameters; see spn/reliability_ode.h).
+  const auto graph = spn::explore(net_);
+  const spn::ReliabilityOde ode(graph);
+  std::vector<double> sorted(times.begin(), times.end());
+  if (!std::is_sorted(sorted.begin(), sorted.end())) {
+    throw std::invalid_argument(
+        "reliability_at: times must be ascending");
+  }
+  return ode.survival_at(sorted);
+}
+
+Evaluation GcsSpnModel::evaluate() const {
+  const auto graph = spn::explore(net_);
+  const spn::AbsorbingAnalyzer analyzer(graph);
+  const auto res = analyzer.solve();
+
+  Evaluation ev;
+  ev.num_states = graph.num_states();
+  ev.solver_iterations = res.solver_iterations;
+  ev.mttsf = res.mtta;
+
+  ev.p_failure_c1 = analyzer.absorption_probability_where(
+      res, [this](const spn::Marking& m) { return failed_c1(m); });
+  ev.p_failure_c2 = analyzer.absorption_probability_where(
+      res, [this](const spn::Marking& m) {
+        return !failed_c1(m) && failed_c2(m);
+      });
+
+  // Accumulated cost components (hop-bits) over [0, MTTSF).
+  auto accumulate = [&](double gcs::CostBreakdown::*member) {
+    return analyzer.accumulated_rate_reward(
+        res, [this, member](const spn::Marking& m) {
+          return cost_rates(m).*member;
+        });
+  };
+  const double acc_gc = accumulate(&gcs::CostBreakdown::group_comm);
+  const double acc_status = accumulate(&gcs::CostBreakdown::status);
+  const double acc_rekey = accumulate(&gcs::CostBreakdown::rekey);
+  const double acc_ids = accumulate(&gcs::CostBreakdown::ids);
+  const double acc_beacon = accumulate(&gcs::CostBreakdown::beacon);
+  const double acc_pm = accumulate(&gcs::CostBreakdown::partition_merge);
+  const double acc_evict = analyzer.accumulated_impulse_reward(res);
+
+  if (ev.mttsf > 0.0) {
+    ev.cost_rates.group_comm = acc_gc / ev.mttsf;
+    ev.cost_rates.status = acc_status / ev.mttsf;
+    ev.cost_rates.rekey = acc_rekey / ev.mttsf;
+    ev.cost_rates.ids = acc_ids / ev.mttsf;
+    ev.cost_rates.beacon = acc_beacon / ev.mttsf;
+    ev.cost_rates.partition_merge = acc_pm / ev.mttsf;
+    ev.eviction_cost_rate = acc_evict / ev.mttsf;
+    ev.ctotal = ev.cost_rates.total() + ev.eviction_cost_rate;
+  }
+  return ev;
+}
+
+}  // namespace midas::core

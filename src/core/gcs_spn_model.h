@@ -1,0 +1,101 @@
+// The paper's Fig. 1 SPN: a mobile group under inside attack with
+// voting-based intrusion detection, solved for MTTSF (mean time to
+// security failure) and Ĉtotal (communication cost per second).
+//
+// Places:   Tm (trusted), UCm (compromised undetected), DCm (detected/
+//           evicted), GF (data-leak flag), NG (group count).
+// Rates:    T_CP   A(mc)                         attacker
+//           T_IDS  mark(UCm)·D(md)·(1−Pfn)       true detection
+//           T_FA   mark(Tm)·D(md)·Pfp            false accusation
+//           T_DRQ  p1·λq·mark(UCm)               data leak (→ C1)
+//           T_PAR/T_MER                          group birth–death
+// Guards:   every transition carries ¬C1 ∧ ¬C2, making failure states
+//           absorbing; C1 = mark(GF) > 0, C2 = UCm/(Tm+UCm) > 1/3.
+// Rewards:  reward 1 in transient states (MTTSF = accumulated reward);
+//           per-state cost rates + per-eviction rekey impulses (Ĉtotal).
+//
+// Group-count scaling (paper: marks "adjusted based on mark(NG)"): the
+// model tracks system-wide token counts; per-group quantities — the
+// voting pools and the cost model's group size — divide by mark(NG).
+// mc, md and the C2 ratio are scale-invariant, so they need no
+// adjustment.  Rekeying (the figure's T_RK) enters through the reward
+// structure: join/leave rekeys as a rate cost, eviction rekeys as
+// impulses on T_IDS/T_FA.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "gcs/cost_model.h"
+#include "ids/voting.h"
+#include "spn/absorbing.h"
+#include "spn/petri_net.h"
+#include "spn/reachability.h"
+
+namespace midas::core {
+
+/// Everything the paper reports for one parameter point.
+struct Evaluation {
+  double mttsf = 0.0;             // mean time to security failure (s)
+  double ctotal = 0.0;            // Ĉtotal (hop-bits/s)
+  gcs::CostBreakdown cost_rates;  // time-averaged component rates
+  double eviction_cost_rate = 0.0;  // Ĉeviction (impulse rekeys) /MTTSF
+  double p_failure_c1 = 0.0;      // P[absorbed via data leak]
+  double p_failure_c2 = 0.0;      // P[absorbed via Byzantine fraction]
+  std::size_t num_states = 0;     // reachable tangible markings
+  std::size_t solver_iterations = 0;
+};
+
+class GcsSpnModel {
+ public:
+  explicit GcsSpnModel(Params params);
+
+  /// Solves the model: reachability → CTMC → absorbing analysis →
+  /// reward accumulation.  Deterministic; throws on solver failure.
+  [[nodiscard]] Evaluation evaluate() const;
+
+  /// Mission reliability R(t) = P[no security failure by time t] — the
+  /// paper's survivability requirement ("survive security threats past
+  /// the minimum mission time") as a transient measure, computed by
+  /// uniformisation.  `times` must be non-negative.
+  [[nodiscard]] std::vector<double> reliability_at(
+      std::span<const double> times) const;
+
+  /// The underlying net (exposed for inspection/tests).
+  [[nodiscard]] const spn::PetriNet& net() const noexcept { return net_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  /// Place handles (valid for markings of `net()`).
+  [[nodiscard]] spn::PlaceId place_tm() const noexcept { return tm_; }
+  [[nodiscard]] spn::PlaceId place_ucm() const noexcept { return ucm_; }
+  [[nodiscard]] spn::PlaceId place_dcm() const noexcept { return dcm_; }
+  [[nodiscard]] spn::PlaceId place_gf() const noexcept { return gf_; }
+  [[nodiscard]] spn::PlaceId place_ng() const noexcept { return ng_; }
+
+  /// Model predicates/quantities for a marking (shared with tests).
+  [[nodiscard]] bool failed_c1(const spn::Marking& m) const;
+  [[nodiscard]] bool failed_c2(const spn::Marking& m) const;
+  [[nodiscard]] bool alive(const spn::Marking& m) const;
+  /// Degree of compromise  mc = (Tm+UCm)/Tm.
+  [[nodiscard]] double mc(const spn::Marking& m) const;
+  /// Eviction progress  md = N_init/(Tm+UCm).
+  [[nodiscard]] double md(const spn::Marking& m) const;
+  /// Voting-IDS error rates in marking `m` (per-group pools).
+  [[nodiscard]] ids::VotingErrorRates voting_rates(
+      const spn::Marking& m) const;
+  /// Per-state cost rate breakdown (hop-bits/s).
+  [[nodiscard]] gcs::CostBreakdown cost_rates(const spn::Marking& m) const;
+
+ private:
+  void build();
+
+  Params params_;
+  std::shared_ptr<const ids::VotingTable> voting_;
+  std::shared_ptr<const gcs::CostModel> cost_;
+  spn::PetriNet net_;
+  spn::PlaceId tm_ = 0, ucm_ = 0, dcm_ = 0, gf_ = 0, ng_ = 0;
+};
+
+}  // namespace midas::core

@@ -1,0 +1,70 @@
+#include "core/optimizer.h"
+
+#include <stdexcept>
+
+namespace midas::core {
+
+std::vector<double> paper_t_ids_grid() {
+  return {5, 15, 30, 60, 120, 240, 480, 600, 1200};
+}
+
+std::size_t SweepResult::argmax_mttsf() const {
+  if (points.empty()) throw std::logic_error("empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].eval.mttsf > points[best].eval.mttsf) best = i;
+  }
+  return best;
+}
+
+std::size_t SweepResult::argmin_ctotal() const {
+  if (points.empty()) throw std::logic_error("empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].eval.ctotal < points[best].eval.ctotal) best = i;
+  }
+  return best;
+}
+
+SweepResult sweep_t_ids(const Params& base, std::span<const double> grid) {
+  SweepResult result;
+  result.points.reserve(grid.size());
+  for (double t : grid) {
+    Params p = base;
+    p.t_ids = t;
+    const GcsSpnModel model(p);
+    result.points.push_back({t, model.evaluate()});
+  }
+  return result;
+}
+
+PolicyChoice optimize_policy(const Params& base,
+                             std::span<const double> grid,
+                             std::optional<double> cost_budget) {
+  PolicyChoice best;
+  bool have_feasible = false;
+  PolicyChoice cheapest;
+  bool have_any = false;
+
+  for (const auto shape : {ids::Shape::Logarithmic, ids::Shape::Linear,
+                           ids::Shape::Polynomial}) {
+    Params p = base;
+    p.detection_shape = shape;
+    const auto sweep = sweep_t_ids(p, grid);
+    for (const auto& pt : sweep.points) {
+      if (!have_any || pt.eval.ctotal < cheapest.eval.ctotal) {
+        cheapest = {shape, pt.t_ids, pt.eval, false};
+        have_any = true;
+      }
+      if (cost_budget && pt.eval.ctotal > *cost_budget) continue;
+      if (!have_feasible || pt.eval.mttsf > best.eval.mttsf) {
+        best = {shape, pt.t_ids, pt.eval, true};
+        have_feasible = true;
+      }
+    }
+  }
+  if (!have_feasible) return cheapest;  // feasible == false signals this
+  return best;
+}
+
+}  // namespace midas::core

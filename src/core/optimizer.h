@@ -1,0 +1,58 @@
+// TIDS sweep and design-point optimisation — the paper's central
+// exercise: locate the detection interval that maximises MTTSF, the one
+// that minimises Ĉtotal, and the best trade-off under a performance
+// constraint (maximise MTTSF subject to Ĉtotal ≤ budget).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/gcs_spn_model.h"
+#include "core/params.h"
+
+namespace midas::core {
+
+/// The paper's Fig. 2–5 TIDS grid (seconds).
+[[nodiscard]] std::vector<double> paper_t_ids_grid();
+
+struct SweepPoint {
+  double t_ids = 0.0;
+  Evaluation eval;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+
+  /// Index of the point with maximal MTTSF / minimal Ĉtotal.
+  [[nodiscard]] std::size_t argmax_mttsf() const;
+  [[nodiscard]] std::size_t argmin_ctotal() const;
+  [[nodiscard]] const SweepPoint& best_mttsf() const {
+    return points[argmax_mttsf()];
+  }
+  [[nodiscard]] const SweepPoint& best_ctotal() const {
+    return points[argmin_ctotal()];
+  }
+};
+
+/// Evaluates `base` at every TIDS in `grid` (base.t_ids is ignored).
+[[nodiscard]] SweepResult sweep_t_ids(const Params& base,
+                                      std::span<const double> grid);
+
+/// A chosen operating point for the adaptive IDS.
+struct PolicyChoice {
+  ids::Shape detection_shape = ids::Shape::Linear;
+  double t_ids = 0.0;
+  Evaluation eval;
+  bool feasible = true;  // false when no point met the cost budget
+};
+
+/// Selects the detection function and TIDS that maximise MTTSF, over
+/// all three shapes × grid, optionally subject to Ĉtotal ≤ cost_budget.
+/// When the budget excludes every point, returns the minimum-cost point
+/// with feasible = false.
+[[nodiscard]] PolicyChoice optimize_policy(
+    const Params& base, std::span<const double> grid,
+    std::optional<double> cost_budget = std::nullopt);
+
+}  // namespace midas::core

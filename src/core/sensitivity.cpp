@@ -1,0 +1,75 @@
+#include "core/sensitivity.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "core/gcs_spn_model.h"
+
+namespace midas::core {
+
+namespace {
+
+struct Probe {
+  std::string name;
+  std::function<double&(Params&)> field;
+};
+
+}  // namespace
+
+std::vector<SensitivityEntry> sensitivity_analysis(
+    const Params& base, const SensitivityOptions& opts) {
+  base.validate();
+  if (opts.relative_step <= 0.0 || opts.relative_step >= 1.0) {
+    throw std::invalid_argument("sensitivity_analysis: bad step");
+  }
+
+  const std::vector<Probe> probes = {
+      {"lambda_c (compromise rate)",
+       [](Params& p) -> double& { return p.lambda_c; }},
+      {"lambda_q (data rate)",
+       [](Params& p) -> double& { return p.lambda_q; }},
+      {"t_ids (detection interval)",
+       [](Params& p) -> double& { return p.t_ids; }},
+      {"p1 (host false negative)",
+       [](Params& p) -> double& { return p.p1; }},
+      {"p2 (host false positive)",
+       [](Params& p) -> double& { return p.p2; }},
+      {"lambda (join rate)",
+       [](Params& p) -> double& { return p.lambda_join; }},
+      {"mu (leave rate)", [](Params& p) -> double& { return p.mu_leave; }},
+  };
+
+  std::vector<SensitivityEntry> out;
+  out.reserve(probes.size());
+
+  for (const auto& probe : probes) {
+    Params lo = base;
+    Params hi = base;
+    const double v0 = probe.field(lo);  // same as base value
+    if (v0 == 0.0) {
+      // Elasticity undefined at zero; report zeros rather than guessing.
+      out.push_back({probe.name, 0.0, 0.0, 0.0});
+      continue;
+    }
+    probe.field(lo) = v0 * (1.0 - opts.relative_step);
+    probe.field(hi) = v0 * (1.0 + opts.relative_step);
+
+    const auto ev_lo = GcsSpnModel(lo).evaluate();
+    const auto ev_hi = GcsSpnModel(hi).evaluate();
+
+    SensitivityEntry entry;
+    entry.parameter = probe.name;
+    entry.base_value = v0;
+    const double dp = 2.0 * opts.relative_step;  // (hi−lo)/v0
+    entry.mttsf_elasticity =
+        (ev_hi.mttsf - ev_lo.mttsf) /
+        (0.5 * (ev_hi.mttsf + ev_lo.mttsf)) / dp;
+    entry.ctotal_elasticity =
+        (ev_hi.ctotal - ev_lo.ctotal) /
+        (0.5 * (ev_hi.ctotal + ev_lo.ctotal)) / dp;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace midas::core

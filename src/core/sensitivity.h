@@ -1,0 +1,32 @@
+// One-at-a-time sensitivity analysis: elasticities of MTTSF and Ĉtotal
+// with respect to each model parameter — which knobs actually move the
+// paper's two metrics, and in which direction.  Elasticity is the
+// dimensionless (dM/M)/(dp/p) evaluated by central finite differences,
+// so +1.0 means "1% more parameter → 1% more metric".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+
+namespace midas::core {
+
+struct SensitivityEntry {
+  std::string parameter;
+  double base_value = 0.0;
+  double mttsf_elasticity = 0.0;
+  double ctotal_elasticity = 0.0;
+};
+
+struct SensitivityOptions {
+  double relative_step = 0.10;  // ±10% central difference
+};
+
+/// Computes elasticities for the continuous parameters of the model:
+/// λc, λq, TIDS, p1, p2, λ (join), μ (leave).  Each evaluation solves
+/// the full SPN, so expect ~15 solves.
+[[nodiscard]] std::vector<SensitivityEntry> sensitivity_analysis(
+    const Params& base, const SensitivityOptions& opts = {});
+
+}  // namespace midas::core

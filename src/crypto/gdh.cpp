@@ -1,0 +1,169 @@
+#include "crypto/gdh.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace midas::crypto {
+
+GdhSession::GdhSession(DhGroup group, std::uint64_t seed)
+    : group_(group), rng_(seed) {}
+
+std::uint64_t GdhSession::fresh_secret() {
+  std::uniform_int_distribution<std::uint64_t> dist(2, group_.q - 2);
+  return dist(rng_);
+}
+
+void GdhSession::establish(const std::vector<std::uint32_t>& ids) {
+  members_.clear();
+  for (auto id : ids) {
+    if (has_member(id)) {
+      throw std::invalid_argument("GdhSession::establish: duplicate id");
+    }
+    GdhMember m;
+    m.id = id;
+    m.secret = fresh_secret();
+    members_.push_back(m);
+  }
+  rekey_full();
+}
+
+void GdhSession::rekey_full() {
+  const std::size_t n = members_.size();
+  key_ = 0;
+  if (n == 0) return;
+  if (n == 1) {
+    auto& m = members_[0];
+    m.partial = group_.g;
+    m.key = pow_mod(group_.g, m.secret, group_.p);
+    key_ = m.key;
+    // Degenerate single-member "agreement": no messages exchanged.
+    return;
+  }
+
+  // Upflow: stage i carries i partial values + 1 cardinal value.
+  // partials[k] = g^(Π_{j<=i, j != k} x_j) for members processed so far.
+  std::vector<std::uint64_t> partials;  // indexed like members_[0..i-1]
+  std::uint64_t cardinal = group_.g;    // g^(x_0···x_{i-1})
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = members_[i].secret;
+    // Existing partials absorb x_i; the previous cardinal becomes the
+    // partial that omits x_i.
+    for (auto& v : partials) v = pow_mod(v, x, group_.p);
+    partials.push_back(cardinal);
+    cardinal = pow_mod(cardinal, x, group_.p);
+    if (i + 1 < n) {
+      // M_i → M_{i+1}: message carrying (i+1) partials + cardinal.
+      traffic_.add(1, partials.size() + 1);
+    }
+  }
+
+  // Controller (last member) broadcast: n-1 partial values (its own is
+  // kept local), one broadcast message.
+  traffic_.add(1, n - 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[i].partial = partials[i];
+    members_[i].key = pow_mod(partials[i], members_[i].secret, group_.p);
+  }
+  key_ = members_[0].key;
+}
+
+void GdhSession::join(std::uint32_t id) {
+  if (has_member(id)) {
+    throw std::invalid_argument("GdhSession::join: member already present");
+  }
+  GdhMember m;
+  m.id = id;
+  m.secret = fresh_secret();
+  members_.push_back(m);
+  // Backward secrecy: the controller refreshes its contribution so the
+  // joining member cannot reconstruct previous keys from observed
+  // ciphertext.  (New controller = the joining member in GDH.2; the
+  // previous controller refreshes before forwarding the upflow.)
+  if (members_.size() >= 2) {
+    members_[members_.size() - 2].secret = fresh_secret();
+  }
+  rekey_full();
+}
+
+void GdhSession::leave(std::uint32_t id) {
+  const auto it =
+      std::find_if(members_.begin(), members_.end(),
+                   [id](const GdhMember& m) { return m.id == id; });
+  if (it == members_.end()) {
+    throw std::invalid_argument("GdhSession::leave: no such member");
+  }
+  members_.erase(it);
+  // Forward secrecy: controller refreshes its secret so the departed
+  // member's knowledge (its partial + old secret) is useless.
+  if (!members_.empty()) {
+    members_.back().secret = fresh_secret();
+  }
+  rekey_full();
+}
+
+void GdhSession::merge(const std::vector<std::uint32_t>& other_ids) {
+  for (auto id : other_ids) {
+    if (has_member(id)) {
+      throw std::invalid_argument("GdhSession::merge: duplicate id");
+    }
+    GdhMember m;
+    m.id = id;
+    m.secret = fresh_secret();
+    members_.push_back(m);
+  }
+  if (!members_.empty()) {
+    members_.back().secret = fresh_secret();
+  }
+  rekey_full();
+}
+
+GdhSession GdhSession::partition(const std::vector<std::uint32_t>& ids) {
+  GdhSession other(group_, rng_());
+  for (auto id : ids) {
+    const auto it =
+        std::find_if(members_.begin(), members_.end(),
+                     [id](const GdhMember& m) { return m.id == id; });
+    if (it == members_.end()) {
+      throw std::invalid_argument("GdhSession::partition: no such member");
+    }
+    GdhMember moved = *it;
+    moved.secret = other.fresh_secret();  // fresh contribution in new group
+    other.members_.push_back(moved);
+    members_.erase(it);
+  }
+  if (!members_.empty()) {
+    members_.back().secret = fresh_secret();
+  }
+  rekey_full();
+  other.rekey_full();
+  return other;
+}
+
+std::vector<std::uint32_t> GdhSession::member_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(members_.size());
+  for (const auto& m : members_) ids.push_back(m.id);
+  return ids;
+}
+
+bool GdhSession::has_member(std::uint32_t id) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [id](const GdhMember& m) { return m.id == id; });
+}
+
+std::uint64_t GdhSession::member_key(std::uint32_t id) const {
+  for (const auto& m : members_) {
+    if (m.id == id) return m.key;
+  }
+  throw std::invalid_argument("GdhSession::member_key: no such member");
+}
+
+bool GdhSession::keys_agree() const {
+  if (members_.empty()) return true;
+  const std::uint64_t k = members_[0].key;
+  return std::all_of(members_.begin(), members_.end(),
+                     [k](const GdhMember& m) { return m.key == k; });
+}
+
+}  // namespace midas::crypto

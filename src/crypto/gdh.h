@@ -1,0 +1,105 @@
+// GDH.2 contributory group key agreement (Steiner, Tsudik, Waidner,
+// CCS'96) — the paper's distributed rekeying substrate for MANET GCSs
+// with no centralised key server.
+//
+// Protocol shape (n members M1..Mn, generator g, member secrets x_i):
+//   * Upflow stage i (M_i → M_{i+1}): the set of "partial" values
+//     { g^(Π x_j, j∈S) : S = {1..i} \ {k} for each k ≤ i }  plus the
+//     cardinal value g^(x_1···x_i).
+//   * M_n raises every partial value by x_n and broadcasts; member k
+//     recovers the group key K = g^(x_1···x_n) by raising its own
+//     partial value to x_k.
+// Membership events follow the GDH member-serving-as-controller idiom:
+// the controller (highest-index member) refreshes its secret on every
+// leave/eviction so evicted members cannot compute the new key (forward
+// secrecy) and new members cannot compute old keys (backward secrecy).
+//
+// The class tracks protocol traffic (messages and "units", one unit =
+// one group element) so the GCS cost model can charge realistic rekey
+// costs per event type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "crypto/modmath.h"
+
+namespace midas::crypto {
+
+struct TrafficCounter {
+  std::uint64_t messages = 0;
+  std::uint64_t units = 0;  // group elements carried across all messages
+
+  void add(std::uint64_t msgs, std::uint64_t elems) {
+    messages += msgs;
+    units += elems;
+  }
+  void reset() { *this = TrafficCounter{}; }
+};
+
+/// One member's protocol state.
+struct GdhMember {
+  std::uint32_t id = 0;      // stable external identity
+  std::uint64_t secret = 0;  // x_i (exponent in the order-q subgroup)
+  std::uint64_t partial = 0; // g^(Π x_j, j != i) after the broadcast
+  std::uint64_t key = 0;     // computed group key
+};
+
+/// A GDH.2 session for one group.  Deterministic under a fixed seed.
+class GdhSession {
+ public:
+  GdhSession(DhGroup group, std::uint64_t seed);
+
+  /// Runs full initial key agreement over `ids` (order = upflow chain).
+  void establish(const std::vector<std::uint32_t>& ids);
+
+  /// Adds a member: controller extends the upflow and re-broadcasts.
+  void join(std::uint32_t id);
+
+  /// Removes a member (voluntary leave or IDS eviction).  The controller
+  /// refreshes its secret and re-broadcasts, which denies the departed
+  /// member the new key.
+  void leave(std::uint32_t id);
+
+  /// Merges another member list into this session (group merge event).
+  void merge(const std::vector<std::uint32_t>& other_ids);
+
+  /// Splits the listed members out; they form their own session (group
+  /// partition).  Returns the new session for the split members.
+  [[nodiscard]] GdhSession partition(const std::vector<std::uint32_t>& ids);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] std::vector<std::uint32_t> member_ids() const;
+  [[nodiscard]] bool has_member(std::uint32_t id) const;
+
+  /// The agreed group key (0 before establish()).
+  [[nodiscard]] std::uint64_t group_key() const noexcept { return key_; }
+  /// Key as computed by a specific member — agreement check.
+  [[nodiscard]] std::uint64_t member_key(std::uint32_t id) const;
+  /// True when every member computed the same key.
+  [[nodiscard]] bool keys_agree() const;
+
+  [[nodiscard]] const TrafficCounter& traffic() const noexcept {
+    return traffic_;
+  }
+  void reset_traffic() { traffic_.reset(); }
+
+  [[nodiscard]] const DhGroup& group() const noexcept { return group_; }
+
+ private:
+  std::uint64_t fresh_secret();
+  /// Re-runs the upflow/broadcast over the current member set and
+  /// recomputes everyone's key; charges protocol traffic.
+  void rekey_full();
+
+  DhGroup group_;
+  std::vector<GdhMember> members_;
+  std::uint64_t key_ = 0;
+  std::mt19937_64 rng_;
+  TrafficCounter traffic_;
+};
+
+}  // namespace midas::crypto

@@ -1,0 +1,98 @@
+#include "crypto/modmath.h"
+
+#include <stdexcept>
+
+namespace midas::crypto {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t m) {
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1u) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t small : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                              19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n == small) return true;
+    if (n % small == 0) return false;
+  }
+  // n-1 = d * 2^r with d odd.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = pow_mod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mul_mod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_safe_prime(std::uint64_t start) {
+  // Safe prime p: p prime and (p-1)/2 prime.  p ≡ 3 (mod 4) necessarily.
+  std::uint64_t p = start | 1u;
+  if (p % 4 != 3) p += (3 + 4 - (p % 4)) % 4;  // align to 3 (mod 4)
+  for (; p >= start; p += 4) {
+    if (p > (1ull << 62)) {
+      throw std::runtime_error("next_safe_prime: search out of range");
+    }
+    if (is_prime(p) && is_prime((p - 1) / 2)) return p;
+  }
+  throw std::runtime_error("next_safe_prime: overflow");
+}
+
+DhGroup DhGroup::demo_group() {
+  // 2^56 + 3031 is a safe prime (verified in tests); g = 4 = 2² is a
+  // quadratic residue, hence generates the order-q subgroup.
+  DhGroup grp;
+  grp.p = (1ull << 56) + 3031;
+  grp.q = (grp.p - 1) / 2;
+  grp.g = 4;
+  return grp;
+}
+
+DhGroup DhGroup::from_seed(std::uint64_t seed) {
+  DhGroup grp;
+  grp.p = next_safe_prime((seed | (1ull << 40)) % (1ull << 56));
+  grp.q = (grp.p - 1) / 2;
+  // Squares are subgroup members; find a square generating element != 1.
+  for (std::uint64_t cand = 2;; ++cand) {
+    const std::uint64_t g = mul_mod(cand, cand, grp.p);
+    if (g != 1 && grp.is_subgroup_generator(g)) {
+      grp.g = g;
+      return grp;
+    }
+  }
+}
+
+bool DhGroup::is_subgroup_generator(std::uint64_t x) const {
+  // Subgroup of prime order q: any element != 1 with x^q = 1 generates.
+  return x != 1 && pow_mod(x, q, p) == 1;
+}
+
+}  // namespace midas::crypto

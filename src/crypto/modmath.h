@@ -1,0 +1,48 @@
+// Modular arithmetic over 64-bit moduli (via unsigned __int128) with
+// deterministic Miller–Rabin and safe-prime search.  This backs the GDH
+// group-key-agreement substrate.  Demonstration-grade parameters: the
+// protocol logic (who sends what, who can compute the key) is what the
+// GCS model needs; 64-bit moduli keep the tests fast while preserving
+// the algebra.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace midas::crypto {
+
+/// (a * b) mod m without overflow.
+[[nodiscard]] std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m);
+
+/// (base ^ exp) mod m by square-and-multiply.
+[[nodiscard]] std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp,
+                                    std::uint64_t m);
+
+/// Deterministic Miller–Rabin, valid for all 64-bit integers (fixed
+/// witness set {2,3,5,7,11,13,17,19,23,29,31,37}).
+[[nodiscard]] bool is_prime(std::uint64_t n);
+
+/// Smallest safe prime p >= start (p and (p-1)/2 both prime).
+/// Throws if the search walks off the 63-bit range.
+[[nodiscard]] std::uint64_t next_safe_prime(std::uint64_t start);
+
+/// Diffie–Hellman group parameters: safe prime p and a generator g of
+/// the order-q subgroup, q = (p-1)/2.
+struct DhGroup {
+  std::uint64_t p = 0;
+  std::uint64_t q = 0;  // subgroup order
+  std::uint64_t g = 0;
+
+  /// Fixed demonstration group (56-bit safe prime); found once and
+  /// verified by Miller–Rabin in the unit tests.
+  [[nodiscard]] static DhGroup demo_group();
+
+  /// Derives a group from a seed by searching for the next safe prime.
+  [[nodiscard]] static DhGroup from_seed(std::uint64_t seed);
+
+  /// True when x generates the order-q subgroup.
+  [[nodiscard]] bool is_subgroup_generator(std::uint64_t x) const;
+};
+
+}  // namespace midas::crypto

@@ -1,0 +1,47 @@
+#include "crypto/rekey_cost.h"
+
+#include <algorithm>
+
+namespace midas::crypto {
+
+namespace {
+
+RekeyCost from_units(double units, const RekeyCostParams& p) {
+  RekeyCost c;
+  c.hop_bits = units * p.key_element_bits * std::max(p.mean_hops, 1.0);
+  c.seconds = c.hop_bits / std::max(p.bandwidth_bps, 1.0);
+  return c;
+}
+
+}  // namespace
+
+RekeyCost full_agreement_cost(std::size_t n, const RekeyCostParams& p) {
+  if (n <= 1) return {};
+  // Upflow stage i carries (i+1) elements, i = 1..n-1: Σ = (n²+n-2)/2.
+  const double nn = static_cast<double>(n);
+  const double upflow = (nn * nn + nn - 2.0) / 2.0;
+  const double broadcast = nn - 1.0;
+  return from_units(upflow + broadcast, p);
+}
+
+RekeyCost join_cost(std::size_t n_after, const RekeyCostParams& p) {
+  if (n_after <= 1) return {};
+  // One upflow extension message (n_after elements) + broadcast of
+  // n_after − 1 partials.
+  const double nn = static_cast<double>(n_after);
+  return from_units(nn + (nn - 1.0), p);
+}
+
+RekeyCost leave_cost(std::size_t n_after, const RekeyCostParams& p) {
+  if (n_after == 0) return {};
+  // Controller refresh + broadcast of n_after partials.
+  return from_units(static_cast<double>(n_after), p);
+}
+
+RekeyCost regroup_cost(std::size_t n_total, const RekeyCostParams& p) {
+  // Conservative: equivalent to a join-style broadcast on each side plus
+  // one cross-side exchange; bounded by 2n elements.
+  return from_units(2.0 * static_cast<double>(n_total), p);
+}
+
+}  // namespace midas::crypto

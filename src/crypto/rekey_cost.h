@@ -1,0 +1,43 @@
+// Rekeying cost accounting: converts GDH protocol traffic into the
+// hop-bits and wall-clock time (Tcm) the SPN cost model charges per
+// membership event.  The per-event message/element counts follow the
+// GDH.2 flows implemented in gdh.cpp; hop expansion and bandwidth come
+// from the MANET substrate.
+#pragma once
+
+#include <cstddef>
+
+namespace midas::crypto {
+
+struct RekeyCostParams {
+  double key_element_bits = 1024.0;  // wire size of one group element
+  double mean_hops = 3.0;            // average path length (MANET stats)
+  double bandwidth_bps = 1e6;        // paper: BW = 1 Mb/s
+};
+
+/// Cost of one rekey event, in hop-bits and seconds.
+struct RekeyCost {
+  double hop_bits = 0.0;
+  double seconds = 0.0;  // Tcm: serialised transfer time over BW
+};
+
+/// Full (re-)establishment over a group of n members: n−1 upflow
+/// messages of growing size plus the controller broadcast.
+[[nodiscard]] RekeyCost full_agreement_cost(std::size_t n,
+                                            const RekeyCostParams& p);
+
+/// Join: upflow extension + broadcast of n partials (group size n after
+/// the join).
+[[nodiscard]] RekeyCost join_cost(std::size_t n_after,
+                                  const RekeyCostParams& p);
+
+/// Leave/eviction: controller refresh + broadcast over remaining n.
+[[nodiscard]] RekeyCost leave_cost(std::size_t n_after,
+                                   const RekeyCostParams& p);
+
+/// Partition/merge: both sides re-broadcast (upper-bounded by a fresh
+/// agreement of the larger side).
+[[nodiscard]] RekeyCost regroup_cost(std::size_t n_total,
+                                     const RekeyCostParams& p);
+
+}  // namespace midas::crypto

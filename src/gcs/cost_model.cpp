@@ -1,0 +1,91 @@
+#include "gcs/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace midas::gcs {
+
+void CostParams::sync_rekey_params() {
+  rekey.mean_hops = mean_hops;
+  rekey.bandwidth_bps = bandwidth_bps;
+}
+
+CostModel::CostModel(CostParams params) : params_(params) {}
+
+double CostModel::per_group_size(const GroupState& s) const {
+  const double g = std::max(s.groups, 1.0);
+  return s.members / g;
+}
+
+double CostModel::group_comm_rate(const GroupState& s,
+                                  double lambda_q) const {
+  // Each of the `members` nodes issues data packets at λq; a delivery to
+  // its group costs ~one transmission per member reached (multicast tree
+  // with n_g−1 edges, rounded to n_g).
+  const double n_g = per_group_size(s);
+  return lambda_q * s.members * n_g * params_.data_packet_bits;
+}
+
+double CostModel::status_rate(const GroupState& s) const {
+  // 1-hop exchange with each neighbor.
+  return s.members * params_.status_exchange_rate *
+         params_.status_packet_bits * params_.mean_degree;
+}
+
+double CostModel::rekey_rate(const GroupState& s, double lambda_join,
+                             double mu_leave) const {
+  const double n_g = per_group_size(s);
+  const auto jc = crypto::join_cost(
+      static_cast<std::size_t>(std::ceil(std::max(n_g, 2.0))),
+      params_.rekey);
+  const auto lc = crypto::leave_cost(
+      static_cast<std::size_t>(std::ceil(std::max(n_g - 1.0, 1.0))),
+      params_.rekey);
+  // Event rates scale with the live membership (per-node join/leave).
+  return s.members * (lambda_join * jc.hop_bits + mu_leave * lc.hop_bits);
+}
+
+double CostModel::ids_rate(const GroupState& s, double detection_rate,
+                           std::size_t num_voters) const {
+  // Per evaluation of one target: m vote messages crossing mean_hops.
+  const double per_eval = static_cast<double>(num_voters) *
+                          params_.vote_packet_bits * params_.mean_hops;
+  return s.members * detection_rate * per_eval;
+}
+
+double CostModel::beacon_rate(const GroupState& s) const {
+  return s.members * params_.beacon_rate * params_.beacon_bits;
+}
+
+double CostModel::partition_merge_rate(const GroupState& s,
+                                       double event_rate) const {
+  const auto rc = crypto::regroup_cost(
+      static_cast<std::size_t>(std::ceil(std::max(s.members, 1.0))),
+      params_.rekey);
+  return event_rate * rc.hop_bits;
+}
+
+double CostModel::eviction_impulse_bits(const GroupState& s) const {
+  const double n_g = per_group_size(s);
+  const auto lc = crypto::leave_cost(
+      static_cast<std::size_t>(std::ceil(std::max(n_g - 1.0, 1.0))),
+      params_.rekey);
+  return lc.hop_bits;
+}
+
+CostBreakdown CostModel::breakdown(const GroupState& s, double lambda_q,
+                                   double lambda_join, double mu_leave,
+                                   double detection_rate,
+                                   std::size_t num_voters,
+                                   double pm_event_rate) const {
+  CostBreakdown b;
+  b.group_comm = group_comm_rate(s, lambda_q);
+  b.status = status_rate(s);
+  b.rekey = rekey_rate(s, lambda_join, mu_leave);
+  b.ids = ids_rate(s, detection_rate, num_voters);
+  b.beacon = beacon_rate(s);
+  b.partition_merge = partition_merge_rate(s, pm_event_rate);
+  return b;
+}
+
+}  // namespace midas::gcs

@@ -1,0 +1,108 @@
+// Communication cost model — the paper's Ĉtotal decomposition:
+//   Ĉtotal,i = ĈGC,i + Ĉstatus,i + Ĉrekey,i + ĈIDS,i + Ĉbeacon,i + Ĉmp,i
+// in hop-bits per second for a system in state i.  The paper omits the
+// component equations "due to space limitation"; DESIGN.md documents our
+// reconstruction of each term from its verbal description.  Every
+// constant lives in CostParams so the calibration is explicit.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/rekey_cost.h"
+
+namespace midas::gcs {
+
+struct CostParams {
+  // Wire sizes (bits).
+  double data_packet_bits = 2048.0;   // group communication payload
+  double status_packet_bits = 256.0;  // host-IDS status exchange
+  double vote_packet_bits = 512.0;    // one IDS vote
+  double beacon_bits = 128.0;         // neighbor heartbeat
+
+  // Background rates (per node, per second).
+  double status_exchange_rate = 1.0 / 60.0;  // host-IDS info swap
+  double beacon_rate = 1.0;                  // 1 Hz heartbeats
+
+  // Network shape (from the MANET substrate).
+  double mean_hops = 3.0;    // average multi-hop path length
+  double mean_degree = 8.0;  // average 1-hop neighborhood size
+
+  double bandwidth_bps = 1e6;  // paper: BW = 1 Mb/s
+
+  crypto::RekeyCostParams rekey;  // GDH element size + hops + BW
+
+  /// Keeps the nested rekey params consistent with the top-level network
+  /// shape — call after overriding mean_hops / bandwidth_bps.
+  void sync_rekey_params();
+};
+
+/// Snapshot of the group state the cost terms depend on.
+struct GroupState {
+  double members = 0.0;      // live members across the system (Tm + UCm)
+  double groups = 1.0;       // current number of groups (mark(NG))
+  double initial_size = 0.0; // N at mission start (for per-group size)
+};
+
+/// Per-second cost rates in hop-bits/s.  Impulse (per-event) costs are
+/// returned separately so the SPN can attach them to transitions.
+struct CostBreakdown {
+  double group_comm = 0.0;  // ĈGC
+  double status = 0.0;      // Ĉstatus
+  double rekey = 0.0;       // Ĉrekey (join/leave-driven)
+  double ids = 0.0;         // ĈIDS (voting traffic)
+  double beacon = 0.0;      // Ĉbeacon
+  double partition_merge = 0.0;  // Ĉmp
+
+  [[nodiscard]] double total() const {
+    return group_comm + status + rekey + ids + beacon + partition_merge;
+  }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostParams params);
+
+  [[nodiscard]] const CostParams& params() const noexcept { return params_; }
+
+  /// ĈGC: every member multicasts data at `lambda_q`; one delivery costs
+  /// ~(group size) hop-transmissions over the multicast tree.
+  [[nodiscard]] double group_comm_rate(const GroupState& s,
+                                       double lambda_q) const;
+
+  /// Ĉstatus: neighbor status exchange for the host IDS.
+  [[nodiscard]] double status_rate(const GroupState& s) const;
+
+  /// Ĉrekey: join/leave events at per-node rates λ and μ, each costing a
+  /// GDH join/leave rekey for the group it lands in.
+  [[nodiscard]] double rekey_rate(const GroupState& s, double lambda_join,
+                                  double mu_leave) const;
+
+  /// ĈIDS: each member is evaluated at `detection_rate`; one evaluation
+  /// collects m votes over mean_hops paths.
+  [[nodiscard]] double ids_rate(const GroupState& s, double detection_rate,
+                                std::size_t num_voters) const;
+
+  /// Ĉbeacon: 1-hop heartbeats.
+  [[nodiscard]] double beacon_rate(const GroupState& s) const;
+
+  /// Ĉmp: partition/merge events × regroup rekey traffic.
+  [[nodiscard]] double partition_merge_rate(const GroupState& s,
+                                            double event_rate) const;
+
+  /// One eviction's rekey cost in hop-bits (impulse on T_IDS/T_FA).
+  [[nodiscard]] double eviction_impulse_bits(const GroupState& s) const;
+
+  /// Full per-second breakdown for a state.
+  [[nodiscard]] CostBreakdown breakdown(const GroupState& s, double lambda_q,
+                                        double lambda_join, double mu_leave,
+                                        double detection_rate,
+                                        std::size_t num_voters,
+                                        double partition_merge_rate) const;
+
+ private:
+  [[nodiscard]] double per_group_size(const GroupState& s) const;
+
+  CostParams params_;
+};
+
+}  // namespace midas::gcs

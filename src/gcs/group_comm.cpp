@@ -1,0 +1,90 @@
+#include "gcs/group_comm.h"
+
+namespace midas::gcs {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SecureEnvelope SecureEnvelope::seal(std::uint64_t key,
+                                    const std::string& plaintext) {
+  SecureEnvelope env;
+  env.ciphertext.reserve(plaintext.size());
+  std::uint64_t stream = mix(key);
+  std::size_t byte_in_word = 0;
+  for (char c : plaintext) {
+    if (byte_in_word == 8) {
+      stream = mix(stream);
+      byte_in_word = 0;
+    }
+    const auto pad =
+        static_cast<std::uint8_t>(stream >> (8 * byte_in_word));
+    env.ciphertext.push_back(static_cast<std::uint8_t>(c) ^ pad);
+    ++byte_in_word;
+  }
+  return env;
+}
+
+std::string SecureEnvelope::open(std::uint64_t key) const {
+  std::string plaintext;
+  plaintext.reserve(ciphertext.size());
+  std::uint64_t stream = mix(key);
+  std::size_t byte_in_word = 0;
+  for (std::uint8_t b : ciphertext) {
+    if (byte_in_word == 8) {
+      stream = mix(stream);
+      byte_in_word = 0;
+    }
+    const auto pad =
+        static_cast<std::uint8_t>(stream >> (8 * byte_in_word));
+    plaintext.push_back(static_cast<char>(b ^ pad));
+    ++byte_in_word;
+  }
+  return plaintext;
+}
+
+GroupChannel::GroupChannel(const ViewManager& view) : view_(view) {}
+
+bool GroupChannel::publish(NodeId sender, std::uint64_t sender_view,
+                           std::uint64_t group_key,
+                           const std::string& plaintext) {
+  if (sender_view != view_.current_view().id || !view_.contains(sender)) {
+    ++stats_.rejected_stale_view;
+    return false;
+  }
+  GroupMessage msg;
+  msg.seq = next_seq_++;
+  msg.view_id = sender_view;
+  msg.sender = sender;
+  msg.envelope = SecureEnvelope::seal(group_key, plaintext);
+
+  for (NodeId member : view_.current_view().members) {
+    queues_[member].push_back(msg);
+  }
+  ++stats_.published;
+  return true;
+}
+
+std::vector<GroupMessage> GroupChannel::drain(NodeId member) {
+  std::vector<GroupMessage> out;
+  auto it = queues_.find(member);
+  if (it == queues_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  stats_.delivered += out.size();
+  it->second.clear();
+  return out;
+}
+
+std::size_t GroupChannel::pending(NodeId member) const {
+  const auto it = queues_.find(member);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace midas::gcs

@@ -1,0 +1,86 @@
+#include "gcs/view.h"
+
+#include <stdexcept>
+
+namespace midas::gcs {
+
+std::string to_string(EventType t) {
+  switch (t) {
+    case EventType::Join:
+      return "join";
+    case EventType::Leave:
+      return "leave";
+    case EventType::Evict:
+      return "evict";
+    case EventType::Partition:
+      return "partition";
+    case EventType::Merge:
+      return "merge";
+  }
+  return "?";
+}
+
+ViewManager::ViewManager(std::vector<NodeId> initial_members) {
+  view_.id = 0;
+  for (auto n : initial_members) {
+    if (!view_.members.insert(n).second) {
+      throw std::invalid_argument("ViewManager: duplicate initial member");
+    }
+  }
+}
+
+void ViewManager::install(EventType type, std::vector<NodeId> subjects) {
+  ViewEvent ev;
+  ev.view_id = ++view_.id;
+  ev.type = type;
+  ev.subjects = std::move(subjects);
+  history_.push_back(std::move(ev));
+}
+
+void ViewManager::join(NodeId node) {
+  if (!view_.members.insert(node).second) {
+    throw std::invalid_argument("ViewManager::join: member already present");
+  }
+  install(EventType::Join, {node});
+}
+
+void ViewManager::leave(NodeId node) {
+  if (view_.members.erase(node) == 0) {
+    throw std::invalid_argument("ViewManager::leave: no such member");
+  }
+  install(EventType::Leave, {node});
+}
+
+void ViewManager::evict(NodeId node) {
+  if (view_.members.erase(node) == 0) {
+    throw std::invalid_argument("ViewManager::evict: no such member");
+  }
+  install(EventType::Evict, {node});
+}
+
+std::vector<NodeId> ViewManager::partition(const std::vector<NodeId>& nodes) {
+  for (auto n : nodes) {
+    if (view_.members.count(n) == 0) {
+      throw std::invalid_argument("ViewManager::partition: no such member");
+    }
+  }
+  if (nodes.size() >= view_.members.size()) {
+    throw std::invalid_argument(
+        "ViewManager::partition: cannot split out the whole group");
+  }
+  for (auto n : nodes) view_.members.erase(n);
+  install(EventType::Partition, nodes);
+  return nodes;
+}
+
+void ViewManager::merge(const std::vector<NodeId>& nodes) {
+  for (auto n : nodes) {
+    if (view_.members.count(n) > 0) {
+      throw std::invalid_argument("ViewManager::merge: duplicate member");
+    }
+  }
+  for (auto n : nodes) view_.members.insert(n);
+  install(EventType::Merge, nodes);
+}
+
+}  // namespace midas::gcs

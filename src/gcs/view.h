@@ -1,0 +1,79 @@
+// Group view management with view-synchrony (VS) semantics: membership
+// changes are delivered as totally-ordered view installations, and every
+// membership event (join/leave/evict/partition/merge) bumps the view and
+// triggers a rekey — the paper assumes VS for its GCS (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace midas::gcs {
+
+using NodeId = std::uint32_t;
+
+enum class EventType : std::uint8_t {
+  Join,
+  Leave,
+  Evict,      // forced removal by the IDS
+  Partition,  // subset splits into a new group
+  Merge,      // another group's members absorbed
+};
+
+[[nodiscard]] std::string to_string(EventType t);
+
+struct ViewEvent {
+  std::uint64_t view_id = 0;  // view installed BY this event
+  EventType type = EventType::Join;
+  std::vector<NodeId> subjects;  // nodes joining/leaving/moving
+};
+
+struct View {
+  std::uint64_t id = 0;
+  std::set<NodeId> members;
+};
+
+/// One group's membership timeline.  Enforces VS invariants: view ids
+/// are strictly monotonic and each installed view differs from its
+/// predecessor exactly by the event's subjects.
+class ViewManager {
+ public:
+  explicit ViewManager(std::vector<NodeId> initial_members);
+
+  void join(NodeId node);
+  void leave(NodeId node);
+  void evict(NodeId node);
+  /// Removes `nodes` as one partition event; returns them for the peer
+  /// group's construction.
+  std::vector<NodeId> partition(const std::vector<NodeId>& nodes);
+  void merge(const std::vector<NodeId>& nodes);
+
+  [[nodiscard]] const View& current_view() const noexcept { return view_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return view_.members.size();
+  }
+  [[nodiscard]] bool contains(NodeId node) const {
+    return view_.members.count(node) > 0;
+  }
+
+  /// Complete ordered event history (the VS delivery log).
+  [[nodiscard]] const std::vector<ViewEvent>& history() const noexcept {
+    return history_;
+  }
+
+  /// Number of rekey operations implied so far (= installed views after
+  /// the initial one; every membership change rekeys).
+  [[nodiscard]] std::uint64_t rekey_count() const noexcept {
+    return view_.id;
+  }
+
+ private:
+  void install(EventType type, std::vector<NodeId> subjects);
+
+  View view_;
+  std::vector<ViewEvent> history_;
+};
+
+}  // namespace midas::gcs

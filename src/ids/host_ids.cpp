@@ -1,0 +1,27 @@
+#include "ids/host_ids.h"
+
+#include <stdexcept>
+
+namespace midas::ids {
+
+HostIdsParams HostIdsParams::misuse_detection() { return {0.03, 0.005}; }
+
+HostIdsParams HostIdsParams::anomaly_detection() { return {0.005, 0.03}; }
+
+HostIds::HostIds(HostIdsParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params.p1 < 0.0 || params.p1 > 1.0 || params.p2 < 0.0 ||
+      params.p2 > 1.0) {
+    throw std::invalid_argument("HostIds: p1/p2 out of [0,1]");
+  }
+}
+
+Verdict HostIds::classify(bool actually_compromised) {
+  const double u = uni_(rng_);
+  if (actually_compromised) {
+    return u < params_.p1 ? Verdict::Trusted : Verdict::Compromised;
+  }
+  return u < params_.p2 ? Verdict::Compromised : Verdict::Trusted;
+}
+
+}  // namespace midas::ids

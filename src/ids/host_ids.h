@@ -1,0 +1,44 @@
+// Host-based IDS model (paper §2.2): every node runs a local
+// misuse/anomaly detector characterised solely by its false-negative
+// (p1) and false-positive (p2) probabilities.  This class provides the
+// sampling interface used by the discrete-event simulator and the GDH
+// demo, plus the misuse/anomaly presets the paper discusses (misuse:
+// higher p1, lower p2; anomaly: lower p1, higher p2).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace midas::ids {
+
+enum class Verdict : std::uint8_t { Trusted, Compromised };
+
+struct HostIdsParams {
+  double p1 = 0.01;  // P[compromised node judged Trusted]
+  double p2 = 0.01;  // P[trusted node judged Compromised]
+
+  /// Signature-based preset: misses more, rarely false-alarms.
+  [[nodiscard]] static HostIdsParams misuse_detection();
+  /// Anomaly-based preset: misses less, false-alarms more.
+  [[nodiscard]] static HostIdsParams anomaly_detection();
+};
+
+/// One node's local detector.  Deterministic under a fixed seed.
+class HostIds {
+ public:
+  HostIds(HostIdsParams params, std::uint64_t seed);
+
+  /// Classifies a neighbor whose true state is `actually_compromised`.
+  [[nodiscard]] Verdict classify(bool actually_compromised);
+
+  [[nodiscard]] const HostIdsParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  HostIdsParams params_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+};
+
+}  // namespace midas::ids

@@ -1,0 +1,149 @@
+#include "ids/voting.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/log_math.h"
+
+namespace midas::ids {
+
+namespace {
+
+/// Strict majority threshold for `m` voters.
+std::int64_t majority_of(std::int64_t m) { return m / 2 + 1; }
+
+}  // namespace
+
+VotingErrorRates voting_error_rates(const VotingParams& params,
+                                    std::int64_t n_good, std::int64_t n_bad) {
+  if (params.num_voters <= 0) {
+    throw std::invalid_argument("voting_error_rates: m must be positive");
+  }
+  if (params.p1 < 0.0 || params.p1 > 1.0 || params.p2 < 0.0 ||
+      params.p2 > 1.0) {
+    throw std::invalid_argument("voting_error_rates: p1/p2 out of [0,1]");
+  }
+  if (n_good < 0 || n_bad < 0) {
+    throw std::invalid_argument("voting_error_rates: negative populations");
+  }
+
+  VotingErrorRates rates;
+
+  // ---- Pfp: target is GOOD.  Pool excludes the target itself.
+  {
+    const std::int64_t pool_good = std::max<std::int64_t>(n_good - 1, 0);
+    const std::int64_t pool = pool_good + n_bad;
+    if (pool == 0) {
+      rates.pfp = 0.0;  // nobody can vote; no eviction possible
+    } else {
+      const std::int64_t m = std::min(params.num_voters, pool);
+      const std::int64_t need = majority_of(m);
+      double pfp = 0.0;
+      for (std::int64_t k = 0; k <= std::min(m, n_bad); ++k) {
+        const double sel =
+            linalg::hypergeometric_pmf(n_bad, pool_good, m, k);
+        if (sel == 0.0) continue;
+        // k colluding voters all vote to evict; of the m−k trusted
+        // voters, each mistakenly votes to evict w.p. p2.  Eviction when
+        // total negative votes reach the majority.
+        const std::int64_t still_needed = need - k;
+        pfp += sel * linalg::binomial_tail_geq(m - k, still_needed,
+                                               params.p2);
+      }
+      rates.pfp = std::clamp(pfp, 0.0, 1.0);
+    }
+  }
+
+  // ---- Pfn: target is BAD.  Pool excludes the (bad) target.
+  {
+    const std::int64_t pool_bad = std::max<std::int64_t>(n_bad - 1, 0);
+    const std::int64_t pool = n_good + pool_bad;
+    if (pool == 0) {
+      rates.pfn = 1.0;  // nobody can vote; the bad node survives
+    } else {
+      const std::int64_t m = std::min(params.num_voters, pool);
+      const std::int64_t need = majority_of(m);
+      double evicted = 0.0;
+      for (std::int64_t k = 0; k <= std::min(m, pool_bad); ++k) {
+        const double sel =
+            linalg::hypergeometric_pmf(pool_bad, n_good, m, k);
+        if (sel == 0.0) continue;
+        // Colluders vote to retain; only the m−k trusted voters can vote
+        // to evict, each detecting the bad target w.p. 1−p1.
+        evicted += sel * linalg::binomial_tail_geq(m - k, need,
+                                                   1.0 - params.p1);
+      }
+      rates.pfn = std::clamp(1.0 - evicted, 0.0, 1.0);
+    }
+  }
+  return rates;
+}
+
+VotingErrorRates voting_error_rates_bruteforce(const VotingParams& params,
+                                               std::int64_t n_good,
+                                               std::int64_t n_bad) {
+  // Enumerates every participant subset of size m (over a labelled pool)
+  // and, within it, every error pattern of the trusted voters.  Only
+  // viable for small pools; used as the test oracle.
+  auto evaluate = [&](bool target_good) {
+    const std::int64_t pool_good =
+        std::max<std::int64_t>(target_good ? n_good - 1 : n_good, 0);
+    const std::int64_t pool_bad =
+        std::max<std::int64_t>(target_good ? n_bad : n_bad - 1, 0);
+    const std::int64_t pool = pool_good + pool_bad;
+    if (pool == 0) return target_good ? 0.0 : 1.0;
+    const std::int64_t m = std::min(params.num_voters, pool);
+    const std::int64_t need = m / 2 + 1;
+
+    // P[k bad among m] × P[negative votes ≥ need], built by explicit
+    // enumeration of the trusted-voter error count j.
+    double p_evict = 0.0;
+    for (std::int64_t k = 0; k <= std::min(m, pool_bad); ++k) {
+      const double sel = linalg::hypergeometric_pmf(pool_bad, pool_good, m, k);
+      if (sel == 0.0) continue;
+      const std::int64_t trusted = m - k;
+      double evict_given_k = 0.0;
+      for (std::int64_t j = 0; j <= trusted; ++j) {
+        // For a good target: negatives = k (colluders) + j (errors, p2).
+        // For a bad target: negatives = j (correct detections, 1−p1).
+        const double pj = target_good
+                              ? linalg::binomial_pmf(trusted, j, params.p2)
+                              : linalg::binomial_pmf(trusted, j,
+                                                     1.0 - params.p1);
+        const std::int64_t negatives = target_good ? k + j : j;
+        if (negatives >= need) evict_given_k += pj;
+      }
+      p_evict += sel * evict_given_k;
+    }
+    return target_good ? p_evict : 1.0 - p_evict;
+  };
+
+  VotingErrorRates rates;
+  rates.pfp = evaluate(true);
+  rates.pfn = evaluate(false);
+  return rates;
+}
+
+VotingTable::VotingTable(VotingParams params, std::int64_t max_good,
+                         std::int64_t max_bad)
+    : params_(params), max_good_(max_good), max_bad_(max_bad) {
+  if (max_good < 0 || max_bad < 0) {
+    throw std::invalid_argument("VotingTable: negative bounds");
+  }
+  table_.resize(static_cast<std::size_t>((max_good + 1) * (max_bad + 1)));
+  for (std::int64_t g = 0; g <= max_good; ++g) {
+    for (std::int64_t b = 0; b <= max_bad; ++b) {
+      table_[static_cast<std::size_t>(g * (max_bad + 1) + b)] =
+          voting_error_rates(params_, g, b);
+    }
+  }
+}
+
+const VotingErrorRates& VotingTable::at(std::int64_t n_good,
+                                        std::int64_t n_bad) const {
+  n_good = std::clamp<std::int64_t>(n_good, 0, max_good_);
+  n_bad = std::clamp<std::int64_t>(n_bad, 0, max_bad_);
+  return table_[static_cast<std::size_t>(n_good * (max_bad_ + 1) + n_bad)];
+}
+
+}  // namespace midas::ids

@@ -1,0 +1,81 @@
+#include "linalg/dense_matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace midas::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+LuSolver::LuSolver(DenseMatrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) {
+    throw std::invalid_argument("LuSolver: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::abs(lu_(r, k)) > best) {
+        best = std::abs(lu_(r, k));
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw std::runtime_error("LuSolver: singular matrix");
+    }
+    if (pivot != k) {
+      std::swap(perm_[pivot], perm_[k]);
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(pivot, c), lu_(k, c));
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = lu_(r, k) / lu_(k, k);
+      lu_(r, k) = f;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> LuSolver::solve(std::vector<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuSolver::solve: size mismatch");
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (unit lower).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
+    x[ii] /= lu_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace midas::linalg

@@ -1,0 +1,52 @@
+// Small dense matrices with LU factorisation.  Used as the reference
+// solver in tests and for the tiny linear systems in the MANET
+// birth-death rate fit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace midas::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::vector<double> multiply(
+      const std::vector<double>& x) const;
+
+  /// Identity matrix.
+  [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorisation with partial pivoting; throws std::runtime_error on a
+/// numerically singular pivot.
+class LuSolver {
+ public:
+  explicit LuSolver(DenseMatrix a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace midas::linalg

@@ -1,0 +1,26 @@
+// Fox–Glynn-style Poisson weight computation for uniformisation.  Given
+// q = Λ·t, produces normalised Poisson(q) probabilities over a truncated
+// window [left, right] whose tail mass is below `epsilon`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace midas::linalg {
+
+struct PoissonWindow {
+  std::size_t left = 0;   // first retained term
+  std::size_t right = 0;  // last retained term (inclusive)
+  std::vector<double> weights;  // normalised: sums to ~1 over the window
+
+  [[nodiscard]] double weight(std::size_t k) const {
+    return (k < left || k > right) ? 0.0 : weights[k - left];
+  }
+};
+
+/// Computes the truncated Poisson distribution for rate `q` with total
+/// truncated tail mass below `epsilon`.  Stable for q up to ~1e7 (log
+/// domain accumulation around the mode).
+[[nodiscard]] PoissonWindow poisson_window(double q, double epsilon = 1e-12);
+
+}  // namespace midas::linalg

@@ -1,0 +1,47 @@
+// Iterative linear solvers for the CTMC systems.  The generator systems
+// arising from absorbing SPNs are (after restriction to transient states)
+// weakly diagonally dominant M-matrices, for which Gauss–Seidel converges;
+// BiCGSTAB is provided as a fallback for harder systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+
+namespace midas::linalg {
+
+struct SolveResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+struct SolveOptions {
+  std::size_t max_iterations = 200000;
+  double tolerance = 1e-12;      // on the relative residual ‖Ax−b‖/‖b‖
+  double relaxation = 1.0;       // SOR weight; 1.0 = plain Gauss–Seidel
+};
+
+/// Gauss–Seidel / SOR for A x = b.  Requires non-zero diagonal.
+[[nodiscard]] SolveResult gauss_seidel(const CsrMatrix& a,
+                                       const std::vector<double>& b,
+                                       const SolveOptions& opts = {});
+
+/// Jacobi iteration (kept mainly as a test oracle for Gauss–Seidel).
+[[nodiscard]] SolveResult jacobi(const CsrMatrix& a,
+                                 const std::vector<double>& b,
+                                 const SolveOptions& opts = {});
+
+/// BiCGSTAB without preconditioning.
+[[nodiscard]] SolveResult bicgstab(const CsrMatrix& a,
+                                   const std::vector<double>& b,
+                                   const SolveOptions& opts = {});
+
+/// ‖Ax − b‖₂ / ‖b‖₂ (‖b‖ treated as 1 when b = 0).
+[[nodiscard]] double relative_residual(const CsrMatrix& a,
+                                       const std::vector<double>& x,
+                                       const std::vector<double>& b);
+
+}  // namespace midas::linalg

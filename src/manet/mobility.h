@@ -1,0 +1,61 @@
+// Random-waypoint mobility (the paper's Section 5 default): each node
+// picks a uniform destination in the circular operational area, moves
+// toward it at a uniform random speed, pauses, and repeats.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "manet/vec2.h"
+
+namespace midas::manet {
+
+struct MobilityParams {
+  double field_radius_m = 500.0;  // paper: radius = 500 m
+  double speed_min_mps = 1.0;     // pedestrian..vehicle band
+  double speed_max_mps = 10.0;
+  double pause_max_s = 10.0;
+};
+
+/// Random-waypoint walker population over a disc.  Deterministic under a
+/// fixed seed.
+class RandomWaypointModel {
+ public:
+  RandomWaypointModel(std::size_t num_nodes, const MobilityParams& params,
+                      std::uint64_t seed);
+
+  /// Advances all nodes by dt seconds.
+  void step(double dt);
+
+  [[nodiscard]] const std::vector<Vec2>& positions() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] const MobilityParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Long-run average speed including pauses (diagnostic; the RWP speed
+  /// decay phenomenon is exercised in tests).
+  [[nodiscard]] double mean_speed() const;
+
+ private:
+  struct NodeState {
+    Vec2 waypoint;
+    double speed = 0.0;     // current travel speed (0 while pausing)
+    double pause_left = 0.0;
+  };
+
+  Vec2 random_point_in_disc();
+  void assign_new_waypoint(std::size_t i);
+
+  MobilityParams params_;
+  std::vector<Vec2> positions_;
+  std::vector<NodeState> nodes_;
+  std::mt19937_64 rng_;
+  double travelled_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace midas::manet

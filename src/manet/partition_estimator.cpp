@@ -1,0 +1,101 @@
+#include "manet/partition_estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace midas::manet {
+
+double PartitionEstimate::partition_rate_at(std::size_t k) const {
+  if (k == 0 || k >= partition_rate.size()) return 0.0;
+  return partition_rate[k];
+}
+
+double PartitionEstimate::merge_rate_at(std::size_t k) const {
+  if (k <= 1 || k >= merge_rate.size()) return 0.0;
+  return merge_rate[k];
+}
+
+PartitionEstimate estimate_partition_rates(std::size_t num_nodes,
+                                           const MobilityParams& mobility,
+                                           const PartitionSimOptions& opts) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("estimate_partition_rates: no nodes");
+  }
+  RandomWaypointModel model(num_nodes, mobility, opts.seed);
+
+  const auto steps = static_cast<std::size_t>(opts.sim_time_s / opts.dt_s);
+  // Track component count transitions: time spent at k, and the number of
+  // k→k+Δ events (a step can jump by more than one when several links
+  // break at once; each unit is counted as one partition/merge event,
+  // matching the one-at-a-time birth–death abstraction in the SPN).
+  std::vector<double> time_at(2, 0.0);
+  std::vector<double> up_events(2, 0.0);
+  std::vector<double> down_events(2, 0.0);
+
+  auto grow = [](std::vector<double>& v, std::size_t k) {
+    if (v.size() <= k) v.resize(k + 1, 0.0);
+  };
+
+  std::size_t prev_components = 0;
+  double hops_acc = 0.0;
+  double degree_acc = 0.0;
+  double comp_acc = 0.0;
+  std::size_t stats_samples = 0;
+  std::size_t max_groups = 1;
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    model.step(opts.dt_s);
+    ConnectivityGraph graph(model.positions(), opts.radio_range_m);
+    const std::size_t k = graph.num_components();
+    max_groups = std::max(max_groups, k);
+
+    grow(time_at, k);
+    time_at[k] += opts.dt_s;
+
+    if (step > 0 && k != prev_components) {
+      if (k > prev_components) {
+        grow(up_events, prev_components);
+        up_events[prev_components] +=
+            static_cast<double>(k - prev_components);
+      } else {
+        grow(down_events, prev_components);
+        down_events[prev_components] +=
+            static_cast<double>(prev_components - k);
+      }
+    }
+    prev_components = k;
+
+    if (step % opts.stats_stride == 0) {
+      const auto st = graph.stats();
+      hops_acc += st.mean_hops;
+      degree_acc += st.mean_degree;
+      comp_acc += static_cast<double>(st.num_components);
+      ++stats_samples;
+    }
+  }
+
+  PartitionEstimate est;
+  est.max_groups_seen = max_groups;
+  est.partition_rate.assign(max_groups + 1, 0.0);
+  est.merge_rate.assign(max_groups + 1, 0.0);
+  est.occupancy.assign(max_groups + 1, 0.0);
+
+  double total_time = 0.0;
+  for (double t : time_at) total_time += t;
+  for (std::size_t k = 1; k <= max_groups; ++k) {
+    const double t = k < time_at.size() ? time_at[k] : 0.0;
+    if (total_time > 0.0) est.occupancy[k] = t / total_time;
+    if (t > 0.0) {
+      if (k < up_events.size()) est.partition_rate[k] = up_events[k] / t;
+      if (k < down_events.size()) est.merge_rate[k] = down_events[k] / t;
+    }
+  }
+  if (stats_samples > 0) {
+    est.mean_hops = hops_acc / static_cast<double>(stats_samples);
+    est.mean_degree = degree_acc / static_cast<double>(stats_samples);
+    est.mean_components = comp_acc / static_cast<double>(stats_samples);
+  }
+  return est;
+}
+
+}  // namespace midas::manet

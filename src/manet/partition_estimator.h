@@ -1,0 +1,52 @@
+// Group partition/merge rate estimation — the paper parameterises the
+// SPN's T_PAR/T_MER transitions "by simulation for a sufficiently long
+// period of time".  This module runs the random-waypoint model, tracks
+// the number of connected components over time, and fits a birth–death
+// process: partition rate σ_par(k) and merge rate σ_mer(k) conditioned
+// on the current number of groups k, plus the hop-count statistics the
+// cost model needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "manet/mobility.h"
+#include "manet/topology.h"
+
+namespace midas::manet {
+
+struct PartitionEstimate {
+  /// Rates indexed by group count k (index 0 unused): events per second
+  /// observed while the system had exactly k groups.
+  std::vector<double> partition_rate;  // k → k+1
+  std::vector<double> merge_rate;      // k → k−1
+  /// Time-weighted occupancy of each group count.
+  std::vector<double> occupancy;
+  std::size_t max_groups_seen = 1;
+
+  double mean_hops = 0.0;       // over connected pairs, time-averaged
+  double mean_degree = 0.0;     // time-averaged node degree
+  double mean_components = 1.0; // time-averaged group count
+
+  /// Rate lookups with clamping; returns 0 beyond the observed range so
+  /// the SPN's group count stays within what mobility supports.
+  [[nodiscard]] double partition_rate_at(std::size_t k) const;
+  [[nodiscard]] double merge_rate_at(std::size_t k) const;
+};
+
+struct PartitionSimOptions {
+  double sim_time_s = 2000.0;
+  double dt_s = 1.0;
+  double radio_range_m = 250.0;
+  std::uint64_t seed = 0x5eed;
+  /// Sampling stride for the hop-count statistics (full BFS each sample
+  /// step is the dominant cost).
+  std::size_t stats_stride = 25;
+};
+
+/// Runs the mobility simulation and extracts the birth–death rates.
+[[nodiscard]] PartitionEstimate estimate_partition_rates(
+    std::size_t num_nodes, const MobilityParams& mobility,
+    const PartitionSimOptions& opts = {});
+
+}  // namespace midas::manet

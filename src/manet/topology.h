@@ -1,0 +1,62 @@
+// Wireless connectivity analysis over node positions: unit-disc adjacency,
+// connected components (= mobile groups, the paper's connectivity-based
+// group definition), and multi-hop path statistics feeding the
+// communication cost model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "manet/vec2.h"
+
+namespace midas::manet {
+
+struct TopologyStats {
+  std::size_t num_components = 0;
+  std::size_t largest_component = 0;
+  double mean_degree = 0.0;
+  /// Average hop count over connected ordered pairs (BFS shortest path).
+  double mean_hops = 0.0;
+  /// Fraction of ordered node pairs that are connected at all.
+  double connectivity = 0.0;
+};
+
+class ConnectivityGraph {
+ public:
+  /// Builds the unit-disc graph: an edge between nodes within `range_m`.
+  ConnectivityGraph(std::span<const Vec2> positions, double range_m);
+
+  [[nodiscard]] std::size_t size() const noexcept { return adj_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(
+      std::size_t i) const {
+    return adj_[i];
+  }
+
+  /// Component label per node (labels are 0..num_components-1).
+  [[nodiscard]] const std::vector<std::uint32_t>& component_labels() const {
+    return component_;
+  }
+  [[nodiscard]] std::size_t num_components() const noexcept {
+    return num_components_;
+  }
+  /// Sizes indexed by component label.
+  [[nodiscard]] std::vector<std::size_t> component_sizes() const;
+
+  /// BFS hop distances from `src` (UINT32_MAX where unreachable).
+  [[nodiscard]] std::vector<std::uint32_t> hop_distances(
+      std::uint32_t src) const;
+
+  /// Full statistics; `pair_sample` bounds the all-pairs BFS work (0 =
+  /// exact all-pairs).
+  [[nodiscard]] TopologyStats stats(std::size_t pair_sample = 0) const;
+
+ private:
+  void label_components();
+
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::uint32_t> component_;
+  std::size_t num_components_ = 0;
+};
+
+}  // namespace midas::manet

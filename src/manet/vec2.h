@@ -1,0 +1,22 @@
+// 2-D point/vector for the mobility models.
+#pragma once
+
+#include <cmath>
+
+namespace midas::manet {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] double distance_to(const Vec2& o) const {
+    return (*this - o).norm();
+  }
+};
+
+}  // namespace midas::manet

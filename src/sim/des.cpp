@@ -1,0 +1,195 @@
+#include "sim/des.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "gcs/cost_model.h"
+#include "ids/functions.h"
+#include "ids/voting.h"
+#include "sim/rng.h"
+#include "sim/thread_pool.h"
+
+namespace midas::sim {
+
+namespace {
+
+/// Mutable simulation state mirroring the SPN's places.
+struct State {
+  std::int64_t tm = 0;   // trusted members
+  std::int64_t ucm = 0;  // compromised, undetected
+  std::int64_t ng = 1;   // groups
+
+  [[nodiscard]] std::int64_t members() const { return tm + ucm; }
+};
+
+std::int64_t per_group(std::int64_t total, std::int64_t groups) {
+  if (groups <= 1) return total;
+  return static_cast<std::int64_t>(std::llround(
+      static_cast<double>(total) / static_cast<double>(groups)));
+}
+
+}  // namespace
+
+Trajectory simulate_group(const core::Params& params, std::uint64_t seed) {
+  params.validate();
+
+  const ids::VotingTable voting(
+      ids::VotingParams{params.num_voters, params.p1, params.p2},
+      params.n_init, params.n_init);
+  const gcs::CostModel cost(params.cost);
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  auto exp_sample = [&](double rate) {
+    return -std::log1p(-uni(rng)) / rate;
+  };
+
+  State s;
+  s.tm = params.n_init;
+
+  Trajectory traj;
+  double now = 0.0;
+
+  auto c2_failed = [&] {
+    if (s.members() == 0) return true;
+    return static_cast<double>(s.ucm) >
+           params.byzantine_fraction * static_cast<double>(s.members()) +
+               1e-9;
+  };
+
+  while (true) {
+    if (c2_failed()) {
+      traj.ttsf = now;
+      traj.failed_by_c1 = false;
+      return traj;
+    }
+
+    // Rates in the current state (mirrors GcsSpnModel::build()).
+    double mc;
+    if (params.attacker_progress ==
+        core::AttackerProgress::CampaignProgress) {
+      // DCm follows from token conservation: evicted = N − Tm − UCm.
+      mc = 1.0 + static_cast<double>(params.n_init - s.tm);
+    } else {
+      mc = s.tm > 0 ? static_cast<double>(s.members()) /
+                          static_cast<double>(s.tm)
+                    : 1.0;
+    }
+    const double md = std::max(
+        1.0, static_cast<double>(params.n_init) /
+                 static_cast<double>(std::max<std::int64_t>(s.members(), 1)));
+
+    const double attack =
+        s.tm > 0 ? ids::attacker_rate(params.attacker_shape, params.lambda_c,
+                                      mc, params.p_index)
+                 : 0.0;
+    const double det = ids::detection_rate(params.detection_shape,
+                                           params.t_ids, md, params.p_index);
+    const auto rates =
+        voting.at(per_group(s.tm, s.ng), per_group(s.ucm, s.ng));
+    const double r_ids =
+        static_cast<double>(s.ucm) * det * (1.0 - rates.pfn);
+    const double r_fa = static_cast<double>(s.tm) * det * rates.pfp;
+    const double r_drq =
+        params.p1 * params.lambda_q * static_cast<double>(s.ucm);
+
+    double r_par = 0.0, r_mer = 0.0;
+    if (params.max_groups > 1) {
+      const auto g = static_cast<std::size_t>(s.ng);
+      if (s.ng < params.max_groups && s.members() > s.ng &&
+          g < params.partition_rates.size()) {
+        r_par = params.partition_rates[g];
+      }
+      if (s.ng >= 2 && g < params.merge_rates.size()) {
+        r_mer = params.merge_rates[g];
+      }
+    }
+
+    const double total =
+        attack + r_ids + r_fa + r_drq + r_par + r_mer;
+    if (total <= 0.0) {
+      throw std::runtime_error(
+          "simulate_group: deadlocked in a non-failure state");
+    }
+
+    // Cost accrues at the state's rate until the next event.
+    gcs::GroupState gs;
+    gs.members = static_cast<double>(s.members());
+    gs.groups = static_cast<double>(s.ng);
+    gs.initial_size = static_cast<double>(params.n_init);
+    const auto breakdown =
+        cost.breakdown(gs, params.lambda_q, params.lambda_join,
+                       params.mu_leave, det,
+                       static_cast<std::size_t>(params.num_voters),
+                       r_par + r_mer);
+
+    const double dt = exp_sample(total);
+    now += dt;
+    traj.accumulated_cost += breakdown.total() * dt;
+
+    // Pick the event (Gillespie direct method).
+    double u = uni(rng) * total;
+    if ((u -= attack) < 0.0) {
+      --s.tm;
+      ++s.ucm;
+      ++traj.compromises;
+      continue;
+    }
+    if ((u -= r_ids) < 0.0) {
+      --s.ucm;
+      ++traj.true_evictions;
+      traj.accumulated_cost += cost.eviction_impulse_bits(gs);
+      continue;
+    }
+    if ((u -= r_fa) < 0.0) {
+      --s.tm;
+      ++traj.false_evictions;
+      traj.accumulated_cost += cost.eviction_impulse_bits(gs);
+      continue;
+    }
+    if ((u -= r_drq) < 0.0) {
+      traj.ttsf = now;
+      traj.failed_by_c1 = true;  // data leak: C1
+      return traj;
+    }
+    if ((u -= r_par) < 0.0) {
+      ++s.ng;
+      continue;
+    }
+    --s.ng;  // merge
+  }
+}
+
+ReplicationResult run_replications(const core::Params& params,
+                                   std::size_t replications,
+                                   std::uint64_t base_seed,
+                                   std::size_t threads) {
+  ReplicationResult result;
+  result.trajectories.resize(replications);
+
+  parallel_for(
+      replications,
+      [&](std::size_t i) {
+        result.trajectories[i] =
+            simulate_group(params, derive_seed(base_seed, i));
+      },
+      threads);
+
+  std::vector<double> ttsf(replications), cost_rate(replications);
+  std::size_t c1 = 0;
+  for (std::size_t i = 0; i < replications; ++i) {
+    ttsf[i] = result.trajectories[i].ttsf;
+    cost_rate[i] = result.trajectories[i].mean_cost_rate();
+    if (result.trajectories[i].failed_by_c1) ++c1;
+  }
+  result.ttsf = summarize(ttsf);
+  result.cost_rate = summarize(cost_rate);
+  result.p_failure_c1 = replications > 0
+                            ? static_cast<double>(c1) /
+                                  static_cast<double>(replications)
+                            : 0.0;
+  return result;
+}
+
+}  // namespace midas::sim

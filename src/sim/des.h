@@ -1,0 +1,50 @@
+// Discrete-event Monte-Carlo simulator of the mobile-group process —
+// the validation path.  It simulates the same stochastic process as the
+// SPN (exponential races via Gillespie's direct method) but is coded
+// independently of the SPN engine, so agreement between the two is a
+// genuine cross-check of both the model construction and the numerical
+// solvers (the paper validates its analytical model by simulation only;
+// we reproduce that methodology and make it a regression test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/stats.h"
+
+namespace midas::sim {
+
+/// Outcome of a single replication.
+struct Trajectory {
+  double ttsf = 0.0;            // time to security failure (s)
+  double accumulated_cost = 0.0;  // hop-bits until failure
+  bool failed_by_c1 = false;    // data leak (else Byzantine/C2)
+  std::size_t compromises = 0;
+  std::size_t true_evictions = 0;
+  std::size_t false_evictions = 0;
+
+  [[nodiscard]] double mean_cost_rate() const {
+    return ttsf > 0.0 ? accumulated_cost / ttsf : 0.0;
+  }
+};
+
+/// Simulates one replication with the given seed.
+[[nodiscard]] Trajectory simulate_group(const core::Params& params,
+                                        std::uint64_t seed);
+
+struct ReplicationResult {
+  Summary ttsf;        // over replications
+  Summary cost_rate;   // hop-bits/s
+  double p_failure_c1 = 0.0;
+  std::vector<Trajectory> trajectories;
+};
+
+/// Runs `replications` independent trajectories in parallel (thread
+/// pool) and summarises with 95% CIs.
+[[nodiscard]] ReplicationResult run_replications(const core::Params& params,
+                                                 std::size_t replications,
+                                                 std::uint64_t base_seed,
+                                                 std::size_t threads = 0);
+
+}  // namespace midas::sim

@@ -1,0 +1,251 @@
+#include "sim/protocol_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/gdh.h"
+#include "gcs/group_comm.h"
+#include "gcs/view.h"
+#include "ids/functions.h"
+#include "manet/topology.h"
+
+namespace midas::sim {
+
+ProtocolSimParams ProtocolSimParams::small_defaults() {
+  ProtocolSimParams p;
+  p.model = core::Params::paper_defaults();
+  p.model.n_init = 24;
+  p.model.max_groups = 1;            // topology still partitions freely;
+                                     // this only disables the SPN knob
+  p.model.lambda_c = 1.0 / 1500.0;   // fast attacker → short trajectories
+  p.model.t_ids = 60.0;
+  p.mobility.field_radius_m = 300.0;
+  p.radio_range_m = 160.0;
+  return p;
+}
+
+namespace {
+
+/// Per-node ground truth + local detector state.
+struct Node {
+  gcs::NodeId id = 0;
+  bool compromised = false;
+  bool evicted = false;
+};
+
+}  // namespace
+
+ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
+                                   std::uint64_t seed) {
+  params.model.validate();
+  if (params.tick_s <= 0.0 || params.topology_refresh_s < params.tick_s) {
+    throw std::invalid_argument("run_protocol_sim: bad tick configuration");
+  }
+
+  const auto& mp = params.model;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // --- Substrate instantiation.
+  const auto n = static_cast<std::size_t>(mp.n_init);
+  manet::RandomWaypointModel mobility(n, params.mobility, seed ^ 0x1);
+
+  std::vector<Node> nodes(n);
+  std::vector<gcs::NodeId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i].id = static_cast<gcs::NodeId>(i + 1);
+    ids[i] = nodes[i].id;
+  }
+
+  crypto::GdhSession session(crypto::DhGroup::demo_group(), seed ^ 0x2);
+  session.establish(ids);
+  gcs::ViewManager view(ids);
+  gcs::GroupChannel channel(view);
+
+  ProtocolSimResult result;
+  result.rekey_events = 1;  // initial agreement
+
+  // --- Live topology statistics (refreshed periodically).
+  double mean_hops = 1.0;
+  auto refresh_topology = [&] {
+    const manet::ConnectivityGraph graph(mobility.positions(),
+                                         params.radio_range_m);
+    const auto st = graph.stats();
+    mean_hops = std::max(st.mean_hops, 1.0);
+  };
+  refresh_topology();
+
+  const double vote_bits = mp.cost.vote_packet_bits;
+  const double data_bits = mp.cost.data_packet_bits;
+  const double key_bits = mp.cost.rekey.key_element_bits;
+
+  auto charge_rekey = [&](std::uint64_t units) {
+    result.traffic_hop_bits +=
+        static_cast<double>(units) * key_bits * mean_hops;
+    ++result.rekey_events;
+  };
+
+  auto live_members = [&] {
+    std::size_t live = 0;
+    for (const auto& node : nodes) live += node.evicted ? 0 : 1;
+    return live;
+  };
+  auto undetected_compromised = [&] {
+    std::size_t c = 0;
+    for (const auto& node : nodes) {
+      if (!node.evicted && node.compromised) ++c;
+    }
+    return c;
+  };
+
+  // Index helpers over the live population.
+  auto pick_live = [&](auto pred) -> Node* {
+    std::vector<Node*> pool;
+    for (auto& node : nodes) {
+      if (!node.evicted && pred(node)) pool.push_back(&node);
+    }
+    if (pool.empty()) return nullptr;
+    return pool[static_cast<std::size_t>(uni(rng) * pool.size()) %
+                pool.size()];
+  };
+
+  // --- Voting round: every live member is evaluated by m voters.
+  auto ids_round = [&] {
+    // Snapshot the live membership first: evictions within the round
+    // must not change the voter pool mid-iteration.
+    std::vector<std::size_t> live_idx;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!nodes[i].evicted) live_idx.push_back(i);
+    }
+    std::vector<std::size_t> to_evict;
+    for (const std::size_t target : live_idx) {
+      if (live_idx.size() < 2) break;
+      // Draw up to m distinct voters (excluding the target).
+      std::vector<std::size_t> pool;
+      for (const std::size_t cand : live_idx) {
+        if (cand != target) pool.push_back(cand);
+      }
+      std::shuffle(pool.begin(), pool.end(), rng);
+      const auto m_eff = std::min<std::size_t>(
+          static_cast<std::size_t>(mp.num_voters), pool.size());
+      std::size_t negative = 0;
+      for (std::size_t v = 0; v < m_eff; ++v) {
+        const Node& voter = nodes[pool[v]];
+        const Node& subject = nodes[target];
+        bool vote_evict;
+        if (voter.compromised) {
+          vote_evict = !subject.compromised;  // collusion
+        } else if (subject.compromised) {
+          vote_evict = uni(rng) >= mp.p1;     // miss w.p. p1
+        } else {
+          vote_evict = uni(rng) < mp.p2;      // false alarm w.p. p2
+        }
+        negative += vote_evict ? 1 : 0;
+        ++result.vote_messages;
+        result.traffic_hop_bits += vote_bits * mean_hops;
+      }
+      if (negative >= m_eff / 2 + 1) to_evict.push_back(target);
+    }
+    for (const std::size_t idx : to_evict) {
+      Node& victim = nodes[idx];
+      if (victim.evicted) continue;
+      victim.evicted = true;
+      if (victim.compromised) {
+        ++result.true_evictions;
+      } else {
+        ++result.false_evictions;
+      }
+      session.reset_traffic();
+      session.leave(victim.id);
+      result.keys_always_agreed =
+          result.keys_always_agreed && session.keys_agree();
+      view.evict(victim.id);
+      charge_rekey(session.traffic().units);
+    }
+  };
+
+  // --- Main loop.
+  double now = 0.0;
+  double next_topology = params.topology_refresh_s;
+  double next_ids_round = mp.t_ids;
+
+  while (now < params.max_time_s) {
+    const double live = static_cast<double>(live_members());
+    const double bad = static_cast<double>(undetected_compromised());
+
+    // Failure conditions, checked before advancing.
+    if (live == 0.0 ||
+        bad > mp.byzantine_fraction * live + 1e-9) {
+      result.ttsf = now;
+      result.failed_by_c1 = false;
+      return result;
+    }
+
+    now += params.tick_s;
+    mobility.step(params.tick_s);
+    if (now >= next_topology) {
+      refresh_topology();
+      next_topology += params.topology_refresh_s;
+    }
+
+    // Attacker: thinning of the A(mc) hazard.  mc follows the model's
+    // configured progress metric.
+    double mc;
+    if (mp.attacker_progress == core::AttackerProgress::CampaignProgress) {
+      mc = 1.0 + static_cast<double>(mp.n_init) - live;
+    } else {
+      const double tm = live - bad;
+      mc = tm > 0.0 ? live / tm : 1.0;
+    }
+    const double attack_rate =
+        ids::attacker_rate(mp.attacker_shape, mp.lambda_c, mc, mp.p_index);
+    if (uni(rng) < -std::expm1(-attack_rate * params.tick_s)) {
+      if (Node* victim =
+              pick_live([](const Node& x) { return !x.compromised; })) {
+        victim->compromised = true;
+        ++result.compromises;
+      }
+    }
+
+    // Data-plane traffic: each live member multicasts at λq; a
+    // compromised member's request leaks data if the serving node's
+    // host IDS misses (probability p1) — condition C1.
+    const double expected_sends = live * mp.lambda_q * params.tick_s;
+    std::poisson_distribution<int> sends(expected_sends);
+    const int packets = sends(rng);
+    for (int pk = 0; pk < packets; ++pk) {
+      ++result.data_messages;
+      result.traffic_hop_bits += data_bits * live * mean_hops;
+      // Which member sent this one?
+      const bool sender_compromised = uni(rng) < bad / live;
+      if (sender_compromised && uni(rng) < mp.p1) {
+        result.ttsf = now;
+        result.failed_by_c1 = true;
+        return result;
+      }
+    }
+
+    // IDS rounds: the concrete protocol runs PERIODICALLY with the
+    // interval shrunk by the detection function (1/D(md)) — this is the
+    // deterministic-interval reality the SPN approximates with an
+    // exponential rate.
+    if (now >= next_ids_round) {
+      ids_round();
+      const double md =
+          std::max(1.0, static_cast<double>(mp.n_init) /
+                            std::max(1.0, static_cast<double>(live_members())));
+      const double d = ids::detection_rate(mp.detection_shape, mp.t_ids, md,
+                                           mp.p_index);
+      next_ids_round = now + 1.0 / std::max(d, 1e-9);
+    }
+  }
+
+  result.ttsf = params.max_time_s;
+  result.timed_out = true;
+  return result;
+}
+
+}  // namespace midas::sim

@@ -1,0 +1,20 @@
+#include "sim/rng.h"
+
+namespace midas::sim {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  return splitmix64(splitmix64(base_seed) ^ (index * 0x9e3779b97f4a7c15ull));
+}
+
+std::mt19937_64 make_stream(std::uint64_t base_seed, std::uint64_t index) {
+  return std::mt19937_64(derive_seed(base_seed, index));
+}
+
+}  // namespace midas::sim

@@ -1,0 +1,23 @@
+// Seed derivation for parallel Monte-Carlo replications: SplitMix64
+// turns (base seed, replication index) into well-separated mt19937_64
+// seeds, so replications are independent streams and any replication is
+// reproducible in isolation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace midas::sim {
+
+/// SplitMix64 step — the standard 64-bit finaliser.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Seed for replication `index` of experiment `base_seed`.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        std::uint64_t index);
+
+/// Convenience: a generator for one replication.
+[[nodiscard]] std::mt19937_64 make_stream(std::uint64_t base_seed,
+                                          std::uint64_t index);
+
+}  // namespace midas::sim

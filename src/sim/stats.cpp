@@ -1,0 +1,47 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+namespace midas::sim {
+
+double t_quantile_95(std::size_t df) {
+  // Two-sided 95% (i.e. 0.975 one-sided) quantiles.
+  static constexpr double table[] = {
+      0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262, 2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101, 2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052, 2.048,  2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return table[df];
+  if (df <= 60) {
+    // Linear interpolation between t(30) = 2.042 and t(60) = 2.000.
+    const double f = static_cast<double>(df - 30) / 30.0;
+    return 2.042 + f * (2.000 - 2.042);
+  }
+  if (df <= 120) {
+    const double f = static_cast<double>(df - 60) / 60.0;
+    return 2.000 + f * (1.980 - 2.000);
+  }
+  return 1.96;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.n = sample.size();
+  if (s.n == 0) return s;
+  double acc = 0.0;
+  for (double v : sample) acc += v;
+  s.mean = acc / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double ss = 0.0;
+  for (double v : sample) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(s.n - 1);
+  const double sem = std::sqrt(s.variance / static_cast<double>(s.n));
+  s.ci_half_width = t_quantile_95(s.n - 1) * sem;
+  return s;
+}
+
+}  // namespace midas::sim

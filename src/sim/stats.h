@@ -1,0 +1,30 @@
+// Replication statistics: sample mean/variance and Student-t confidence
+// intervals for the Monte-Carlo cross-validation of the analytic model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace midas::sim {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;   // unbiased sample variance
+  double ci_half_width = 0.0;  // 95% two-sided
+
+  [[nodiscard]] double lower() const { return mean - ci_half_width; }
+  [[nodiscard]] double upper() const { return mean + ci_half_width; }
+  [[nodiscard]] bool contains(double value) const {
+    return value >= lower() && value <= upper();
+  }
+};
+
+/// 95% two-sided Student-t quantile for `df` degrees of freedom
+/// (interpolated table; exact asymptote 1.96 for large df).
+[[nodiscard]] double t_quantile_95(std::size_t df);
+
+/// Summarises a sample with a 95% CI for the mean.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+}  // namespace midas::sim

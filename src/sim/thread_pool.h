@@ -1,0 +1,18 @@
+// Minimal work-sharing thread pool for embarrassingly parallel loops:
+// Monte-Carlo replications and bench parameter sweeps.  Tasks are
+// indexed 0..count-1 and pulled from an atomic counter, which balances
+// uneven task durations without locks on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace midas::sim {
+
+/// Runs fn(i) for i in [0, count) on `threads` workers (0 = hardware
+/// concurrency).  Exceptions thrown by tasks are captured; the first one
+/// is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace midas::sim

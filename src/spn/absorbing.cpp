@@ -1,0 +1,195 @@
+#include "spn/absorbing.h"
+
+#include <stdexcept>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/iterative.h"
+#include "spn/scc.h"
+
+namespace midas::spn {
+
+AbsorbingAnalyzer::AbsorbingAnalyzer(const ReachabilityGraph& graph)
+    : graph_(graph), ctmc_(Ctmc::from_graph(graph)) {}
+
+AbsorbingResult AbsorbingAnalyzer::solve() const {
+  const auto& absorbing = ctmc_.absorbing();
+  const std::size_t n = ctmc_.num_states();
+
+  // Compact index over transient states.
+  std::vector<std::uint32_t> compact(n, UINT32_MAX);
+  std::vector<std::uint32_t> expand;
+  expand.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!absorbing[s]) {
+      compact[s] = static_cast<std::uint32_t>(expand.size());
+      expand.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  const std::size_t nt = expand.size();
+  if (nt == n) {
+    throw std::runtime_error(
+        "AbsorbingAnalyzer: chain has no absorbing states");
+  }
+
+  AbsorbingResult res;
+  res.sojourn.assign(n, 0.0);
+  res.absorb_probability.assign(n, 0.0);
+
+  if (nt == 0) {
+    // Initial state itself is absorbing: MTTA = 0.
+    res.mtta = 0.0;
+    res.absorb_probability[ctmc_.initial()] = 1.0;
+    res.converged = true;
+    return res;
+  }
+
+  const auto init_compact = compact[ctmc_.initial()];
+  if (init_compact == UINT32_MAX) {
+    throw std::runtime_error(
+        "AbsorbingAnalyzer: initial state is marked absorbing yet transient "
+        "states exist; inconsistent graph");
+  }
+
+  // The expected-sojourn balance  exit_j·τ_j = π0_j + Σ_{i→j} τ_i·r_ij
+  // is solved exactly by condensation: Tarjan SCCs of the transient
+  // graph form a DAG; processing components in topological order makes
+  // every cross-component inflow a known quantity, and each component
+  // reduces to a dense system of its own (tiny: the model's only cycles
+  // are the group partition/merge flips).  This is immune to the
+  // stiffness that defeats global Gauss–Seidel when the cycle rates
+  // exceed the security rates by many orders of magnitude.
+  std::vector<double> exit_rate(nt, 0.0);
+  std::vector<std::uint32_t> out_offsets(nt + 1, 0);
+  struct InEdge {
+    std::uint32_t src;
+    double rate;
+  };
+  std::vector<std::vector<InEdge>> incoming(nt);
+  for (const auto& e : graph_.edges) {
+    if (e.src == e.dst) continue;
+    const auto cs = compact[e.src];
+    if (cs == UINT32_MAX) continue;
+    exit_rate[cs] += e.rate;
+    const auto cd = compact[e.dst];
+    if (cd != UINT32_MAX) {
+      ++out_offsets[cs + 1];
+      incoming[cd].push_back({cs, e.rate});
+    }
+  }
+  for (std::size_t i = 0; i < nt; ++i) out_offsets[i + 1] += out_offsets[i];
+  std::vector<std::uint32_t> out_targets(out_offsets[nt]);
+  {
+    std::vector<std::uint32_t> cursor(out_offsets.begin(),
+                                      out_offsets.end() - 1);
+    for (std::size_t j = 0; j < nt; ++j) {
+      for (const auto& in : incoming[j]) {
+        out_targets[cursor[in.src]++] = static_cast<std::uint32_t>(j);
+      }
+    }
+  }
+
+  const auto scc = strongly_connected_components(out_offsets, out_targets);
+  const auto components = scc.members();
+
+  std::vector<double> tau(nt, 0.0);
+  std::vector<std::uint32_t> local(nt, UINT32_MAX);  // reused across blocks
+  // Higher component id = earlier in topological order (sources first).
+  for (std::size_t c = components.size(); c-- > 0;) {
+    const auto& block = components[c];
+    // External inflow (already-solved predecessors) + initial mass.
+    auto external_b = [&](std::uint32_t j) {
+      double b = j == init_compact ? 1.0 : 0.0;
+      for (const auto& in : incoming[j]) {
+        if (scc.component[in.src] != c) b += tau[in.src] * in.rate;
+      }
+      return b;
+    };
+    if (block.size() == 1) {
+      const auto j = block[0];
+      if (exit_rate[j] <= 0.0) {
+        throw std::runtime_error(
+            "AbsorbingAnalyzer: transient state with zero exit rate");
+      }
+      tau[j] = external_b(j) / exit_rate[j];
+      continue;
+    }
+    // Dense block solve:  exit_j·τ_j − Σ_{i∈block} r_ij·τ_i = b_j.
+    const std::size_t k = block.size();
+    if (k > 4096) {
+      throw std::runtime_error(
+          "AbsorbingAnalyzer: transient SCC of size " + std::to_string(k) +
+          " exceeds the dense-block limit");
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      local[block[r]] = static_cast<std::uint32_t>(r);
+    }
+    linalg::DenseMatrix m(k, k);
+    std::vector<double> b(k, 0.0);
+    for (std::size_t r = 0; r < k; ++r) {
+      const auto j = block[r];
+      m(r, r) = exit_rate[j];
+      b[r] = external_b(j);
+      for (const auto& in : incoming[j]) {
+        const auto li = local[in.src];
+        if (li != UINT32_MAX) m(r, li) -= in.rate;
+      }
+    }
+    const auto x = linalg::LuSolver(std::move(m)).solve(std::move(b));
+    for (std::size_t r = 0; r < k; ++r) {
+      tau[block[r]] = x[r];
+      local[block[r]] = UINT32_MAX;  // reset for the next block
+    }
+  }
+
+  res.solver_iterations = components.size();
+  res.converged = true;
+  double mtta = 0.0;
+  for (std::size_t i = 0; i < nt; ++i) {
+    res.sojourn[expand[i]] = tau[i];
+    mtta += tau[i];
+  }
+  res.mtta = mtta;
+
+  // Absorption probabilities: flow into each absorbing state.
+  for (const auto& e : graph_.edges) {
+    if (e.src == e.dst) continue;
+    if (!absorbing[e.dst]) continue;
+    res.absorb_probability[e.dst] += res.sojourn[e.src] * e.rate;
+  }
+  return res;
+}
+
+double AbsorbingAnalyzer::accumulated_rate_reward(
+    const AbsorbingResult& res,
+    const std::function<double(const Marking&)>& reward) const {
+  double acc = 0.0;
+  for (std::size_t s = 0; s < graph_.num_states(); ++s) {
+    const double tau = res.sojourn[s];
+    if (tau > 0.0) acc += tau * reward(graph_.states[s]);
+  }
+  return acc;
+}
+
+double AbsorbingAnalyzer::accumulated_impulse_reward(
+    const AbsorbingResult& res) const {
+  double acc = 0.0;
+  for (const auto& e : graph_.edges) {
+    if (e.impulse == 0.0) continue;
+    acc += res.sojourn[e.src] * e.rate * e.impulse;
+  }
+  return acc;
+}
+
+double AbsorbingAnalyzer::absorption_probability_where(
+    const AbsorbingResult& res,
+    const std::function<bool(const Marking&)>& pred) const {
+  double acc = 0.0;
+  for (std::size_t s = 0; s < graph_.num_states(); ++s) {
+    if (res.absorb_probability[s] > 0.0 && pred(graph_.states[s])) {
+      acc += res.absorb_probability[s];
+    }
+  }
+  return acc;
+}
+
+}  // namespace midas::spn

@@ -1,0 +1,63 @@
+// Absorbing-state analysis: mean time to absorption (the paper's MTTSF),
+// expected accumulated rate/impulse rewards until absorption (the
+// paper's Ĉtotal numerator), and per-absorbing-state absorption
+// probabilities (used to split failures into C1 vs C2).
+//
+// Method: let T be the transient states, Q_TT the generator restricted
+// to T and π₀ the initial distribution.  The expected total sojourn
+// vector τ solves   Q_TTᵀ τ = −π₀|_T.   Then
+//   MTTA              = Σ_i τ_i
+//   accumulated reward = Σ_i τ_i · r(state_i)  +  Σ_e τ_src(e) · rate_e · imp_e
+//   P[absorb in a]     = Σ_i τ_i · q_{i,a}
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "spn/ctmc.h"
+#include "spn/reachability.h"
+
+namespace midas::spn {
+
+struct AbsorbingResult {
+  double mtta = 0.0;
+  /// Expected total time spent in each state before absorption (full
+  /// state indexing; identically 0 for absorbing states).
+  std::vector<double> sojourn;
+  /// Probability of being absorbed in each state (0 for transient).
+  std::vector<double> absorb_probability;
+  bool converged = false;
+  std::size_t solver_iterations = 0;
+};
+
+class AbsorbingAnalyzer {
+ public:
+  /// The graph must contain at least one absorbing state reachable from
+  /// the initial state; otherwise the MTTA solve will fail to converge.
+  explicit AbsorbingAnalyzer(const ReachabilityGraph& graph);
+
+  /// Solves from the graph's initial state.
+  [[nodiscard]] AbsorbingResult solve() const;
+
+  /// Expected accumulated rate reward  Σ τ_i · reward(state_i).
+  [[nodiscard]] double accumulated_rate_reward(
+      const AbsorbingResult& res,
+      const std::function<double(const Marking&)>& reward) const;
+
+  /// Expected accumulated impulse reward using the impulses recorded on
+  /// the graph edges:  Σ_e τ_src · rate_e · impulse_e.
+  [[nodiscard]] double accumulated_impulse_reward(
+      const AbsorbingResult& res) const;
+
+  /// Probability-weighted classification of absorption causes:
+  /// sums absorb probabilities over states where `pred` holds.
+  [[nodiscard]] double absorption_probability_where(
+      const AbsorbingResult& res,
+      const std::function<bool(const Marking&)>& pred) const;
+
+ private:
+  const ReachabilityGraph& graph_;
+  Ctmc ctmc_;
+};
+
+}  // namespace midas::spn

@@ -1,0 +1,35 @@
+#include "spn/marking.h"
+
+namespace midas::spn {
+
+std::int64_t Marking::total_tokens() const {
+  std::int64_t acc = 0;
+  for (auto c : counts_) acc += c;
+  return acc;
+}
+
+std::size_t Marking::hash() const noexcept {
+  // FNV-1a over the raw counts; fast and well-distributed for the small
+  // vectors (≤ 8 places) this project uses.
+  std::size_t h = 1469598103934665603ull;
+  for (auto c : counts_) {
+    auto v = static_cast<std::uint32_t>(c);
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::string Marking::to_string() const {
+  std::string s = "(";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(counts_[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace midas::spn

@@ -1,0 +1,47 @@
+// A marking assigns a token count to every place of a Petri net.  The
+// reachability explorer hashes millions of these, so the representation
+// is a flat int32 vector with an FNV-style combined hash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace midas::spn {
+
+using PlaceId = std::uint32_t;
+
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(std::size_t places, std::int32_t fill = 0)
+      : counts_(places, fill) {}
+
+  [[nodiscard]] std::int32_t operator[](PlaceId p) const {
+    return counts_[p];
+  }
+  [[nodiscard]] std::int32_t& operator[](PlaceId p) { return counts_[p]; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+
+  /// Total token count across all places.
+  [[nodiscard]] std::int64_t total_tokens() const;
+
+  bool operator==(const Marking& other) const = default;
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  /// "(3, 0, 1)" — for diagnostics and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::int32_t> counts_;
+};
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const noexcept { return m.hash(); }
+};
+
+}  // namespace midas::spn

@@ -1,0 +1,150 @@
+#include "spn/petri_net.h"
+
+#include <stdexcept>
+
+namespace midas::spn {
+
+TransitionBuilder::TransitionBuilder(PetriNet& net, std::string name)
+    : net_(net) {
+  t_.name = std::move(name);
+}
+
+TransitionBuilder& TransitionBuilder::input(PlaceId p, std::int32_t weight) {
+  t_.inputs.push_back({p, weight});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::output(PlaceId p, std::int32_t weight) {
+  t_.outputs.push_back({p, weight});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::inhibitor(PlaceId p,
+                                                std::int32_t weight) {
+  t_.inhibitors.push_back({p, weight});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::rate(RateFn fn) {
+  t_.rate = std::move(fn);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::rate(double constant) {
+  t_.rate = [constant](const Marking&) { return constant; };
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::immediate() {
+  t_.kind = TransitionKind::Immediate;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::guard(GuardFn fn) {
+  t_.guard = std::move(fn);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::impulse(ImpulseFn fn) {
+  t_.impulse = std::move(fn);
+  return *this;
+}
+
+TransitionId TransitionBuilder::add() {
+  return net_.add_transition(std::move(t_));
+}
+
+PlaceId PetriNet::add_place(std::string name, std::int32_t initial) {
+  if (initial < 0) {
+    throw std::invalid_argument("add_place: negative initial marking");
+  }
+  place_names_.push_back(std::move(name));
+  initial_.push_back(initial);
+  return static_cast<PlaceId>(place_names_.size() - 1);
+}
+
+TransitionId PetriNet::add_transition(Transition t) {
+  if (!t.rate) {
+    throw std::invalid_argument("add_transition: '" + t.name +
+                                "' has no rate function");
+  }
+  for (const auto& arcs : {t.inputs, t.outputs, t.inhibitors}) {
+    for (const auto& arc : arcs) {
+      if (arc.place >= num_places()) {
+        throw std::out_of_range("add_transition: '" + t.name +
+                                "' references unknown place");
+      }
+      if (arc.weight <= 0) {
+        throw std::invalid_argument("add_transition: '" + t.name +
+                                    "' has non-positive arc weight");
+      }
+    }
+  }
+  transitions_.push_back(std::move(t));
+  return static_cast<TransitionId>(transitions_.size() - 1);
+}
+
+Marking PetriNet::initial_marking() const {
+  Marking m(num_places());
+  for (std::size_t p = 0; p < initial_.size(); ++p) {
+    m[static_cast<PlaceId>(p)] = initial_[p];
+  }
+  return m;
+}
+
+bool PetriNet::enabled(TransitionId t, const Marking& m) const {
+  const auto& tr = transitions_[t];
+  for (const auto& arc : tr.inputs) {
+    if (m[arc.place] < arc.weight) return false;
+  }
+  for (const auto& arc : tr.inhibitors) {
+    if (m[arc.place] >= arc.weight) return false;
+  }
+  if (tr.guard && !tr.guard(m)) return false;
+  return true;
+}
+
+double PetriNet::rate(TransitionId t, const Marking& m) const {
+  const double r = transitions_[t].rate(m);
+  return r > 0.0 ? r : 0.0;
+}
+
+Marking PetriNet::fire(TransitionId t, const Marking& m) const {
+  const auto& tr = transitions_[t];
+  Marking next = m;
+  for (const auto& arc : tr.inputs) next[arc.place] -= arc.weight;
+  for (const auto& arc : tr.outputs) next[arc.place] += arc.weight;
+  return next;
+}
+
+double PetriNet::impulse(TransitionId t, const Marking& m) const {
+  const auto& tr = transitions_[t];
+  return tr.impulse ? tr.impulse(m) : 0.0;
+}
+
+bool PetriNet::is_vanishing(const Marking& m) const {
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].kind == TransitionKind::Immediate && enabled(t, m) &&
+        rate(t, m) > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<PlaceId> PetriNet::find_place(const std::string& name) const {
+  for (std::size_t p = 0; p < place_names_.size(); ++p) {
+    if (place_names_[p] == name) return static_cast<PlaceId>(p);
+  }
+  return std::nullopt;
+}
+
+std::optional<TransitionId> PetriNet::find_transition(
+    const std::string& name) const {
+  for (std::size_t t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].name == name) return static_cast<TransitionId>(t);
+  }
+  return std::nullopt;
+}
+
+}  // namespace midas::spn

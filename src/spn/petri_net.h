@@ -1,0 +1,128 @@
+// Stochastic Petri net with marking-dependent exponential firing rates,
+// enabling guard functions, inhibitor arcs, and per-firing impulse
+// rewards.  This is the formalism the paper's Fig. 1 model is expressed
+// in (the authors used the commercial SPNP package; see DESIGN.md for
+// the substitution note).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spn/marking.h"
+
+namespace midas::spn {
+
+using TransitionId = std::uint32_t;
+
+/// Marking → firing rate (must be >= 0; 0 disables the transition).
+using RateFn = std::function<double(const Marking&)>;
+/// Marking → enabled?  Evaluated in addition to token availability.
+using GuardFn = std::function<bool(const Marking&)>;
+/// Marking → impulse reward earned when the transition fires from it.
+using ImpulseFn = std::function<double(const Marking&)>;
+
+struct Arc {
+  PlaceId place;
+  std::int32_t weight = 1;
+};
+
+/// Timed transitions fire after an exponential delay; immediate
+/// transitions fire in zero time and pre-empt all timed ones (markings
+/// enabling them are "vanishing" and eliminated during reachability).
+enum class TransitionKind : std::uint8_t { Timed, Immediate };
+
+struct Transition {
+  std::string name;
+  TransitionKind kind = TransitionKind::Timed;
+  std::vector<Arc> inputs;      // tokens consumed on firing
+  std::vector<Arc> outputs;     // tokens produced on firing
+  std::vector<Arc> inhibitors;  // disables when mark(place) >= weight
+  RateFn rate;                  // timed: exponential rate; immediate:
+                                // relative firing weight (both > 0)
+  GuardFn guard;                // optional
+  ImpulseFn impulse;            // optional (default 0)
+};
+
+class PetriNet;
+
+/// Fluent transition builder:
+///   net.transition("T_CP").input(Tm).output(UCm).rate(fn).add();
+class TransitionBuilder {
+ public:
+  TransitionBuilder(PetriNet& net, std::string name);
+
+  TransitionBuilder& input(PlaceId p, std::int32_t weight = 1);
+  TransitionBuilder& output(PlaceId p, std::int32_t weight = 1);
+  TransitionBuilder& inhibitor(PlaceId p, std::int32_t weight = 1);
+  TransitionBuilder& rate(RateFn fn);
+  /// Constant-rate convenience.
+  TransitionBuilder& rate(double constant);
+  /// Marks the transition immediate; the rate doubles as firing weight.
+  TransitionBuilder& immediate();
+  TransitionBuilder& guard(GuardFn fn);
+  TransitionBuilder& impulse(ImpulseFn fn);
+
+  /// Registers the transition with the net and returns its id.
+  TransitionId add();
+
+ private:
+  PetriNet& net_;
+  Transition t_;
+};
+
+class PetriNet {
+ public:
+  /// Adds a place with `initial` tokens; returns its id.
+  PlaceId add_place(std::string name, std::int32_t initial = 0);
+
+  [[nodiscard]] TransitionBuilder transition(std::string name) {
+    return TransitionBuilder(*this, std::move(name));
+  }
+  TransitionId add_transition(Transition t);
+
+  [[nodiscard]] std::size_t num_places() const noexcept {
+    return place_names_.size();
+  }
+  [[nodiscard]] std::size_t num_transitions() const noexcept {
+    return transitions_.size();
+  }
+
+  [[nodiscard]] Marking initial_marking() const;
+
+  /// Token availability + inhibitors + guard.
+  [[nodiscard]] bool enabled(TransitionId t, const Marking& m) const;
+  /// Rate in marking `m` (0 when the rate function returns <= 0).
+  [[nodiscard]] double rate(TransitionId t, const Marking& m) const;
+  /// Fires `t` from `m`; precondition: enabled(t, m).
+  [[nodiscard]] Marking fire(TransitionId t, const Marking& m) const;
+  /// Impulse reward of firing `t` from `m` (0 when none registered).
+  [[nodiscard]] double impulse(TransitionId t, const Marking& m) const;
+
+  [[nodiscard]] const std::string& place_name(PlaceId p) const {
+    return place_names_[p];
+  }
+  [[nodiscard]] const std::string& transition_name(TransitionId t) const {
+    return transitions_[t].name;
+  }
+  [[nodiscard]] TransitionKind transition_kind(TransitionId t) const {
+    return transitions_[t].kind;
+  }
+  /// True when any immediate transition is enabled in `m` (the marking
+  /// is "vanishing": the stochastic process spends zero time in it).
+  [[nodiscard]] bool is_vanishing(const Marking& m) const;
+  /// Lookup by name; empty optional when absent.
+  [[nodiscard]] std::optional<PlaceId> find_place(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<TransitionId> find_transition(
+      const std::string& name) const;
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<std::int32_t> initial_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace midas::spn

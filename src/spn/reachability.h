@@ -1,0 +1,47 @@
+// Reachability-graph generation: breadth-first exploration of the
+// tangible marking space, producing the state list and the rate-labelled
+// edge list from which the CTMC generator is assembled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spn/marking.h"
+#include "spn/petri_net.h"
+
+namespace midas::spn {
+
+using StateId = std::uint32_t;
+
+struct Edge {
+  StateId src;
+  StateId dst;              // may equal src (self-loop; cost-only firing)
+  double rate;              // > 0
+  TransitionId transition;
+  double impulse;           // impulse reward per firing, evaluated at src
+};
+
+struct ReachabilityGraph {
+  std::vector<Marking> states;
+  std::vector<Edge> edges;
+  StateId initial = 0;
+
+  /// True when the state has no edge leading to a *different* state.
+  /// (A state with only self-loops never advances; the explorer rejects
+  /// such states because mean time to absorption would diverge.)
+  [[nodiscard]] std::vector<char> absorbing_mask() const;
+
+  [[nodiscard]] std::size_t num_states() const { return states.size(); }
+};
+
+struct ExploreOptions {
+  std::size_t max_states = 2'000'000;
+};
+
+/// Explores the reachable markings of `net` from its initial marking.
+/// Throws std::runtime_error if `max_states` is exceeded or if a state
+/// with only self-loop firings is found (diverging MTTA).
+[[nodiscard]] ReachabilityGraph explore(const PetriNet& net,
+                                        const ExploreOptions& opts = {});
+
+}  // namespace midas::spn

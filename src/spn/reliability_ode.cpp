@@ -1,0 +1,148 @@
+#include "spn/reliability_ode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace midas::spn {
+
+ReliabilityOde::ReliabilityOde(const ReachabilityGraph& graph)
+    : graph_(graph) {
+  const auto absorbing = graph.absorbing_mask();
+  const std::size_t n = graph.num_states();
+  compact_.assign(n, UINT32_MAX);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!absorbing[s]) {
+      compact_[s] = static_cast<std::uint32_t>(num_transient_++);
+    }
+  }
+  initial_absorbing_ = absorbing[graph.initial];
+  if (!initial_absorbing_) {
+    initial_compact_ = compact_[graph.initial];
+  }
+
+  // Assemble Q_TT rows: for each transient src, off-diagonal entries to
+  // transient dst plus total exit rate (including flows to absorbing
+  // states, which only appear in the diagonal).
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> rows(
+      num_transient_);
+  exit_.assign(num_transient_, 0.0);
+  for (const auto& e : graph.edges) {
+    if (e.src == e.dst) continue;
+    const auto cs = compact_[e.src];
+    if (cs == UINT32_MAX) continue;
+    exit_[cs] += e.rate;
+    const auto cd = compact_[e.dst];
+    if (cd != UINT32_MAX) {
+      rows[cs].emplace_back(cd, e.rate);
+    }
+  }
+  row_ptr_.assign(num_transient_ + 1, 0);
+  for (std::size_t r = 0; r < num_transient_; ++r) {
+    row_ptr_[r + 1] =
+        row_ptr_[r] + static_cast<std::uint32_t>(rows[r].size());
+  }
+  col_.resize(row_ptr_.back());
+  val_.resize(row_ptr_.back());
+  for (std::size_t r = 0; r < num_transient_; ++r) {
+    std::size_t k = row_ptr_[r];
+    for (const auto& [c, v] : rows[r]) {
+      col_[k] = c;
+      val_[k] = v;
+      ++k;
+    }
+  }
+}
+
+std::vector<double> ReliabilityOde::survival_at(
+    std::span<const double> times, const ReliabilityOdeOptions& opts) const {
+  if (opts.theta < 0.5 || opts.theta > 1.0) {
+    throw std::invalid_argument("survival_at: theta must be in [0.5, 1]");
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < 0.0 || (i > 0 && times[i] < times[i - 1])) {
+      throw std::invalid_argument(
+          "survival_at: times must be ascending and non-negative");
+    }
+  }
+  std::vector<double> out(times.size(), initial_absorbing_ ? 0.0 : 1.0);
+  if (times.empty() || initial_absorbing_ || num_transient_ == 0) {
+    return out;
+  }
+  const double horizon = times.back();
+  if (horizon == 0.0) return out;
+
+  // Log-spaced integration grid: small first steps resolve the fast
+  // initial transient; the per-step relative growth stays at
+  // 10^(decades/steps) − 1 (≈ 2.3% at the defaults), well inside the
+  // θ-method's accurate regime.
+  std::vector<double> grid{0.0};
+  grid.reserve(opts.steps + 1);
+  for (std::size_t j = 1; j <= opts.steps; ++j) {
+    const double frac = static_cast<double>(j) /
+                        static_cast<double>(opts.steps);
+    grid.push_back(horizon *
+                   std::pow(10.0, -opts.decades * (1.0 - frac)));
+  }
+
+  std::vector<double> u(num_transient_, 1.0);
+  std::vector<double> rhs(num_transient_);
+  std::vector<double> qu(num_transient_);
+
+  auto apply_q = [&](const std::vector<double>& x, std::vector<double>& y) {
+    for (std::size_t r = 0; r < num_transient_; ++r) {
+      double acc = -exit_[r] * x[r];
+      for (std::uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        acc += val_[k] * x[col_[k]];
+      }
+      y[r] = acc;
+    }
+  };
+
+  std::size_t next_time = 0;
+  double prev_now = 0.0;
+  double r_prev = 1.0;
+
+  for (std::size_t j = 1; j < grid.size() && next_time < times.size();
+       ++j) {
+    // θ-method step:  (I − θhQ) u_new = u_old + (1−θ)h Q u_old.
+    const double step = grid[j] - grid[j - 1];
+    apply_q(u, qu);
+    for (std::size_t r = 0; r < num_transient_; ++r) {
+      rhs[r] = u[r] + (1.0 - opts.theta) * step * qu[r];
+    }
+    // Gauss–Seidel on the row-dominant implicit operator.
+    const double th = opts.theta * step;
+    for (std::size_t sweep = 0; sweep < 1000; ++sweep) {
+      double max_delta = 0.0;
+      for (std::size_t r = 0; r < num_transient_; ++r) {
+        double acc = rhs[r];
+        for (std::uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+          acc += th * val_[k] * u[col_[k]];
+        }
+        const double next_val = acc / (1.0 + th * exit_[r]);
+        max_delta = std::max(max_delta, std::abs(next_val - u[r]));
+        u[r] = next_val;
+      }
+      if (max_delta <= opts.gs_tolerance) break;
+    }
+
+    // Emit time points that fall inside this step by interpolation (the
+    // grid is dense enough that interpolation error is below the
+    // integrator's own error).
+    const double now = grid[j];
+    const double r_now = u[initial_compact_];
+    while (next_time < times.size() && times[next_time] <= now) {
+      const double t = times[next_time];
+      const double w =
+          now > prev_now ? (t - prev_now) / (now - prev_now) : 1.0;
+      out[next_time] = std::clamp(r_prev + w * (r_now - r_prev), 0.0, 1.0);
+      ++next_time;
+    }
+    prev_now = now;
+    r_prev = r_now;
+  }
+  return out;
+}
+
+}  // namespace midas::spn

@@ -1,0 +1,55 @@
+// Stiff-horizon survival analysis via the backward Kolmogorov equation.
+//
+// Uniformisation (transient.h) costs O(Λ·t) matrix-vector products; for
+// mission-length horizons with fast IDS rates Λ·t reaches 10⁸ and the
+// method is unusable.  The survival function obeys the backward system
+//
+//     u'(t) = Q_TT · u(t),   u(0) = 1,   R(t) = u_init(t),
+//
+// where u_i(t) = P[not yet absorbed by t | start in transient state i].
+// The θ-method (Crank–Nicolson by default) advances this stiff ODE with
+// steps limited only by accuracy, not by Λ.  The implicit operator
+// (I − θh·Q_TT) is row-wise strictly diagonally dominant for every
+// h > 0, so Gauss–Seidel is guaranteed to converge at each step.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spn/reachability.h"
+
+namespace midas::spn {
+
+struct ReliabilityOdeOptions {
+  double theta = 0.5;       // 0.5 = Crank–Nicolson, 1.0 = backward Euler
+  std::size_t steps = 800;  // integration grid size (log-spaced)
+  double decades = 8.0;     // grid spans horizon·10^-decades .. horizon
+  double gs_tolerance = 1e-12;
+};
+
+class ReliabilityOde {
+ public:
+  explicit ReliabilityOde(const ReachabilityGraph& graph);
+
+  /// Survival probabilities R(t_j) = P[no absorption by t_j], starting
+  /// from the graph's initial state.  `times` must be ascending and
+  /// non-negative.
+  [[nodiscard]] std::vector<double> survival_at(
+      std::span<const double> times,
+      const ReliabilityOdeOptions& opts = {}) const;
+
+ private:
+  const ReachabilityGraph& graph_;
+  // Transient-state subsystem in compact indexing.
+  std::vector<std::uint32_t> compact_;  // full → compact (UINT32_MAX = absorbing)
+  std::size_t num_transient_ = 0;
+  std::uint32_t initial_compact_ = 0;
+  bool initial_absorbing_ = false;
+  // Q_TT in CSR-like arrays (row = compact transient state).
+  std::vector<std::uint32_t> row_ptr_;
+  std::vector<std::uint32_t> col_;
+  std::vector<double> val_;     // off-diagonal rates into transient states
+  std::vector<double> exit_;    // total exit rate per transient state
+};
+
+}  // namespace midas::spn

@@ -1,0 +1,84 @@
+#include "spn/scc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace midas::spn {
+
+std::vector<std::vector<std::uint32_t>> SccResult::members() const {
+  std::vector<std::vector<std::uint32_t>> out(num_components);
+  for (std::uint32_t v = 0; v < component.size(); ++v) {
+    out[component[v]].push_back(v);
+  }
+  return out;
+}
+
+SccResult strongly_connected_components(
+    std::span<const std::uint32_t> offsets,
+    std::span<const std::uint32_t> targets) {
+  if (offsets.empty()) {
+    throw std::invalid_argument("scc: offsets must have at least one entry");
+  }
+  const auto n = static_cast<std::uint32_t>(offsets.size() - 1);
+
+  SccResult res;
+  res.component.assign(n, UINT32_MAX);
+
+  constexpr std::uint32_t kUnvisited = UINT32_MAX;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 0;
+
+  // Iterative Tarjan: explicit DFS frames (node, next-edge cursor).
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, offsets[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!dfs.empty()) {
+      auto& frame = dfs.back();
+      const std::uint32_t u = frame.node;
+      if (frame.edge < offsets[u + 1]) {
+        const std::uint32_t v = targets[frame.edge++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = 1;
+          dfs.push_back({v, offsets[v]});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      // u finished: emit its SCC if it is a root.
+      if (lowlink[u] == index[u]) {
+        const auto cid = static_cast<std::uint32_t>(res.num_components++);
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          res.component[w] = cid;
+          if (w == u) break;
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().node] =
+            std::min(lowlink[dfs.back().node], lowlink[u]);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace midas::spn

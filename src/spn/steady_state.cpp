@@ -1,0 +1,44 @@
+#include "spn/steady_state.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace midas::spn {
+
+SteadyStateResult steady_state(const ReachabilityGraph& graph,
+                               const SteadyStateOptions& opts) {
+  const auto ctmc = Ctmc::from_graph(graph);
+  const std::size_t n = ctmc.num_states();
+  const double lambda = std::max(ctmc.max_exit_rate() * 1.05, 1e-12);
+
+  // P = I + Q/Λ; power-iterate πP until the change is below tolerance.
+  const auto& q = ctmc.generator();
+
+  SteadyStateResult res;
+  res.pi.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> qpi(n, 0.0);
+
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    res.iterations = it;
+    q.multiply_transpose(res.pi, qpi);  // qpi = Qᵀπ  (πQ as column)
+    double delta = 0.0;
+    double sum = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const double next = res.pi[s] + qpi[s] / lambda;
+      delta = std::max(delta, std::abs(next - res.pi[s]));
+      res.pi[s] = next;
+      sum += next;
+    }
+    if (sum <= 0.0) {
+      throw std::runtime_error("steady_state: distribution collapsed");
+    }
+    for (double& p : res.pi) p /= sum;
+    if (delta <= opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace midas::spn

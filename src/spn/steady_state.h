@@ -1,0 +1,31 @@
+// Steady-state solution for ergodic CTMCs via power iteration on the
+// uniformised jump chain.  The paper's model is absorbing (no steady
+// state), but the engine is a general SPN tool; this solver is exercised
+// by the engine tests against closed-form M/M/1/K results and by the
+// MANET birth–death group-count model.
+#pragma once
+
+#include <vector>
+
+#include "spn/ctmc.h"
+#include "spn/reachability.h"
+
+namespace midas::spn {
+
+struct SteadyStateOptions {
+  std::size_t max_iterations = 1'000'000;
+  double tolerance = 1e-13;
+};
+
+struct SteadyStateResult {
+  std::vector<double> pi;  // stationary distribution over states
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Requires an irreducible chain (every state recurrent); absorbing
+/// chains make the iteration collapse onto absorbing states instead.
+[[nodiscard]] SteadyStateResult steady_state(
+    const ReachabilityGraph& graph, const SteadyStateOptions& opts = {});
+
+}  // namespace midas::spn

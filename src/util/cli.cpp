@@ -1,0 +1,98 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace midas::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::flag(const std::string& name, double def, const std::string& help) {
+  if (flags_.emplace(name, Flag{Kind::Double, std::to_string(def), help})
+          .second) {
+    order_.push_back(name);
+  }
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, int def, const std::string& help) {
+  if (flags_.emplace(name, Flag{Kind::Int, std::to_string(def), help})
+          .second) {
+    order_.push_back(name);
+  }
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, std::string def,
+               const std::string& help) {
+  if (flags_.emplace(name, Flag{Kind::String, std::move(def), help}).second) {
+    order_.push_back(name);
+  }
+  return *this;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::lookup(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("flag not registered: --" + name);
+  }
+  if (it->second.kind != kind) {
+    throw std::invalid_argument("flag --" + name + " accessed as wrong type");
+  }
+  return it->second;
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(lookup(name, Kind::Double).value);
+}
+
+int Cli::get_int(const std::string& name) const {
+  return std::stoi(lookup(name, Kind::Int).value);
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  return lookup(name, Kind::String).value;
+}
+
+void Cli::print_usage() const {
+  std::printf("%s — %s\n\nflags:\n", program_.c_str(), description_.c_str());
+  for (const auto& name : order_) {
+    const auto& f = flags_.at(name);
+    std::printf("  --%-24s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                f.value.c_str());
+  }
+}
+
+}  // namespace midas::util

@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+// Supports `--name value` and `--name=value`; unknown flags are errors so
+// typos surface immediately.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace midas::util {
+
+/// Declarative flag set.  Register flags with defaults, then parse().
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  Cli& flag(const std::string& name, double def, const std::string& help);
+  Cli& flag(const std::string& name, int def, const std::string& help);
+  Cli& flag(const std::string& name, std::string def, const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) when `--help` is
+  /// requested; throws std::invalid_argument for unknown flags/bad values.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  enum class Kind { Double, Int, String };
+  struct Flag {
+    Kind kind;
+    std::string value;  // textual representation, parsed on demand
+    std::string help;
+  };
+
+  const Flag& lookup(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace midas::util

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace midas::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::write_cell(std::string_view cell, bool first) {
+  if (!first) out_ << ',';
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << cell;
+    return;
+  }
+  out_ << '"';
+  for (char c : cell) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  bool first = true;
+  for (auto c : cells) {
+    write_cell(c, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    write_cell(c, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 12);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buf, end);
+}
+
+}  // namespace midas::util

@@ -1,0 +1,40 @@
+// CSV writer used by the bench harnesses to persist every figure/table
+// series next to the binary that generated it.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace midas::util {
+
+/// Minimal RFC-4180-ish CSV writer.  Values containing commas, quotes or
+/// newlines are quoted; everything else is emitted verbatim.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`.  Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row of already-formatted cells.
+  void row(std::initializer_list<std::string_view> cells);
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: header row.
+  void header(std::initializer_list<std::string_view> cells) { row(cells); }
+
+  /// Formats a double with full round-trip precision.
+  [[nodiscard]] static std::string num(double v);
+
+  /// Path the writer is bound to.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_cell(std::string_view cell, bool first);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace midas::util

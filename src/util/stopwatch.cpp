@@ -1,0 +1,11 @@
+#include "util/stopwatch.h"
+
+namespace midas::util {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+void Stopwatch::reset() { start_ = clock::now(); }
+
+}  // namespace midas::util

@@ -1,0 +1,22 @@
+// Wall-clock stopwatch for coarse timing of solver phases in benches.
+#pragma once
+
+#include <chrono>
+
+namespace midas::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const;
+
+  void reset();
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace midas::util

@@ -1,0 +1,36 @@
+// Aligned ASCII table printer.  The figure benches use this to print the
+// same rows/series the paper's figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace midas::util {
+
+/// Column-aligned plain-text table.  Cells are strings; numeric helpers
+/// are provided for consistent scientific formatting (the paper reports
+/// MTTSF/cost in the 1e5..1e7 range, so %.*e reads best).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Scientific notation with `digits` significand digits (default 3,
+  /// e.g. 4.521e+06) — matches the paper's axis labelling.
+  [[nodiscard]] static std::string sci(double v, int digits = 3);
+  /// Fixed-point with `digits` decimals.
+  [[nodiscard]] static std::string fix(double v, int digits = 2);
+
+  /// Renders with a rule under the header, columns padded to widest cell.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace midas::util

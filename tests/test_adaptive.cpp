@@ -1,0 +1,105 @@
+#include "core/adaptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas;
+using core::AdaptiveController;
+using core::IntrusionObservation;
+using core::Params;
+
+Params small_params() {
+  Params p = Params::paper_defaults();
+  p.n_init = 20;
+  p.max_groups = 1;
+  return p;
+}
+
+TEST(Adaptive, NoObservationsFallsBackToBase) {
+  const AdaptiveController ctl(small_params(), std::nullopt);
+  const auto est = ctl.estimate_attacker();
+  EXPECT_EQ(est.samples, 0u);
+  EXPECT_DOUBLE_EQ(est.lambda_c, small_params().lambda_c);
+  EXPECT_FALSE(est.reliable);
+}
+
+TEST(Adaptive, FirstOrderRateEstimate) {
+  AdaptiveController ctl(small_params(), std::nullopt);
+  // 5 intrusions over 1000 s → λ̂c = 5e-3.
+  for (int i = 1; i <= 5; ++i) {
+    ctl.observe({200.0 * i});
+  }
+  const auto est = ctl.estimate_attacker();
+  EXPECT_EQ(est.samples, 5u);
+  EXPECT_NEAR(est.lambda_c, 5.0 / 1000.0, 1e-12);
+}
+
+TEST(Adaptive, UniformGapsClassifyAsLinear) {
+  AdaptiveController ctl(small_params(), std::nullopt);
+  for (int i = 1; i <= 8; ++i) ctl.observe({100.0 * i});
+  const auto est = ctl.estimate_attacker();
+  ASSERT_TRUE(est.reliable);
+  EXPECT_EQ(est.shape, ids::Shape::Linear);
+}
+
+TEST(Adaptive, GrowingGapsClassifyAsLogarithmic) {
+  AdaptiveController ctl(small_params(), std::nullopt);
+  double t = 0.0;
+  for (int i = 1; i <= 8; ++i) {
+    t += 50.0 * i;  // gaps 50, 100, 150, ... — attacker slowing down
+    ctl.observe({t});
+  }
+  const auto est = ctl.estimate_attacker();
+  ASSERT_TRUE(est.reliable);
+  EXPECT_EQ(est.shape, ids::Shape::Logarithmic);
+}
+
+TEST(Adaptive, ShrinkingGapsClassifyAsPolynomial) {
+  AdaptiveController ctl(small_params(), std::nullopt);
+  double t = 0.0;
+  double gap = 800.0;
+  for (int i = 1; i <= 8; ++i) {
+    t += gap;
+    gap *= 0.45;  // accelerating attacker
+    ctl.observe({t});
+  }
+  const auto est = ctl.estimate_attacker();
+  ASSERT_TRUE(est.reliable);
+  EXPECT_EQ(est.shape, ids::Shape::Polynomial);
+}
+
+TEST(Adaptive, OutOfOrderObservationThrows) {
+  AdaptiveController ctl(small_params(), std::nullopt);
+  ctl.observe({100.0});
+  EXPECT_THROW(ctl.observe({50.0}), std::invalid_argument);
+}
+
+TEST(Adaptive, RecommendationIsAFeasiblePolicy) {
+  AdaptiveController ctl(small_params(), std::nullopt);
+  // Simulate a moderate attacker: one compromise every ~2000 s.
+  for (int i = 1; i <= 6; ++i) ctl.observe({2000.0 * i});
+  const auto choice = ctl.recommend();
+  EXPECT_TRUE(choice.feasible);
+  EXPECT_GT(choice.t_ids, 0.0);
+  EXPECT_GT(choice.eval.mttsf, 0.0);
+}
+
+TEST(Adaptive, BudgetIsRespectedWhenFeasible) {
+  // First find the unconstrained recommendation, then re-run with a
+  // budget slightly above the cheapest achievable cost.
+  AdaptiveController probe(small_params(), std::nullopt);
+  for (int i = 1; i <= 6; ++i) probe.observe({2000.0 * i});
+  const auto free_choice = probe.recommend();
+
+  AdaptiveController tight(small_params(), free_choice.eval.ctotal * 1.5);
+  for (int i = 1; i <= 6; ++i) tight.observe({2000.0 * i});
+  const auto constrained = tight.recommend();
+  if (constrained.feasible) {
+    EXPECT_LE(constrained.eval.ctotal, free_choice.eval.ctotal * 1.5);
+  }
+}
+
+}  // namespace

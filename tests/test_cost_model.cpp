@@ -1,0 +1,110 @@
+#include "gcs/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::gcs;
+
+CostModel default_model() {
+  CostParams p;
+  p.mean_hops = 3.0;
+  p.mean_degree = 8.0;
+  p.sync_rekey_params();
+  return CostModel(p);
+}
+
+GroupState state(double members, double groups = 1.0) {
+  GroupState s;
+  s.members = members;
+  s.groups = groups;
+  s.initial_size = 100.0;
+  return s;
+}
+
+TEST(CostModel, GroupCommQuadraticInMembersForOneGroup) {
+  const auto m = default_model();
+  const double c50 = m.group_comm_rate(state(50), 1.0 / 60.0);
+  const double c100 = m.group_comm_rate(state(100), 1.0 / 60.0);
+  EXPECT_NEAR(c100 / c50, 4.0, 1e-9);  // n · n_g doubles twice
+}
+
+TEST(CostModel, PartitioningReducesGroupCommCost) {
+  // Same total membership split into more groups → smaller per-group
+  // multicast trees → less traffic.
+  const auto m = default_model();
+  const double one = m.group_comm_rate(state(100, 1), 1.0 / 60.0);
+  const double two = m.group_comm_rate(state(100, 2), 1.0 / 60.0);
+  EXPECT_NEAR(two / one, 0.5, 1e-9);
+}
+
+TEST(CostModel, IdsTrafficScalesWithQuorumAndRate) {
+  const auto m = default_model();
+  const double base = m.ids_rate(state(100), 1.0 / 120.0, 5);
+  EXPECT_NEAR(m.ids_rate(state(100), 1.0 / 120.0, 10) / base, 2.0, 1e-9);
+  EXPECT_NEAR(m.ids_rate(state(100), 1.0 / 60.0, 5) / base, 2.0, 1e-9);
+  EXPECT_NEAR(m.ids_rate(state(50), 1.0 / 120.0, 5) / base, 0.5, 1e-9);
+}
+
+TEST(CostModel, BeaconAndStatusScaleLinearly) {
+  const auto m = default_model();
+  EXPECT_NEAR(m.beacon_rate(state(100)) / m.beacon_rate(state(25)), 4.0,
+              1e-9);
+  EXPECT_NEAR(m.status_rate(state(100)) / m.status_rate(state(25)), 4.0,
+              1e-9);
+}
+
+TEST(CostModel, BreakdownTotalIsComponentSum) {
+  const auto m = default_model();
+  const auto b = m.breakdown(state(80, 2), 1.0 / 60.0, 1.0 / 3600.0,
+                             1.0 / 14400.0, 1.0 / 120.0, 5, 1e-3);
+  EXPECT_NEAR(b.total(),
+              b.group_comm + b.status + b.rekey + b.ids + b.beacon +
+                  b.partition_merge,
+              1e-12);
+  EXPECT_GT(b.group_comm, 0.0);
+  EXPECT_GT(b.ids, 0.0);
+  EXPECT_GT(b.rekey, 0.0);
+}
+
+TEST(CostModel, EvictionImpulsePositiveAndGrowsWithGroup) {
+  const auto m = default_model();
+  const double small = m.eviction_impulse_bits(state(10));
+  const double large = m.eviction_impulse_bits(state(100));
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(CostModel, EmptyGroupCostsNothing) {
+  const auto m = default_model();
+  const auto b = m.breakdown(state(0), 1.0 / 60.0, 1e-4, 1e-4, 1e-2, 5, 0.0);
+  EXPECT_DOUBLE_EQ(b.group_comm, 0.0);
+  EXPECT_DOUBLE_EQ(b.status, 0.0);
+  EXPECT_DOUBLE_EQ(b.ids, 0.0);
+  EXPECT_DOUBLE_EQ(b.beacon, 0.0);
+  EXPECT_DOUBLE_EQ(b.rekey, 0.0);
+}
+
+TEST(CostModel, SyncRekeyParamsPropagatesNetworkShape) {
+  CostParams p;
+  p.mean_hops = 7.0;
+  p.bandwidth_bps = 5e5;
+  p.sync_rekey_params();
+  EXPECT_DOUBLE_EQ(p.rekey.mean_hops, 7.0);
+  EXPECT_DOUBLE_EQ(p.rekey.bandwidth_bps, 5e5);
+}
+
+TEST(CostModel, MoreHopsMeansMoreIdsTraffic) {
+  CostParams p;
+  p.mean_hops = 2.0;
+  p.sync_rekey_params();
+  const CostModel near(p);
+  p.mean_hops = 6.0;
+  p.sync_rekey_params();
+  const CostModel far(p);
+  EXPECT_NEAR(far.ids_rate(state(100), 0.01, 5) /
+                  near.ids_rate(state(100), 0.01, 5),
+              3.0, 1e-9);
+}
+
+}  // namespace

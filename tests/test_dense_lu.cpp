@@ -1,0 +1,88 @@
+#include "linalg/dense_matrix.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::linalg;
+
+TEST(DenseMatrix, IdentityMultiplication) {
+  const auto id = DenseMatrix::identity(4);
+  const std::vector<double> x{1, 2, 3, 4};
+  const auto y = id.multiply(x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(LuSolver, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  →  x = 1, y = 3.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const LuSolver lu(a);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, PivotingHandlesZeroLeadingEntry) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const LuSolver lu(a);
+  const auto x = lu.solve({3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, SingularMatrixThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuSolver{a}, std::runtime_error);
+}
+
+TEST(LuSolver, NonSquareThrows) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(LuSolver{a}, std::invalid_argument);
+}
+
+TEST(LuSolver, WrongRhsSizeThrows) {
+  const LuSolver lu(DenseMatrix::identity(3));
+  EXPECT_THROW(lu.solve({1.0, 2.0}), std::invalid_argument);
+}
+
+class LuRandomSystems : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomSystems, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(n * 7919);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = uni(rng);
+    a(r, r) += static_cast<double>(n);  // diagonally dominant: nonsingular
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = uni(rng);
+  const auto b = a.multiply(x_true);
+
+  const LuSolver lu(a);
+  const auto x = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-9) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystems,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+}  // namespace

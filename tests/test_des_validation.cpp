@@ -1,0 +1,102 @@
+// Cross-validation: the independent discrete-event simulator and the
+// analytic SPN solver describe the same stochastic process, so their
+// MTTSF, cost and failure-mode estimates must agree within Monte-Carlo
+// confidence bounds.  This mirrors the paper's simulation-validation
+// methodology and is the strongest end-to-end check in the suite.
+#include <gtest/gtest.h>
+
+#include "core/gcs_spn_model.h"
+#include "sim/des.h"
+
+namespace {
+
+using namespace midas;
+using core::Params;
+
+Params small_params() {
+  Params p = Params::paper_defaults();
+  p.n_init = 15;
+  p.max_groups = 1;
+  // Faster dynamics keep each trajectory short.
+  p.lambda_c = 1.0 / 2000.0;
+  p.t_ids = 60.0;
+  return p;
+}
+
+TEST(DesValidation, MttsfAgreesWithAnalyticModel) {
+  const auto params = small_params();
+  const auto analytic = core::GcsSpnModel(params).evaluate();
+  const auto sim = sim::run_replications(params, 400, 0xABCDEF, 1);
+
+  // The analytic value must fall inside a slightly widened 95% CI (the
+  // widening guards against the ~2.5% expected false-alarm rate).
+  const double slack = 1.6 * sim.ttsf.ci_half_width;
+  EXPECT_NEAR(sim.ttsf.mean, analytic.mttsf, slack)
+      << "analytic=" << analytic.mttsf << " sim=" << sim.ttsf.mean
+      << " ±" << sim.ttsf.ci_half_width;
+}
+
+TEST(DesValidation, FailureModeSplitAgrees) {
+  const auto params = small_params();
+  const auto analytic = core::GcsSpnModel(params).evaluate();
+  const auto sim = sim::run_replications(params, 400, 0x12345, 1);
+  // Binomial std-err at 400 reps ≈ 0.025; allow 3σ.
+  EXPECT_NEAR(sim.p_failure_c1, analytic.p_failure_c1, 0.075);
+}
+
+TEST(DesValidation, CostRateAgreesWithAnalyticModel) {
+  const auto params = small_params();
+  const auto analytic = core::GcsSpnModel(params).evaluate();
+  const auto sim = sim::run_replications(params, 300, 0x777, 1);
+  // Cost-per-time is a ratio estimator; compare with 10% tolerance.
+  EXPECT_NEAR(sim.cost_rate.mean, analytic.ctotal,
+              0.10 * analytic.ctotal);
+}
+
+TEST(DesValidation, GroupDynamicsPathAgrees) {
+  Params params = small_params();
+  params.max_groups = 3;
+  params.partition_rates = {0.0, 2e-3, 1e-3, 0.0};
+  params.merge_rates = {0.0, 0.0, 1e-2, 2e-2};
+  const auto analytic = core::GcsSpnModel(params).evaluate();
+  const auto sim = sim::run_replications(params, 300, 0xBEEF, 1);
+  const double slack = 1.6 * sim.ttsf.ci_half_width;
+  EXPECT_NEAR(sim.ttsf.mean, analytic.mttsf, slack);
+}
+
+TEST(Des, TrajectoriesAreDeterministicPerSeed) {
+  const auto params = small_params();
+  const auto a = sim::simulate_group(params, 42);
+  const auto b = sim::simulate_group(params, 42);
+  EXPECT_DOUBLE_EQ(a.ttsf, b.ttsf);
+  EXPECT_DOUBLE_EQ(a.accumulated_cost, b.accumulated_cost);
+  EXPECT_EQ(a.compromises, b.compromises);
+
+  const auto c = sim::simulate_group(params, 43);
+  EXPECT_NE(a.ttsf, c.ttsf);
+}
+
+TEST(Des, EventCountersAreCoherent) {
+  const auto params = small_params();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto t = sim::simulate_group(params, seed);
+    EXPECT_GT(t.ttsf, 0.0);
+    EXPECT_GT(t.accumulated_cost, 0.0);
+    // Every true eviction requires a prior compromise.
+    EXPECT_LE(t.true_evictions, t.compromises);
+    // Membership bound: evictions cannot exceed the initial population.
+    EXPECT_LE(t.true_evictions + t.false_evictions,
+              static_cast<std::size_t>(params.n_init));
+  }
+}
+
+TEST(Des, HigherAttackRateShortensSimulatedSurvival) {
+  Params slow = small_params();
+  Params fast = small_params();
+  fast.lambda_c *= 10.0;
+  const auto s = sim::run_replications(slow, 150, 9, 1);
+  const auto f = sim::run_replications(fast, 150, 9, 1);
+  EXPECT_LT(f.ttsf.mean, s.ttsf.mean);
+}
+
+}  // namespace

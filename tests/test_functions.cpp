@@ -1,0 +1,80 @@
+#include "ids/functions.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::ids;
+
+TEST(Shapes, AllShapesAnchorAtBaseRate) {
+  // The defining property of the reconstruction (DESIGN.md): with no
+  // compromised nodes (x = 1) all three shapes give the base rate.
+  for (const auto s :
+       {Shape::Logarithmic, Shape::Linear, Shape::Polynomial}) {
+    EXPECT_NEAR(shape_factor(s, 1.0), 1.0, 1e-12) << to_string(s);
+  }
+}
+
+TEST(Shapes, OrderingBeyondTheAnchor) {
+  // log < linear < poly for x > 1 — the paper's "conservative /
+  // linear / aggressive" ordering.
+  for (const double x : {1.1, 1.5, 2.0, 5.0, 50.0}) {
+    const double lo = shape_factor(Shape::Logarithmic, x);
+    const double li = shape_factor(Shape::Linear, x);
+    const double po = shape_factor(Shape::Polynomial, x);
+    EXPECT_LT(lo, li) << "x=" << x;
+    EXPECT_LT(li, po) << "x=" << x;
+  }
+}
+
+TEST(Shapes, MonotoneInX) {
+  for (const auto s :
+       {Shape::Logarithmic, Shape::Linear, Shape::Polynomial}) {
+    double prev = 0.0;
+    for (const double x : {1.0, 1.2, 2.0, 4.0, 10.0}) {
+      const double f = shape_factor(s, x);
+      EXPECT_GT(f, prev) << to_string(s) << " x=" << x;
+      prev = f;
+    }
+  }
+}
+
+TEST(Shapes, PolynomialUsesTheIndexParameter) {
+  EXPECT_NEAR(shape_factor(Shape::Polynomial, 2.0, 3.0), 8.0, 1e-12);
+  EXPECT_NEAR(shape_factor(Shape::Polynomial, 2.0, 2.0), 4.0, 1e-12);
+}
+
+TEST(Shapes, DomainErrorsThrow) {
+  EXPECT_THROW((void)shape_factor(Shape::Linear, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)shape_factor(Shape::Linear, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(AttackerRate, ScalesWithBaseRate) {
+  EXPECT_NEAR(attacker_rate(Shape::Linear, 2e-5, 1.5), 3e-5, 1e-15);
+  EXPECT_NEAR(attacker_rate(Shape::Polynomial, 1e-4, 1.5, 3.0),
+              1e-4 * 3.375, 1e-12);
+  EXPECT_THROW((void)attacker_rate(Shape::Linear, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DetectionRate, IsShapeOverInterval) {
+  EXPECT_NEAR(detection_rate(Shape::Linear, 120.0, 1.0), 1.0 / 120.0,
+              1e-15);
+  EXPECT_NEAR(detection_rate(Shape::Linear, 120.0, 2.0), 2.0 / 120.0,
+              1e-15);
+  EXPECT_THROW((void)detection_rate(Shape::Linear, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ShapeParsing, RoundTripsAndAliases) {
+  EXPECT_EQ(shape_from_string("logarithmic"), Shape::Logarithmic);
+  EXPECT_EQ(shape_from_string("log"), Shape::Logarithmic);
+  EXPECT_EQ(shape_from_string("linear"), Shape::Linear);
+  EXPECT_EQ(shape_from_string("poly"), Shape::Polynomial);
+  EXPECT_EQ(shape_from_string(to_string(Shape::Polynomial)),
+            Shape::Polynomial);
+  EXPECT_THROW((void)shape_from_string("quadratic"), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// GDH.2 contributory key agreement: key agreement across all members,
+// forward/backward secrecy across membership events, and protocol
+// traffic accounting cross-checked against the analytic rekey costs.
+#include "crypto/gdh.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rekey_cost.h"
+
+namespace {
+
+using namespace midas::crypto;
+
+GdhSession make_session(std::size_t n, std::uint64_t seed = 99) {
+  GdhSession s(DhGroup::demo_group(), seed);
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < n; ++i) ids.push_back(i + 1);
+  s.establish(ids);
+  return s;
+}
+
+class GdhGroupSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GdhGroupSizes, AllMembersComputeTheSameKey) {
+  const auto s = make_session(GetParam());
+  EXPECT_TRUE(s.keys_agree());
+  EXPECT_NE(s.group_key(), 0u);
+  EXPECT_EQ(s.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GdhGroupSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST(Gdh, KeyIsTheFullProductExponent) {
+  // For a tiny group, verify K = g^(x1·x2·x3) directly.  The member
+  // secrets are private to the session, so check indirectly: every
+  // member key equals every other and differs from g.
+  const auto s = make_session(3);
+  EXPECT_TRUE(s.keys_agree());
+  EXPECT_NE(s.group_key(), s.group().g);
+}
+
+TEST(Gdh, JoinChangesKeyAndPreservesAgreement) {
+  auto s = make_session(4);
+  const auto old_key = s.group_key();
+  s.join(42);
+  EXPECT_TRUE(s.keys_agree());
+  EXPECT_TRUE(s.has_member(42));
+  EXPECT_EQ(s.size(), 5u);
+  // Backward secrecy: the new view's key differs from the old one.
+  EXPECT_NE(s.group_key(), old_key);
+  EXPECT_EQ(s.member_key(42), s.group_key());
+}
+
+TEST(Gdh, LeaveChangesKeyAndExcludesTheDeparted) {
+  auto s = make_session(5);
+  const auto old_key = s.group_key();
+  const auto departed_key = s.member_key(3);
+  s.leave(3);
+  EXPECT_TRUE(s.keys_agree());
+  EXPECT_FALSE(s.has_member(3));
+  EXPECT_EQ(s.size(), 4u);
+  // Forward secrecy: the new key differs from anything the departed
+  // member computed.
+  EXPECT_NE(s.group_key(), old_key);
+  EXPECT_NE(s.group_key(), departed_key);
+}
+
+TEST(Gdh, EvictionSequenceKeepsSurvivorsInAgreement) {
+  auto s = make_session(6);
+  s.leave(1);
+  s.leave(4);
+  s.leave(6);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.keys_agree());
+}
+
+TEST(Gdh, MergeAbsorbsOtherMembers) {
+  auto s = make_session(3);
+  const auto old_key = s.group_key();
+  s.merge({10, 11, 12});
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_TRUE(s.keys_agree());
+  EXPECT_NE(s.group_key(), old_key);
+}
+
+TEST(Gdh, PartitionYieldsTwoIndependentGroups) {
+  auto s = make_session(6);
+  auto other = s.partition({5, 6});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(other.size(), 2u);
+  EXPECT_TRUE(s.keys_agree());
+  EXPECT_TRUE(other.keys_agree());
+  // Disjoint membership, different keys.
+  EXPECT_FALSE(s.has_member(5));
+  EXPECT_TRUE(other.has_member(5));
+  EXPECT_NE(s.group_key(), other.group_key());
+}
+
+TEST(Gdh, MembershipErrorsThrow) {
+  auto s = make_session(3);
+  EXPECT_THROW(s.join(2), std::invalid_argument);     // duplicate
+  EXPECT_THROW(s.leave(99), std::invalid_argument);   // absent
+  EXPECT_THROW(s.merge({1}), std::invalid_argument);  // duplicate
+  EXPECT_THROW((void)s.partition({99}), std::invalid_argument);
+}
+
+TEST(Gdh, EstablishTrafficMatchesAnalyticFormula) {
+  // The cost model's full_agreement_cost assumes the upflow ladder
+  // Σ_{i=1..n-1}(i+1) + broadcast (n−1).  The protocol implementation
+  // must charge exactly that many group elements.
+  for (std::size_t n : {2u, 3u, 5u, 8u, 13u}) {
+    auto s = make_session(n);
+    const double nn = static_cast<double>(n);
+    const double expected_units = (nn * nn + nn - 2.0) / 2.0 + (nn - 1.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.traffic().units), expected_units)
+        << "n=" << n;
+    EXPECT_EQ(s.traffic().messages, n);  // n−1 upflow + 1 broadcast
+  }
+}
+
+TEST(Gdh, TrafficCounterResets) {
+  auto s = make_session(4);
+  EXPECT_GT(s.traffic().messages, 0u);
+  s.reset_traffic();
+  EXPECT_EQ(s.traffic().messages, 0u);
+  EXPECT_EQ(s.traffic().units, 0u);
+}
+
+TEST(Gdh, DeterministicUnderSeed) {
+  const auto a = make_session(5, 1234);
+  const auto b = make_session(5, 1234);
+  EXPECT_EQ(a.group_key(), b.group_key());
+  const auto c = make_session(5, 4321);
+  EXPECT_NE(a.group_key(), c.group_key());
+}
+
+TEST(RekeyCost, FormulasBehaveAtEdges) {
+  const RekeyCostParams p{1024.0, 3.0, 1e6};
+  EXPECT_DOUBLE_EQ(full_agreement_cost(0, p).hop_bits, 0.0);
+  EXPECT_DOUBLE_EQ(full_agreement_cost(1, p).hop_bits, 0.0);
+  EXPECT_DOUBLE_EQ(leave_cost(0, p).hop_bits, 0.0);
+  EXPECT_GT(join_cost(2, p).hop_bits, 0.0);
+}
+
+TEST(RekeyCost, MonotoneInGroupSize) {
+  const RekeyCostParams p{1024.0, 3.0, 1e6};
+  double prev = 0.0;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u}) {
+    const auto c = full_agreement_cost(n, p);
+    EXPECT_GT(c.hop_bits, prev);
+    prev = c.hop_bits;
+  }
+}
+
+TEST(RekeyCost, TcmIsBitsOverBandwidth) {
+  const RekeyCostParams p{1000.0, 2.0, 1e6};
+  const auto c = join_cost(10, p);
+  EXPECT_NEAR(c.seconds, c.hop_bits / 1e6, 1e-15);
+  // join(10): (10 + 9) elements × 1000 bits × 2 hops.
+  EXPECT_DOUBLE_EQ(c.hop_bits, 19.0 * 1000.0 * 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include "ids/host_ids.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::ids;
+
+TEST(HostIds, EmpiricalErrorRatesMatchParameters) {
+  HostIds ids({0.05, 0.10}, 42);
+  const int trials = 200000;
+  int false_neg = 0, false_pos = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (ids.classify(true) == Verdict::Trusted) ++false_neg;
+    if (ids.classify(false) == Verdict::Compromised) ++false_pos;
+  }
+  EXPECT_NEAR(false_neg / static_cast<double>(trials), 0.05, 0.005);
+  EXPECT_NEAR(false_pos / static_cast<double>(trials), 0.10, 0.005);
+}
+
+TEST(HostIds, DeterministicUnderSameSeed) {
+  HostIds a({0.2, 0.2}, 7);
+  HostIds b({0.2, 0.2}, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.classify(i % 2 == 0), b.classify(i % 2 == 0)) << i;
+  }
+}
+
+TEST(HostIds, PerfectDetectorNeverErrs) {
+  HostIds ids({0.0, 0.0}, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ids.classify(true), Verdict::Compromised);
+    EXPECT_EQ(ids.classify(false), Verdict::Trusted);
+  }
+}
+
+TEST(HostIds, InvalidProbabilitiesThrow) {
+  EXPECT_THROW(HostIds({-0.1, 0.0}, 1), std::invalid_argument);
+  EXPECT_THROW(HostIds({0.0, 1.5}, 1), std::invalid_argument);
+}
+
+TEST(HostIds, PresetsMatchPaperCharacterisation) {
+  // Misuse detection: more false negatives, fewer false positives than
+  // anomaly detection (paper §2.2).
+  const auto misuse = HostIdsParams::misuse_detection();
+  const auto anomaly = HostIdsParams::anomaly_detection();
+  EXPECT_GT(misuse.p1, anomaly.p1);
+  EXPECT_LT(misuse.p2, anomaly.p2);
+}
+
+}  // namespace

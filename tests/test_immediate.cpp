@@ -1,0 +1,175 @@
+// Immediate transitions and vanishing-marking elimination: firing-weight
+// races, chains, impulse folding, and interaction with timed dynamics —
+// all validated against hand-computed probabilities.
+#include <gtest/gtest.h>
+
+#include "spn/absorbing.h"
+#include "spn/reachability.h"
+
+namespace {
+
+using namespace midas::spn;
+
+TEST(Immediate, WeightedForkSplitsAbsorptionProbability) {
+  // timed → vanishing place V; immediate fork to A (weight 2) or B (1).
+  PetriNet net;
+  const auto start = net.add_place("S", 1);
+  const auto v = net.add_place("V", 0);
+  const auto a = net.add_place("A", 0);
+  const auto b = net.add_place("B", 0);
+  net.transition("go").input(start).output(v).rate(1.0).add();
+  net.transition("to_a").input(v).output(a).rate(2.0).immediate().add();
+  net.transition("to_b").input(v).output(b).rate(1.0).immediate().add();
+
+  const auto g = explore(net);
+  // The vanishing marking (V=1) must not appear as a state.
+  for (const auto& m : g.states) {
+    EXPECT_EQ(m[v], 0) << "vanishing marking leaked into the state space";
+  }
+
+  const AbsorbingAnalyzer an(g);
+  const auto res = an.solve();
+  EXPECT_NEAR(res.mtta, 1.0, 1e-10);  // only the timed stage takes time
+  const double pa = an.absorption_probability_where(
+      res, [a](const Marking& m) { return m[a] > 0; });
+  const double pb = an.absorption_probability_where(
+      res, [b](const Marking& m) { return m[b] > 0; });
+  EXPECT_NEAR(pa, 2.0 / 3.0, 1e-10);
+  EXPECT_NEAR(pb, 1.0 / 3.0, 1e-10);
+}
+
+TEST(Immediate, ChainsCollapseToASingleEdge) {
+  // timed → V1 → V2 → end through two immediate hops.
+  PetriNet net;
+  const auto s = net.add_place("S", 1);
+  const auto v1 = net.add_place("V1", 0);
+  const auto v2 = net.add_place("V2", 0);
+  const auto end = net.add_place("E", 0);
+  net.transition("go").input(s).output(v1).rate(4.0).add();
+  net.transition("hop1").input(v1).output(v2).rate(1.0).immediate().add();
+  net.transition("hop2").input(v2).output(end).rate(1.0).immediate().add();
+
+  const auto g = explore(net);
+  EXPECT_EQ(g.num_states(), 2u);  // start and end only
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges[0].rate, 4.0);
+
+  const auto res = AbsorbingAnalyzer(g).solve();
+  EXPECT_NEAR(res.mtta, 0.25, 1e-12);
+}
+
+TEST(Immediate, ImpulsesFoldIntoTheCollapsedEdge) {
+  PetriNet net;
+  const auto s = net.add_place("S", 1);
+  const auto v = net.add_place("V", 0);
+  const auto end = net.add_place("E", 0);
+  net.transition("go")
+      .input(s)
+      .output(v)
+      .rate(1.0)
+      .impulse([](const Marking&) { return 5.0; })
+      .add();
+  net.transition("hop")
+      .input(v)
+      .output(end)
+      .rate(1.0)
+      .immediate()
+      .impulse([](const Marking&) { return 7.0; })
+      .add();
+
+  const auto g = explore(net);
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges[0].impulse, 12.0);  // timed + immediate
+
+  const AbsorbingAnalyzer an(g);
+  const auto res = an.solve();
+  EXPECT_NEAR(an.accumulated_impulse_reward(res), 12.0, 1e-10);
+}
+
+TEST(Immediate, CycleOfImmediatesThrows) {
+  PetriNet net;
+  const auto s = net.add_place("S", 1);
+  const auto v1 = net.add_place("V1", 0);
+  const auto v2 = net.add_place("V2", 0);
+  net.transition("go").input(s).output(v1).rate(1.0).add();
+  net.transition("fwd").input(v1).output(v2).rate(1.0).immediate().add();
+  net.transition("back").input(v2).output(v1).rate(1.0).immediate().add();
+  EXPECT_THROW((void)explore(net), std::runtime_error);
+}
+
+TEST(Immediate, VanishingInitialMarkingCollapses) {
+  PetriNet net;
+  const auto v = net.add_place("V", 1);  // initially vanishing
+  const auto s = net.add_place("S", 0);
+  net.transition("settle").input(v).output(s).rate(1.0).immediate().add();
+  net.transition("die").input(s).rate(0.5).add();
+
+  const auto g = explore(net);
+  EXPECT_EQ(g.states[g.initial][s], 1);
+  const auto res = AbsorbingAnalyzer(g).solve();
+  EXPECT_NEAR(res.mtta, 2.0, 1e-10);
+}
+
+TEST(Immediate, BranchingVanishingInitialMarkingIsRejected) {
+  PetriNet net;
+  const auto v = net.add_place("V", 1);
+  const auto a = net.add_place("A", 0);
+  const auto b = net.add_place("B", 0);
+  net.transition("ta").input(v).output(a).rate(1.0).immediate().add();
+  net.transition("tb").input(v).output(b).rate(1.0).immediate().add();
+  net.transition("da").input(a).rate(1.0).add();
+  net.transition("db").input(b).rate(1.0).add();
+  EXPECT_THROW((void)explore(net), std::runtime_error);
+}
+
+TEST(Immediate, GuardedImmediateActsAsPriorityRouting) {
+  // Classic SPN idiom: an immediate transition routes tokens according
+  // to a marking predicate, here "overflow" routing above a threshold.
+  PetriNet net;
+  const auto buf = net.add_place("Buf", 3);
+  const auto normal = net.add_place("Normal", 0);
+  const auto over = net.add_place("Over", 0);
+  net.transition("route_norm")
+      .input(buf)
+      .output(normal)
+      .rate(1.0)
+      .immediate()
+      .guard([buf](const Marking& m) { return m[buf] <= 2; })
+      .add();
+  net.transition("route_over")
+      .input(buf)
+      .output(over)
+      .rate(1.0)
+      .immediate()
+      .guard([buf](const Marking& m) { return m[buf] > 2; })
+      .add();
+  net.transition("drain_norm").input(normal).rate(1.0).add();
+  net.transition("drain_over").input(over).rate(1.0).add();
+
+  // Initial marking Buf=3 is vanishing: routes 1 token to Over, then
+  // two to Normal, deterministically.
+  const auto g = explore(net);
+  const auto& init = g.states[g.initial];
+  EXPECT_EQ(init[over], 1);
+  EXPECT_EQ(init[normal], 2);
+  EXPECT_EQ(init[buf], 0);
+}
+
+TEST(Immediate, MixedNetMttaMatchesHandComputation) {
+  // S --(rate 1)--> V; V forks: 3/4 back to S' stage-2, 1/4 to end.
+  // Expected absorption time: stage takes 1; geometric retries with
+  // success probability 1/4 → E[stages] = 4 → MTTA = 4.
+  PetriNet net;
+  const auto s = net.add_place("S", 1);
+  const auto v = net.add_place("V", 0);
+  const auto end = net.add_place("E", 0);
+  net.transition("stage").input(s).output(v).rate(1.0).add();
+  net.transition("retry").input(v).output(s).rate(3.0).immediate().add();
+  net.transition("done").input(v).output(end).rate(1.0).immediate().add();
+
+  const auto g = explore(net);
+  const auto res = AbsorbingAnalyzer(g).solve();
+  EXPECT_NEAR(res.mtta, 4.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Cross-substrate integration: long randomized membership lifecycles
+// driving GDH key agreement, view-synchronous membership and the secure
+// channel together, plus parameterized model-invariant sweeps across
+// the design grid the benches exercise.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/gcs_spn_model.h"
+#include "crypto/gdh.h"
+#include "gcs/group_comm.h"
+#include "gcs/view.h"
+#include "spn/reachability.h"
+
+namespace {
+
+using namespace midas;
+
+// ---- Randomized secure-group lifecycle -------------------------------
+
+TEST(Integration, RandomMembershipLifecycleKeepsAllInvariants) {
+  std::mt19937_64 rng(20090525);  // IPDPS'09 date as seed
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  crypto::GdhSession session(crypto::DhGroup::demo_group(), 7);
+  std::vector<gcs::NodeId> initial{1, 2, 3, 4, 5, 6, 7, 8};
+  session.establish(initial);
+  gcs::ViewManager view(initial);
+  gcs::GroupChannel channel(view);
+  gcs::NodeId next_id = 9;
+
+  for (int step = 0; step < 200; ++step) {
+    const double u = uni(rng);
+    const auto members = session.member_ids();
+    if (u < 0.35 || members.size() <= 2) {
+      session.join(next_id);
+      view.join(next_id);
+      ++next_id;
+    } else if (u < 0.65) {
+      const auto victim = members[rng() % members.size()];
+      session.leave(victim);
+      view.leave(victim);
+    } else if (u < 0.85) {
+      const auto victim = members[rng() % members.size()];
+      session.leave(victim);
+      view.evict(victim);  // IDS-forced eviction
+    } else {
+      // Publish a message under the current key and verify every
+      // current member decrypts it and nobody else could.
+      const auto sender = members[rng() % members.size()];
+      const std::string payload = "situation report " + std::to_string(step);
+      ASSERT_TRUE(channel.publish(sender, view.current_view().id,
+                                  session.group_key(), payload));
+    }
+
+    // Invariants after every event:
+    ASSERT_TRUE(session.keys_agree()) << "step " << step;
+    ASSERT_EQ(session.size(), view.size()) << "step " << step;
+    for (const auto id : session.member_ids()) {
+      ASSERT_TRUE(view.contains(id)) << "step " << step;
+    }
+  }
+
+  // Drain one surviving member's queue: every message must decrypt
+  // under the key of the view it was sent in — and the CURRENT key must
+  // fail for any message sent before the last rekey.
+  const auto survivor = session.member_ids().front();
+  const auto messages = channel.drain(survivor);
+  std::uint64_t prev_seq = 0;
+  for (const auto& msg : messages) {
+    EXPECT_GT(msg.seq, prev_seq);  // total order preserved
+    prev_seq = msg.seq;
+  }
+  EXPECT_EQ(view.current_view().id, view.rekey_count());
+}
+
+TEST(Integration, EvictedNodeIsCryptographicallyExcluded) {
+  crypto::GdhSession session(crypto::DhGroup::demo_group(), 11);
+  session.establish({1, 2, 3, 4});
+  gcs::ViewManager view({1, 2, 3, 4});
+  gcs::GroupChannel channel(view);
+
+  const auto key_known_to_3 = session.member_key(3);
+  session.leave(3);
+  view.evict(3);
+
+  // Message sent after the eviction rekey.
+  ASSERT_TRUE(channel.publish(1, view.current_view().id,
+                              session.group_key(), "new plan: go north"));
+  // Node 3 receives nothing new (not in the view)...
+  EXPECT_EQ(channel.pending(3), 0u);
+  // ...and even with the old key it cannot read the survivors' copy.
+  const auto copy = channel.drain(1);
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_NE(copy[0].envelope.open(key_known_to_3), "new plan: go north");
+  EXPECT_EQ(copy[0].envelope.open(session.group_key()),
+            "new plan: go north");
+}
+
+// ---- Parameterized model-invariant sweep ------------------------------
+
+struct GridCase {
+  int m;
+  double t_ids;
+  ids::Shape detection;
+};
+
+class ModelGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ModelGrid, InvariantsHoldAcrossTheDesignGrid) {
+  const auto& gc = GetParam();
+  core::Params p = core::Params::paper_defaults();
+  p.n_init = 18;
+  p.max_groups = 1;
+  p.num_voters = gc.m;
+  p.t_ids = gc.t_ids;
+  p.detection_shape = gc.detection;
+
+  const core::GcsSpnModel model(p);
+  const auto ev = model.evaluate();
+
+  // Probability mass balance and positivity.
+  EXPECT_NEAR(ev.p_failure_c1 + ev.p_failure_c2, 1.0, 1e-6);
+  EXPECT_GT(ev.mttsf, 0.0);
+  EXPECT_GT(ev.ctotal, 0.0);
+
+  // Token conservation over the whole reachable space.
+  const auto g = spn::explore(model.net());
+  for (const auto& marking : g.states) {
+    EXPECT_EQ(marking[model.place_tm()] + marking[model.place_ucm()] +
+                  marking[model.place_dcm()] + marking[model.place_gf()],
+              18);
+  }
+
+  // Cost decomposition consistency.
+  EXPECT_NEAR(ev.ctotal,
+              ev.cost_rates.total() + ev.eviction_cost_rate,
+              1e-9 * ev.ctotal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignGrid, ModelGrid,
+    ::testing::Values(GridCase{3, 15, ids::Shape::Linear},
+                      GridCase{3, 600, ids::Shape::Logarithmic},
+                      GridCase{5, 5, ids::Shape::Polynomial},
+                      GridCase{5, 120, ids::Shape::Linear},
+                      GridCase{5, 1200, ids::Shape::Logarithmic},
+                      GridCase{7, 60, ids::Shape::Polynomial},
+                      GridCase{9, 30, ids::Shape::Linear},
+                      GridCase{9, 480, ids::Shape::Polynomial}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return "m" + std::to_string(info.param.m) + "_t" +
+             std::to_string(static_cast<int>(info.param.t_ids)) + "_" +
+             ids::to_string(info.param.detection);
+    });
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "linalg/iterative.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_matrix.h"
+
+namespace {
+
+using namespace midas::linalg;
+
+/// Random weakly diagonally dominant M-matrix-like system (the class
+/// arising from CTMC generators) in both CSR and dense forms.
+struct TestSystem {
+  CsrMatrix a;
+  std::vector<double> b;
+  std::vector<double> x_ref;
+};
+
+TestSystem make_system(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.1, 1.0);
+
+  std::vector<Triplet> trips;
+  DenseMatrix dense(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double offsum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == r) continue;
+      if ((rng() % 3) == 0) {
+        const double v = -uni(rng);
+        trips.push_back({static_cast<std::uint32_t>(r),
+                         static_cast<std::uint32_t>(c), v});
+        dense(r, c) = v;
+        offsum += -v;
+      }
+    }
+    const double d = offsum + uni(rng);  // strictly dominant diagonal
+    trips.push_back(
+        {static_cast<std::uint32_t>(r), static_cast<std::uint32_t>(r), d});
+    dense(r, r) = d;
+  }
+
+  TestSystem sys;
+  sys.a = CsrMatrix::from_triplets(n, n, std::move(trips));
+  sys.b.resize(n);
+  for (auto& v : sys.b) v = uni(rng);
+  sys.x_ref = LuSolver(dense).solve(sys.b);
+  return sys;
+}
+
+class IterativeSolvers : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IterativeSolvers, GaussSeidelMatchesLu) {
+  const auto sys = make_system(GetParam(), GetParam() * 13 + 1);
+  const auto res = gauss_seidel(sys.a, sys.b);
+  ASSERT_TRUE(res.converged) << "residual=" << res.residual;
+  for (std::size_t i = 0; i < sys.b.size(); ++i) {
+    EXPECT_NEAR(res.x[i], sys.x_ref[i], 1e-7) << "i=" << i;
+  }
+}
+
+TEST_P(IterativeSolvers, JacobiMatchesLu) {
+  const auto sys = make_system(GetParam(), GetParam() * 17 + 3);
+  const auto res = jacobi(sys.a, sys.b);
+  ASSERT_TRUE(res.converged) << "residual=" << res.residual;
+  for (std::size_t i = 0; i < sys.b.size(); ++i) {
+    EXPECT_NEAR(res.x[i], sys.x_ref[i], 1e-6) << "i=" << i;
+  }
+}
+
+TEST_P(IterativeSolvers, BicgstabMatchesLu) {
+  const auto sys = make_system(GetParam(), GetParam() * 29 + 7);
+  const auto res = bicgstab(sys.a, sys.b);
+  ASSERT_TRUE(res.converged) << "residual=" << res.residual;
+  for (std::size_t i = 0; i < sys.b.size(); ++i) {
+    EXPECT_NEAR(res.x[i], sys.x_ref[i], 1e-6) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IterativeSolvers,
+                         ::testing::Values(1, 2, 5, 20, 50, 150));
+
+TEST(IterativeSolvers, ZeroDiagonalThrows) {
+  const auto a = CsrMatrix::from_triplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_THROW((void)gauss_seidel(a, {1.0, 1.0}), std::runtime_error);
+  EXPECT_THROW((void)jacobi(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(IterativeSolvers, DimensionMismatchThrows) {
+  const auto a = CsrMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW((void)gauss_seidel(a, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)bicgstab(a, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(IterativeSolvers, RelativeResidualOfExactSolutionIsZero) {
+  const auto a = CsrMatrix::from_triplets(2, 2, {{0, 0, 2.0}, {1, 1, 4.0}});
+  EXPECT_NEAR(relative_residual(a, {1.0, 0.5}, {2.0, 2.0}), 0.0, 1e-15);
+}
+
+TEST(IterativeSolvers, SorRelaxationStillConverges) {
+  const auto sys = make_system(40, 99);
+  SolveOptions opts;
+  opts.relaxation = 1.3;
+  const auto res = gauss_seidel(sys.a, sys.b, opts);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < sys.b.size(); ++i) {
+    EXPECT_NEAR(res.x[i], sys.x_ref[i], 1e-6);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// MANET substrate: random-waypoint mobility invariants, unit-disc
+// connectivity/topology statistics, and the partition/merge birth–death
+// estimation the paper's T_PAR/T_MER rates come from.
+#include <gtest/gtest.h>
+
+#include "manet/mobility.h"
+#include "manet/partition_estimator.h"
+#include "manet/topology.h"
+
+namespace {
+
+using namespace midas::manet;
+
+TEST(Mobility, NodesStayInsideTheDisc) {
+  MobilityParams p;
+  p.field_radius_m = 200.0;
+  RandomWaypointModel model(50, p, 123);
+  for (int step = 0; step < 200; ++step) {
+    model.step(1.0);
+    for (const auto& pos : model.positions()) {
+      EXPECT_LE(pos.norm(), p.field_radius_m + 1e-6);
+    }
+  }
+}
+
+TEST(Mobility, DeterministicUnderSeed) {
+  const MobilityParams p;
+  RandomWaypointModel a(10, p, 77);
+  RandomWaypointModel b(10, p, 77);
+  for (int step = 0; step < 50; ++step) {
+    a.step(1.0);
+    b.step(1.0);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.positions()[i].x, b.positions()[i].x);
+    EXPECT_DOUBLE_EQ(a.positions()[i].y, b.positions()[i].y);
+  }
+}
+
+TEST(Mobility, MeanSpeedWithinConfiguredBand) {
+  MobilityParams p;
+  p.speed_min_mps = 2.0;
+  p.speed_max_mps = 6.0;
+  p.pause_max_s = 0.0;  // no pauses: travel speed in [2, 6]
+  RandomWaypointModel model(40, p, 5);
+  for (int step = 0; step < 500; ++step) model.step(1.0);
+  EXPECT_GT(model.mean_speed(), p.speed_min_mps * 0.8);
+  EXPECT_LT(model.mean_speed(), p.speed_max_mps);
+}
+
+TEST(Mobility, PausesReduceMeanSpeed) {
+  MobilityParams moving;
+  moving.pause_max_s = 0.0;
+  MobilityParams pausing = moving;
+  pausing.pause_max_s = 30.0;
+  RandomWaypointModel a(30, moving, 9);
+  RandomWaypointModel b(30, pausing, 9);
+  for (int step = 0; step < 400; ++step) {
+    a.step(1.0);
+    b.step(1.0);
+  }
+  EXPECT_GT(a.mean_speed(), b.mean_speed());
+}
+
+TEST(Mobility, InvalidParametersThrow) {
+  MobilityParams bad;
+  bad.field_radius_m = -1;
+  EXPECT_THROW(RandomWaypointModel(5, bad, 1), std::invalid_argument);
+  MobilityParams bad2;
+  bad2.speed_min_mps = 5.0;
+  bad2.speed_max_mps = 1.0;
+  EXPECT_THROW(RandomWaypointModel(5, bad2, 1), std::invalid_argument);
+  RandomWaypointModel ok(5, MobilityParams{}, 1);
+  EXPECT_THROW(ok.step(0.0), std::invalid_argument);
+}
+
+TEST(Topology, LineGraphComponentsAndHops) {
+  // Three nodes in a line, spaced 10 apart, range 12: a path graph.
+  const std::vector<Vec2> pos{{0, 0}, {10, 0}, {20, 0}};
+  const ConnectivityGraph g(pos, 12.0);
+  EXPECT_EQ(g.num_components(), 1u);
+  const auto d = g.hop_distances(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+}
+
+TEST(Topology, DisconnectedComponentsAreLabelled) {
+  const std::vector<Vec2> pos{{0, 0}, {5, 0}, {100, 0}, {105, 0}};
+  const ConnectivityGraph g(pos, 10.0);
+  EXPECT_EQ(g.num_components(), 2u);
+  const auto sizes = g.component_sizes();
+  EXPECT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], 4u);
+  const auto labels = g.component_labels();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  // Unreachable pairs report UINT32_MAX.
+  EXPECT_EQ(g.hop_distances(0)[2], UINT32_MAX);
+}
+
+TEST(Topology, CompleteGraphStats) {
+  const std::vector<Vec2> pos{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  const ConnectivityGraph g(pos, 10.0);
+  const auto st = g.stats();
+  EXPECT_EQ(st.num_components, 1u);
+  EXPECT_EQ(st.largest_component, 4u);
+  EXPECT_DOUBLE_EQ(st.mean_degree, 3.0);
+  EXPECT_DOUBLE_EQ(st.mean_hops, 1.0);
+  EXPECT_DOUBLE_EQ(st.connectivity, 1.0);
+}
+
+TEST(Topology, ZeroRangeIsFullyDisconnected) {
+  const std::vector<Vec2> pos{{0, 0}, {1, 0}, {2, 0}};
+  const ConnectivityGraph g(pos, 0.5);
+  EXPECT_EQ(g.num_components(), 3u);
+  const auto st = g.stats();
+  EXPECT_DOUBLE_EQ(st.mean_degree, 0.0);
+  EXPECT_DOUBLE_EQ(st.connectivity, 0.0);
+}
+
+TEST(PartitionEstimator, OccupancySumsToOneAndRatesNonNegative) {
+  MobilityParams mob;
+  mob.field_radius_m = 300.0;
+  PartitionSimOptions opts;
+  opts.sim_time_s = 200.0;
+  opts.radio_range_m = 120.0;
+  const auto est = estimate_partition_rates(30, mob, opts);
+
+  double occ = 0.0;
+  for (double o : est.occupancy) occ += o;
+  EXPECT_NEAR(occ, 1.0, 1e-9);
+  for (double r : est.partition_rate) EXPECT_GE(r, 0.0);
+  for (double r : est.merge_rate) EXPECT_GE(r, 0.0);
+  EXPECT_GE(est.mean_hops, 0.0);
+  EXPECT_GT(est.mean_degree, 0.0);
+}
+
+TEST(PartitionEstimator, HugeRangeNeverPartitions) {
+  MobilityParams mob;
+  mob.field_radius_m = 100.0;
+  PartitionSimOptions opts;
+  opts.sim_time_s = 100.0;
+  opts.radio_range_m = 1000.0;  // everyone hears everyone
+  const auto est = estimate_partition_rates(20, mob, opts);
+  EXPECT_EQ(est.max_groups_seen, 1u);
+  EXPECT_DOUBLE_EQ(est.partition_rate_at(1), 0.0);
+  EXPECT_NEAR(est.occupancy[1], 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(est.mean_hops, 1.0);
+}
+
+TEST(PartitionEstimator, RateLookupsClampOutOfRange) {
+  PartitionEstimate est;
+  est.partition_rate = {0.0, 0.5};
+  est.merge_rate = {0.0, 0.0, 0.25};
+  EXPECT_DOUBLE_EQ(est.partition_rate_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(est.partition_rate_at(1), 0.5);
+  EXPECT_DOUBLE_EQ(est.partition_rate_at(99), 0.0);
+  EXPECT_DOUBLE_EQ(est.merge_rate_at(1), 0.0);  // can't merge below 1
+  EXPECT_DOUBLE_EQ(est.merge_rate_at(2), 0.25);
+}
+
+TEST(PartitionEstimator, DeterministicUnderSeed) {
+  MobilityParams mob;
+  PartitionSimOptions opts;
+  opts.sim_time_s = 50.0;
+  opts.seed = 42;
+  const auto a = estimate_partition_rates(15, mob, opts);
+  const auto b = estimate_partition_rates(15, mob, opts);
+  EXPECT_DOUBLE_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.max_groups_seen, b.max_groups_seen);
+}
+
+}  // namespace

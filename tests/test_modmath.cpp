@@ -1,0 +1,82 @@
+#include "crypto/modmath.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::crypto;
+
+TEST(ModMath, MulModMatchesSmallCases) {
+  EXPECT_EQ(mul_mod(7, 8, 5), 1u);
+  EXPECT_EQ(mul_mod(0, 123, 7), 0u);
+  EXPECT_EQ(mul_mod(6, 6, 36), 0u);
+}
+
+TEST(ModMath, MulModNoOverflowNearMax) {
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFC5ull;  // largest 64-bit prime
+  // (big-1)² mod big = 1 (since big-1 ≡ -1).
+  EXPECT_EQ(mul_mod(big - 1, big - 1, big), 1u);
+}
+
+TEST(ModMath, PowModKnownValues) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(3, 0, 17), 1u);
+  EXPECT_EQ(pow_mod(5, 3, 13), 8u);
+  EXPECT_EQ(pow_mod(12345, 1, 99991), 12345u % 99991u);
+  EXPECT_EQ(pow_mod(7, 100, 1), 0u);
+}
+
+TEST(ModMath, FermatLittleTheoremHolds) {
+  const std::uint64_t p = 1000000007ull;
+  for (std::uint64_t a : {2ull, 3ull, 999999999ull}) {
+    EXPECT_EQ(pow_mod(a, p - 1, p), 1u) << "a=" << a;
+  }
+}
+
+TEST(ModMath, PrimalityKnownPrimes) {
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 97ull, 7919ull, 1000000007ull,
+                          0xFFFFFFFFFFFFFFC5ull}) {
+    EXPECT_TRUE(is_prime(p)) << p;
+  }
+}
+
+TEST(ModMath, PrimalityKnownComposites) {
+  // Includes Carmichael numbers, which defeat plain Fermat tests.
+  for (std::uint64_t n : {0ull, 1ull, 4ull, 561ull, 1105ull, 41041ull,
+                          825265ull, 1000000008ull}) {
+    EXPECT_FALSE(is_prime(n)) << n;
+  }
+}
+
+TEST(ModMath, NextSafePrimeSmall) {
+  // 7 is safe (3 prime); the next safe primes are 11, 23, 47, 59, ...
+  EXPECT_EQ(next_safe_prime(6), 7u);
+  EXPECT_EQ(next_safe_prime(8), 11u);
+  EXPECT_EQ(next_safe_prime(12), 23u);
+  EXPECT_EQ(next_safe_prime(48), 59u);
+}
+
+TEST(ModMath, DemoGroupIsConsistent) {
+  const auto grp = DhGroup::demo_group();
+  EXPECT_TRUE(is_prime(grp.p));
+  EXPECT_TRUE(is_prime(grp.q));
+  EXPECT_EQ(grp.p, 2 * grp.q + 1);
+  EXPECT_TRUE(grp.is_subgroup_generator(grp.g));
+}
+
+TEST(ModMath, SeededGroupIsConsistent) {
+  const auto grp = DhGroup::from_seed(0xc0ffee);
+  EXPECT_TRUE(is_prime(grp.p));
+  EXPECT_TRUE(is_prime(grp.q));
+  EXPECT_EQ(grp.p, 2 * grp.q + 1);
+  EXPECT_TRUE(grp.is_subgroup_generator(grp.g));
+}
+
+TEST(ModMath, NonGeneratorRejected) {
+  const auto grp = DhGroup::demo_group();
+  EXPECT_FALSE(grp.is_subgroup_generator(1));
+  // p−1 has order 2, not q.
+  EXPECT_FALSE(grp.is_subgroup_generator(grp.p - 1));
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas;
+using core::Params;
+
+Params small_params() {
+  Params p = Params::paper_defaults();
+  p.n_init = 20;
+  p.max_groups = 1;
+  return p;
+}
+
+TEST(Optimizer, PaperGridMatchesFigureAxis) {
+  const auto grid = core::paper_t_ids_grid();
+  ASSERT_EQ(grid.size(), 9u);
+  EXPECT_DOUBLE_EQ(grid.front(), 5.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1200.0);
+}
+
+TEST(Optimizer, SweepEvaluatesEveryPoint) {
+  const std::vector<double> grid{30, 120, 480};
+  const auto sweep = core::sweep_t_ids(small_params(), grid);
+  ASSERT_EQ(sweep.points.size(), 3u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep.points[i].t_ids, grid[i]);
+    EXPECT_GT(sweep.points[i].eval.mttsf, 0.0);
+  }
+}
+
+TEST(Optimizer, ArgmaxAndArgminAreConsistent) {
+  const std::vector<double> grid{15, 60, 240, 1200};
+  const auto sweep = core::sweep_t_ids(small_params(), grid);
+  const auto& best = sweep.best_mttsf();
+  for (const auto& pt : sweep.points) {
+    EXPECT_LE(pt.eval.mttsf, best.eval.mttsf);
+  }
+  const auto& cheapest = sweep.best_ctotal();
+  for (const auto& pt : sweep.points) {
+    EXPECT_GE(pt.eval.ctotal, cheapest.eval.ctotal);
+  }
+}
+
+TEST(Optimizer, EmptySweepThrows) {
+  core::SweepResult empty;
+  EXPECT_THROW((void)empty.argmax_mttsf(), std::logic_error);
+}
+
+TEST(Optimizer, MttsfIsUnimodalOnTheDefaultModel) {
+  // The paper's central observation: MTTSF rises to an optimum then
+  // falls.  Verify single-peak structure on a dense grid.
+  const std::vector<double> grid{5, 15, 30, 60, 120, 240, 480, 1200};
+  const auto sweep = core::sweep_t_ids(small_params(), grid);
+  const auto peak = sweep.argmax_mttsf();
+  for (std::size_t i = 0; i + 1 < sweep.points.size(); ++i) {
+    if (i < peak) {
+      EXPECT_LT(sweep.points[i].eval.mttsf, sweep.points[i + 1].eval.mttsf)
+          << "rising flank at " << grid[i];
+    } else {
+      EXPECT_GT(sweep.points[i].eval.mttsf, sweep.points[i + 1].eval.mttsf)
+          << "falling flank at " << grid[i];
+    }
+  }
+}
+
+TEST(Optimizer, UnconstrainedPolicyPicksTheGlobalMttsfMax) {
+  const std::vector<double> grid{30, 120, 480};
+  const auto choice = core::optimize_policy(small_params(), grid);
+  EXPECT_TRUE(choice.feasible);
+  // Must beat or match every (shape, TIDS) combination.
+  for (const auto shape : {ids::Shape::Logarithmic, ids::Shape::Linear,
+                           ids::Shape::Polynomial}) {
+    Params p = small_params();
+    p.detection_shape = shape;
+    const auto sweep = core::sweep_t_ids(p, grid);
+    for (const auto& pt : sweep.points) {
+      EXPECT_GE(choice.eval.mttsf, pt.eval.mttsf - 1e-6);
+    }
+  }
+}
+
+TEST(Optimizer, CostBudgetConstrainsTheChoice) {
+  const std::vector<double> grid{30, 120, 480};
+  const auto unconstrained = core::optimize_policy(small_params(), grid);
+  // A budget tighter than the unconstrained optimum's cost must divert
+  // the choice to a cheaper point (or report infeasible).
+  const double budget = unconstrained.eval.ctotal * 0.999;
+  const auto constrained =
+      core::optimize_policy(small_params(), grid, budget);
+  if (constrained.feasible) {
+    EXPECT_LE(constrained.eval.ctotal, budget);
+    EXPECT_LE(constrained.eval.mttsf, unconstrained.eval.mttsf + 1e-6);
+  }
+}
+
+TEST(Optimizer, ImpossibleBudgetReportsInfeasible) {
+  const std::vector<double> grid{60, 240};
+  const auto choice = core::optimize_policy(small_params(), grid, 1.0);
+  EXPECT_FALSE(choice.feasible);
+  EXPECT_GT(choice.eval.ctotal, 1.0);  // the min-cost fallback
+}
+
+}  // namespace

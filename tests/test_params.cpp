@@ -1,0 +1,75 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas;
+using core::Params;
+
+TEST(Params, PaperDefaultsMatchSectionFive) {
+  const auto p = Params::paper_defaults();
+  EXPECT_EQ(p.n_init, 100);
+  EXPECT_DOUBLE_EQ(p.lambda_join, 1.0 / 3600.0);   // 1 per hour
+  EXPECT_DOUBLE_EQ(p.mu_leave, 1.0 / 14400.0);     // 1 per 4 hours
+  EXPECT_DOUBLE_EQ(p.lambda_q, 1.0 / 60.0);        // 1 per minute
+  EXPECT_DOUBLE_EQ(p.lambda_c, 1.0 / 43200.0);     // 1 per 12 hours
+  EXPECT_EQ(p.num_voters, 5);
+  EXPECT_DOUBLE_EQ(p.p1, 0.01);
+  EXPECT_DOUBLE_EQ(p.p2, 0.01);
+  EXPECT_DOUBLE_EQ(p.p_index, 3.0);
+  EXPECT_DOUBLE_EQ(p.cost.bandwidth_bps, 1e6);     // 1 Mbps
+  EXPECT_EQ(p.attacker_shape, ids::Shape::Linear);
+  EXPECT_EQ(p.detection_shape, ids::Shape::Linear);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Params, ValidationCatchesEachBadField) {
+  auto check_throws = [](auto mutate) {
+    Params p = Params::paper_defaults();
+    mutate(p);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  };
+  check_throws([](Params& p) { p.n_init = 1; });
+  check_throws([](Params& p) { p.lambda_q = -1.0; });
+  check_throws([](Params& p) { p.t_ids = 0.0; });
+  check_throws([](Params& p) { p.num_voters = 0; });
+  check_throws([](Params& p) { p.p1 = 1.5; });
+  check_throws([](Params& p) { p.p2 = -0.1; });
+  check_throws([](Params& p) { p.byzantine_fraction = 0.0; });
+  check_throws([](Params& p) { p.byzantine_fraction = 1.0; });
+  check_throws([](Params& p) { p.p_index = 1.0; });
+  check_throws([](Params& p) { p.max_groups = 0; });
+  check_throws([](Params& p) {
+    p.max_groups = 5;
+    p.partition_rates = {0.0, 1.0};  // too short for 5 groups
+  });
+}
+
+TEST(Params, MobilityEstimateImportPopulatesRateTables) {
+  manet::PartitionEstimate est;
+  est.max_groups_seen = 2;
+  est.partition_rate = {0.0, 3e-3, 0.0};
+  est.merge_rate = {0.0, 0.0, 2e-2};
+  est.mean_hops = 4.5;
+  est.mean_degree = 6.0;
+
+  Params p = Params::paper_defaults();
+  p.apply_mobility_estimate(est);
+  EXPECT_EQ(p.max_groups, 2);
+  EXPECT_DOUBLE_EQ(p.partition_rates[1], 3e-3);
+  EXPECT_DOUBLE_EQ(p.merge_rates[2], 2e-2);
+  EXPECT_DOUBLE_EQ(p.cost.mean_hops, 4.5);
+  EXPECT_DOUBLE_EQ(p.cost.rekey.mean_hops, 4.5);  // synced through
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Params, SingleGroupSkipsRateTableValidation) {
+  Params p = Params::paper_defaults();
+  p.max_groups = 1;
+  p.partition_rates.clear();
+  p.merge_rates.clear();
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace

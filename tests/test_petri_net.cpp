@@ -1,0 +1,162 @@
+#include "spn/petri_net.h"
+
+#include <gtest/gtest.h>
+
+#include "spn/marking.h"
+
+namespace {
+
+using namespace midas::spn;
+
+TEST(Marking, EqualityAndHash) {
+  Marking a(3);
+  a[0] = 1;
+  a[2] = 5;
+  Marking b(3);
+  b[0] = 1;
+  b[2] = 5;
+  Marking c(3);
+  c[0] = 2;
+
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.total_tokens(), 6);
+  EXPECT_EQ(a.to_string(), "(1, 0, 5)");
+}
+
+TEST(PetriNet, InitialMarkingReflectsPlaces) {
+  PetriNet net;
+  const auto p0 = net.add_place("A", 3);
+  const auto p1 = net.add_place("B");
+  const auto m = net.initial_marking();
+  EXPECT_EQ(m[p0], 3);
+  EXPECT_EQ(m[p1], 0);
+  EXPECT_EQ(net.num_places(), 2u);
+  EXPECT_EQ(net.place_name(p0), "A");
+}
+
+TEST(PetriNet, NegativeInitialMarkingThrows) {
+  PetriNet net;
+  EXPECT_THROW(net.add_place("bad", -1), std::invalid_argument);
+}
+
+TEST(PetriNet, TransitionRequiresRate) {
+  PetriNet net;
+  net.add_place("A", 1);
+  Transition t;
+  t.name = "no_rate";
+  EXPECT_THROW(net.add_transition(std::move(t)), std::invalid_argument);
+}
+
+TEST(PetriNet, TransitionValidatesArcs) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  EXPECT_THROW(net.transition("t").input(99).rate(1.0).add(),
+               std::out_of_range);
+  EXPECT_THROW(net.transition("t").input(a, 0).rate(1.0).add(),
+               std::invalid_argument);
+}
+
+TEST(PetriNet, EnablingRequiresTokens) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto b = net.add_place("B", 0);
+  const auto t = net.transition("move").input(a).output(b).rate(2.0).add();
+
+  auto m = net.initial_marking();
+  EXPECT_TRUE(net.enabled(t, m));
+  EXPECT_DOUBLE_EQ(net.rate(t, m), 2.0);
+
+  const auto next = net.fire(t, m);
+  EXPECT_EQ(next[a], 0);
+  EXPECT_EQ(next[b], 1);
+  EXPECT_FALSE(net.enabled(t, next));
+}
+
+TEST(PetriNet, ArcWeightsConsumeAndProduceMultipleTokens) {
+  PetriNet net;
+  const auto a = net.add_place("A", 5);
+  const auto b = net.add_place("B", 0);
+  const auto t =
+      net.transition("batch").input(a, 3).output(b, 2).rate(1.0).add();
+
+  const auto m = net.initial_marking();
+  ASSERT_TRUE(net.enabled(t, m));
+  const auto next = net.fire(t, m);
+  EXPECT_EQ(next[a], 2);
+  EXPECT_EQ(next[b], 2);
+  EXPECT_FALSE(net.enabled(t, next));  // only 2 tokens left, needs 3
+}
+
+TEST(PetriNet, InhibitorArcDisablesTransition) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto block = net.add_place("Block", 0);
+  const auto t =
+      net.transition("guarded").input(a).inhibitor(block).rate(1.0).add();
+
+  auto m = net.initial_marking();
+  EXPECT_TRUE(net.enabled(t, m));
+  m[block] = 1;
+  EXPECT_FALSE(net.enabled(t, m));
+}
+
+TEST(PetriNet, GuardFunctionsAreHonored) {
+  PetriNet net;
+  const auto a = net.add_place("A", 2);
+  const auto t = net.transition("conditional")
+                     .input(a)
+                     .rate(1.0)
+                     .guard([a](const Marking& m) { return m[a] >= 2; })
+                     .add();
+  auto m = net.initial_marking();
+  EXPECT_TRUE(net.enabled(t, m));
+  m[a] = 1;
+  EXPECT_FALSE(net.enabled(t, m));
+}
+
+TEST(PetriNet, MarkingDependentRate) {
+  PetriNet net;
+  const auto a = net.add_place("A", 4);
+  const auto t = net.transition("scaled")
+                     .input(a)
+                     .rate([a](const Marking& m) { return 0.5 * m[a]; })
+                     .add();
+  EXPECT_DOUBLE_EQ(net.rate(t, net.initial_marking()), 2.0);
+}
+
+TEST(PetriNet, NegativeRateIsClampedToDisabled) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto t = net.transition("neg")
+                     .input(a)
+                     .rate([](const Marking&) { return -3.0; })
+                     .add();
+  EXPECT_DOUBLE_EQ(net.rate(t, net.initial_marking()), 0.0);
+}
+
+TEST(PetriNet, ImpulseDefaultsToZero) {
+  PetriNet net;
+  const auto a = net.add_place("A", 1);
+  const auto t = net.transition("t").input(a).rate(1.0).add();
+  const auto u = net.transition("u")
+                     .input(a)
+                     .rate(1.0)
+                     .impulse([](const Marking&) { return 7.5; })
+                     .add();
+  EXPECT_DOUBLE_EQ(net.impulse(t, net.initial_marking()), 0.0);
+  EXPECT_DOUBLE_EQ(net.impulse(u, net.initial_marking()), 7.5);
+}
+
+TEST(PetriNet, FindByName) {
+  PetriNet net;
+  net.add_place("Tm", 1);
+  net.transition("T_CP").input(0).rate(1.0).add();
+  EXPECT_TRUE(net.find_place("Tm").has_value());
+  EXPECT_FALSE(net.find_place("nope").has_value());
+  EXPECT_TRUE(net.find_transition("T_CP").has_value());
+  EXPECT_FALSE(net.find_transition("T_XX").has_value());
+}
+
+}  // namespace

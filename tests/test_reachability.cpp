@@ -1,0 +1,119 @@
+#include "spn/reachability.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::spn;
+
+/// K-token death chain: tokens drain from A one at a time.
+PetriNet death_chain(std::int32_t k, double rate = 1.0) {
+  PetriNet net;
+  const auto a = net.add_place("A", k);
+  net.transition("die").input(a).rate(rate).add();
+  return net;
+}
+
+TEST(Reachability, DeathChainHasLinearStateSpace) {
+  const auto net = death_chain(5);
+  const auto g = explore(net);
+  EXPECT_EQ(g.num_states(), 6u);  // markings 5,4,3,2,1,0
+  EXPECT_EQ(g.edges.size(), 5u);
+  const auto absorbing = g.absorbing_mask();
+  std::size_t absorbing_count = 0;
+  for (char a : absorbing) absorbing_count += a;
+  EXPECT_EQ(absorbing_count, 1u);  // only the empty marking
+}
+
+TEST(Reachability, BirthDeathChainIsIrreducible) {
+  // M/M/1/K queue skeleton: arrivals until K, services down to 0.
+  PetriNet net;
+  const auto q = net.add_place("Q", 0);
+  const std::int32_t cap = 4;
+  net.transition("arrive")
+      .output(q)
+      .rate(2.0)
+      .guard([q, cap](const Marking& m) { return m[q] < cap; })
+      .add();
+  net.transition("serve").input(q).rate(3.0).add();
+
+  const auto g = explore(net);
+  EXPECT_EQ(g.num_states(), 5u);  // 0..4
+  const auto absorbing = g.absorbing_mask();
+  for (char a : absorbing) EXPECT_FALSE(a);
+}
+
+TEST(Reachability, MaxStatesLimitThrows) {
+  // Unbounded birth process.
+  PetriNet net;
+  const auto p = net.add_place("P", 0);
+  net.transition("grow").output(p).rate(1.0).add();
+  ExploreOptions opts;
+  opts.max_states = 100;
+  EXPECT_THROW((void)explore(net, opts), std::runtime_error);
+}
+
+TEST(Reachability, PureSelfLoopStateIsRejected) {
+  // A transition that never changes the marking → MTTA diverges.
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("spin").input(p).output(p).rate(1.0).add();
+  EXPECT_THROW((void)explore(net), std::runtime_error);
+}
+
+TEST(Reachability, SelfLoopAlongsideProgressIsKept) {
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("spin").input(p).output(p).rate(2.0).add();
+  net.transition("exit").input(p).rate(1.0).add();
+  const auto g = explore(net);
+  EXPECT_EQ(g.num_states(), 2u);
+  // Two edges: the self-loop and the exit.
+  EXPECT_EQ(g.edges.size(), 2u);
+  bool saw_self_loop = false;
+  for (const auto& e : g.edges) {
+    if (e.src == e.dst) saw_self_loop = true;
+  }
+  EXPECT_TRUE(saw_self_loop);
+}
+
+TEST(Reachability, ZeroRateTransitionsProduceNoEdges) {
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("never")
+      .input(p)
+      .rate([](const Marking&) { return 0.0; })
+      .add();
+  net.transition("exit").input(p).rate(1.0).add();
+  const auto g = explore(net);
+  EXPECT_EQ(g.edges.size(), 1u);
+}
+
+TEST(Reachability, GuardsPruneTheStateSpace) {
+  PetriNet net;
+  const auto p = net.add_place("P", 10);
+  net.transition("drain")
+      .input(p)
+      .rate(1.0)
+      .guard([p](const Marking& m) { return m[p] > 7; })  // stop at 7
+      .add();
+  const auto g = explore(net);
+  EXPECT_EQ(g.num_states(), 4u);  // 10, 9, 8, 7
+}
+
+TEST(Reachability, ImpulseRecordedOnEdges) {
+  PetriNet net;
+  const auto p = net.add_place("P", 2);
+  net.transition("drain")
+      .input(p)
+      .rate(1.0)
+      .impulse([p](const Marking& m) { return 10.0 * m[p]; })
+      .add();
+  const auto g = explore(net);
+  ASSERT_EQ(g.edges.size(), 2u);
+  double total_impulse = 0.0;
+  for (const auto& e : g.edges) total_impulse += e.impulse;
+  EXPECT_DOUBLE_EQ(total_impulse, 10.0 * 2 + 10.0 * 1);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Backward-equation survival integrator: validated against closed forms
+// and against uniformisation (two completely different numerical paths
+// to the same quantity).
+#include "spn/reliability_ode.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spn/transient.h"
+
+namespace {
+
+using namespace midas::spn;
+
+TEST(ReliabilityOde, TwoStateExponentialSurvival) {
+  const double lambda = 0.35;
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("fail").input(p).rate(lambda).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  const std::vector<double> times{0.0, 0.5, 1.0, 3.0, 10.0};
+  const auto r = ode.survival_at(times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(r[i], std::exp(-lambda * times[i]), 2e-4)
+        << "t=" << times[i];
+  }
+}
+
+TEST(ReliabilityOde, ErlangSurvivalMatchesClosedForm) {
+  const int k = 4;
+  const double lambda = 2.0;
+  PetriNet net;
+  const auto p = net.add_place("Stages", k);
+  net.transition("stage").input(p).rate(lambda).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  const std::vector<double> times{0.1, 0.5, 1.0, 2.0, 4.0};
+  const auto r = ode.survival_at(times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    // Erlang(k, λ) survival = Σ_{j<k} e^{-λt}(λt)^j / j!.
+    double surv = 0.0;
+    double term = 1.0;
+    for (int j = 0; j < k; ++j) {
+      if (j > 0) term *= lambda * times[i] / j;
+      surv += std::exp(-lambda * times[i]) * term;
+    }
+    EXPECT_NEAR(r[i], surv, 3e-4) << "t=" << times[i];
+  }
+}
+
+TEST(ReliabilityOde, AgreesWithUniformisation) {
+  // Death chain with state-dependent rates: no simple closed form, so
+  // cross-check the two independent transient solvers.
+  PetriNet net;
+  const auto a = net.add_place("A", 6);
+  net.transition("die")
+      .input(a)
+      .rate([a](const Marking& m) { return 0.4 * m[a]; })
+      .add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+  const TransientAnalyzer uni(g);
+
+  const std::vector<double> times{0.2, 1.0, 2.5, 6.0};
+  const auto r = ode.survival_at(times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(r[i], 1.0 - uni.absorbed_probability_at(times[i]), 5e-4)
+        << "t=" << times[i];
+  }
+}
+
+TEST(ReliabilityOde, StiffSystemStaysStableAndMonotone) {
+  // Rates spanning 6 orders of magnitude: uniformisation would need
+  // ~1e7 iterations for the final time point; the implicit integrator
+  // must stay monotone in [0, 1].
+  PetriNet net;
+  const auto fast = net.add_place("Fast", 1);
+  const auto slow = net.add_place("Slow", 0);
+  net.transition("relax").input(fast).output(slow).rate(1e4).add();
+  net.transition("fail").input(slow).rate(1e-2).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  const std::vector<double> times{1e-4, 1e-2, 1.0, 50.0, 500.0};
+  const auto r = ode.survival_at(times);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_GE(r[i], 0.0);
+    EXPECT_LE(r[i], 1.0);
+    if (i > 0) EXPECT_LE(r[i], r[i - 1] + 1e-12);
+  }
+  // Survival at 500 s ≈ exp(-0.01·500) once the fast mode has relaxed.
+  EXPECT_NEAR(r.back(), std::exp(-5.0), 5e-3);
+}
+
+TEST(ReliabilityOde, BackwardEulerOptionIsMoreDamped) {
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("fail").input(p).rate(1.0).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  ReliabilityOdeOptions be;
+  be.theta = 1.0;
+  const std::vector<double> times{1.0};
+  const auto r_cn = ode.survival_at(times);
+  const auto r_be = ode.survival_at(times, be);
+  // Both approximate e^{-1}; CN should be closer.
+  EXPECT_NEAR(r_cn[0], std::exp(-1.0), 1e-4);
+  EXPECT_NEAR(r_be[0], std::exp(-1.0), 1e-2);
+  EXPECT_LE(std::abs(r_cn[0] - std::exp(-1.0)),
+            std::abs(r_be[0] - std::exp(-1.0)));
+}
+
+TEST(ReliabilityOde, InputValidation) {
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("fail").input(p).rate(1.0).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  const std::vector<double> bad{2.0, 1.0};
+  EXPECT_THROW((void)ode.survival_at(bad), std::invalid_argument);
+  const std::vector<double> neg{-1.0};
+  EXPECT_THROW((void)ode.survival_at(neg), std::invalid_argument);
+  ReliabilityOdeOptions opts;
+  opts.theta = 0.3;
+  const std::vector<double> ok{1.0};
+  EXPECT_THROW((void)ode.survival_at(ok, opts), std::invalid_argument);
+}
+
+TEST(ReliabilityOde, EmptyTimesAndZeroHorizon) {
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("fail").input(p).rate(1.0).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+  EXPECT_TRUE(ode.survival_at({}).empty());
+  const std::vector<double> zero{0.0};
+  EXPECT_DOUBLE_EQ(ode.survival_at(zero)[0], 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "spn/scc.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::spn;
+
+SccResult run(const std::vector<std::vector<std::uint32_t>>& adj) {
+  std::vector<std::uint32_t> offsets{0};
+  std::vector<std::uint32_t> targets;
+  for (const auto& row : adj) {
+    for (auto t : row) targets.push_back(t);
+    offsets.push_back(static_cast<std::uint32_t>(targets.size()));
+  }
+  return strongly_connected_components(offsets, targets);
+}
+
+TEST(Scc, SingletonsOnADag) {
+  // 0 → 1 → 2, 0 → 2: three singleton components.
+  const auto res = run({{1, 2}, {2}, {}});
+  EXPECT_EQ(res.num_components, 3u);
+  EXPECT_NE(res.component[0], res.component[1]);
+  EXPECT_NE(res.component[1], res.component[2]);
+}
+
+TEST(Scc, TopologicalOrderIsDecreasingIds) {
+  // Source components must carry HIGHER ids than their successors.
+  const auto res = run({{1}, {2}, {}});
+  EXPECT_GT(res.component[0], res.component[1]);
+  EXPECT_GT(res.component[1], res.component[2]);
+}
+
+TEST(Scc, SimpleCycleIsOneComponent) {
+  const auto res = run({{1}, {2}, {0}});
+  EXPECT_EQ(res.num_components, 1u);
+  EXPECT_EQ(res.component[0], res.component[1]);
+  EXPECT_EQ(res.component[1], res.component[2]);
+}
+
+TEST(Scc, TwoCyclesConnectedByABridge) {
+  // {0,1} cycle → bridge 2 → {3,4} cycle.
+  const auto res = run({{1}, {0, 2}, {3}, {4}, {3}});
+  EXPECT_EQ(res.num_components, 3u);
+  EXPECT_EQ(res.component[0], res.component[1]);
+  EXPECT_EQ(res.component[3], res.component[4]);
+  EXPECT_GT(res.component[0], res.component[2]);
+  EXPECT_GT(res.component[2], res.component[3]);
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  const auto res = run({{0, 1}, {}});
+  EXPECT_EQ(res.num_components, 2u);
+}
+
+TEST(Scc, DisconnectedGraph) {
+  const auto res = run({{}, {}, {}});
+  EXPECT_EQ(res.num_components, 3u);
+  const auto members = res.members();
+  std::size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Scc, DeepChainDoesNotOverflow) {
+  // 60k-node chain: the iterative Tarjan must not blow the stack.
+  const std::uint32_t n = 60000;
+  std::vector<std::uint32_t> offsets(n + 1);
+  std::vector<std::uint32_t> targets;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    offsets[i] = static_cast<std::uint32_t>(targets.size());
+    if (i + 1 < n) targets.push_back(i + 1);
+  }
+  offsets[n] = static_cast<std::uint32_t>(targets.size());
+  const auto res = strongly_connected_components(offsets, targets);
+  EXPECT_EQ(res.num_components, n);
+}
+
+TEST(Scc, EmptyOffsetsThrow) {
+  EXPECT_THROW((void)strongly_connected_components({}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas;
+using core::Params;
+
+Params small_params() {
+  Params p = Params::paper_defaults();
+  p.n_init = 15;
+  p.max_groups = 1;
+  p.lambda_c = 1.0 / 4000.0;
+  return p;
+}
+
+TEST(Sensitivity, CoversTheContinuousParameters) {
+  const auto entries = core::sensitivity_analysis(small_params());
+  EXPECT_EQ(entries.size(), 7u);
+  for (const auto& e : entries) {
+    EXPECT_FALSE(e.parameter.empty());
+    EXPECT_GT(e.base_value, 0.0) << e.parameter;
+  }
+}
+
+TEST(Sensitivity, SignsMatchTheModelPhysics) {
+  const auto entries = core::sensitivity_analysis(small_params());
+  auto find = [&](const std::string& prefix) {
+    for (const auto& e : entries) {
+      if (e.parameter.rfind(prefix, 0) == 0) return e;
+    }
+    ADD_FAILURE() << "missing probe " << prefix;
+    return core::SensitivityEntry{};
+  };
+
+  // Faster compromises → shorter survival.
+  EXPECT_LT(find("lambda_c").mttsf_elasticity, 0.0);
+  // More data traffic → more leak chances → shorter survival, and more
+  // group-communication cost.
+  EXPECT_LT(find("lambda_q").mttsf_elasticity, 0.0);
+  EXPECT_GT(find("lambda_q").ctotal_elasticity, 0.0);
+  // Worse host false negatives → shorter survival.
+  EXPECT_LT(find("p1").mttsf_elasticity, 0.0);
+  // More join/leave churn → more rekey traffic.
+  EXPECT_GT(find("lambda (join rate)").ctotal_elasticity, 0.0);
+}
+
+TEST(Sensitivity, AttackRateDominatesChurnForSurvival) {
+  // |elasticity(λc)| must dwarf |elasticity(μ)| for MTTSF: the attack
+  // process drives failure, churn only drives cost.
+  const auto entries = core::sensitivity_analysis(small_params());
+  double e_attack = 0.0, e_leave = 0.0;
+  for (const auto& e : entries) {
+    if (e.parameter.rfind("lambda_c", 0) == 0) e_attack = e.mttsf_elasticity;
+    if (e.parameter.rfind("mu", 0) == 0) e_leave = e.mttsf_elasticity;
+  }
+  EXPECT_GT(std::abs(e_attack), 10.0 * std::abs(e_leave));
+}
+
+TEST(Sensitivity, BadStepRejected) {
+  core::SensitivityOptions opts;
+  opts.relative_step = 0.0;
+  EXPECT_THROW((void)core::sensitivity_analysis(small_params(), opts),
+               std::invalid_argument);
+  opts.relative_step = 1.5;
+  EXPECT_THROW((void)core::sensitivity_analysis(small_params(), opts),
+               std::invalid_argument);
+}
+
+}  // namespace

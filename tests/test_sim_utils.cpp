@@ -1,0 +1,107 @@
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/thread_pool.h"
+
+namespace {
+
+using namespace midas::sim;
+
+TEST(Rng, SplitMixIsDeterministicAndDispersive) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Derived seeds must differ across indices and base seeds.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {1ull, 2ull, 999ull}) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      seeds.insert(derive_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 300u);
+}
+
+TEST(Rng, StreamsReproduce) {
+  auto a = make_stream(7, 3);
+  auto b = make_stream(7, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 4);
+}
+
+TEST(ThreadPool, SingleThreadFallbackWorks) {
+  int count = 0;
+  parallel_for(5, [&](std::size_t) { ++count; }, 1);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(Stats, KnownSampleSummary) {
+  const std::vector<double> sample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(sample);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_GT(s.ci_half_width, 0.0);
+  EXPECT_TRUE(s.contains(5.0));
+}
+
+TEST(Stats, EmptyAndSingletonSamples) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const std::vector<double> one{3.0};
+  const auto s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.ci_half_width, 0.0);
+}
+
+TEST(Stats, TQuantilesDecreaseTowardNormal) {
+  EXPECT_NEAR(t_quantile_95(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_quantile_95(10), 2.228, 1e-9);
+  EXPECT_NEAR(t_quantile_95(30), 2.042, 1e-9);
+  EXPECT_NEAR(t_quantile_95(1000), 1.96, 1e-9);
+  double prev = t_quantile_95(1);
+  for (std::size_t df : {2u, 5u, 10u, 30u, 60u, 120u, 500u}) {
+    const double t = t_quantile_95(df);
+    EXPECT_LT(t, prev) << "df=" << df;
+    prev = t;
+  }
+}
+
+TEST(Stats, CiNarrowsWithSampleSize) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> normal(10.0, 2.0);
+  std::vector<double> small, large;
+  for (int i = 0; i < 20; ++i) small.push_back(normal(rng));
+  for (int i = 0; i < 2000; ++i) large.push_back(normal(rng));
+  EXPECT_LT(summarize(large).ci_half_width,
+            summarize(small).ci_half_width);
+  EXPECT_TRUE(summarize(large).contains(10.0));
+}
+
+}  // namespace

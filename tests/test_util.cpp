@@ -1,0 +1,117 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace midas::util;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Csv, WritesRowsAndQuotesSpecials) {
+  const std::string path = "/tmp/midas_test_csv.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b"});
+    csv.row({"plain", "with,comma"});
+    csv.row({"with\"quote", "with\nnewline"});
+  }
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("a,b\n"), std::string::npos);
+  EXPECT_NE(text.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"with\"\"quote\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, NumRoundTripsDoubles) {
+  EXPECT_EQ(std::stod(CsvWriter::num(0.125)), 0.125);
+  EXPECT_NEAR(std::stod(CsvWriter::num(1.9235e+06)), 1.9235e+06, 1e-3);
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(Table::sci(4521000.0), "4.521e+06");
+  EXPECT_EQ(Table::fix(3.14159, 2), "3.14");
+}
+
+TEST(Cli, ParsesBothFlagSyntaxes) {
+  Cli cli("prog", "test");
+  cli.flag("alpha", 1.5, "a double");
+  cli.flag("count", 7, "an int");
+  cli.flag("name", std::string("x"), "a string");
+
+  const char* argv[] = {"prog", "--alpha", "2.5", "--count=9",
+                        "--name", "hello"};
+  ASSERT_TRUE(cli.parse(6, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 2.5);
+  EXPECT_EQ(cli.get_int("count"), 9);
+  EXPECT_EQ(cli.get_string("name"), "hello");
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  Cli cli("prog", "test");
+  cli.flag("alpha", 1.5, "a double");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 1.5);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli("prog", "test");
+  cli.flag("alpha", 1.5, "a double");
+  const char* argv[] = {"prog", "--beta", "3"};
+  EXPECT_THROW((void)cli.parse(3, const_cast<char**>(argv)),
+               std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli("prog", "test");
+  cli.flag("alpha", 1.5, "a double");
+  const char* argv[] = {"prog", "--alpha"};
+  EXPECT_THROW((void)cli.parse(2, const_cast<char**>(argv)),
+               std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, WrongTypeAccessThrows) {
+  Cli cli("prog", "test");
+  cli.flag("alpha", 1.5, "a double");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_THROW((void)cli.get_int("alpha"), std::invalid_argument);
+}
+
+}  // namespace

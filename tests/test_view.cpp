@@ -1,0 +1,83 @@
+#include "gcs/view.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace midas::gcs;
+
+TEST(ViewManager, InitialViewHasIdZero) {
+  const ViewManager vm({1, 2, 3});
+  EXPECT_EQ(vm.current_view().id, 0u);
+  EXPECT_EQ(vm.size(), 3u);
+  EXPECT_TRUE(vm.contains(2));
+  EXPECT_EQ(vm.rekey_count(), 0u);
+}
+
+TEST(ViewManager, DuplicateInitialMemberThrows) {
+  EXPECT_THROW(ViewManager({1, 1}), std::invalid_argument);
+}
+
+TEST(ViewManager, EveryMembershipEventInstallsANewView) {
+  ViewManager vm({1, 2, 3});
+  vm.join(4);
+  EXPECT_EQ(vm.current_view().id, 1u);
+  vm.leave(1);
+  EXPECT_EQ(vm.current_view().id, 2u);
+  vm.evict(2);
+  EXPECT_EQ(vm.current_view().id, 3u);
+  EXPECT_EQ(vm.rekey_count(), 3u);
+  EXPECT_EQ(vm.size(), 2u);  // {3, 4}
+  EXPECT_TRUE(vm.contains(3));
+  EXPECT_TRUE(vm.contains(4));
+}
+
+TEST(ViewManager, HistoryIsOrderedAndTyped) {
+  ViewManager vm({1, 2, 3, 4, 5});
+  vm.join(6);
+  vm.evict(2);
+  (void)vm.partition({4, 5});
+  vm.merge({7, 8});
+
+  const auto& h = vm.history();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0].type, EventType::Join);
+  EXPECT_EQ(h[1].type, EventType::Evict);
+  EXPECT_EQ(h[2].type, EventType::Partition);
+  EXPECT_EQ(h[3].type, EventType::Merge);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(h[i].view_id, i + 1) << "view ids strictly monotonic";
+  }
+}
+
+TEST(ViewManager, PartitionRemovesExactlyTheSubjects) {
+  ViewManager vm({1, 2, 3, 4});
+  const auto moved = vm.partition({2, 4});
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(vm.size(), 2u);
+  EXPECT_TRUE(vm.contains(1));
+  EXPECT_TRUE(vm.contains(3));
+  EXPECT_FALSE(vm.contains(2));
+}
+
+TEST(ViewManager, CannotPartitionOutEveryone) {
+  ViewManager vm({1, 2});
+  EXPECT_THROW((void)vm.partition({1, 2}), std::invalid_argument);
+}
+
+TEST(ViewManager, MembershipErrorsThrow) {
+  ViewManager vm({1, 2});
+  EXPECT_THROW(vm.join(1), std::invalid_argument);
+  EXPECT_THROW(vm.leave(9), std::invalid_argument);
+  EXPECT_THROW(vm.evict(9), std::invalid_argument);
+  EXPECT_THROW((void)vm.partition({9}), std::invalid_argument);
+  EXPECT_THROW(vm.merge({2}), std::invalid_argument);
+}
+
+TEST(ViewManager, EventTypeNames) {
+  EXPECT_EQ(to_string(EventType::Join), "join");
+  EXPECT_EQ(to_string(EventType::Evict), "evict");
+  EXPECT_EQ(to_string(EventType::Partition), "partition");
+}
+
+}  // namespace
