@@ -19,6 +19,7 @@ int main() {
       "dominance of the matched pairs)");
 
   const auto grid = core::paper_t_ids_grid();
+  core::SweepEngine engine;  // all 9 attacker×detection sweeps, 1 structure
   const auto shapes = {ids::Shape::Logarithmic, ids::Shape::Linear,
                        ids::Shape::Polynomial};
 
@@ -36,7 +37,7 @@ int main() {
       p.attacker_progress = core::AttackerProgress::CampaignProgress;
       p.attacker_shape = attacker;
       p.detection_shape = detection;
-      const auto sweep = core::sweep_t_ids(p, grid);
+      const auto sweep = engine.sweep_t_ids(p, grid);
       const auto& opt = sweep.best_mttsf();
       row.push_back(util::Table::sci(opt.eval.mttsf) + " @" +
                     util::Table::fix(opt.t_ids, 0) + "s");
@@ -53,6 +54,7 @@ int main() {
     table.add_row(row);
   }
   table.print(std::cout);
-  std::printf("\ncsv written: abl_attacker_matrix.csv\n");
+  std::printf("\ncsv written: abl_attacker_matrix.csv\n\n");
+  bench::print_engine_stats(engine);
   return 0;
 }

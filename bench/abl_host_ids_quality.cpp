@@ -12,6 +12,7 @@ int main() {
       "up (less trigger-happy voting pays off)");
 
   const auto grid = core::paper_t_ids_grid();
+  core::SweepEngine engine;  // p1/p2 scale rates only: 1 structure
   util::Table table({"p1=p2", "optimal TIDS(s)", "MTTSF(s)",
                      "Ctotal(hop-bits/s)", "P[C1]"});
   util::CsvWriter csv("abl_host_ids_quality.csv");
@@ -21,7 +22,7 @@ int main() {
     core::Params p = core::Params::paper_defaults();
     p.p1 = perr;
     p.p2 = perr;
-    const auto sweep = core::sweep_t_ids(p, grid);
+    const auto sweep = engine.sweep_t_ids(p, grid);
     const auto& opt = sweep.best_mttsf();
     table.add_row({util::Table::fix(perr, 3), util::Table::fix(opt.t_ids, 0),
                    util::Table::sci(opt.eval.mttsf),
@@ -33,6 +34,7 @@ int main() {
              util::CsvWriter::num(opt.eval.p_failure_c1)});
   }
   table.print(std::cout);
-  std::printf("\ncsv written: abl_host_ids_quality.csv\n");
+  std::printf("\ncsv written: abl_host_ids_quality.csv\n\n");
+  bench::print_engine_stats(engine);
   return 0;
 }

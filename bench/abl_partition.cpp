@@ -51,9 +51,12 @@ int main() {
     multi.partition_rates[4] = 0.0;
   }
 
+  core::SweepEngine engine;  // 2 structures (group dynamics on/off)
   std::vector<bench::Series> series;
-  series.push_back({"single group", core::sweep_t_ids(single, grid)});
-  series.push_back({"measured partition/merge", core::sweep_t_ids(multi, grid)});
+  series.push_back({"single group", engine.sweep_t_ids(single, grid)});
+  series.push_back(
+      {"measured partition/merge", engine.sweep_t_ids(multi, grid)});
   bench::report(grid, series, bench::Metric::Mttsf, "abl_partition.csv");
+  bench::print_engine_stats(engine);
   return 0;
 }

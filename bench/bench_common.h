@@ -4,12 +4,16 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/optimizer.h"
+#include "core/sweep_engine.h"
 #include "util/csv.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace midas::bench {
@@ -69,5 +73,49 @@ inline void report(const std::vector<double>& grid,
   }
   std::printf("\ncsv written: %s\n\n", csv_path.c_str());
 }
+
+/// Wall-clock + throughput line for an engine-driven bench: how many
+/// points were evaluated, how many explorations they cost, and the
+/// states/s and points/s the run achieved.
+inline void print_engine_stats(const core::SweepEngine& engine) {
+  const auto& st = engine.stats();
+  if (st.seconds <= 0.0 || st.points == 0) return;
+  std::printf(
+      "sweep engine: %zu points / %zu exploration(s), %zu states "
+      "evaluated in %.3f s  (%.3e states/s, %.1f points/s)\n\n",
+      st.points, st.explorations, st.states_evaluated, st.seconds,
+      static_cast<double>(st.states_evaluated) / st.seconds,
+      static_cast<double>(st.points) / st.seconds);
+}
+
+/// Minimal ordered-field JSON emitter for BENCH_*.json perf artifacts.
+class BenchJson {
+ public:
+  void field(const std::string& name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    fields_.emplace_back(name, buf);
+  }
+  void field(const std::string& name, std::size_t value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+  void field(const std::string& name, const std::string& value) {
+    fields_.emplace_back(name, '"' + value + '"');
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
+          << (i + 1 < fields_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    std::printf("json written: %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace midas::bench

@@ -1,0 +1,131 @@
+// Sweep-engine wall-clock benchmark, run on the Figure 2 workload
+// (4 m-values × the 9-point paper TIDS grid = 36 points, one structural
+// configuration).  Measures, in the same process:
+//   * the naive per-point path — fresh exploration + one full-state
+//     reward pass per cost component (GcsSpnModel::evaluate_reference,
+//     the pre-engine code path), and
+//   * the engine path — explore once, re-rate a clone per point, fused
+//     single-pass rewards (core::SweepEngine),
+// checks the two agree to 1e-12 relative on every reported metric, and
+// writes BENCH_sweep.json so the perf trajectory is tracked PR-on-PR.
+//
+// `--smoke` shrinks the population for CI (seconds instead of minutes).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/gcs_spn_model.h"
+#include "core/optimizer.h"
+#include "core/sweep_engine.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace midas;
+
+double rel_diff(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+double max_eval_diff(const core::Evaluation& a, const core::Evaluation& b) {
+  double d = 0.0;
+  const auto acc = [&](double x, double y) { d = std::max(d, rel_diff(x, y)); };
+  acc(a.mttsf, b.mttsf);
+  acc(a.ctotal, b.ctotal);
+  acc(a.cost_rates.group_comm, b.cost_rates.group_comm);
+  acc(a.cost_rates.status, b.cost_rates.status);
+  acc(a.cost_rates.rekey, b.cost_rates.rekey);
+  acc(a.cost_rates.ids, b.cost_rates.ids);
+  acc(a.cost_rates.beacon, b.cost_rates.beacon);
+  acc(a.cost_rates.partition_merge, b.cost_rates.partition_merge);
+  acc(a.eviction_cost_rate, b.eviction_cost_rate);
+  acc(a.p_failure_c1, b.p_failure_c1);
+  acc(a.p_failure_c2, b.p_failure_c2);
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::print_header(
+      "Sweep engine: Figure 2 workload, naive vs batched",
+      "explore-once + single-pass rewards >= 5x over per-point "
+      "re-exploration, metrics equal to 1e-12");
+
+  const auto grid = core::paper_t_ids_grid();
+  const std::vector<int> m_values{3, 5, 7, 9};
+  std::vector<core::Params> points;
+  for (const int m : m_values) {
+    for (const double t : grid) {
+      core::Params p = core::Params::paper_defaults();
+      if (smoke) p.n_init = 20;
+      p.num_voters = m;
+      p.t_ids = t;
+      points.push_back(std::move(p));
+    }
+  }
+
+  // Naive per-point path: what every figure bench did before the engine.
+  std::vector<core::Evaluation> naive;
+  naive.reserve(points.size());
+  std::size_t naive_states = 0;
+  const util::Stopwatch naive_watch;
+  for (const auto& p : points) {
+    naive.push_back(core::GcsSpnModel(p).evaluate_reference());
+    naive_states += naive.back().num_states;
+  }
+  const double naive_seconds = naive_watch.seconds();
+
+  // Engine path (fresh engine: the exploration is paid inside the run).
+  core::SweepEngine engine;
+  const auto evals = engine.evaluate(points);
+  const double engine_seconds = engine.stats().seconds;
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    max_diff = std::max(max_diff, max_eval_diff(naive[i], evals[i]));
+  }
+
+  const double speedup = naive_seconds / engine_seconds;
+  std::printf("points:           %zu  (%zu m-values x %zu-point grid)\n",
+              points.size(), m_values.size(), grid.size());
+  std::printf("states per point: %zu\n", evals.front().num_states);
+  std::printf("naive path:       %.3f s  (%zu explorations)\n",
+              naive_seconds, points.size());
+  std::printf("engine path:      %.3f s  (%zu exploration(s))\n",
+              engine_seconds, engine.stats().explorations);
+  std::printf("speedup:          %.1fx\n", speedup);
+  std::printf("max rel diff:     %.3e  (%s 1e-12)\n", max_diff,
+              max_diff <= 1e-12 ? "<=" : "EXCEEDS");
+  bench::print_engine_stats(engine);
+
+  bench::BenchJson json;
+  json.field("bench", std::string("fig2_sweep"));
+  json.field("mode", std::string(smoke ? "smoke" : "full"));
+  json.field("points", points.size());
+  json.field("grid_size", grid.size());
+  json.field("naive_seconds", naive_seconds);
+  json.field("engine_seconds", engine_seconds);
+  json.field("speedup", speedup);
+  json.field("explorations", engine.stats().explorations);
+  json.field("states_evaluated", engine.stats().states_evaluated);
+  json.field("states_per_second",
+             static_cast<double>(engine.stats().states_evaluated) /
+                 engine_seconds);
+  json.field("points_per_second",
+             static_cast<double>(points.size()) / engine_seconds);
+  json.field("max_rel_diff", max_diff);
+  json.write("BENCH_sweep.json");
+
+  // Non-zero exit on disagreement so CI catches a broken re-rate path.
+  return max_diff <= 1e-12 ? 0 : 1;
+}

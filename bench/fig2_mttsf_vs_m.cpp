@@ -16,12 +16,14 @@ int main() {
       "(paper: 480/60/15/5 s for m=3/5/7/9)");
 
   const auto grid = core::paper_t_ids_grid();
+  core::SweepEngine engine;  // all m-curves share one explored structure
   std::vector<bench::Series> series;
   for (const int m : {3, 5, 7, 9}) {
     core::Params p = core::Params::paper_defaults();
     p.num_voters = m;
-    series.push_back({"m=" + std::to_string(m), core::sweep_t_ids(p, grid)});
+    series.push_back({"m=" + std::to_string(m), engine.sweep_t_ids(p, grid)});
   }
   bench::report(grid, series, bench::Metric::Mttsf, "fig2_mttsf_vs_m.csv");
+  bench::print_engine_stats(engine);
   return 0;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (build + full gtest suite via ctest),
+# the sweep-engine equivalence/speedup bench in smoke mode, and the
+# micro benches with a minimal measurement budget.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# --- Tier-1 verify ---------------------------------------------------------
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+# --- Sweep-engine smoke: exits non-zero if the cached-rate path diverges
+# from fresh per-point exploration, and records BENCH_sweep.json.
+(cd build && ./bench_sweep --smoke)
+
+# --- Micro benches, smoke budget (skipped when Google Benchmark absent).
+for b in micro_solver micro_voting; do
+  if [ -x "build/${b}" ]; then
+    (cd build && "./${b}" --benchmark_min_time=0.01)
+  fi
+done
+
+echo "ci.sh: all checks passed"

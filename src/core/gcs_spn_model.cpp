@@ -24,7 +24,7 @@ std::int64_t per_group(std::int64_t total, std::int64_t groups) {
 
 GcsSpnModel::GcsSpnModel(Params params) : params_(std::move(params)) {
   params_.validate();
-  voting_ = std::make_shared<const ids::VotingTable>(
+  voting_ = ids::shared_voting_table(
       ids::VotingParams{params_.num_voters, params_.p1, params_.p2},
       params_.n_init, params_.n_init);
   cost_ = std::make_shared<const gcs::CostModel>(params_.cost);
@@ -206,13 +206,20 @@ void GcsSpnModel::build() {
   }
 }
 
+const spn::ReachabilityGraph& GcsSpnModel::graph() const {
+  std::call_once(graph_once_, [this] {
+    graph_ = std::make_unique<const spn::ReachabilityGraph>(
+        spn::explore(net_));
+  });
+  return *graph_;
+}
+
 std::vector<double> GcsSpnModel::reliability_at(
     std::span<const double> times) const {
   // The backward-equation integrator handles the stiff mission-length
   // horizons that uniformisation cannot (Λ·t up to ~1e8 at the paper's
   // parameters; see spn/reliability_ode.h).
-  const auto graph = spn::explore(net_);
-  const spn::ReliabilityOde ode(graph);
+  const spn::ReliabilityOde ode(graph());
   std::vector<double> sorted(times.begin(), times.end());
   if (!std::is_sorted(sorted.begin(), sorted.end())) {
     throw std::invalid_argument(
@@ -221,7 +228,94 @@ std::vector<double> GcsSpnModel::reliability_at(
   return ode.survival_at(sorted);
 }
 
-Evaluation GcsSpnModel::evaluate() const {
+Evaluation GcsSpnModel::evaluate() const { return evaluate_on(graph()); }
+
+Evaluation GcsSpnModel::evaluate_on(
+    const spn::ReachabilityGraph& graph) const {
+  const spn::AbsorbingAnalyzer analyzer(graph);
+  return evaluate_with(analyzer, {}, {});
+}
+
+Evaluation GcsSpnModel::evaluate_with(
+    const spn::AbsorbingAnalyzer& analyzer,
+    std::span<const double> edge_rates,
+    std::span<const double> edge_impulses) const {
+  const auto& graph = analyzer.graph();
+  // Rates and impulses describe one sweep point together: mixing this
+  // point's rates with the graph's stored impulses (or vice versa)
+  // would silently blend two parameter points.
+  if (edge_rates.empty() != edge_impulses.empty() ||
+      (!edge_rates.empty() && (edge_rates.size() != graph.edges.size() ||
+                               edge_impulses.size() != graph.edges.size()))) {
+    throw std::invalid_argument(
+        "evaluate_with: edge_rates/edge_impulses must both be empty or "
+        "both match the graph's edge count");
+  }
+  const auto res =
+      edge_rates.empty() ? analyzer.solve() : analyzer.solve(edge_rates);
+
+  Evaluation ev;
+  ev.num_states = graph.num_states();
+  ev.solver_iterations = res.solver_iterations;
+  ev.mttsf = res.mtta;
+
+  // One pass over the states: the CostBreakdown — detection rate,
+  // voting-table lookup, cost model — is computed once per state and
+  // every component accumulates together; absorption probabilities
+  // classify into C1/C2 in the same sweep.
+  gcs::CostBreakdown acc;
+  for (std::size_t s = 0; s < graph.num_states(); ++s) {
+    const double tau = res.sojourn[s];
+    if (tau > 0.0) {
+      const auto c = cost_rates(graph.states[s]);
+      acc.group_comm += tau * c.group_comm;
+      acc.status += tau * c.status;
+      acc.rekey += tau * c.rekey;
+      acc.ids += tau * c.ids;
+      acc.beacon += tau * c.beacon;
+      acc.partition_merge += tau * c.partition_merge;
+    }
+    const double ap = res.absorb_probability[s];
+    if (ap > 0.0) {
+      if (failed_c1(graph.states[s])) {
+        ev.p_failure_c1 += ap;
+      } else if (failed_c2(graph.states[s])) {
+        ev.p_failure_c2 += ap;
+      }
+    }
+  }
+  // Impulse (eviction rekey) rewards in one pass over the edges.
+  double acc_evict = 0.0;
+  if (edge_impulses.empty()) {
+    for (const auto& e : graph.edges) {
+      if (e.impulse == 0.0) continue;
+      acc_evict += res.sojourn[e.src] * e.rate * e.impulse;
+    }
+  } else {
+    for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+      if (edge_impulses[i] == 0.0) continue;
+      acc_evict +=
+          res.sojourn[graph.edges[i].src] * edge_rates[i] * edge_impulses[i];
+    }
+  }
+
+  if (ev.mttsf > 0.0) {
+    ev.cost_rates.group_comm = acc.group_comm / ev.mttsf;
+    ev.cost_rates.status = acc.status / ev.mttsf;
+    ev.cost_rates.rekey = acc.rekey / ev.mttsf;
+    ev.cost_rates.ids = acc.ids / ev.mttsf;
+    ev.cost_rates.beacon = acc.beacon / ev.mttsf;
+    ev.cost_rates.partition_merge = acc.partition_merge / ev.mttsf;
+    ev.eviction_cost_rate = acc_evict / ev.mttsf;
+    ev.ctotal = ev.cost_rates.total() + ev.eviction_cost_rate;
+  }
+  return ev;
+}
+
+Evaluation GcsSpnModel::evaluate_reference() const {
+  // The pre-SweepEngine per-point path: re-explore the net and make one
+  // full-state reward pass per cost component.  Kept as the equivalence
+  // oracle (tests) and the naive baseline (bench/bench_sweep).
   const auto graph = spn::explore(net_);
   const spn::AbsorbingAnalyzer analyzer(graph);
   const auto res = analyzer.solve();

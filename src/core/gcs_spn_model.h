@@ -24,6 +24,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -54,7 +55,37 @@ class GcsSpnModel {
 
   /// Solves the model: reachability → CTMC → absorbing analysis →
   /// reward accumulation.  Deterministic; throws on solver failure.
+  /// Uses the lazily cached reachability graph (see graph()).
   [[nodiscard]] Evaluation evaluate() const;
+
+  /// Solves the model on a caller-supplied reachability graph (which
+  /// must have this net's structure and rates, e.g. a re-rated clone —
+  /// spn::ReachabilityGraph::refresh_rates).  All cost components and
+  /// impulse rewards accumulate in a single pass over states/edges.
+  [[nodiscard]] Evaluation evaluate_on(
+      const spn::ReachabilityGraph& graph) const;
+
+  /// The sweep engine's zero-copy variant: solves on a shared analyzer
+  /// (structure computed once per exploration) with this point's
+  /// per-edge rate/impulse arrays (spn::ReachabilityGraph::
+  /// compute_rates).  Pass both spans (sized to the edge count) or
+  /// neither — both empty falls back to the rates/impulses stored on
+  /// the analyzer's graph; mixing would blend two parameter points and
+  /// throws.  Thread-safe for concurrent points on one analyzer.
+  [[nodiscard]] Evaluation evaluate_with(
+      const spn::AbsorbingAnalyzer& analyzer,
+      std::span<const double> edge_rates,
+      std::span<const double> edge_impulses) const;
+
+  /// The unoptimised per-point path kept as the equivalence/benchmark
+  /// reference: fresh exploration plus one full-state reward pass per
+  /// cost component (what evaluate() did before the single-pass
+  /// accumulator existed).  Bitwise-identical metrics to evaluate().
+  [[nodiscard]] Evaluation evaluate_reference() const;
+
+  /// The explored reachability graph, cached on first use and shared by
+  /// evaluate() and reliability_at().  Thread-safe lazy initialisation.
+  [[nodiscard]] const spn::ReachabilityGraph& graph() const;
 
   /// Mission reliability R(t) = P[no security failure by time t] — the
   /// paper's survivability requirement ("survive security threats past
@@ -96,6 +127,10 @@ class GcsSpnModel {
   std::shared_ptr<const gcs::CostModel> cost_;
   spn::PetriNet net_;
   spn::PlaceId tm_ = 0, ucm_ = 0, dcm_ = 0, gf_ = 0, ng_ = 0;
+
+  // Lazily explored graph (evaluate() + reliability_at() share it).
+  mutable std::once_flag graph_once_;
+  mutable std::unique_ptr<const spn::ReachabilityGraph> graph_;
 };
 
 }  // namespace midas::core

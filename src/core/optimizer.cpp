@@ -1,6 +1,6 @@
 #include "core/optimizer.h"
 
-#include <stdexcept>
+#include <array>
 
 namespace midas::core {
 
@@ -8,59 +8,48 @@ std::vector<double> paper_t_ids_grid() {
   return {5, 15, 30, 60, 120, 240, 480, 600, 1200};
 }
 
-std::size_t SweepResult::argmax_mttsf() const {
-  if (points.empty()) throw std::logic_error("empty sweep");
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < points.size(); ++i) {
-    if (points[i].eval.mttsf > points[best].eval.mttsf) best = i;
-  }
-  return best;
-}
-
-std::size_t SweepResult::argmin_ctotal() const {
-  if (points.empty()) throw std::logic_error("empty sweep");
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < points.size(); ++i) {
-    if (points[i].eval.ctotal < points[best].eval.ctotal) best = i;
-  }
-  return best;
-}
-
 SweepResult sweep_t_ids(const Params& base, std::span<const double> grid) {
-  SweepResult result;
-  result.points.reserve(grid.size());
-  for (double t : grid) {
-    Params p = base;
-    p.t_ids = t;
-    const GcsSpnModel model(p);
-    result.points.push_back({t, model.evaluate()});
-  }
-  return result;
+  SweepEngine engine;
+  return engine.sweep_t_ids(base, grid);
 }
 
 PolicyChoice optimize_policy(const Params& base,
                              std::span<const double> grid,
                              std::optional<double> cost_budget) {
+  // One batch over shapes × grid: every point shares the structure, so
+  // the engine explores once and re-rates 3·|grid| clones.
+  constexpr std::array kShapes{ids::Shape::Logarithmic, ids::Shape::Linear,
+                               ids::Shape::Polynomial};
+  std::vector<Params> points;
+  points.reserve(kShapes.size() * grid.size());
+  for (const auto shape : kShapes) {
+    for (const double t : grid) {
+      Params p = base;
+      p.detection_shape = shape;
+      p.t_ids = t;
+      points.push_back(std::move(p));
+    }
+  }
+
+  SweepEngine engine;
+  const auto evals = engine.evaluate(points);
+
   PolicyChoice best;
   bool have_feasible = false;
   PolicyChoice cheapest;
   bool have_any = false;
-
-  for (const auto shape : {ids::Shape::Logarithmic, ids::Shape::Linear,
-                           ids::Shape::Polynomial}) {
-    Params p = base;
-    p.detection_shape = shape;
-    const auto sweep = sweep_t_ids(p, grid);
-    for (const auto& pt : sweep.points) {
-      if (!have_any || pt.eval.ctotal < cheapest.eval.ctotal) {
-        cheapest = {shape, pt.t_ids, pt.eval, false};
-        have_any = true;
-      }
-      if (cost_budget && pt.eval.ctotal > *cost_budget) continue;
-      if (!have_feasible || pt.eval.mttsf > best.eval.mttsf) {
-        best = {shape, pt.t_ids, pt.eval, true};
-        have_feasible = true;
-      }
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    const auto shape = points[i].detection_shape;
+    const double t = points[i].t_ids;
+    const auto& ev = evals[i];
+    if (!have_any || ev.ctotal < cheapest.eval.ctotal) {
+      cheapest = {shape, t, ev, false};
+      have_any = true;
+    }
+    if (cost_budget && ev.ctotal > *cost_budget) continue;
+    if (!have_feasible || ev.mttsf > best.eval.mttsf) {
+      best = {shape, t, ev, true};
+      have_feasible = true;
     }
   }
   if (!have_feasible) return cheapest;  // feasible == false signals this

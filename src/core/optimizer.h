@@ -2,6 +2,10 @@
 // exercise: locate the detection interval that maximises MTTSF, the one
 // that minimises Ĉtotal, and the best trade-off under a performance
 // constraint (maximise MTTSF subject to Ĉtotal ≤ budget).
+//
+// Both entry points run on core::SweepEngine: the reachability graph is
+// explored once per structural configuration and every sweep point only
+// re-rates a clone of it (see sweep_engine.h).
 #pragma once
 
 #include <optional>
@@ -10,30 +14,12 @@
 
 #include "core/gcs_spn_model.h"
 #include "core/params.h"
+#include "core/sweep_engine.h"
 
 namespace midas::core {
 
 /// The paper's Fig. 2–5 TIDS grid (seconds).
 [[nodiscard]] std::vector<double> paper_t_ids_grid();
-
-struct SweepPoint {
-  double t_ids = 0.0;
-  Evaluation eval;
-};
-
-struct SweepResult {
-  std::vector<SweepPoint> points;
-
-  /// Index of the point with maximal MTTSF / minimal Ĉtotal.
-  [[nodiscard]] std::size_t argmax_mttsf() const;
-  [[nodiscard]] std::size_t argmin_ctotal() const;
-  [[nodiscard]] const SweepPoint& best_mttsf() const {
-    return points[argmax_mttsf()];
-  }
-  [[nodiscard]] const SweepPoint& best_ctotal() const {
-    return points[argmin_ctotal()];
-  }
-};
 
 /// Evaluates `base` at every TIDS in `grid` (base.t_ids is ignored).
 [[nodiscard]] SweepResult sweep_t_ids(const Params& base,
@@ -50,7 +36,8 @@ struct PolicyChoice {
 /// Selects the detection function and TIDS that maximise MTTSF, over
 /// all three shapes × grid, optionally subject to Ĉtotal ≤ cost_budget.
 /// When the budget excludes every point, returns the minimum-cost point
-/// with feasible = false.
+/// with feasible = false.  The shapes only change rate values, so all
+/// 3·|grid| evaluations share one exploration.
 [[nodiscard]] PolicyChoice optimize_policy(
     const Params& base, std::span<const double> grid,
     std::optional<double> cost_budget = std::nullopt);

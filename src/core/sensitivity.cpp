@@ -1,9 +1,11 @@
 #include "core/sensitivity.h"
 
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 
 #include "core/gcs_spn_model.h"
+#include "core/sweep_engine.h"
 
 namespace midas::core {
 
@@ -39,27 +41,41 @@ std::vector<SensitivityEntry> sensitivity_analysis(
       {"mu (leave rate)", [](Params& p) -> double& { return p.mu_leave; }},
   };
 
-  std::vector<SensitivityEntry> out;
-  out.reserve(probes.size());
-
-  for (const auto& probe : probes) {
+  // Every probe scales a rate without touching the model structure, so
+  // all lo/hi evaluations run as one engine batch over one exploration.
+  std::vector<Params> points;
+  std::vector<double> base_values(probes.size(), 0.0);
+  std::vector<std::size_t> point_of(probes.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
     Params lo = base;
     Params hi = base;
-    const double v0 = probe.field(lo);  // same as base value
-    if (v0 == 0.0) {
+    const double v0 = probes[i].field(lo);  // same as base value
+    base_values[i] = v0;
+    if (v0 == 0.0) continue;  // elasticity undefined at zero
+    probes[i].field(lo) = v0 * (1.0 - opts.relative_step);
+    probes[i].field(hi) = v0 * (1.0 + opts.relative_step);
+    point_of[i] = points.size();
+    points.push_back(std::move(lo));
+    points.push_back(std::move(hi));
+  }
+
+  SweepEngine engine;
+  const auto evals = engine.evaluate(points);
+
+  std::vector<SensitivityEntry> out;
+  out.reserve(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    if (point_of[i] == SIZE_MAX) {
       // Elasticity undefined at zero; report zeros rather than guessing.
-      out.push_back({probe.name, 0.0, 0.0, 0.0});
+      out.push_back({probes[i].name, 0.0, 0.0, 0.0});
       continue;
     }
-    probe.field(lo) = v0 * (1.0 - opts.relative_step);
-    probe.field(hi) = v0 * (1.0 + opts.relative_step);
-
-    const auto ev_lo = GcsSpnModel(lo).evaluate();
-    const auto ev_hi = GcsSpnModel(hi).evaluate();
+    const auto& ev_lo = evals[point_of[i]];
+    const auto& ev_hi = evals[point_of[i] + 1];
 
     SensitivityEntry entry;
-    entry.parameter = probe.name;
-    entry.base_value = v0;
+    entry.parameter = probes[i].name;
+    entry.base_value = base_values[i];
     const double dp = 2.0 * opts.relative_step;  // (hi−lo)/v0
     entry.mttsf_elasticity =
         (ev_hi.mttsf - ev_lo.mttsf) /

@@ -1,0 +1,142 @@
+#include "core/sweep_engine.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace midas::core {
+
+std::size_t SweepResult::argmax_mttsf() const {
+  if (points.empty()) throw std::logic_error("empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].eval.mttsf > points[best].eval.mttsf) best = i;
+  }
+  return best;
+}
+
+std::size_t SweepResult::argmin_ctotal() const {
+  if (points.empty()) throw std::logic_error("empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].eval.ctotal < points[best].eval.ctotal) best = i;
+  }
+  return best;
+}
+
+std::string structure_key(const Params& p) {
+  std::ostringstream key;
+  key.precision(17);
+  // Initial marking and guard parameters.
+  key << p.n_init << '|' << p.max_groups << '|' << p.byzantine_fraction;
+  // Group birth–death tables: a zero entry removes the T_PAR/T_MER edge
+  // at that group count, so the values are structural.  (Keying on exact
+  // values also shares nothing between different mobility regimes, which
+  // is the conservative choice.)
+  key << '|';
+  for (double r : p.partition_rates) key << r << ',';
+  key << '|';
+  for (double r : p.merge_rates) key << r << ',';
+  // Zero-pattern of the remaining timed rates.  Attacker/detection shape
+  // factors are >= 1 for every shape, so only the base factors matter:
+  //   T_CP  ∝ λc,  T_DRQ ∝ p1·λq,  T_FA ∝ Pfp (> 0 iff p2 > 0 and a
+  //   voter pool exists),  T_IDS ∝ 1−Pfn (m-dependent corner handled
+  //   below).
+  key << '|' << (p.lambda_c > 0.0) << (p.p1 * p.lambda_q > 0.0)
+      << (p.p2 > 0.0) << (p.p1 < 1.0);
+  // The T_IDS zero-pattern can depend on m: pfn hits exactly 1 in a
+  // marking whenever the per-group good count is below the majority of
+  // the effective voter pool min(m, pool).  In transient (alive)
+  // markings with byzantine_fraction <= 1/2 the good count is >= the
+  // bad count per group, which puts it at or above any such majority —
+  // so the pattern is m-independent there.  Beyond 1/2 (and at the
+  // p1/p2 corner cases, where probabilities can hit exact 0/1 in
+  // m-dependent ways) stop sharing across m.
+  if (p.byzantine_fraction > 0.5 || p.p1 <= 0.0 || p.p1 >= 1.0 ||
+      p.p2 <= 0.0 || p.p2 >= 1.0) {
+    key << '|' << p.num_voters;
+  }
+  return key.str();
+}
+
+SweepEngine::SweepEngine(SweepEngineOptions opts) : opts_(opts) {}
+
+std::vector<Evaluation> SweepEngine::evaluate(
+    std::span<const Params> points) {
+  const util::Stopwatch watch;
+  std::vector<Evaluation> evals(points.size());
+  if (points.empty()) return evals;
+
+  // Resolve cache entries serially (the map is not touched by workers).
+  std::vector<CacheEntry*> entry_of(points.size(), nullptr);
+  if (opts_.reuse_structure) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      auto& slot = cache_[structure_key(points[i])];
+      if (!slot) slot = std::make_unique<CacheEntry>();
+      entry_of[i] = slot.get();
+    }
+  }
+
+  sim::parallel_for(
+      points.size(),
+      [&](std::size_t i) {
+        const GcsSpnModel model(points[i]);
+        CacheEntry* entry = entry_of[i];
+        if (entry == nullptr) {
+          evals[i] = model.evaluate();
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.points;
+          ++stats_.explorations;
+          stats_.states_explored += evals[i].num_states;
+          stats_.states_evaluated += evals[i].num_states;
+          return;
+        }
+        // First point of a structural configuration explores and builds
+        // the solver structure; every point then owns only its per-edge
+        // rate/impulse arrays (the mutable slice of the graph) and the
+        // numeric solve.
+        std::call_once(entry->once, [&] {
+          entry->graph = std::make_shared<const spn::ReachabilityGraph>(
+              spn::explore(model.net()));
+          entry->analyzer =
+              std::make_unique<const spn::AbsorbingAnalyzer>(*entry->graph);
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.explorations;
+          stats_.states_explored += entry->graph->num_states();
+        });
+        std::vector<double> rates(entry->graph->edges.size());
+        std::vector<double> impulses(entry->graph->edges.size());
+        entry->graph->compute_rates(model.net(), rates, impulses);
+        evals[i] = model.evaluate_with(*entry->analyzer, rates, impulses);
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.points;
+        stats_.states_evaluated += evals[i].num_states;
+      },
+      opts_.threads);
+
+  stats_.seconds += watch.seconds();
+  return evals;
+}
+
+SweepResult SweepEngine::sweep_t_ids(const Params& base,
+                                     std::span<const double> grid) {
+  std::vector<Params> points;
+  points.reserve(grid.size());
+  for (double t : grid) {
+    Params p = base;
+    p.t_ids = t;
+    points.push_back(std::move(p));
+  }
+  const auto evals = evaluate(points);
+
+  SweepResult result;
+  result.points.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    result.points.push_back({grid[i], evals[i]});
+  }
+  return result;
+}
+
+}  // namespace midas::core

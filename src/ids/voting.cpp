@@ -1,7 +1,10 @@
 #include "ids/voting.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "linalg/log_math.h"
 
@@ -144,6 +147,33 @@ const VotingErrorRates& VotingTable::at(std::int64_t n_good,
   n_good = std::clamp<std::int64_t>(n_good, 0, max_good_);
   n_bad = std::clamp<std::int64_t>(n_bad, 0, max_bad_);
   return table_[static_cast<std::size_t>(n_good * (max_bad_ + 1) + n_bad)];
+}
+
+std::shared_ptr<const VotingTable> shared_voting_table(
+    const VotingParams& params, std::int64_t max_good,
+    std::int64_t max_bad) {
+  struct Key {
+    std::int64_t m, max_good, max_bad;
+    double p1, p2;
+    bool operator<(const Key& o) const {
+      return std::tie(m, max_good, max_bad, p1, p2) <
+             std::tie(o.m, o.max_good, o.max_bad, o.p1, o.p2);
+    }
+  };
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const VotingTable>> memo;
+
+  const Key key{params.num_voters, max_good, max_bad, params.p1, params.p2};
+  {
+    std::lock_guard lock(mutex);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  }
+  // Build outside the lock: a table is O(N²) closed-form evaluations and
+  // concurrent sweep workers must not serialise on it.  A racing builder
+  // of the same key wastes one build; first insert wins.
+  auto table = std::make_shared<const VotingTable>(params, max_good, max_bad);
+  std::lock_guard lock(mutex);
+  return memo.try_emplace(key, std::move(table)).first->second;
 }
 
 }  // namespace midas::ids

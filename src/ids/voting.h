@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace midas::ids {
@@ -66,5 +67,13 @@ class VotingTable {
   std::int64_t max_bad_;
   std::vector<VotingErrorRates> table_;  // (good, bad) row-major
 };
+
+/// Process-wide memo of voting tables keyed on (m, p1, p2, bounds).
+/// A parameter sweep builds one GcsSpnModel per point, and for a
+/// TIDS/shape sweep every point needs the identical O(N²) table — this
+/// makes all of them share one precomputation.  Thread-safe; the memo
+/// holds one entry per distinct configuration seen in the process.
+[[nodiscard]] std::shared_ptr<const VotingTable> shared_voting_table(
+    const VotingParams& params, std::int64_t max_good, std::int64_t max_bad);
 
 }  // namespace midas::ids

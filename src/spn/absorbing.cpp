@@ -3,33 +3,100 @@
 #include <stdexcept>
 
 #include "linalg/dense_matrix.h"
-#include "linalg/iterative.h"
-#include "spn/scc.h"
 
 namespace midas::spn {
 
 AbsorbingAnalyzer::AbsorbingAnalyzer(const ReachabilityGraph& graph)
-    : graph_(graph), ctmc_(Ctmc::from_graph(graph)) {}
-
-AbsorbingResult AbsorbingAnalyzer::solve() const {
-  const auto& absorbing = ctmc_.absorbing();
-  const std::size_t n = ctmc_.num_states();
+    : graph_(graph), absorbing_(graph.absorbing_mask()) {
+  const std::size_t n = graph_.num_states();
 
   // Compact index over transient states.
-  std::vector<std::uint32_t> compact(n, UINT32_MAX);
-  std::vector<std::uint32_t> expand;
-  expand.reserve(n);
+  compact_.assign(n, UINT32_MAX);
+  expand_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
-    if (!absorbing[s]) {
-      compact[s] = static_cast<std::uint32_t>(expand.size());
-      expand.push_back(static_cast<std::uint32_t>(s));
+    if (!absorbing_[s]) {
+      compact_[s] = static_cast<std::uint32_t>(expand_.size());
+      expand_.push_back(static_cast<std::uint32_t>(s));
     }
   }
-  const std::size_t nt = expand.size();
+  const std::size_t nt = expand_.size();
   if (nt == n) {
     throw std::runtime_error(
         "AbsorbingAnalyzer: chain has no absorbing states");
   }
+  if (nt == 0) return;  // initial state itself absorbing: MTTA = 0
+
+  init_compact_ = compact_[graph_.initial];
+  if (init_compact_ == UINT32_MAX) {
+    throw std::runtime_error(
+        "AbsorbingAnalyzer: initial state is marked absorbing yet transient "
+        "states exist; inconsistent graph");
+  }
+
+  // Transient→transient adjacency, once: incoming CSR (for the sojourn
+  // balance) and outgoing CSR (for the condensation).
+  in_offsets_.assign(nt + 1, 0);
+  std::vector<std::uint32_t> out_offsets(nt + 1, 0);
+  std::size_t num_tt = 0;
+  for (std::size_t i = 0; i < nt; ++i) {
+    for (const auto& e : graph_.out_edges(expand_[i])) {
+      if (e.src == e.dst) continue;
+      const auto cd = compact_[e.dst];
+      if (cd != UINT32_MAX) {
+        ++in_offsets_[cd + 1];
+        ++out_offsets[i + 1];
+        ++num_tt;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nt; ++i) {
+    in_offsets_[i + 1] += in_offsets_[i];
+    out_offsets[i + 1] += out_offsets[i];
+  }
+  in_edges_.resize(num_tt);
+  std::vector<std::uint32_t> out_targets(num_tt);
+  {
+    std::vector<std::uint32_t> in_cursor(in_offsets_.begin(),
+                                         in_offsets_.end() - 1);
+    std::vector<std::uint32_t> out_cursor(out_offsets.begin(),
+                                          out_offsets.end() - 1);
+    for (std::size_t i = 0; i < nt; ++i) {
+      const auto cs = static_cast<std::uint32_t>(i);
+      const auto begin = graph_.edge_offsets[expand_[i]];
+      const auto end = graph_.edge_offsets[expand_[i] + 1];
+      for (std::uint32_t idx = begin; idx < end; ++idx) {
+        const auto& e = graph_.edges[idx];
+        if (e.src == e.dst) continue;
+        const auto cd = compact_[e.dst];
+        if (cd == UINT32_MAX) continue;
+        in_edges_[in_cursor[cd]++] = {cs, idx};
+        out_targets[out_cursor[i]++] = cd;
+      }
+    }
+  }
+
+  scc_ = strongly_connected_components(out_offsets, out_targets);
+  components_ = scc_.members();
+}
+
+AbsorbingResult AbsorbingAnalyzer::solve() const {
+  std::vector<double> rates(graph_.edges.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    rates[i] = graph_.edges[i].rate;
+  }
+  return solve(rates);
+}
+
+AbsorbingResult AbsorbingAnalyzer::solve(
+    std::span<const double> edge_rates) const {
+  if (edge_rates.size() != graph_.edges.size()) {
+    throw std::invalid_argument(
+        "AbsorbingAnalyzer::solve: edge_rates size " +
+        std::to_string(edge_rates.size()) + " does not match edge count " +
+        std::to_string(graph_.edges.size()));
+  }
+  const std::size_t n = graph_.num_states();
+  const std::size_t nt = expand_.size();
 
   AbsorbingResult res;
   res.sojourn.assign(n, 0.0);
@@ -38,16 +105,20 @@ AbsorbingResult AbsorbingAnalyzer::solve() const {
   if (nt == 0) {
     // Initial state itself is absorbing: MTTA = 0.
     res.mtta = 0.0;
-    res.absorb_probability[ctmc_.initial()] = 1.0;
+    res.absorb_probability[graph_.initial] = 1.0;
     res.converged = true;
     return res;
   }
 
-  const auto init_compact = compact[ctmc_.initial()];
-  if (init_compact == UINT32_MAX) {
-    throw std::runtime_error(
-        "AbsorbingAnalyzer: initial state is marked absorbing yet transient "
-        "states exist; inconsistent graph");
+  // Total exit rate per transient state (self-loops cancel in Q).
+  std::vector<double> exit_rate(nt, 0.0);
+  for (std::size_t i = 0; i < nt; ++i) {
+    const auto begin = graph_.edge_offsets[expand_[i]];
+    const auto end = graph_.edge_offsets[expand_[i] + 1];
+    for (std::uint32_t idx = begin; idx < end; ++idx) {
+      const auto& e = graph_.edges[idx];
+      if (e.src != e.dst) exit_rate[i] += edge_rates[idx];
+    }
   }
 
   // The expected-sojourn balance  exit_j·τ_j = π0_j + Σ_{i→j} τ_i·r_ij
@@ -58,59 +129,27 @@ AbsorbingResult AbsorbingAnalyzer::solve() const {
   // are the group partition/merge flips).  This is immune to the
   // stiffness that defeats global Gauss–Seidel when the cycle rates
   // exceed the security rates by many orders of magnitude.
-  std::vector<double> exit_rate(nt, 0.0);
-  std::vector<std::uint32_t> out_offsets(nt + 1, 0);
-  struct InEdge {
-    std::uint32_t src;
-    double rate;
-  };
-  std::vector<std::vector<InEdge>> incoming(nt);
-  for (const auto& e : graph_.edges) {
-    if (e.src == e.dst) continue;
-    const auto cs = compact[e.src];
-    if (cs == UINT32_MAX) continue;
-    exit_rate[cs] += e.rate;
-    const auto cd = compact[e.dst];
-    if (cd != UINT32_MAX) {
-      ++out_offsets[cs + 1];
-      incoming[cd].push_back({cs, e.rate});
-    }
-  }
-  for (std::size_t i = 0; i < nt; ++i) out_offsets[i + 1] += out_offsets[i];
-  std::vector<std::uint32_t> out_targets(out_offsets[nt]);
-  {
-    std::vector<std::uint32_t> cursor(out_offsets.begin(),
-                                      out_offsets.end() - 1);
-    for (std::size_t j = 0; j < nt; ++j) {
-      for (const auto& in : incoming[j]) {
-        out_targets[cursor[in.src]++] = static_cast<std::uint32_t>(j);
-      }
-    }
-  }
-
-  const auto scc = strongly_connected_components(out_offsets, out_targets);
-  const auto components = scc.members();
-
   std::vector<double> tau(nt, 0.0);
   std::vector<std::uint32_t> local(nt, UINT32_MAX);  // reused across blocks
+  // External inflow (already-solved predecessors) + initial mass.
+  auto external_b = [&](std::uint32_t j, std::uint32_t c) {
+    double b = j == init_compact_ ? 1.0 : 0.0;
+    for (std::uint32_t k = in_offsets_[j]; k < in_offsets_[j + 1]; ++k) {
+      const auto& in = in_edges_[k];
+      if (scc_.component[in.src] != c) b += tau[in.src] * edge_rates[in.edge];
+    }
+    return b;
+  };
   // Higher component id = earlier in topological order (sources first).
-  for (std::size_t c = components.size(); c-- > 0;) {
-    const auto& block = components[c];
-    // External inflow (already-solved predecessors) + initial mass.
-    auto external_b = [&](std::uint32_t j) {
-      double b = j == init_compact ? 1.0 : 0.0;
-      for (const auto& in : incoming[j]) {
-        if (scc.component[in.src] != c) b += tau[in.src] * in.rate;
-      }
-      return b;
-    };
+  for (std::size_t c = components_.size(); c-- > 0;) {
+    const auto& block = components_[c];
     if (block.size() == 1) {
       const auto j = block[0];
       if (exit_rate[j] <= 0.0) {
         throw std::runtime_error(
             "AbsorbingAnalyzer: transient state with zero exit rate");
       }
-      tau[j] = external_b(j) / exit_rate[j];
+      tau[j] = external_b(j, static_cast<std::uint32_t>(c)) / exit_rate[j];
       continue;
     }
     // Dense block solve:  exit_j·τ_j − Σ_{i∈block} r_ij·τ_i = b_j.
@@ -128,10 +167,11 @@ AbsorbingResult AbsorbingAnalyzer::solve() const {
     for (std::size_t r = 0; r < k; ++r) {
       const auto j = block[r];
       m(r, r) = exit_rate[j];
-      b[r] = external_b(j);
-      for (const auto& in : incoming[j]) {
+      b[r] = external_b(j, static_cast<std::uint32_t>(c));
+      for (std::uint32_t e = in_offsets_[j]; e < in_offsets_[j + 1]; ++e) {
+        const auto& in = in_edges_[e];
         const auto li = local[in.src];
-        if (li != UINT32_MAX) m(r, li) -= in.rate;
+        if (li != UINT32_MAX) m(r, li) -= edge_rates[in.edge];
       }
     }
     const auto x = linalg::LuSolver(std::move(m)).solve(std::move(b));
@@ -141,20 +181,25 @@ AbsorbingResult AbsorbingAnalyzer::solve() const {
     }
   }
 
-  res.solver_iterations = components.size();
+  res.solver_iterations = components_.size();
   res.converged = true;
   double mtta = 0.0;
   for (std::size_t i = 0; i < nt; ++i) {
-    res.sojourn[expand[i]] = tau[i];
+    res.sojourn[expand_[i]] = tau[i];
     mtta += tau[i];
   }
   res.mtta = mtta;
 
   // Absorption probabilities: flow into each absorbing state.
-  for (const auto& e : graph_.edges) {
-    if (e.src == e.dst) continue;
-    if (!absorbing[e.dst]) continue;
-    res.absorb_probability[e.dst] += res.sojourn[e.src] * e.rate;
+  for (std::size_t i = 0; i < nt; ++i) {
+    const auto s = expand_[i];
+    const auto begin = graph_.edge_offsets[s];
+    const auto end = graph_.edge_offsets[s + 1];
+    for (std::uint32_t idx = begin; idx < end; ++idx) {
+      const auto& e = graph_.edges[idx];
+      if (e.dst == s || !absorbing_[e.dst]) continue;
+      res.absorb_probability[e.dst] += res.sojourn[s] * edge_rates[idx];
+    }
   }
   return res;
 }

@@ -9,13 +9,22 @@
 //   MTTA              = Σ_i τ_i
 //   accumulated reward = Σ_i τ_i · r(state_i)  +  Σ_e τ_src(e) · rate_e · imp_e
 //   P[absorb in a]     = Σ_i τ_i · q_{i,a}
+//
+// The analyzer splits the work into structure and numbers: the absorbing
+// mask, the transient compaction and the SCC condensation are computed
+// once at construction from the graph's CSR adjacency, and each solve()
+// only runs the numeric part.  A parameter sweep therefore constructs
+// one analyzer per explored structure and calls solve(edge_rates) per
+// sweep point (see core::SweepEngine).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
-#include "spn/ctmc.h"
 #include "spn/reachability.h"
+#include "spn/scc.h"
 
 namespace midas::spn {
 
@@ -36,8 +45,17 @@ class AbsorbingAnalyzer {
   /// the initial state; otherwise the MTTA solve will fail to converge.
   explicit AbsorbingAnalyzer(const ReachabilityGraph& graph);
 
-  /// Solves from the graph's initial state.
+  /// Solves from the graph's initial state with the rates stored on the
+  /// graph's edges.
   [[nodiscard]] AbsorbingResult solve() const;
+
+  /// Solves with per-edge rates overriding the stored ones:
+  /// `edge_rates[i]` replaces `graph.edges[i].rate` and must be positive
+  /// wherever the stored rate is.  Reuses the construction-time
+  /// structure, so a sweep point costs only the numeric solve.
+  /// Thread-safe: const, no shared mutable state.
+  [[nodiscard]] AbsorbingResult solve(
+      std::span<const double> edge_rates) const;
 
   /// Expected accumulated rate reward  Σ τ_i · reward(state_i).
   [[nodiscard]] double accumulated_rate_reward(
@@ -55,9 +73,33 @@ class AbsorbingAnalyzer {
       const AbsorbingResult& res,
       const std::function<bool(const Marking&)>& pred) const;
 
+  [[nodiscard]] const ReachabilityGraph& graph() const noexcept {
+    return graph_;
+  }
+  /// The absorbing-state mask computed at construction.
+  [[nodiscard]] const std::vector<char>& absorbing() const noexcept {
+    return absorbing_;
+  }
+
  private:
+  /// An incoming transient→transient edge: compact source index plus the
+  /// global edge index (for per-sweep-point rate lookup).
+  struct InEdge {
+    std::uint32_t src;
+    std::uint32_t edge;
+  };
+
   const ReachabilityGraph& graph_;
-  Ctmc ctmc_;
+  std::vector<char> absorbing_;
+  std::vector<std::uint32_t> compact_;  // full → compact (UINT32_MAX = absorbing)
+  std::vector<std::uint32_t> expand_;   // compact → full
+  std::uint32_t init_compact_ = 0;
+  // Incoming transient→transient edges, CSR by destination.
+  std::vector<std::uint32_t> in_offsets_;
+  std::vector<InEdge> in_edges_;
+  // Condensation of the transient subgraph.
+  SccResult scc_;
+  std::vector<std::vector<std::uint32_t>> components_;
 };
 
 }  // namespace midas::spn

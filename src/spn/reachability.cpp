@@ -57,10 +57,63 @@ void expand_vanishing(const PetriNet& net, const Marking& m,
 
 std::vector<char> ReachabilityGraph::absorbing_mask() const {
   std::vector<char> mask(states.size(), 1);
-  for (const auto& e : edges) {
-    if (e.src != e.dst) mask[e.src] = 0;
+  for (StateId s = 0; s < states.size(); ++s) {
+    for (const auto& e : out_edges(s)) {
+      if (e.dst != s) {
+        mask[s] = 0;
+        break;
+      }
+    }
   }
   return mask;
+}
+
+void ReachabilityGraph::compute_rates(const PetriNet& net,
+                                      std::span<double> rates,
+                                      std::span<double> impulses) const {
+  if (rates.size() != edges.size() || impulses.size() != edges.size()) {
+    throw std::invalid_argument(
+        "compute_rates: output spans must match the edge count");
+  }
+  for (StateId s = 0; s < states.size(); ++s) {
+    const Marking& m = states[s];
+    const auto begin = edge_offsets[s];
+    const auto end = edge_offsets[s + 1];
+    // Edges out of one state reuse the (transition, marking) evaluation:
+    // vanishing expansions emit several edges for the same timed firing.
+    TransitionId last_t = UINT32_MAX;
+    double base_rate = 0.0;
+    double timed_impulse = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const Edge& e = edges[i];
+      if (e.transition != last_t) {
+        last_t = e.transition;
+        base_rate = net.rate(e.transition, m);
+        timed_impulse = net.impulse(e.transition, m);
+      }
+      const double rate = base_rate * e.prob;
+      if (rate <= 0.0) {
+        throw std::runtime_error(
+            "compute_rates: transition " + net.transition_name(e.transition) +
+            " re-rates to " + std::to_string(rate) + " at marking " +
+            m.to_string() +
+            "; the parameter change alters the edge structure and requires "
+            "a fresh exploration");
+      }
+      rates[i] = rate;
+      impulses[i] = timed_impulse + e.vanishing_impulse;
+    }
+  }
+}
+
+void ReachabilityGraph::refresh_rates(const PetriNet& net) {
+  std::vector<double> rates(edges.size());
+  std::vector<double> impulses(edges.size());
+  compute_rates(net, rates, impulses);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i].rate = rates[i];
+    edges[i].impulse = impulses[i];
+  }
 }
 
 ReachabilityGraph explore(const PetriNet& net, const ExploreOptions& opts) {
@@ -139,7 +192,8 @@ ReachabilityGraph explore(const PetriNet& net, const ExploreOptions& opts) {
           has_progress_edge = true;
         }
         g.edges.push_back({sid, dst, rate * target.probability, t,
-                           timed_impulse + target.impulse});
+                           timed_impulse + target.impulse,
+                           target.probability, target.impulse});
       }
     }
     if (has_self_loop && !has_progress_edge) {
@@ -147,6 +201,13 @@ ReachabilityGraph explore(const PetriNet& net, const ExploreOptions& opts) {
           "reachability: state " + m.to_string() +
           " has only self-loop firings; mean time to absorption diverges");
     }
+  }
+  // CSR offsets: the BFS pops states in increasing id order, so edges are
+  // already grouped by src ascending — a counting pass suffices.
+  g.edge_offsets.assign(g.states.size() + 1, 0);
+  for (const auto& e : g.edges) ++g.edge_offsets[e.src + 1];
+  for (std::size_t s = 0; s < g.states.size(); ++s) {
+    g.edge_offsets[s + 1] += g.edge_offsets[s];
   }
   return g;
 }

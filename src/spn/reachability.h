@@ -1,9 +1,24 @@
 // Reachability-graph generation: breadth-first exploration of the
 // tangible marking space, producing the state list and the rate-labelled
 // edge list from which the CTMC generator is assembled.
+//
+// Edges are stored grouped by source state (CSR order: the BFS emits
+// states in increasing id order, so each state's out-edges occupy one
+// contiguous range of `edges`, delimited by `edge_offsets`).  Consumers
+// that walk per-state adjacency — absorbing analysis, SCC condensation,
+// reward accumulation — use `out_edges()` instead of re-scanning the
+// flat list.
+//
+// Each edge also records how its effective rate/impulse decompose into
+// the timed transition's contribution and the vanishing-path factors
+// (`prob`, `vanishing_impulse`).  A parameter sweep that changes only
+// rate values — not the enabled structure — can therefore reuse the
+// explored graph and call `refresh_rates()` per sweep point instead of
+// re-exploring (see core::SweepEngine).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "spn/marking.h"
@@ -16,20 +31,46 @@ using StateId = std::uint32_t;
 struct Edge {
   StateId src;
   StateId dst;              // may equal src (self-loop; cost-only firing)
-  double rate;              // > 0
+  double rate;              // > 0; = net.rate(transition, src) · prob
   TransitionId transition;
-  double impulse;           // impulse reward per firing, evaluated at src
+  double impulse;           // = net.impulse(transition, src) + vanishing_impulse
+  double prob;              // path probability through vanishing markings (1 = direct)
+  double vanishing_impulse; // impulse collected on immediate firings en route
 };
 
 struct ReachabilityGraph {
   std::vector<Marking> states;
-  std::vector<Edge> edges;
+  std::vector<Edge> edges;  // grouped by src in ascending order
+  /// CSR ranges: out-edges of state s are edges[edge_offsets[s] ..
+  /// edge_offsets[s+1]).  Size num_states()+1.
+  std::vector<std::uint32_t> edge_offsets;
   StateId initial = 0;
+
+  [[nodiscard]] std::span<const Edge> out_edges(StateId s) const {
+    return {edges.data() + edge_offsets[s],
+            edges.data() + edge_offsets[s + 1]};
+  }
 
   /// True when the state has no edge leading to a *different* state.
   /// (A state with only self-loops never advances; the explorer rejects
   /// such states because mean time to absorption would diverge.)
   [[nodiscard]] std::vector<char> absorbing_mask() const;
+
+  /// Evaluates per-edge rates and impulses for `net` into parallel
+  /// arrays (indexed like `edges`) without mutating the graph — the
+  /// sweep engine's zero-copy path: one cached structure, one rate
+  /// vector per point.  Valid only when `net` has the same reachable
+  /// set and enabled structure as the net this graph was explored from —
+  /// i.e. the parameter change scales timed rates/impulses without
+  /// zeroing any or enabling new firings, and leaves immediate weights
+  /// untouched.  Throws std::runtime_error when a stored edge re-rates
+  /// to a non-positive value (structure mismatch).
+  void compute_rates(const PetriNet& net, std::span<double> rates,
+                     std::span<double> impulses) const;
+
+  /// In-place variant of compute_rates(): overwrites every edge's rate
+  /// and impulse.  Same structural contract.
+  void refresh_rates(const PetriNet& net);
 
   [[nodiscard]] std::size_t num_states() const { return states.size(); }
 };

@@ -1,0 +1,278 @@
+// Sweep-engine equivalence: the cached-structure re-rating path must
+// reproduce fresh per-point exploration bit-for-bit (1e-12 relative
+// bound per the acceptance criterion; in practice the accumulation
+// order is identical and the agreement is exact).
+#include "core/sweep_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "spn/absorbing.h"
+
+namespace {
+
+using namespace midas;
+using core::Params;
+
+Params small_params() {
+  Params p = Params::paper_defaults();
+  p.n_init = 20;
+  p.max_groups = 1;
+  return p;
+}
+
+/// All metrics the paper reports, within `tol` relative.
+void expect_evaluations_match(const core::Evaluation& a,
+                              const core::Evaluation& b, double tol) {
+  const auto rel = [tol](double x, double y) {
+    const double scale = std::max({std::fabs(x), std::fabs(y), 1e-300});
+    return std::fabs(x - y) / scale <= tol;
+  };
+  EXPECT_EQ(a.num_states, b.num_states);
+  EXPECT_TRUE(rel(a.mttsf, b.mttsf)) << a.mttsf << " vs " << b.mttsf;
+  EXPECT_TRUE(rel(a.ctotal, b.ctotal)) << a.ctotal << " vs " << b.ctotal;
+  EXPECT_TRUE(rel(a.cost_rates.group_comm, b.cost_rates.group_comm));
+  EXPECT_TRUE(rel(a.cost_rates.status, b.cost_rates.status));
+  EXPECT_TRUE(rel(a.cost_rates.rekey, b.cost_rates.rekey));
+  EXPECT_TRUE(rel(a.cost_rates.ids, b.cost_rates.ids));
+  EXPECT_TRUE(rel(a.cost_rates.beacon, b.cost_rates.beacon));
+  EXPECT_TRUE(
+      rel(a.cost_rates.partition_merge, b.cost_rates.partition_merge));
+  EXPECT_TRUE(rel(a.eviction_cost_rate, b.eviction_cost_rate));
+  EXPECT_TRUE(rel(a.p_failure_c1, b.p_failure_c1))
+      << a.p_failure_c1 << " vs " << b.p_failure_c1;
+  EXPECT_TRUE(rel(a.p_failure_c2, b.p_failure_c2));
+}
+
+TEST(StructureKey, SharedAcrossRateOnlyChanges) {
+  const Params base = small_params();
+  const auto key = core::structure_key(base);
+
+  Params t = base;
+  t.t_ids = 7.5;
+  EXPECT_EQ(core::structure_key(t), key);
+
+  Params m = base;
+  m.num_voters = 9;
+  EXPECT_EQ(core::structure_key(m), key);
+
+  Params shape = base;
+  shape.detection_shape = ids::Shape::Polynomial;
+  shape.attacker_shape = ids::Shape::Logarithmic;
+  EXPECT_EQ(core::structure_key(shape), key);
+
+  Params err = base;
+  err.p1 = 0.05;
+  err.p2 = 0.002;
+  EXPECT_EQ(core::structure_key(err), key);
+}
+
+TEST(StructureKey, DistinctAcrossStructuralChanges) {
+  const Params base = Params::paper_defaults();
+  const auto key = core::structure_key(base);
+
+  Params n = base;
+  n.n_init = 50;
+  EXPECT_NE(core::structure_key(n), key);
+
+  Params g = base;
+  g.max_groups = 1;
+  EXPECT_NE(core::structure_key(g), key);
+
+  Params rates = base;
+  rates.partition_rates[1] = 0.0;  // removes the 1→2 partition edge
+  EXPECT_NE(core::structure_key(rates), key);
+
+  Params zero = base;
+  zero.p2 = 0.0;  // kills every T_FA edge
+  EXPECT_NE(core::structure_key(zero), key);
+
+  // Beyond byzantine_fraction = 1/2 a transient marking can hold more
+  // compromised than trusted members per group, where the T_IDS
+  // zero-pattern (pfn = 1 exactly) depends on m — no sharing across m.
+  Params loose_a = base;
+  loose_a.byzantine_fraction = 0.75;
+  loose_a.num_voters = 3;
+  Params loose_b = loose_a;
+  loose_b.num_voters = 9;
+  EXPECT_NE(core::structure_key(loose_a), core::structure_key(loose_b));
+}
+
+TEST(SweepEngine, RejectsMismatchedRateSpans) {
+  const core::GcsSpnModel model(small_params());
+  const spn::AbsorbingAnalyzer analyzer(model.graph());
+  const std::size_t edges = model.graph().edges.size();
+
+  std::vector<double> wrong(edges - 1, 1.0);
+  EXPECT_THROW((void)analyzer.solve(wrong), std::invalid_argument);
+
+  std::vector<double> rates(edges, 1.0);
+  // Rates without impulses (or vice versa) would blend two points.
+  EXPECT_THROW((void)model.evaluate_with(analyzer, rates, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)model.evaluate_with(analyzer, {}, rates),
+               std::invalid_argument);
+}
+
+TEST(ReachabilityCsr, AdjacencyIsConsistent) {
+  const core::GcsSpnModel model(small_params());
+  const auto g = spn::explore(model.net());
+
+  ASSERT_EQ(g.edge_offsets.size(), g.num_states() + 1);
+  EXPECT_EQ(g.edge_offsets.front(), 0u);
+  EXPECT_EQ(g.edge_offsets.back(), g.edges.size());
+  for (spn::StateId s = 0; s < g.num_states(); ++s) {
+    EXPECT_LE(g.edge_offsets[s], g.edge_offsets[s + 1]);
+    for (const auto& e : g.out_edges(s)) {
+      EXPECT_EQ(e.src, s);
+      EXPECT_LT(e.dst, g.num_states());
+      EXPECT_GT(e.rate, 0.0);
+    }
+  }
+
+  // The mask from CSR ranges must agree with a flat-edge-list scan.
+  const auto mask = g.absorbing_mask();
+  std::vector<char> brute(g.num_states(), 1);
+  for (const auto& e : g.edges) {
+    if (e.src != e.dst) brute[e.src] = 0;
+  }
+  EXPECT_EQ(mask, brute);
+}
+
+TEST(ReachabilityCsr, RefreshRatesMatchesFreshExploration) {
+  Params a = small_params();
+  a.t_ids = 120.0;
+  Params b = small_params();
+  b.t_ids = 30.0;
+  b.detection_shape = ids::Shape::Polynomial;
+
+  const core::GcsSpnModel model_a(a);
+  const core::GcsSpnModel model_b(b);
+  auto cached = spn::explore(model_a.net());
+  const auto fresh = spn::explore(model_b.net());
+  ASSERT_EQ(cached.num_states(), fresh.num_states());
+  ASSERT_EQ(cached.edges.size(), fresh.edges.size());
+
+  cached.refresh_rates(model_b.net());
+  for (std::size_t i = 0; i < fresh.edges.size(); ++i) {
+    EXPECT_EQ(cached.edges[i].src, fresh.edges[i].src);
+    EXPECT_EQ(cached.edges[i].dst, fresh.edges[i].dst);
+    EXPECT_EQ(cached.edges[i].transition, fresh.edges[i].transition);
+    EXPECT_DOUBLE_EQ(cached.edges[i].rate, fresh.edges[i].rate);
+    EXPECT_DOUBLE_EQ(cached.edges[i].impulse, fresh.edges[i].impulse);
+  }
+}
+
+TEST(ReachabilityCsr, RefreshRejectsStructuralChange) {
+  Params with_leak = small_params();  // p1 > 0: T_DRQ edges exist
+  Params no_leak = small_params();
+  no_leak.p1 = 0.0;  // T_DRQ rate identically 0
+
+  const core::GcsSpnModel model(with_leak);
+  auto graph = spn::explore(model.net());
+  const core::GcsSpnModel degenerate(no_leak);
+  EXPECT_THROW(graph.refresh_rates(degenerate.net()), std::runtime_error);
+}
+
+TEST(SweepEngine, MatchesFreshPerPointEvaluation) {
+  const std::vector<double> grid{30, 120, 480};
+  std::vector<Params> points;
+  for (const int m : {3, 5}) {
+    for (const auto shape : {ids::Shape::Logarithmic, ids::Shape::Linear,
+                             ids::Shape::Polynomial}) {
+      for (const double t : grid) {
+        Params p = small_params();
+        p.num_voters = m;
+        p.detection_shape = shape;
+        p.t_ids = t;
+        points.push_back(p);
+      }
+    }
+  }
+
+  core::SweepEngine engine;
+  const auto evals = engine.evaluate(points);
+  ASSERT_EQ(evals.size(), points.size());
+  EXPECT_EQ(engine.stats().explorations, 1u);
+  EXPECT_EQ(engine.stats().points, points.size());
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto reference = core::GcsSpnModel(points[i]).evaluate_reference();
+    expect_evaluations_match(evals[i], reference, 1e-12);
+  }
+}
+
+TEST(SweepEngine, MatchesOnPartitionMergeConfiguration) {
+  // The max_groups > 1 birth–death structure: group-count cycles make
+  // the SCC condensation non-trivial, and T_PAR/T_MER edges must
+  // re-rate correctly.
+  Params base = Params::paper_defaults();
+  base.n_init = 20;
+  ASSERT_GT(base.max_groups, 1);
+
+  const std::vector<double> grid{15, 120, 600};
+  core::SweepEngine engine;
+  const auto sweep = engine.sweep_t_ids(base, grid);
+  EXPECT_EQ(engine.stats().explorations, 1u);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    Params p = base;
+    p.t_ids = grid[i];
+    const auto reference = core::GcsSpnModel(p).evaluate_reference();
+    expect_evaluations_match(sweep.points[i].eval, reference, 1e-12);
+  }
+}
+
+TEST(SweepEngine, StructureCachePersistsAcrossCalls) {
+  const std::vector<double> grid{60, 240};
+  core::SweepEngine engine;
+  for (const int m : {3, 5, 7}) {
+    Params p = small_params();
+    p.num_voters = m;
+    (void)engine.sweep_t_ids(p, grid);
+  }
+  EXPECT_EQ(engine.stats().explorations, 1u);
+  EXPECT_EQ(engine.stats().points, 6u);
+}
+
+TEST(SweepEngine, ThreadCountDoesNotChangeResults) {
+  const std::vector<double> grid{30, 120, 480};
+  core::SweepEngine serial({.threads = 1});
+  core::SweepEngine parallel({.threads = 4});
+  const auto a = serial.sweep_t_ids(small_params(), grid);
+  const auto b = parallel.sweep_t_ids(small_params(), grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    expect_evaluations_match(a.points[i].eval, b.points[i].eval, 0.0);
+  }
+}
+
+TEST(SweepEngine, NaiveModeMatchesCachedMode) {
+  const std::vector<double> grid{15, 240};
+  core::SweepEngine cached;
+  core::SweepEngine naive({.reuse_structure = false});
+  const auto a = cached.sweep_t_ids(small_params(), grid);
+  const auto b = naive.sweep_t_ids(small_params(), grid);
+  EXPECT_EQ(naive.stats().explorations, grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    expect_evaluations_match(a.points[i].eval, b.points[i].eval, 1e-12);
+  }
+}
+
+TEST(GcsSpnModel, GraphIsCachedAcrossUses) {
+  const core::GcsSpnModel model(small_params());
+  const auto* first = &model.graph();
+  const auto* second = &model.graph();
+  EXPECT_EQ(first, second);
+
+  // evaluate() and reliability_at() share the cached exploration and
+  // stay consistent with the reference path.
+  const auto ev = model.evaluate();
+  const auto reference = model.evaluate_reference();
+  expect_evaluations_match(ev, reference, 1e-12);
+  const std::vector<double> times{0.0};
+  const auto rel = model.reliability_at(times);
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_NEAR(rel[0], 1.0, 1e-9);
+}
+
+}  // namespace
