@@ -1,0 +1,186 @@
+// Monte-Carlo engine benchmark, run on the val_des_vs_spn workload
+// (the 4-point TIDS validation grid, scaled-down population).
+// Measures, in the same process:
+//   * the seed-era per-point replication loop — a fresh voting table
+//     per trajectory, every trajectory stored, a uniform fixed
+//     replication count sized for the hardest grid point
+//     (run_replications_reference), and
+//   * the engine path — shared per-point contexts, streaming Welford
+//     summaries, CI-targeted sequential stopping, one (point × block)
+//     parallel_for schedule (sim::MonteCarloEngine via sweep_mc),
+// at EQUAL confidence-interval width: the baseline runs the uniform
+// replication count the engine needed at its worst point, which is the
+// conservative choice an experimenter without sequential stopping must
+// make.  Also measures the CRN variance reduction on adjacent-point
+// curve contrasts (common vs independent random-number substreams),
+// and writes BENCH_mc.json so the trajectory is tracked PR-on-PR.
+//
+// `--smoke` loosens the CI target for CI runtimes.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sweep_engine.h"
+#include "sim/des.h"
+#include "sim/mc_engine.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace midas;
+
+/// Sample variance of the per-replication contrast ttsf_a[r] - ttsf_b[r].
+double contrast_variance(const std::vector<sim::Trajectory>& a,
+                         const std::vector<sim::Trajectory>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  sim::Welford w;
+  for (std::size_t r = 0; r < n; ++r) w.push(a[r].ttsf - b[r].ttsf);
+  return w.variance();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::print_header(
+      "Monte-Carlo engine: val_des_vs_spn grid, seed loop vs batched",
+      "CI-adaptive batched replications >= 3x over the per-point loop at "
+      "equal CI width; analytic values inside the 95% CIs; CRN contrasts "
+      "below independent-stream variance");
+
+  core::Params base = core::Params::paper_defaults();
+  base.n_init = 15;
+  base.max_groups = 1;
+  base.lambda_c = 1.0 / 2000.0;
+  const std::vector<double> grid{15.0, 60.0, 240.0, 1200.0};
+  const double target = smoke ? 0.075 : 0.05;
+
+  // --- Engine path: analytic + CI-bounded simulation in one call.
+  sim::McOptions mc;
+  mc.rel_ci_target = target;
+  mc.base_seed = 0xFACADE;
+  core::SweepEngine engine;
+  const auto sweep = engine.sweep_mc(base, grid, mc);
+  const double engine_seconds = sweep.mc_stats.seconds;
+
+  std::size_t max_reps = 0;
+  bool converged_all = true;
+  util::Table table({"TIDS(s)", "MTTSF analytic", "MTTSF sim (95% CI)",
+                     "reps", "inside CI"});
+  for (const auto& pt : sweep.points) {
+    max_reps = std::max(max_reps, pt.mc.replications);
+    converged_all = converged_all && pt.mc.converged;
+    table.add_row({util::Table::fix(pt.t_ids, 0),
+                   util::Table::sci(pt.eval.mttsf),
+                   util::Table::sci(pt.mc.ttsf.mean) + " ± " +
+                       util::Table::sci(pt.mc.ttsf.ci_half_width, 1),
+                   std::to_string(pt.mc.replications),
+                   pt.mc.ttsf.contains(pt.eval.mttsf) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  const std::size_t inside = sweep.mttsf_inside_ci();
+
+  // --- Baseline at equal CI width: the uniform fixed count that covers
+  // the hardest point, through the preserved seed-era loop.
+  const util::Stopwatch baseline_watch;
+  double worst_baseline_width = 0.0;
+  for (const double t : grid) {
+    core::Params p = base;
+    p.t_ids = t;
+    const auto r =
+        sim::run_replications_reference(p, max_reps, 0xFACADE, 0);
+    worst_baseline_width = std::max(
+        worst_baseline_width, r.ttsf.ci_half_width / r.ttsf.mean);
+  }
+  const double baseline_seconds = baseline_watch.seconds();
+  const std::size_t baseline_reps = grid.size() * max_reps;
+  const double speedup = baseline_seconds / engine_seconds;
+
+  std::printf("\nCI target (rel):  %.3f   engine worst achieved: ok=%s\n",
+              target, converged_all ? "yes" : "NO");
+  std::printf("engine:           %.3f s  (%zu replications, %zu rounds, "
+              "%.3e trajectories/s)\n",
+              engine_seconds, sweep.mc_stats.replications,
+              sweep.mc_stats.rounds,
+              static_cast<double>(sweep.mc_stats.replications) /
+                  engine_seconds);
+  std::printf("seed-era loop:    %.3f s  (%zu replications, worst rel "
+              "width %.3f)\n",
+              baseline_seconds, baseline_reps, worst_baseline_width);
+  std::printf("speedup:          %.1fx  (%s 3x)\n", speedup,
+              speedup >= 3.0 ? ">=" : "BELOW");
+  std::printf("analytic inside simulation 95%% CI: %zu/%zu\n",
+              inside, sweep.points.size());
+
+  // --- CRN vs independent substreams: variance of adjacent-point curve
+  // contrasts at a fixed replication count.
+  const std::size_t crn_reps = smoke ? 200 : 400;
+  auto run_captured = [&](bool crn) {
+    sim::McOptions o;
+    o.base_seed = 0xFACADE;
+    o.rel_ci_target = 0.0;
+    o.min_replications = crn_reps;
+    o.max_replications = crn_reps;
+    o.crn = crn;
+    o.capture_trajectories = true;
+    std::vector<core::Params> points;
+    for (const double t : grid) {
+      core::Params p = base;
+      p.t_ids = t;
+      points.push_back(std::move(p));
+    }
+    sim::MonteCarloEngine e(o);
+    return e.run_des(points);
+  };
+  const auto crn_run = run_captured(true);
+  const auto ind_run = run_captured(false);
+
+  std::printf("\nCRN contrast variance (adjacent TIDS pairs, %zu reps):\n",
+              crn_reps);
+  double ratio_min = 1e300, ratio_sum = 0.0;
+  for (std::size_t k = 0; k + 1 < grid.size(); ++k) {
+    const double var_crn = contrast_variance(crn_run[k].trajectories,
+                                             crn_run[k + 1].trajectories);
+    const double var_ind = contrast_variance(ind_run[k].trajectories,
+                                             ind_run[k + 1].trajectories);
+    const double ratio = var_ind / var_crn;
+    ratio_min = std::min(ratio_min, ratio);
+    ratio_sum += ratio;
+    std::printf("  TIDS %4.0f vs %4.0f: var(indep)/var(CRN) = %.2f\n",
+                grid[k], grid[k + 1], ratio);
+  }
+  const double ratio_mean = ratio_sum / static_cast<double>(grid.size() - 1);
+  std::printf("  mean variance ratio: %.2f  (%s 1)\n", ratio_mean,
+              ratio_mean > 1.0 ? ">" : "NOT >");
+
+  bench::BenchJson json;
+  json.field("bench", std::string("mc_val_grid"));
+  json.field("mode", std::string(smoke ? "smoke" : "full"));
+  json.field("points", grid.size());
+  json.field("rel_ci_target", target);
+  json.field("engine_seconds", engine_seconds);
+  json.field("engine_replications", sweep.mc_stats.replications);
+  json.field("trajectories_per_second",
+             static_cast<double>(sweep.mc_stats.replications) /
+                 engine_seconds);
+  json.field("baseline_seconds", baseline_seconds);
+  json.field("baseline_replications", baseline_reps);
+  json.field("speedup", speedup);
+  json.field("worst_baseline_rel_width", worst_baseline_width);
+  json.field("analytic_inside_ci", inside);
+  json.field("crn_variance_ratio_mean", ratio_mean);
+  json.field("crn_variance_ratio_min", ratio_min);
+  json.write("BENCH_mc.json");
+
+  // Non-zero exit so CI catches a perf or correctness regression.  One
+  // CI miss out of four points is expected Monte-Carlo behaviour.
+  const bool ok = speedup >= 3.0 && converged_all &&
+                  inside + 1 >= sweep.points.size() && ratio_mean > 1.0;
+  return ok ? 0 : 1;
+}

@@ -5,15 +5,16 @@
 // ones, BFS hop counts over a live random-waypoint topology instead of a
 // fixed mean, per-message traffic accounting instead of rate rewards.
 // Expect order-of-magnitude agreement and matching trends, not equality.
+//
+// The replication grid runs through sim::MonteCarloEngine::run_protocol:
+// one (point × block) schedule for all TIDS points, streaming summaries,
+// and the key-agreement safety invariant checked on every trajectory.
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
-#include "sim/protocol_sim.h"
-#include "sim/rng.h"
-#include "sim/stats.h"
-#include "sim/thread_pool.h"
+#include "sim/mc_engine.h"
 
 int main() {
   using namespace midas;
@@ -21,14 +22,8 @@ int main() {
       "Validation V2: protocol-level simulation vs analytic model",
       "same order of magnitude for TTSF and traffic; same TIDS trend");
 
-  const std::size_t reps = 24;
-  util::Table table({"TIDS(s)", "MTTSF analytic", "TTSF protocol (95% CI)",
-                     "ratio", "Ctotal analytic", "traffic protocol",
-                     "keys ok"});
-  util::CsvWriter csv("val_protocol_sim.csv");
-  csv.header({"t_ids", "mttsf_analytic", "ttsf_sim", "ttsf_ci",
-              "ctotal_analytic", "traffic_sim"});
-
+  std::vector<sim::ProtocolSimParams> points;
+  std::vector<core::Evaluation> analytic;
   for (const double t_ids : {30.0, 120.0, 600.0}) {
     auto params = sim::ProtocolSimParams::small_defaults();
     params.model.t_ids = t_ids;
@@ -36,39 +31,52 @@ int main() {
     // the cost comparison is apples-to-apples.
     params.model.cost.mean_hops = 1.6;  // measured for this field/range
     params.model.cost.sync_rekey_params();
+    analytic.push_back(core::GcsSpnModel(params.model).evaluate());
+    points.push_back(std::move(params));
+  }
 
-    const auto analytic = core::GcsSpnModel(params.model).evaluate();
+  sim::McOptions mc;
+  mc.base_seed = 0xCAFE;
+  mc.rel_ci_target = 0.0;  // fixed budget: protocol trajectories are costly
+  mc.min_replications = 24;
+  mc.max_replications = 24;
+  mc.block = 4;
+  sim::MonteCarloEngine engine(mc);
+  const auto results = engine.run_protocol(points);
 
-    std::vector<double> ttsf(reps), cost(reps);
-    bool keys_ok = true;
-    sim::parallel_for(reps, [&](std::size_t i) {
-      const auto r =
-          sim::run_protocol_sim(params, sim::derive_seed(0xCAFE, i));
-      ttsf[i] = r.ttsf;
-      cost[i] = r.mean_cost_rate();
-      if (!r.keys_always_agreed) keys_ok = false;
-    });
-    const auto ttsf_sum = sim::summarize(ttsf);
-    const auto cost_sum = sim::summarize(cost);
+  util::Table table({"TIDS(s)", "MTTSF analytic", "TTSF protocol (95% CI)",
+                     "ratio", "Ctotal analytic", "traffic protocol",
+                     "keys ok"});
+  util::CsvWriter csv("val_protocol_sim.csv");
+  csv.header({"t_ids", "mttsf_analytic", "ttsf_sim", "ttsf_ci",
+              "ctotal_analytic", "traffic_sim"});
 
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double t_ids = points[i].model.t_ids;
+    const auto& r = results[i];
     table.add_row(
-        {util::Table::fix(t_ids, 0), util::Table::sci(analytic.mttsf),
-         util::Table::sci(ttsf_sum.mean) + " ± " +
-             util::Table::sci(ttsf_sum.ci_half_width, 1),
-         util::Table::fix(ttsf_sum.mean / analytic.mttsf, 2),
-         util::Table::sci(analytic.ctotal), util::Table::sci(cost_sum.mean),
-         keys_ok ? "yes" : "NO"});
+        {util::Table::fix(t_ids, 0), util::Table::sci(analytic[i].mttsf),
+         util::Table::sci(r.ttsf.mean) + " ± " +
+             util::Table::sci(r.ttsf.ci_half_width, 1),
+         util::Table::fix(r.ttsf.mean / analytic[i].mttsf, 2),
+         util::Table::sci(analytic[i].ctotal),
+         util::Table::sci(r.cost_rate.mean),
+         r.keys_always_agreed ? "yes" : "NO"});
     csv.row({util::CsvWriter::num(t_ids),
-             util::CsvWriter::num(analytic.mttsf),
-             util::CsvWriter::num(ttsf_sum.mean),
-             util::CsvWriter::num(ttsf_sum.ci_half_width),
-             util::CsvWriter::num(analytic.ctotal),
-             util::CsvWriter::num(cost_sum.mean)});
+             util::CsvWriter::num(analytic[i].mttsf),
+             util::CsvWriter::num(r.ttsf.mean),
+             util::CsvWriter::num(r.ttsf.ci_half_width),
+             util::CsvWriter::num(analytic[i].ctotal),
+             util::CsvWriter::num(r.cost_rate.mean)});
   }
   table.print(std::cout);
   std::printf("\nratio = protocol TTSF / analytic MTTSF.  Deviations from "
               "1.0 quantify the paper's exponential-IDS-interval and\n"
               "fixed-hop-count assumptions; the TIDS ordering must match.\n");
+  std::printf("mc engine: %zu protocol trajectories in %zu blocks / %zu "
+              "rounds, %.1f s\n",
+              engine.stats().replications, engine.stats().blocks,
+              engine.stats().rounds, engine.stats().seconds);
   std::printf("csv written: val_protocol_sim.csv\n");
   return 0;
 }

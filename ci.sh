@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (build + full gtest suite via ctest),
-# the sweep-engine equivalence/speedup bench in smoke mode, and the
-# micro benches with a minimal measurement budget.
+# the sweep-engine equivalence/speedup bench and the Monte-Carlo engine
+# bench in smoke mode, and the micro benches with a minimal measurement
+# budget.  Leaves BENCH_sweep.json + BENCH_mc.json in build/ for the
+# workflow to archive.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,6 +17,12 @@ cmake --build build -j"${JOBS}"
 # --- Sweep-engine smoke: exits non-zero if the cached-rate path diverges
 # from fresh per-point exploration, and records BENCH_sweep.json.
 (cd build && ./bench_sweep --smoke)
+
+# --- Monte-Carlo engine smoke: exits non-zero if the batched path loses
+# its >= 3x speedup at equal CI width, the analytic values fall outside
+# the simulation CIs, or CRN stops reducing contrast variance.  Records
+# BENCH_mc.json.
+(cd build && ./bench_mc --smoke)
 
 # --- Micro benches, smoke budget (skipped when Google Benchmark absent).
 for b in micro_solver micro_voting; do

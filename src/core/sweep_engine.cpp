@@ -26,6 +26,14 @@ std::size_t SweepResult::argmin_ctotal() const {
   return best;
 }
 
+std::size_t McSweepResult::mttsf_inside_ci() const {
+  std::size_t inside = 0;
+  for (const auto& pt : points) {
+    if (pt.mc.ttsf.contains(pt.eval.mttsf)) ++inside;
+  }
+  return inside;
+}
+
 std::string structure_key(const Params& p) {
   std::ostringstream key;
   key.precision(17);
@@ -136,6 +144,30 @@ SweepResult SweepEngine::sweep_t_ids(const Params& base,
   for (std::size_t i = 0; i < grid.size(); ++i) {
     result.points.push_back({grid[i], evals[i]});
   }
+  return result;
+}
+
+McSweepResult SweepEngine::sweep_mc(const Params& base,
+                                    std::span<const double> grid,
+                                    const sim::McOptions& mc) {
+  std::vector<Params> points;
+  points.reserve(grid.size());
+  for (double t : grid) {
+    Params p = base;
+    p.t_ids = t;
+    points.push_back(std::move(p));
+  }
+  const auto evals = evaluate(points);
+
+  sim::MonteCarloEngine engine(mc);
+  auto mcs = engine.run_des(points);
+
+  McSweepResult result;
+  result.points.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    result.points.push_back({grid[i], evals[i], std::move(mcs[i])});
+  }
+  result.mc_stats = engine.stats();
   return result;
 }
 

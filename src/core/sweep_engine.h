@@ -24,6 +24,7 @@
 
 #include "core/gcs_spn_model.h"
 #include "core/params.h"
+#include "sim/mc_engine.h"
 
 namespace midas::core {
 
@@ -44,6 +45,22 @@ struct SweepResult {
   [[nodiscard]] const SweepPoint& best_ctotal() const {
     return points[argmin_ctotal()];
   }
+};
+
+/// A TIDS grid point answered both analytically and by simulation.
+struct McSweepPoint {
+  double t_ids = 0.0;
+  Evaluation eval;          // batched SPN solution
+  sim::McPointResult mc;    // CI-bounded Monte-Carlo estimate
+};
+
+struct McSweepResult {
+  std::vector<McSweepPoint> points;
+  sim::MonteCarloEngine::Stats mc_stats;
+
+  /// #points whose analytic MTTSF lies inside the simulation 95% CI
+  /// (expect ~95% of points; the occasional miss is Monte-Carlo noise).
+  [[nodiscard]] std::size_t mttsf_inside_ci() const;
 };
 
 struct SweepEngineOptions {
@@ -72,6 +89,14 @@ class SweepEngine {
   /// Evaluates `base` at every TIDS in `grid` (base.t_ids is ignored).
   [[nodiscard]] SweepResult sweep_t_ids(const Params& base,
                                         std::span<const double> grid);
+
+  /// Companion: answers the same TIDS grid analytically (batched SPN
+  /// solve) AND by Monte-Carlo simulation (sim::MonteCarloEngine with
+  /// CRN + CI-targeted stopping) in one call, so every figure can carry
+  /// CI-bounded validation instead of spot checks.
+  [[nodiscard]] McSweepResult sweep_mc(const Params& base,
+                                       std::span<const double> grid,
+                                       const sim::McOptions& mc = {});
 
   struct Stats {
     std::size_t points = 0;            // points evaluated

@@ -3,10 +3,9 @@
 #include <cmath>
 #include <random>
 #include <stdexcept>
+#include <utility>
 
-#include "gcs/cost_model.h"
-#include "ids/functions.h"
-#include "ids/voting.h"
+#include "sim/mc_engine.h"
 #include "sim/rng.h"
 #include "sim/thread_pool.h"
 
@@ -31,13 +30,31 @@ std::int64_t per_group(std::int64_t total, std::int64_t groups) {
 
 }  // namespace
 
-Trajectory simulate_group(const core::Params& params, std::uint64_t seed) {
+DesContext::DesContext(std::shared_ptr<const ids::VotingTable> v,
+                       gcs::CostModel c)
+    : voting(std::move(v)), cost(std::move(c)) {}
+
+DesContext::DesContext(const core::Params& params)
+    : DesContext(ids::shared_voting_table(
+                     ids::VotingParams{params.num_voters, params.p1,
+                                       params.p2},
+                     params.n_init, params.n_init),
+                 gcs::CostModel(params.cost)) {}
+
+DesContext DesContext::fresh(const core::Params& params) {
+  return DesContext(
+      std::make_shared<const ids::VotingTable>(
+          ids::VotingParams{params.num_voters, params.p1, params.p2},
+          params.n_init, params.n_init),
+      gcs::CostModel(params.cost));
+}
+
+Trajectory simulate_group(const core::Params& params, std::uint64_t seed,
+                          const DesContext& context) {
   params.validate();
 
-  const ids::VotingTable voting(
-      ids::VotingParams{params.num_voters, params.p1, params.p2},
-      params.n_init, params.n_init);
-  const gcs::CostModel cost(params.cost);
+  const ids::VotingTable& voting = *context.voting;
+  const gcs::CostModel& cost = context.cost;
 
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> uni(0.0, 1.0);
@@ -161,18 +178,48 @@ Trajectory simulate_group(const core::Params& params, std::uint64_t seed) {
   }
 }
 
+Trajectory simulate_group(const core::Params& params, std::uint64_t seed) {
+  return simulate_group(params, seed, DesContext(params));
+}
+
 ReplicationResult run_replications(const core::Params& params,
                                    std::size_t replications,
                                    std::uint64_t base_seed,
-                                   std::size_t threads) {
+                                   std::size_t threads,
+                                   bool capture_trajectories) {
+  if (replications == 0) return {};  // empty summary, as the seed did
+
+  McOptions opts;
+  opts.base_seed = base_seed;
+  opts.min_replications = replications;
+  opts.max_replications = replications;
+  opts.rel_ci_target = 0.0;  // fixed replication count
+  opts.threads = threads;
+  opts.capture_trajectories = capture_trajectories;
+  MonteCarloEngine engine(opts);
+  auto point = engine.run_des(params);
+
+  ReplicationResult result;
+  result.ttsf = point.ttsf;
+  result.cost_rate = point.cost_rate;
+  result.p_failure_c1 = point.p_failure_c1;
+  result.trajectories = std::move(point.trajectories);
+  return result;
+}
+
+ReplicationResult run_replications_reference(const core::Params& params,
+                                             std::size_t replications,
+                                             std::uint64_t base_seed,
+                                             std::size_t threads) {
   ReplicationResult result;
   result.trajectories.resize(replications);
 
   parallel_for(
       replications,
       [&](std::size_t i) {
+        const DesContext context = DesContext::fresh(params);
         result.trajectories[i] =
-            simulate_group(params, derive_seed(base_seed, i));
+            simulate_group(params, derive_seed(base_seed, i), context);
       },
       threads);
 

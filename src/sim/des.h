@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/params.h"
+#include "gcs/cost_model.h"
+#include "ids/voting.h"
 #include "sim/stats.h"
 
 namespace midas::sim {
@@ -29,7 +32,37 @@ struct Trajectory {
   }
 };
 
-/// Simulates one replication with the given seed.
+/// Immutable per-parameter-point context shared by every replication of
+/// that point: the O(N²) voting table and the cost model.  Building
+/// these once per point instead of once per trajectory is the DES
+/// analog of the sweep engine's shared exploration — at the validation
+/// population the table build costs as much as a whole trajectory.
+struct DesContext {
+  /// Via the process-wide ids::shared_voting_table memo, so a TIDS
+  /// sweep (identical voting parameters at every point) shares one
+  /// table across the entire grid.
+  explicit DesContext(const core::Params& params);
+
+  /// Seed-era behaviour: a private table built from scratch (no memo).
+  /// Kept for the benchmark baseline.
+  [[nodiscard]] static DesContext fresh(const core::Params& params);
+
+  std::shared_ptr<const ids::VotingTable> voting;
+  gcs::CostModel cost;
+
+ private:
+  DesContext(std::shared_ptr<const ids::VotingTable> v,
+             gcs::CostModel c);
+};
+
+/// Simulates one replication with the given seed and shared context.
+/// Deterministic in (params, seed); `context` must be built from the
+/// same params.
+[[nodiscard]] Trajectory simulate_group(const core::Params& params,
+                                        std::uint64_t seed,
+                                        const DesContext& context);
+
+/// Convenience single-shot form (builds the context via the memo).
 [[nodiscard]] Trajectory simulate_group(const core::Params& params,
                                         std::uint64_t seed);
 
@@ -37,14 +70,26 @@ struct ReplicationResult {
   Summary ttsf;        // over replications
   Summary cost_rate;   // hop-bits/s
   double p_failure_c1 = 0.0;
+  /// Raw trajectories — captured only when explicitly requested
+  /// (`capture_trajectories`); empty otherwise, so replication runs are
+  /// O(1) memory in the replication count.
   std::vector<Trajectory> trajectories;
 };
 
-/// Runs `replications` independent trajectories in parallel (thread
-/// pool) and summarises with 95% CIs.
-[[nodiscard]] ReplicationResult run_replications(const core::Params& params,
-                                                 std::size_t replications,
-                                                 std::uint64_t base_seed,
-                                                 std::size_t threads = 0);
+/// Runs `replications` independent trajectories in parallel through the
+/// Monte-Carlo engine and summarises with 95% CIs.  Streaming: raw
+/// trajectories are only stored when `capture_trajectories` is set.
+[[nodiscard]] ReplicationResult run_replications(
+    const core::Params& params, std::size_t replications,
+    std::uint64_t base_seed, std::size_t threads = 0,
+    bool capture_trajectories = false);
+
+/// The seed-era per-point replication loop, kept verbatim as the
+/// benchmark/equivalence baseline (bench_mc): a fresh voting table per
+/// trajectory, every trajectory stored, two-pass summaries, one
+/// parallel_for per call.
+[[nodiscard]] ReplicationResult run_replications_reference(
+    const core::Params& params, std::size_t replications,
+    std::uint64_t base_seed, std::size_t threads = 0);
 
 }  // namespace midas::sim

@@ -1,0 +1,261 @@
+#include "sim/mc_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+#include "sim/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace midas::sim {
+
+namespace {
+
+/// Streaming accumulators for one block or one point.
+struct Accum {
+  Welford ttsf;
+  Welford cost_rate;
+  std::size_t c1 = 0;
+  std::size_t timeouts = 0;
+  bool keys_ok = true;
+  std::vector<std::size_t> survival;  // survivor counts per horizon
+  std::vector<Trajectory> trajectories;
+
+  explicit Accum(std::size_t horizons) : survival(horizons, 0) {}
+
+  void merge(const Accum& other) {
+    ttsf.merge(other.ttsf);
+    cost_rate.merge(other.cost_rate);
+    c1 += other.c1;
+    timeouts += other.timeouts;
+    keys_ok = keys_ok && other.keys_ok;
+    for (std::size_t h = 0; h < survival.size(); ++h) {
+      survival[h] += other.survival[h];
+    }
+    trajectories.insert(trajectories.end(), other.trajectories.begin(),
+                        other.trajectories.end());
+  }
+};
+
+/// A scheduled work item: replications [first_rep, first_rep + count)
+/// of sweep point `point`.
+struct Item {
+  std::size_t point = 0;
+  std::size_t first_rep = 0;
+  std::size_t count = 0;
+};
+
+bool within_target(const Welford& w, double rel_target) {
+  // One replication has a degenerate zero-width CI — never "converged".
+  if (w.count() < 2) return false;
+  const Summary s = w.summary();
+  return s.ci_half_width <=
+         rel_target * std::max(std::fabs(s.mean), 1e-300);
+}
+
+/// Replications needed for a relative 95% half-width target, from the
+/// current variance estimate (normal quantile; the round loop re-checks
+/// with the exact t quantile, so this only has to be a decent guess).
+/// Clamped to `cap` before the cast — a degenerate mean/variance must
+/// not overflow the size_t conversion.
+std::size_t reps_needed(const Welford& w, double rel_target,
+                        std::size_t cap) {
+  const double mean = std::fabs(w.mean());
+  if (mean <= 0.0 || w.count() < 2) return w.count() * 2;
+  const double z = 1.96 * std::sqrt(w.variance()) / (rel_target * mean);
+  const double need = std::ceil(z * z);
+  if (!std::isfinite(need) || need >= static_cast<double>(cap)) return cap;
+  return static_cast<std::size_t>(need);
+}
+
+}  // namespace
+
+MonteCarloEngine::MonteCarloEngine(McOptions opts) : opts_(std::move(opts)) {
+  if (opts_.min_replications == 0 || opts_.block == 0) {
+    throw std::invalid_argument(
+        "MonteCarloEngine: min_replications and block must be positive");
+  }
+  opts_.max_replications =
+      std::max(opts_.max_replications, opts_.min_replications);
+}
+
+std::uint64_t MonteCarloEngine::replication_seed(std::size_t point,
+                                                 std::size_t rep) const {
+  // CRN: one substream shared by every point; independent: substream
+  // keyed by the point index (offset so the layouts never coincide).
+  const std::uint64_t stream = opts_.crn ? 0 : point + 1;
+  return derive_seed2(opts_.base_seed, stream, rep);
+}
+
+template <typename SampleFn>
+std::vector<McPointResult> MonteCarloEngine::run_grid(
+    std::size_t num_points, const SampleFn& sample) {
+  const std::size_t horizons = opts_.survival_horizons.size();
+  const bool adaptive = opts_.rel_ci_target > 0.0;
+
+  struct PointState {
+    Accum accum;
+    std::size_t scheduled = 0;
+    bool converged = false;
+    explicit PointState(std::size_t h) : accum(h) {}
+  };
+  std::vector<PointState> state(num_points, PointState(horizons));
+
+  while (true) {
+    // Schedule the next batch for every unconverged point.  The first
+    // round runs min_replications; later rounds grow toward the
+    // variance-estimated requirement in block multiples.
+    std::vector<Item> items;
+    for (std::size_t p = 0; p < num_points; ++p) {
+      auto& st = state[p];
+      if (st.converged || st.scheduled >= opts_.max_replications) continue;
+      std::size_t want;
+      if (st.scheduled == 0) {
+        want = opts_.min_replications;
+      } else {
+        const std::size_t need = std::max(
+            reps_needed(st.accum.ttsf, opts_.rel_ci_target,
+                        opts_.max_replications),
+            reps_needed(st.accum.cost_rate, opts_.rel_ci_target,
+                        opts_.max_replications));
+        // Grow by at least one block and at most ~3x, so a noisy early
+        // variance estimate neither stalls nor wildly overshoots.
+        const std::size_t cap = std::max(3 * st.scheduled, opts_.block);
+        want = std::clamp(need > st.scheduled ? need - st.scheduled
+                                              : opts_.block,
+                          opts_.block, cap);
+      }
+      want = std::min(want, opts_.max_replications - st.scheduled);
+      for (std::size_t first = 0; first < want; first += opts_.block) {
+        items.push_back({p, st.scheduled + first,
+                         std::min(opts_.block, want - first)});
+      }
+      st.scheduled += want;
+    }
+    if (items.empty()) break;
+
+    // One unified schedule over every (point, block) item of the round.
+    std::vector<Accum> partial(items.size(), Accum(horizons));
+    parallel_for(
+        items.size(),
+        [&](std::size_t i) {
+          const Item& item = items[i];
+          Accum& acc = partial[i];
+          if (opts_.capture_trajectories) {
+            acc.trajectories.reserve(item.count);
+          }
+          for (std::size_t k = 0; k < item.count; ++k) {
+            const std::size_t rep = item.first_rep + k;
+            const Sample s =
+                sample(item.point, replication_seed(item.point, rep));
+            acc.ttsf.push(s.traj.ttsf);
+            acc.cost_rate.push(s.traj.mean_cost_rate());
+            if (s.traj.failed_by_c1) ++acc.c1;
+            if (s.timed_out) ++acc.timeouts;
+            acc.keys_ok = acc.keys_ok && s.keys_ok;
+            for (std::size_t h = 0; h < horizons; ++h) {
+              if (s.traj.ttsf > opts_.survival_horizons[h]) {
+                ++acc.survival[h];
+              }
+            }
+            if (opts_.capture_trajectories) {
+              acc.trajectories.push_back(s.traj);
+            }
+          }
+        },
+        opts_.threads);
+
+    // Merge partials in schedule order (deterministic float order, and
+    // captured trajectories land in replication order).
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      state[items[i].point].accum.merge(partial[i]);
+    }
+    stats_.blocks += items.size();
+    ++stats_.rounds;
+
+    for (auto& st : state) {
+      if (st.converged || st.accum.ttsf.count() < opts_.min_replications) {
+        continue;
+      }
+      st.converged =
+          !adaptive ||
+          (within_target(st.accum.ttsf, opts_.rel_ci_target) &&
+           within_target(st.accum.cost_rate, opts_.rel_ci_target));
+    }
+  }
+
+  std::vector<McPointResult> results;
+  results.reserve(num_points);
+  for (auto& st : state) {
+    McPointResult r;
+    r.ttsf = st.accum.ttsf.summary();
+    r.cost_rate = st.accum.cost_rate.summary();
+    r.replications = st.accum.ttsf.count();
+    r.p_failure_c1 = r.replications > 0
+                         ? static_cast<double>(st.accum.c1) /
+                               static_cast<double>(r.replications)
+                         : 0.0;
+    r.converged = st.converged;
+    r.survival.reserve(horizons);
+    for (const std::size_t count : st.accum.survival) {
+      r.survival.push_back(binomial_summary(r.replications, count));
+    }
+    r.trajectories = std::move(st.accum.trajectories);
+    r.keys_always_agreed = st.accum.keys_ok;
+    r.timeouts = st.accum.timeouts;
+    stats_.replications += r.replications;
+    results.push_back(std::move(r));
+  }
+  stats_.points += num_points;
+  return results;
+}
+
+std::vector<McPointResult> MonteCarloEngine::run_des(
+    std::span<const core::Params> points) {
+  const util::Stopwatch watch;
+  // Shared per-point contexts, built once for the whole grid (the memo
+  // collapses identical voting configurations across points).  Counted
+  // in stats_.seconds: the context build is part of the engine's cost.
+  std::vector<DesContext> contexts;
+  contexts.reserve(points.size());
+  for (const auto& p : points) contexts.emplace_back(p);
+
+  auto results =
+      run_grid(points.size(),
+               [&](std::size_t point, std::uint64_t seed) -> Sample {
+                 return {simulate_group(points[point], seed,
+                                        contexts[point]),
+                         true, false};
+               });
+  stats_.seconds += watch.seconds();
+  return results;
+}
+
+McPointResult MonteCarloEngine::run_des(const core::Params& point) {
+  auto results = run_des(std::span<const core::Params>(&point, 1));
+  return std::move(results.front());
+}
+
+std::vector<McPointResult> MonteCarloEngine::run_protocol(
+    std::span<const ProtocolSimParams> points) {
+  const util::Stopwatch watch;
+  auto results = run_grid(
+      points.size(), [&](std::size_t point, std::uint64_t seed) -> Sample {
+        const ProtocolSimResult r = run_protocol_sim(points[point], seed);
+        Sample s;
+        s.traj.ttsf = r.ttsf;
+        s.traj.accumulated_cost = r.traffic_hop_bits;
+        s.traj.failed_by_c1 = r.failed_by_c1;
+        s.traj.compromises = r.compromises;
+        s.traj.true_evictions = r.true_evictions;
+        s.traj.false_evictions = r.false_evictions;
+        s.keys_ok = r.keys_always_agreed;
+        s.timed_out = r.timed_out;
+        return s;
+      });
+  stats_.seconds += watch.seconds();
+  return results;
+}
+
+}  // namespace midas::sim

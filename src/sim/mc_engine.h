@@ -1,0 +1,143 @@
+// Unified Monte-Carlo experiment engine — the simulation-side
+// counterpart of core::SweepEngine.  One engine batches DES
+// (simulate_group) and protocol-level (run_protocol_sim) replications
+// across whole parameter grids:
+//
+//   1. Common random numbers (CRN): replication r of every sweep point
+//      draws from the same SplitMix64 substream (seeds keyed by
+//      (point, replication) via derive_seed2; CRN drops the point key),
+//      so curve differences between points are positively correlated
+//      and their contrasts have variance-reduced estimates.
+//   2. Streaming Welford accumulation (sim::Welford): no stored
+//      trajectory vectors — O(1) memory per point regardless of the
+//      replication count.  Raw trajectories are opt-in for tests.
+//   3. Sequential CI-targeted stopping: replications run in blocks
+//      until the 95% half-width of every tracked metric reaches a
+//      relative target, so easy points stop early instead of paying the
+//      worst point's conservative fixed count.
+//   4. One schedule: all (point × block) work items of a round flow
+//      through a single sim::parallel_for instead of a pool per point,
+//      and per-point contexts (the O(N²) voting table, cost model) are
+//      built once per point — not once per trajectory as the seed did.
+//
+// Results are bitwise deterministic in (options, grid): seeds depend
+// only on (point, replication) indices and block partials merge in
+// schedule order, so thread count never changes a digit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/des.h"
+#include "sim/protocol_sim.h"
+#include "sim/stats.h"
+
+namespace midas::sim {
+
+struct McOptions {
+  std::uint64_t base_seed = 0x5EED;
+
+  /// Replication schedule: every point starts with `min_replications`,
+  /// then grows in multiples of `block` until converged or capped at
+  /// `max_replications`.
+  std::size_t min_replications = 64;
+  std::size_t max_replications = std::size_t{1} << 20;
+  std::size_t block = 64;
+
+  /// Sequential stopping target: converged when the 95% CI half-width
+  /// of TTSF and of the cost rate are both <= rel_ci_target * mean.
+  /// <= 0 disables adaptive stopping (exactly min_replications run).
+  double rel_ci_target = 0.05;
+
+  /// Common random numbers: replication r uses the same substream at
+  /// every sweep point.  When false each point gets an independent
+  /// substream (keyed by its index).
+  bool crn = true;
+
+  /// Worker threads for the (point × block) schedule (0 = hardware
+  /// concurrency).
+  std::size_t threads = 0;
+
+  /// Opt-in raw trajectory capture (tests / variance studies).  Off by
+  /// default: summaries stream and nothing is stored per replication.
+  bool capture_trajectories = false;
+
+  /// When non-empty, each point also estimates mission reliability
+  /// R(t) = P[TTSF > t] at these times (survival indicator means with
+  /// CIs) — the simulation cross-check of GcsSpnModel::reliability_at.
+  std::vector<double> survival_horizons;
+};
+
+/// Per-point outcome of a grid run.
+struct McPointResult {
+  Summary ttsf;
+  Summary cost_rate;
+  double p_failure_c1 = 0.0;
+  std::size_t replications = 0;
+  /// CI target met before max_replications (vacuously true when
+  /// adaptive stopping is disabled).
+  bool converged = true;
+  /// One Summary per McOptions::survival_horizons entry — a Bernoulli
+  /// proportion with a 95% Wilson interval (never zero-width, even
+  /// when every replication survives a horizon).
+  std::vector<Summary> survival;
+  /// Filled only when capture_trajectories is set, in replication order.
+  std::vector<Trajectory> trajectories;
+
+  // Protocol-sim extras (defaults for DES grids).
+  bool keys_always_agreed = true;
+  std::size_t timeouts = 0;
+};
+
+class MonteCarloEngine {
+ public:
+  explicit MonteCarloEngine(McOptions opts = {});
+
+  /// DES grid: one result per parameter point.  Per-point contexts
+  /// share the process-wide voting-table memo, so a TIDS sweep builds
+  /// its table once for the whole grid.
+  [[nodiscard]] std::vector<McPointResult> run_des(
+      std::span<const core::Params> points);
+
+  /// Single-point convenience.
+  [[nodiscard]] McPointResult run_des(const core::Params& point);
+
+  /// Protocol-level grid (packet-level simulator).
+  [[nodiscard]] std::vector<McPointResult> run_protocol(
+      std::span<const ProtocolSimParams> points);
+
+  /// The seed replication `rep` of sweep point `point` uses — exposed
+  /// so any replication is reproducible in isolation with
+  /// simulate_group / run_protocol_sim.
+  [[nodiscard]] std::uint64_t replication_seed(std::size_t point,
+                                               std::size_t rep) const;
+
+  struct Stats {
+    std::size_t points = 0;        // grid points processed
+    std::size_t replications = 0;  // total trajectories simulated
+    std::size_t blocks = 0;        // (point × block) work items
+    std::size_t rounds = 0;        // parallel_for rounds
+    double seconds = 0.0;          // wall clock inside run_*()
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const McOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// One replication outcome, normalised across simulators.
+  struct Sample {
+    Trajectory traj;
+    bool keys_ok = true;
+    bool timed_out = false;
+  };
+
+  template <typename SampleFn>
+  std::vector<McPointResult> run_grid(std::size_t num_points,
+                                      const SampleFn& sample);
+
+  McOptions opts_;
+  Stats stats_;
+};
+
+}  // namespace midas::sim

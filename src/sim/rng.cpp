@@ -13,6 +13,11 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
   return splitmix64(splitmix64(base_seed) ^ (index * 0x9e3779b97f4a7c15ull));
 }
 
+std::uint64_t derive_seed2(std::uint64_t base_seed, std::uint64_t stream,
+                           std::uint64_t index) {
+  return derive_seed(derive_seed(base_seed, stream), index);
+}
+
 std::mt19937_64 make_stream(std::uint64_t base_seed, std::uint64_t index) {
   return std::mt19937_64(derive_seed(base_seed, index));
 }

@@ -16,6 +16,15 @@ namespace midas::sim {
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
                                         std::uint64_t index);
 
+/// Two-level derivation: seed for replication `index` of substream
+/// `stream` of experiment `base_seed`.  The Monte-Carlo engine keys
+/// substreams by sweep point, so (point, replication) pairs map to
+/// well-separated, non-colliding seeds — and common-random-number runs
+/// simply reuse one stream id across points.
+[[nodiscard]] std::uint64_t derive_seed2(std::uint64_t base_seed,
+                                         std::uint64_t stream,
+                                         std::uint64_t index);
+
 /// Convenience: a generator for one replication.
 [[nodiscard]] std::mt19937_64 make_stream(std::uint64_t base_seed,
                                           std::uint64_t index);

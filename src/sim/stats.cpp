@@ -44,4 +44,58 @@ Summary summarize(std::span<const double> sample) {
   return s;
 }
 
+Summary binomial_summary(std::size_t n, std::size_t successes) {
+  Summary s;
+  s.n = n;
+  if (n == 0) return s;
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  s.mean = p;
+  s.variance = n > 1 ? p * (1.0 - p) * nn / (nn - 1.0) : 0.0;
+  // Wilson score interval at z = 1.96, symmetrised around p by taking
+  // the larger distance to either bound (conservative, keeps
+  // Summary::contains' mean ± half-width semantics).
+  const double z = 1.96;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  s.ci_half_width = std::max(center + spread - p, p - (center - spread));
+  return s;
+}
+
+void Welford::push(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+}
+
+Summary Welford::summary() const {
+  Summary s;
+  s.n = n_;
+  s.mean = mean_;
+  if (n_ < 2) return s;
+  s.variance = variance();
+  const double sem = std::sqrt(s.variance / static_cast<double>(n_));
+  s.ci_half_width = t_quantile_95(n_ - 1) * sem;
+  return s;
+}
+
 }  // namespace midas::sim

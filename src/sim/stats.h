@@ -27,4 +27,39 @@ struct Summary {
 /// Summarises a sample with a 95% CI for the mean.
 [[nodiscard]] Summary summarize(std::span<const double> sample);
 
+/// Summary for a Bernoulli proportion (successes out of n) with a 95%
+/// Wilson score interval, symmetrised conservatively around the sample
+/// proportion.  Unlike the Student-t CI on 0/1 indicators, the width
+/// never degenerates to zero at proportions of exactly 0 or 1 — an
+/// all-survivors sample still carries its real statistical
+/// uncertainty.
+[[nodiscard]] Summary binomial_summary(std::size_t n,
+                                       std::size_t successes);
+
+/// Streaming mean/variance accumulator (Welford's algorithm): O(1)
+/// memory per metric regardless of replication count, mergeable across
+/// blocks via the parallel update of Chan et al.  The Monte-Carlo
+/// engine summarises whole replication grids through these instead of
+/// storing trajectory vectors.
+class Welford {
+ public:
+  void push(double x);
+  void merge(const Welford& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for n < 2).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  /// Summary with the 95% Student-t CI, identical in meaning to
+  /// summarize() on the full sample.
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+};
+
 }  // namespace midas::sim

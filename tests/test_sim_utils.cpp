@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <stdexcept>
@@ -30,6 +31,40 @@ TEST(Rng, StreamsReproduce) {
   auto a = make_stream(7, 3);
   auto b = make_stream(7, 3);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DeriveSeedNoCollisionsOverLargeIndexRange) {
+  // A million-replication experiment must not reuse a seed, nor collide
+  // with a sibling experiment's stream.
+  std::vector<std::uint64_t> seeds;
+  const std::uint64_t per_base = 1u << 19;  // 524288 indices per base
+  seeds.reserve(2 * per_base);
+  for (std::uint64_t base : {0xFACADEull, 0xFACADFull}) {
+    for (std::uint64_t i = 0; i < per_base; ++i) {
+      seeds.push_back(derive_seed(base, i));
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(Rng, DeriveSeed2StreamsAreDisjoint) {
+  // (stream, index) pairs across a sweep grid: 64 points x 16384
+  // replications, all distinct.
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(64u * 16384u);
+  for (std::uint64_t stream = 0; stream < 64; ++stream) {
+    for (std::uint64_t i = 0; i < 16384; ++i) {
+      seeds.push_back(derive_seed2(0x5EED, stream, i));
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  // Reproducible and sensitive to every key component.
+  EXPECT_EQ(derive_seed2(1, 2, 3), derive_seed2(1, 2, 3));
+  EXPECT_NE(derive_seed2(1, 2, 3), derive_seed2(2, 2, 3));
+  EXPECT_NE(derive_seed2(1, 2, 3), derive_seed2(1, 3, 3));
+  EXPECT_NE(derive_seed2(1, 2, 3), derive_seed2(1, 2, 4));
 }
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
@@ -91,6 +126,77 @@ TEST(Stats, TQuantilesDecreaseTowardNormal) {
     EXPECT_LT(t, prev) << "df=" << df;
     prev = t;
   }
+}
+
+TEST(Stats, WelfordMatchesTwoPassSummarize) {
+  std::mt19937_64 rng(11);
+  std::lognormal_distribution<double> dist(1.0, 0.75);
+  std::vector<double> sample;
+  Welford w;
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(rng);
+    sample.push_back(x);
+    w.push(x);
+  }
+  const auto two_pass = summarize(sample);
+  EXPECT_EQ(w.count(), two_pass.n);
+  EXPECT_NEAR(w.mean(), two_pass.mean, 1e-12 * two_pass.mean);
+  EXPECT_NEAR(w.variance(), two_pass.variance, 1e-9 * two_pass.variance);
+  EXPECT_NEAR(w.summary().ci_half_width, two_pass.ci_half_width,
+              1e-9 * two_pass.ci_half_width);
+}
+
+TEST(Stats, WelfordMergeEqualsSequentialPush) {
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> dist(5.0, 2.0);
+  Welford whole, left, right, empty;
+  for (int i = 0; i < 333; ++i) {
+    const double x = dist(rng);
+    whole.push(x);
+    (i < 100 ? left : right).push(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  // Merging an empty accumulator (either side) is the identity.
+  left.merge(empty);
+  EXPECT_EQ(left.count(), 333u);
+  empty.merge(left);
+  EXPECT_EQ(empty.count(), 333u);
+  EXPECT_DOUBLE_EQ(empty.mean(), left.mean());
+}
+
+TEST(Stats, WelfordEdgeCases) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.summary().n, 0u);
+  w.push(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.summary().ci_half_width, 0.0);
+}
+
+TEST(Stats, BinomialSummaryWilsonInterval) {
+  // Degenerate proportions still carry real uncertainty: 400/400
+  // successes is NOT a zero-width CI (Wilson lower bound ~0.990).
+  const auto all = binomial_summary(400, 400);
+  EXPECT_DOUBLE_EQ(all.mean, 1.0);
+  EXPECT_GT(all.ci_half_width, 0.0);
+  EXPECT_TRUE(all.contains(0.995));
+  EXPECT_FALSE(all.contains(0.98));
+
+  const auto none = binomial_summary(400, 0);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+  EXPECT_GT(none.ci_half_width, 0.0);
+
+  // Mid-range agrees with the normal approximation to a few percent.
+  const auto half = binomial_summary(100, 50);
+  EXPECT_DOUBLE_EQ(half.mean, 0.5);
+  EXPECT_NEAR(half.ci_half_width, 1.96 * 0.05, 0.01);
+
+  EXPECT_EQ(binomial_summary(0, 0).n, 0u);
+  EXPECT_DOUBLE_EQ(binomial_summary(0, 0).ci_half_width, 0.0);
 }
 
 TEST(Stats, CiNarrowsWithSampleSize) {
