@@ -2,7 +2,12 @@
 // adjust the IDS detection strength in response to the attacker strength
 // detected at runtime" — evaluated as a full 3×3 matrix: for each
 // attacker function, which detection function yields the highest MTTSF
-// at its own optimal TIDS?
+// at its own optimal TIDS?  The whole matrix runs as ONE core::GridSpec
+// (attacker × detection × TIDS) batch on a single explored structure,
+// and a thinned slice of the same grid is validated per point by
+// CI-bounded Monte-Carlo simulation (CRN + antithetic pairs).
+// `--smoke` thins the validation grid; exits non-zero on a validation
+// regression.
 //
 // Uses the CampaignProgress attacker metric (DESIGN.md): the paper's
 // printed ratio (Tm+UCm)/Tm is confined to [1, 1.5] by the C2 failure
@@ -11,43 +16,54 @@
 // compromised nodes in the system") escalates over the whole campaign.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::print_header(
       "Ablation A1: attacker function x detection function matrix",
       "best detection strength tracks attacker strength (diagonal "
       "dominance of the matched pairs)");
 
+  const std::vector<ids::Shape> shapes{ids::Shape::Logarithmic,
+                                       ids::Shape::Linear,
+                                       ids::Shape::Polynomial};
   const auto grid = core::paper_t_ids_grid();
+  core::Params base = core::Params::paper_defaults();
+  base.attacker_progress = core::AttackerProgress::CampaignProgress;
+
   core::SweepEngine engine;  // all 9 attacker×detection sweeps, 1 structure
-  const auto shapes = {ids::Shape::Logarithmic, ids::Shape::Linear,
-                       ids::Shape::Polynomial};
+  core::GridSpec matrix;
+  matrix.attacker_shape(shapes).detection_shape(shapes).t_ids(grid);
+  const auto run = engine.run(matrix, base);
 
   util::Table table({"attacker \\ detection", "logarithmic", "linear",
                      "polynomial", "best detection"});
   util::CsvWriter csv("abl_attacker_matrix.csv");
   csv.header({"attacker", "detection", "optimal_t_ids", "mttsf", "ctotal"});
 
-  for (const auto attacker : shapes) {
-    std::vector<std::string> row{to_string(attacker)};
+  for (std::size_t a = 0; a < shapes.size(); ++a) {
+    std::vector<std::string> row{to_string(shapes[a])};
     double best = -1.0;
     std::string best_name;
-    for (const auto detection : shapes) {
-      core::Params p = core::Params::paper_defaults();
-      p.attacker_progress = core::AttackerProgress::CampaignProgress;
-      p.attacker_shape = attacker;
-      p.detection_shape = detection;
-      const auto sweep = engine.sweep_t_ids(p, grid);
-      const auto& opt = sweep.best_mttsf();
-      row.push_back(util::Table::sci(opt.eval.mttsf) + " @" +
-                    util::Table::fix(opt.t_ids, 0) + "s");
-      csv.row({to_string(attacker), to_string(detection),
-               util::CsvWriter::num(opt.t_ids),
-               util::CsvWriter::num(opt.eval.mttsf),
-               util::CsvWriter::num(opt.eval.ctotal)});
-      if (opt.eval.mttsf > best) {
-        best = opt.eval.mttsf;
-        best_name = to_string(detection);
+    for (std::size_t d = 0; d < shapes.size(); ++d) {
+      // Optimal TIDS along the grid's innermost axis.
+      std::size_t opt = 0;
+      for (std::size_t t = 0; t < grid.size(); ++t) {
+        const std::size_t coords[]{a, d, t};
+        const std::size_t opt_coords[]{a, d, opt};
+        if (run.at(coords).mttsf > run.at(opt_coords).mttsf) opt = t;
+      }
+      const std::size_t coords[]{a, d, opt};
+      const auto& ev = run.at(coords);
+      row.push_back(util::Table::sci(ev.mttsf) + " @" +
+                    util::Table::fix(grid[opt], 0) + "s");
+      csv.row({to_string(shapes[a]), to_string(shapes[d]),
+               util::CsvWriter::num(grid[opt]),
+               util::CsvWriter::num(ev.mttsf),
+               util::CsvWriter::num(ev.ctotal)});
+      if (ev.mttsf > best) {
+        best = ev.mttsf;
+        best_name = to_string(shapes[d]);
       }
     }
     row.push_back(best_name);
@@ -56,5 +72,19 @@ int main() {
   table.print(std::cout);
   std::printf("\ncsv written: abl_attacker_matrix.csv\n\n");
   bench::print_engine_stats(engine);
-  return 0;
+
+  // CI-bounded validation of the matrix: every (attacker × detection)
+  // cell simulated at a TIDS slice, one CRN/antithetic schedule.
+  core::GridSpec val;
+  val.attacker_shape(shapes).detection_shape(shapes).t_ids(
+      smoke ? std::vector<double>{120} : std::vector<double>{15, 120, 1200});
+  bench::BenchJson json;
+  json.field("bench", std::string("abl_attacker_matrix"));
+  json.field("mode", std::string(smoke ? "smoke" : "full"));
+  json.field("grid_points", matrix.num_points());
+  const auto mc =
+      engine.run_mc(val, base, bench::validation_mc_options(smoke));
+  const bool ok = bench::report_grid_validation(mc, json);
+  json.write("BENCH_abl_attacker_matrix.json");
+  return ok ? 0 : 1;
 }

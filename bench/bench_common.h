@@ -3,13 +3,16 @@
 // binary, and states the qualitative checks the paper's figure makes.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/grid_spec.h"
 #include "core/optimizer.h"
 #include "core/sweep_engine.h"
 #include "util/csv.h"
@@ -23,6 +26,43 @@ inline void print_header(const std::string& title,
   std::printf("=== %s ===\n", title.c_str());
   std::printf("paper result to reproduce: %s\n\n", paper_claim.c_str());
 }
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Minimal ordered-field JSON emitter for BENCH_*.json perf artifacts.
+class BenchJson {
+ public:
+  void field(const std::string& name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    fields_.emplace_back(name, buf);
+  }
+  void field(const std::string& name, std::size_t value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+  void field(const std::string& name, const std::string& value) {
+    fields_.emplace_back(name, '"' + value + '"');
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
+          << (i + 1 < fields_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    std::printf("json written: %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// A named MTTSF or Ctotal series over the TIDS grid.
 struct Series {
@@ -74,6 +114,89 @@ inline void report(const std::vector<double>& grid,
   std::printf("\ncsv written: %s\n\n", csv_path.c_str());
 }
 
+/// Slices a 2-D analytic grid run (axis 0 = series, axis 1 = TIDS) into
+/// the named Series rows report() takes, so the figure benches keep
+/// their table format while running through core::GridSpec.
+inline std::vector<Series> series_from_grid(
+    const core::GridRunResult& run) {
+  const auto& s_axis = run.spec.axis_at(0);
+  const auto& t_axis = run.spec.axis_at(1);
+  std::vector<Series> out;
+  out.reserve(s_axis.size());
+  for (std::size_t s = 0; s < s_axis.size(); ++s) {
+    Series series;
+    series.label = s_axis.name + "=" + s_axis.labels[s];
+    series.sweep.points.reserve(t_axis.size());
+    for (std::size_t t = 0; t < t_axis.size(); ++t) {
+      const std::size_t coords[]{s, t};
+      series.sweep.points.push_back({t_axis.values[t], run.at(coords)});
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+/// CI-bounded validation report shared by the figure/ablation benches:
+/// prints every grid point's analytic MTTSF against its simulation 95%
+/// CI, records the outcome in `json`, and gates with every point
+/// converged and at most max(1, 15% of points) outside their CIs — 95%
+/// intervals legitimately miss ~5% of the time, so small smoke grids
+/// must tolerate one honest miss and large grids several before a flip
+/// means a real regression rather than Monte-Carlo noise.
+inline bool report_grid_validation(const core::McGridResult& val,
+                                   BenchJson& json) {
+  util::Table table({"point", "MTTSF analytic", "MTTSF sim (95% CI)",
+                     "reps", "inside CI"});
+  bool converged_all = true;
+  for (std::size_t i = 0; i < val.points.size(); ++i) {
+    const auto& pt = val.points[i];
+    converged_all = converged_all && pt.mc.converged;
+    table.add_row({val.spec.label(i), util::Table::sci(pt.eval.mttsf),
+                   util::Table::sci(pt.mc.ttsf.mean) + " ± " +
+                       util::Table::sci(pt.mc.ttsf.ci_half_width, 1),
+                   std::to_string(pt.mc.replications),
+                   pt.mc.ttsf.contains(pt.eval.mttsf) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  const std::size_t n = val.points.size();
+  const std::size_t inside = val.mttsf_inside_ci();
+  const std::size_t allowed_misses = std::max<std::size_t>(1, n * 15 / 100);
+  const bool ok = converged_all && inside + allowed_misses >= n;
+  std::printf("\nanalytic inside simulation 95%% CI: %zu/%zu, converged %s "
+              "(%zu trajectories in %.2f s)  -> %s\n\n",
+              inside, n, converged_all ? "all" : "NOT ALL",
+              val.mc_stats.replications, val.mc_stats.seconds,
+              ok ? "ok" : "VALIDATION REGRESSION");
+  json.field("validation_points", n);
+  json.field("validation_inside_ci", inside);
+  json.field("validation_replications", val.mc_stats.replications);
+  json.field("validation_seconds", val.mc_stats.seconds);
+  json.field("validation_converged",
+             std::string(converged_all ? "yes" : "no"));
+  return ok;
+}
+
+/// Monte-Carlo options for the figure validations: CI-targeted stopping
+/// with CRN + antithetic pairs (substreams keyed by replication only,
+/// so contrasts along every grid axis are variance-reduced).  `--smoke`
+/// loosens the relative CI target for CI runtimes; benches also thin
+/// their TIDS axis in smoke mode.
+inline sim::McOptions validation_mc_options(bool smoke) {
+  sim::McOptions mc;
+  mc.base_seed = 0xFACADE;
+  mc.rel_ci_target = smoke ? 0.10 : 0.075;
+  mc.antithetic = true;
+  return mc;
+}
+
+/// The TIDS levels the validations simulate: the full paper grid, or a
+/// 3-point subset covering both ends and the interior in smoke mode.
+inline std::vector<double> validation_t_ids(bool smoke) {
+  return smoke ? std::vector<double>{15, 120, 1200}
+               : core::paper_t_ids_grid();
+}
+
 /// Wall-clock + throughput line for an engine-driven bench: how many
 /// points were evaluated, how many explorations they cost, and the
 /// states/s and points/s the run achieved.
@@ -87,35 +210,5 @@ inline void print_engine_stats(const core::SweepEngine& engine) {
       static_cast<double>(st.states_evaluated) / st.seconds,
       static_cast<double>(st.points) / st.seconds);
 }
-
-/// Minimal ordered-field JSON emitter for BENCH_*.json perf artifacts.
-class BenchJson {
- public:
-  void field(const std::string& name, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    fields_.emplace_back(name, buf);
-  }
-  void field(const std::string& name, std::size_t value) {
-    fields_.emplace_back(name, std::to_string(value));
-  }
-  void field(const std::string& name, const std::string& value) {
-    fields_.emplace_back(name, '"' + value + '"');
-  }
-
-  void write(const std::string& path) const {
-    std::ofstream out(path);
-    out << "{\n";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
-          << (i + 1 < fields_.size() ? ",\n" : "\n");
-    }
-    out << "}\n";
-    std::printf("json written: %s\n", path.c_str());
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
 
 }  // namespace midas::bench

@@ -12,10 +12,14 @@
 // replication count the engine needed at its worst point, which is the
 // conservative choice an experimenter without sequential stopping must
 // make.  Also measures the CRN variance reduction on adjacent-point
-// curve contrasts (common vs independent random-number substreams),
-// and writes BENCH_mc.json so the trajectory is tracked PR-on-PR.
+// curve contrasts (common vs independent random-number substreams) and
+// the antithetic-pair variance reduction layered on top of CRN
+// (per-point estimator variance and pooled contrast variance, measured
+// on the Fig. 2 m-axis at equal trajectory budget), and writes
+// BENCH_mc.json so the trajectory is tracked PR-on-PR.
 //
-// `--smoke` loosens the CI target for CI runtimes.
+// `--smoke` loosens the CI target and shrinks the variance-measurement
+// budgets for CI runtimes.
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -52,7 +56,8 @@ int main(int argc, char** argv) {
       "Monte-Carlo engine: val_des_vs_spn grid, seed loop vs batched",
       "CI-adaptive batched replications >= 3x over the per-point loop at "
       "equal CI width; analytic values inside the 95% CIs; CRN contrasts "
-      "below independent-stream variance");
+      "below independent-stream variance; antithetic pairs below plain "
+      "CRN variance");
 
   core::Params base = core::Params::paper_defaults();
   base.n_init = 15;
@@ -159,6 +164,84 @@ int main(int argc, char** argv) {
   std::printf("  mean variance ratio: %.2f  (%s 1)\n", ratio_mean,
               ratio_mean > 1.0 ? ">" : "NOT >");
 
+  // --- Antithetic pairs vs plain CRN at equal trajectory budget, on
+  // the Fig. 2 m-axis (contrasts along a non-TIDS grid axis — what the
+  // replication-keyed substreams make possible).  Two measures:
+  //   * per-point estimator variance: Var of the TTSF mean from n
+  //     trajectories as n/2 pair averages vs n plain replications;
+  //   * pooled contrast variance: same, for adjacent-m curve contrasts,
+  //     pooled over the m pairs (pooling keeps the ratio stable when an
+  //     individual contrast's antithetic variance is near zero).
+  const std::size_t anti_pairs = smoke ? 600 : 1200;
+  std::vector<core::Params> m_grid;
+  for (const std::int64_t m : {3, 5, 7, 9}) {
+    core::Params p = base;
+    p.t_ids = 60.0;
+    p.num_voters = m;
+    m_grid.push_back(std::move(p));
+  }
+  auto run_anti = [&](bool antithetic) {
+    sim::McOptions o;
+    o.base_seed = 0xFACADE;
+    o.rel_ci_target = 0.0;
+    o.min_replications = antithetic ? anti_pairs : 2 * anti_pairs;
+    o.max_replications = o.min_replications;
+    o.crn = true;
+    o.antithetic = antithetic;
+    o.capture_trajectories = true;
+    sim::MonteCarloEngine e(o);
+    return e.run_des(m_grid);
+  };
+  const auto plain_run = run_anti(false);
+  const auto anti_run = run_anti(true);
+  const double n_traj = static_cast<double>(2 * anti_pairs);
+
+  std::printf("\nantithetic pairs vs plain CRN (m axis at TIDS = 60 s, "
+              "%zu trajectories each):\n",
+              2 * anti_pairs);
+  double point_ratio_sum = 0.0;
+  for (std::size_t p = 0; p < m_grid.size(); ++p) {
+    sim::Welford wp, wa;
+    for (const auto& t : plain_run[p].trajectories) wp.push(t.ttsf);
+    const auto& at = anti_run[p].trajectories;
+    for (std::size_t k = 0; k + 1 < at.size(); k += 2) {
+      wa.push(0.5 * (at[k].ttsf + at[k + 1].ttsf));
+    }
+    const double est_var_plain = wp.variance() / n_traj;
+    const double est_var_anti =
+        wa.variance() / static_cast<double>(anti_pairs);
+    const double ratio = est_var_plain / est_var_anti;
+    point_ratio_sum += ratio;
+    std::printf("  m=%lld: estimator-variance ratio plain/antithetic = "
+                "%.2f\n",
+                static_cast<long long>(m_grid[p].num_voters), ratio);
+  }
+  const double anti_point_ratio =
+      point_ratio_sum / static_cast<double>(m_grid.size());
+
+  double contrast_var_plain = 0.0, contrast_var_anti = 0.0;
+  for (std::size_t p = 0; p + 1 < m_grid.size(); ++p) {
+    sim::Welford wp, wa;
+    for (std::size_t r = 0; r < 2 * anti_pairs; ++r) {
+      wp.push(plain_run[p].trajectories[r].ttsf -
+              plain_run[p + 1].trajectories[r].ttsf);
+    }
+    for (std::size_t k = 0; k + 1 < 2 * anti_pairs; k += 2) {
+      const double d0 = anti_run[p].trajectories[k].ttsf -
+                        anti_run[p + 1].trajectories[k].ttsf;
+      const double d1 = anti_run[p].trajectories[k + 1].ttsf -
+                        anti_run[p + 1].trajectories[k + 1].ttsf;
+      wa.push(0.5 * (d0 + d1));
+    }
+    contrast_var_plain += wp.variance() / n_traj;
+    contrast_var_anti += wa.variance() / static_cast<double>(anti_pairs);
+  }
+  const double anti_contrast_ratio = contrast_var_plain / contrast_var_anti;
+  std::printf("  mean point estimator-variance ratio: %.2f  (%s 1)\n",
+              anti_point_ratio, anti_point_ratio > 1.0 ? ">" : "NOT >");
+  std::printf("  pooled adjacent-m contrast-variance ratio: %.2f  (%s 1)\n",
+              anti_contrast_ratio, anti_contrast_ratio > 1.0 ? ">" : "NOT >");
+
   bench::BenchJson json;
   json.field("bench", std::string("mc_val_grid"));
   json.field("mode", std::string(smoke ? "smoke" : "full"));
@@ -176,11 +259,18 @@ int main(int argc, char** argv) {
   json.field("analytic_inside_ci", inside);
   json.field("crn_variance_ratio_mean", ratio_mean);
   json.field("crn_variance_ratio_min", ratio_min);
+  json.field("antithetic_pairs", anti_pairs);
+  json.field("antithetic_point_variance_ratio", anti_point_ratio);
+  json.field("antithetic_contrast_variance_ratio", anti_contrast_ratio);
   json.write("BENCH_mc.json");
 
   // Non-zero exit so CI catches a perf or correctness regression.  One
-  // CI miss out of four points is expected Monte-Carlo behaviour.
+  // CI miss out of four points is expected Monte-Carlo behaviour; the
+  // antithetic gates require a genuine (> 1x) variance reduction over
+  // plain CRN on both the per-point estimators and the pooled curve
+  // contrasts.
   const bool ok = speedup >= 3.0 && converged_all &&
-                  inside + 1 >= sweep.points.size() && ratio_mean > 1.0;
+                  inside + 1 >= sweep.points.size() && ratio_mean > 1.0 &&
+                  anti_point_ratio > 1.0 && anti_contrast_ratio > 1.0;
   return ok ? 0 : 1;
 }

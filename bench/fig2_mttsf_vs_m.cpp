@@ -1,5 +1,10 @@
 // Figure 2 reproduction: MTTSF vs TIDS as the number of vote-
-// participants m varies (linear attacker, linear detection).
+// participants m varies (linear attacker, linear detection) — run as
+// one core::GridSpec (m × TIDS) batch, then validated per point by
+// CI-bounded Monte-Carlo simulation (CRN + antithetic pairs) instead
+// of spot checks.  `--smoke` thins the validation grid and loosens the
+// CI target for CI runtimes; exits non-zero if the analytic values
+// leave the simulation CIs.
 //
 // Paper claims checked here:
 //   * each m-curve is unimodal in TIDS (rises to an optimum, then falls);
@@ -8,22 +13,37 @@
 //     m = 3/5/7/9).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::print_header(
       "Figure 2: effect of m on MTTSF and optimal TIDS",
       "unimodal curves; larger m -> larger MTTSF, smaller optimal TIDS "
       "(paper: 480/60/15/5 s for m=3/5/7/9)");
 
-  const auto grid = core::paper_t_ids_grid();
+  const std::vector<std::int64_t> voters{3, 5, 7, 9};
+  const core::Params base = core::Params::paper_defaults();
   core::SweepEngine engine;  // all m-curves share one explored structure
-  std::vector<bench::Series> series;
-  for (const int m : {3, 5, 7, 9}) {
-    core::Params p = core::Params::paper_defaults();
-    p.num_voters = m;
-    series.push_back({"m=" + std::to_string(m), engine.sweep_t_ids(p, grid)});
-  }
-  bench::report(grid, series, bench::Metric::Mttsf, "fig2_mttsf_vs_m.csv");
+
+  // The figure: the full (m × TIDS) design slice as one grid batch.
+  core::GridSpec fig;
+  fig.num_voters(voters).t_ids(core::paper_t_ids_grid());
+  const auto run = engine.run(fig, base);
+  bench::report(core::paper_t_ids_grid(), bench::series_from_grid(run),
+                bench::Metric::Mttsf, "fig2_mttsf_vs_m.csv");
   bench::print_engine_stats(engine);
-  return 0;
+
+  // CI-bounded validation: the same grid (thinned in smoke mode)
+  // answered by simulation, one CRN/antithetic schedule for all points.
+  core::GridSpec val;
+  val.num_voters(voters).t_ids(bench::validation_t_ids(smoke));
+  bench::BenchJson json;
+  json.field("bench", std::string("fig2_mttsf_vs_m"));
+  json.field("mode", std::string(smoke ? "smoke" : "full"));
+  json.field("grid_points", fig.num_points());
+  const auto mc =
+      engine.run_mc(val, base, bench::validation_mc_options(smoke));
+  const bool ok = bench::report_grid_validation(mc, json);
+  json.write("BENCH_fig2.json");
+  return ok ? 0 : 1;
 }

@@ -1,5 +1,8 @@
 // Figure 3 reproduction: total communication cost Ĉtotal vs TIDS as the
-// number of vote-participants m varies (linear attacker & detection).
+// number of vote-participants m varies (linear attacker & detection) —
+// one core::GridSpec (m × TIDS) batch plus per-point CI-bounded
+// Monte-Carlo validation (CRN + antithetic pairs).  `--smoke` thins the
+// validation grid; exits non-zero on a validation regression.
 //
 // Paper claims checked here:
 //   * each curve has a cost-minimising TIDS (tradeoff: shorter TIDS →
@@ -10,22 +13,34 @@
 //   * the optimal TIDS location is less sensitive to m than in Fig. 2.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::print_header(
       "Figure 3: effect of m on Ctotal and optimal TIDS",
       "unimodal cost curves; larger m -> higher Ctotal; cost-optimal "
       "TIDS insensitive to m");
 
-  const auto grid = core::paper_t_ids_grid();
+  const std::vector<std::int64_t> voters{3, 5, 7, 9};
+  const core::Params base = core::Params::paper_defaults();
   core::SweepEngine engine;  // all m-curves share one explored structure
-  std::vector<bench::Series> series;
-  for (const int m : {3, 5, 7, 9}) {
-    core::Params p = core::Params::paper_defaults();
-    p.num_voters = m;
-    series.push_back({"m=" + std::to_string(m), engine.sweep_t_ids(p, grid)});
-  }
-  bench::report(grid, series, bench::Metric::Ctotal, "fig3_cost_vs_m.csv");
+
+  core::GridSpec fig;
+  fig.num_voters(voters).t_ids(core::paper_t_ids_grid());
+  const auto run = engine.run(fig, base);
+  bench::report(core::paper_t_ids_grid(), bench::series_from_grid(run),
+                bench::Metric::Ctotal, "fig3_cost_vs_m.csv");
   bench::print_engine_stats(engine);
-  return 0;
+
+  core::GridSpec val;
+  val.num_voters(voters).t_ids(bench::validation_t_ids(smoke));
+  bench::BenchJson json;
+  json.field("bench", std::string("fig3_cost_vs_m"));
+  json.field("mode", std::string(smoke ? "smoke" : "full"));
+  json.field("grid_points", fig.num_points());
+  const auto mc =
+      engine.run_mc(val, base, bench::validation_mc_options(smoke));
+  const bool ok = bench::report_grid_validation(mc, json);
+  json.write("BENCH_fig3.json");
+  return ok ? 0 : 1;
 }

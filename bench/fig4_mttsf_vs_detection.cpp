@@ -1,5 +1,9 @@
 // Figure 4 reproduction: MTTSF vs TIDS for the three detection functions
-// (logarithmic / linear / polynomial) under a LINEAR attacker, m = 5.
+// (logarithmic / linear / polynomial) under a LINEAR attacker, m = 5 —
+// one core::GridSpec (detection shape × TIDS) batch plus per-point
+// CI-bounded Monte-Carlo validation (CRN + antithetic pairs).
+// `--smoke` thins the validation grid; exits non-zero on a validation
+// regression.
 //
 // Paper claims checked here:
 //   * every detection function has its own optimal TIDS;
@@ -9,26 +13,27 @@
 //     the conservative logarithmic detection when TIDS is small.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::print_header(
       "Figure 4: MTTSF vs TIDS per detection function (linear attacker, "
       "m = 5)",
       "linear detection best overall; poly best at large TIDS; log best "
       "at small TIDS");
 
-  const auto grid = core::paper_t_ids_grid();
+  const std::vector<ids::Shape> shapes{ids::Shape::Logarithmic,
+                                       ids::Shape::Linear,
+                                       ids::Shape::Polynomial};
+  core::Params base = core::Params::paper_defaults();
+  base.attacker_shape = ids::Shape::Linear;
   core::SweepEngine engine;  // detection shapes only re-rate the structure
-  std::vector<bench::Series> series;
-  for (const auto shape : {ids::Shape::Logarithmic, ids::Shape::Linear,
-                           ids::Shape::Polynomial}) {
-    core::Params p = core::Params::paper_defaults();
-    p.attacker_shape = ids::Shape::Linear;
-    p.detection_shape = shape;
-    series.push_back(
-        {to_string(shape) + " detection", engine.sweep_t_ids(p, grid)});
-  }
-  bench::report(grid, series, bench::Metric::Mttsf,
+
+  core::GridSpec fig;
+  fig.detection_shape(shapes).t_ids(core::paper_t_ids_grid());
+  const auto run = engine.run(fig, base);
+  const auto series = bench::series_from_grid(run);
+  bench::report(core::paper_t_ids_grid(), series, bench::Metric::Mttsf,
                 "fig4_mttsf_vs_detection.csv");
   bench::print_engine_stats(engine);
 
@@ -52,7 +57,18 @@ int main() {
     best_other = std::max(best_other, pt.eval.mttsf);
   for (const auto& pt : poly_pts)
     best_other = std::max(best_other, pt.eval.mttsf);
-  std::printf("  overall: linear %s {log, poly}  (paper: linear wins)\n",
+  std::printf("  overall: linear %s {log, poly}  (paper: linear wins)\n\n",
               best_lin >= best_other ? ">=" : "<");
-  return 0;
+
+  core::GridSpec val;
+  val.detection_shape(shapes).t_ids(bench::validation_t_ids(smoke));
+  bench::BenchJson json;
+  json.field("bench", std::string("fig4_mttsf_vs_detection"));
+  json.field("mode", std::string(smoke ? "smoke" : "full"));
+  json.field("grid_points", fig.num_points());
+  const auto mc =
+      engine.run_mc(val, base, bench::validation_mc_options(smoke));
+  const bool ok = bench::report_grid_validation(mc, json);
+  json.write("BENCH_fig4.json");
+  return ok ? 0 : 1;
 }

@@ -1,5 +1,8 @@
 // Figure 5 reproduction: Ĉtotal vs TIDS for the three detection
-// functions under a linear attacker, m = 5.
+// functions under a linear attacker, m = 5 — one core::GridSpec
+// (detection shape × TIDS) batch plus per-point CI-bounded Monte-Carlo
+// validation (CRN + antithetic pairs).  `--smoke` thins the validation
+// grid; exits non-zero on a validation regression.
 //
 // Paper claims checked here:
 //   * each detection function has a cost-minimising TIDS;
@@ -9,26 +12,27 @@
 //     TIDS, an aggressive one a LONGER optimal TIDS.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::print_header(
       "Figure 5: Ctotal vs TIDS per detection function (linear attacker, "
       "m = 5)",
       "log detection worst at large TIDS, poly worst at small TIDS; "
       "optimal TIDS shifts right as detection becomes aggressive");
 
-  const auto grid = core::paper_t_ids_grid();
+  const std::vector<ids::Shape> shapes{ids::Shape::Logarithmic,
+                                       ids::Shape::Linear,
+                                       ids::Shape::Polynomial};
+  core::Params base = core::Params::paper_defaults();
+  base.attacker_shape = ids::Shape::Linear;
   core::SweepEngine engine;  // detection shapes only re-rate the structure
-  std::vector<bench::Series> series;
-  for (const auto shape : {ids::Shape::Logarithmic, ids::Shape::Linear,
-                           ids::Shape::Polynomial}) {
-    core::Params p = core::Params::paper_defaults();
-    p.attacker_shape = ids::Shape::Linear;
-    p.detection_shape = shape;
-    series.push_back(
-        {to_string(shape) + " detection", engine.sweep_t_ids(p, grid)});
-  }
-  bench::report(grid, series, bench::Metric::Ctotal,
+
+  core::GridSpec fig;
+  fig.detection_shape(shapes).t_ids(core::paper_t_ids_grid());
+  const auto run = engine.run(fig, base);
+  const auto series = bench::series_from_grid(run);
+  bench::report(core::paper_t_ids_grid(), series, bench::Metric::Ctotal,
                 "fig5_cost_vs_detection.csv");
   bench::print_engine_stats(engine);
 
@@ -48,9 +52,20 @@ int main() {
                   ? ">"
                   : "<=");
   std::printf("  optimal-TIDS ordering: log %.0f s, linear %.0f s, poly "
-              "%.0f s (paper: increasing)\n",
+              "%.0f s (paper: increasing)\n\n",
               series[0].sweep.best_ctotal().t_ids,
               series[1].sweep.best_ctotal().t_ids,
               series[2].sweep.best_ctotal().t_ids);
-  return 0;
+
+  core::GridSpec val;
+  val.detection_shape(shapes).t_ids(bench::validation_t_ids(smoke));
+  bench::BenchJson json;
+  json.field("bench", std::string("fig5_cost_vs_detection"));
+  json.field("mode", std::string(smoke ? "smoke" : "full"));
+  json.field("grid_points", fig.num_points());
+  const auto mc =
+      engine.run_mc(val, base, bench::validation_mc_options(smoke));
+  const bool ok = bench::report_grid_validation(mc, json);
+  json.write("BENCH_fig5.json");
+  return ok ? 0 : 1;
 }

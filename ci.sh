@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (build + full gtest suite via ctest),
-# the sweep-engine equivalence/speedup bench and the Monte-Carlo engine
-# bench in smoke mode, and the micro benches with a minimal measurement
-# budget.  Leaves BENCH_sweep.json + BENCH_mc.json in build/ for the
-# workflow to archive.
+# the sweep-engine equivalence/speedup bench, the Monte-Carlo engine
+# bench, the figure/ablation grid benches (all in smoke mode), and the
+# micro benches with a minimal measurement budget.  Leaves the
+# BENCH_*.json artifacts in build/ for the workflow to archive.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,9 +20,19 @@ cmake --build build -j"${JOBS}"
 
 # --- Monte-Carlo engine smoke: exits non-zero if the batched path loses
 # its >= 3x speedup at equal CI width, the analytic values fall outside
-# the simulation CIs, or CRN stops reducing contrast variance.  Records
-# BENCH_mc.json.
+# the simulation CIs, CRN stops reducing contrast variance, or the
+# antithetic pairs stop beating plain CRN.  Records BENCH_mc.json.
 (cd build && ./bench_mc --smoke)
+
+# --- Figure/ablation grid benches, smoke mode: every figure runs as a
+# core::GridSpec batch and validates each grid point against a
+# CI-bounded Monte-Carlo interval (CRN + antithetic).  Non-zero exit if
+# the analytic values leave the simulation CIs.  Records
+# BENCH_fig*.json / BENCH_abl*.json.
+for b in fig2_mttsf_vs_m fig3_cost_vs_m fig4_mttsf_vs_detection \
+         fig5_cost_vs_detection abl_attacker_matrix abl_sensitivity; do
+  (cd build && "./${b}" --smoke)
+done
 
 # --- Micro benches, smoke budget (skipped when Google Benchmark absent).
 for b in micro_solver micro_voting; do

@@ -256,7 +256,7 @@ Evaluation GcsSpnModel::evaluate_with(
 
   Evaluation ev;
   ev.num_states = graph.num_states();
-  ev.solver_iterations = res.solver_iterations;
+  ev.solver_blocks = res.solver_blocks;
   ev.mttsf = res.mtta;
 
   // One pass over the states: the CostBreakdown — detection rate,
@@ -284,20 +284,14 @@ Evaluation GcsSpnModel::evaluate_with(
       }
     }
   }
-  // Impulse (eviction rekey) rewards in one pass over the edges.
-  double acc_evict = 0.0;
-  if (edge_impulses.empty()) {
-    for (const auto& e : graph.edges) {
-      if (e.impulse == 0.0) continue;
-      acc_evict += res.sojourn[e.src] * e.rate * e.impulse;
-    }
-  } else {
-    for (std::size_t i = 0; i < graph.edges.size(); ++i) {
-      if (edge_impulses[i] == 0.0) continue;
-      acc_evict +=
-          res.sojourn[graph.edges[i].src] * edge_rates[i] * edge_impulses[i];
-    }
-  }
+  // Impulse (eviction rekey) rewards in one pass over the edges — the
+  // overload keyed to the same rate override as the solve above, so
+  // eviction costs never mix stored and per-point rates.
+  const double acc_evict =
+      edge_impulses.empty()
+          ? analyzer.accumulated_impulse_reward(res)
+          : analyzer.accumulated_impulse_reward(res, edge_rates,
+                                                edge_impulses);
 
   if (ev.mttsf > 0.0) {
     ev.cost_rates.group_comm = acc.group_comm / ev.mttsf;
@@ -322,7 +316,7 @@ Evaluation GcsSpnModel::evaluate_reference() const {
 
   Evaluation ev;
   ev.num_states = graph.num_states();
-  ev.solver_iterations = res.solver_iterations;
+  ev.solver_blocks = res.solver_blocks;
   ev.mttsf = res.mtta;
 
   ev.p_failure_c1 = analyzer.absorption_probability_where(

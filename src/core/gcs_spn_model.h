@@ -46,7 +46,10 @@ struct Evaluation {
   double p_failure_c1 = 0.0;      // P[absorbed via data leak]
   double p_failure_c2 = 0.0;      // P[absorbed via Byzantine fraction]
   std::size_t num_states = 0;     // reachable tangible markings
-  std::size_t solver_iterations = 0;
+  /// SCC condensation blocks the direct solver factored (NOT an
+  /// iteration count — the legacy name solver_iterations mislabeled
+  /// downstream tables).
+  std::size_t solver_blocks = 0;
 };
 
 class GcsSpnModel {

@@ -1,0 +1,188 @@
+#include "core/grid_spec.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace midas::core {
+
+namespace {
+
+std::string trimmed_number(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+GridSpec& GridSpec::push_axis(GridAxis axis) {
+  if (axis.labels.empty()) {
+    throw std::invalid_argument("GridSpec: axis '" + axis.name +
+                                "' has no levels");
+  }
+  if (axis.values.size() != axis.labels.size()) {
+    throw std::invalid_argument("GridSpec: axis '" + axis.name +
+                                "' labels/values size mismatch");
+  }
+  for (const auto& existing : axes_) {
+    if (existing.name == axis.name) {
+      throw std::invalid_argument("GridSpec: duplicate axis '" +
+                                  axis.name + "'");
+    }
+  }
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+GridSpec& GridSpec::t_ids(std::vector<double> values) {
+  GridAxis axis;
+  axis.name = "t_ids";
+  for (const double v : values) axis.labels.push_back(trimmed_number(v));
+  axis.values = std::move(values);
+  axis.apply = [levels = axis.values](Params& p, std::size_t k) {
+    p.t_ids = levels[k];
+  };
+  return push_axis(std::move(axis));
+}
+
+GridSpec& GridSpec::num_voters(std::vector<std::int64_t> m) {
+  GridAxis axis;
+  axis.name = "m";
+  for (const std::int64_t v : m) {
+    axis.labels.push_back(std::to_string(v));
+    axis.values.push_back(static_cast<double>(v));
+  }
+  axis.apply = [levels = std::move(m)](Params& p, std::size_t k) {
+    p.num_voters = levels[k];
+  };
+  return push_axis(std::move(axis));
+}
+
+GridSpec& GridSpec::detection_shape(std::vector<ids::Shape> shapes) {
+  GridAxis axis;
+  axis.name = "detection";
+  for (const auto s : shapes) {
+    axis.labels.push_back(ids::to_string(s));
+    axis.values.push_back(std::numeric_limits<double>::quiet_NaN());
+  }
+  axis.apply = [levels = std::move(shapes)](Params& p, std::size_t k) {
+    p.detection_shape = levels[k];
+  };
+  return push_axis(std::move(axis));
+}
+
+GridSpec& GridSpec::attacker_shape(std::vector<ids::Shape> shapes) {
+  GridAxis axis;
+  axis.name = "attacker";
+  for (const auto s : shapes) {
+    axis.labels.push_back(ids::to_string(s));
+    axis.values.push_back(std::numeric_limits<double>::quiet_NaN());
+  }
+  axis.apply = [levels = std::move(shapes)](Params& p, std::size_t k) {
+    p.attacker_shape = levels[k];
+  };
+  return push_axis(std::move(axis));
+}
+
+GridSpec& GridSpec::axis(std::string name, std::vector<double> values,
+                         std::function<void(Params&, double)> set) {
+  if (!set) {
+    throw std::invalid_argument("GridSpec: axis '" + name +
+                                "' needs a setter");
+  }
+  GridAxis axis;
+  axis.name = std::move(name);
+  for (const double v : values) axis.labels.push_back(trimmed_number(v));
+  axis.values = std::move(values);
+  axis.apply = [levels = axis.values,
+                set = std::move(set)](Params& p, std::size_t k) {
+    set(p, levels[k]);
+  };
+  return push_axis(std::move(axis));
+}
+
+GridSpec& GridSpec::axis(std::string name, std::vector<std::string> labels,
+                         std::function<void(Params&, std::size_t)> apply) {
+  if (!apply) {
+    throw std::invalid_argument("GridSpec: axis '" + name +
+                                "' needs a setter");
+  }
+  GridAxis axis;
+  axis.name = std::move(name);
+  axis.values.assign(labels.size(),
+                     std::numeric_limits<double>::quiet_NaN());
+  axis.labels = std::move(labels);
+  axis.apply = std::move(apply);
+  return push_axis(std::move(axis));
+}
+
+const GridAxis& GridSpec::axis_at(std::size_t i) const {
+  if (i >= axes_.size()) {
+    throw std::out_of_range("GridSpec: axis index out of range");
+  }
+  return axes_[i];
+}
+
+std::size_t GridSpec::num_points() const noexcept {
+  std::size_t n = 1;
+  for (const auto& a : axes_) n *= a.size();
+  return n;
+}
+
+std::vector<std::size_t> GridSpec::coords(std::size_t index) const {
+  if (index >= num_points()) {
+    throw std::out_of_range("GridSpec: point index out of range");
+  }
+  std::vector<std::size_t> c(axes_.size(), 0);
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    c[a] = index % axes_[a].size();
+    index /= axes_[a].size();
+  }
+  return c;
+}
+
+std::size_t GridSpec::index(std::span<const std::size_t> c) const {
+  if (c.size() != axes_.size()) {
+    throw std::invalid_argument("GridSpec: coordinate rank mismatch");
+  }
+  std::size_t index = 0;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    if (c[a] >= axes_[a].size()) {
+      throw std::out_of_range("GridSpec: coordinate out of range on axis " +
+                              axes_[a].name);
+    }
+    index = index * axes_[a].size() + c[a];
+  }
+  return index;
+}
+
+Params GridSpec::point(const Params& base, std::size_t index) const {
+  const auto c = coords(index);
+  Params p = base;
+  for (std::size_t a = 0; a < axes_.size(); ++a) axes_[a].apply(p, c[a]);
+  return p;
+}
+
+std::vector<Params> GridSpec::expand(const Params& base) const {
+  const std::size_t n = num_points();
+  std::vector<Params> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back(point(base, i));
+  return points;
+}
+
+std::string GridSpec::label(std::size_t index) const {
+  const auto c = coords(index);
+  std::string out;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    if (a > 0) out += ", ";
+    out += axes_[a].name + "=" + axes_[a].labels[c[a]];
+  }
+  return out;
+}
+
+}  // namespace midas::core

@@ -34,6 +34,14 @@ std::size_t McSweepResult::mttsf_inside_ci() const {
   return inside;
 }
 
+std::size_t McGridResult::mttsf_inside_ci() const {
+  std::size_t inside = 0;
+  for (const auto& pt : points) {
+    if (pt.mc.ttsf.contains(pt.eval.mttsf)) ++inside;
+  }
+  return inside;
+}
+
 std::string structure_key(const Params& p) {
   std::ostringstream key;
   key.precision(17);
@@ -128,21 +136,45 @@ std::vector<Evaluation> SweepEngine::evaluate(
   return evals;
 }
 
+GridRunResult SweepEngine::run(const GridSpec& spec, const Params& base) {
+  GridRunResult result;
+  result.spec = spec;
+  const auto points = spec.expand(base);
+  result.evals = evaluate(points);
+  return result;
+}
+
+McGridResult SweepEngine::run_mc(const GridSpec& spec, const Params& base,
+                                 const sim::McOptions& mc) {
+  const auto points = spec.expand(base);
+  const auto evals = evaluate(points);
+
+  // One engine, one schedule for the entire grid: with CRN the
+  // substream depends on the replication index alone, so every pair of
+  // grid points — along any axis — shares its randomness.
+  sim::MonteCarloEngine engine(mc);
+  auto mcs = engine.run_des(points);
+
+  McGridResult result;
+  result.spec = spec;
+  result.points.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.points.push_back({evals[i], std::move(mcs[i])});
+  }
+  result.mc_stats = engine.stats();
+  return result;
+}
+
 SweepResult SweepEngine::sweep_t_ids(const Params& base,
                                      std::span<const double> grid) {
-  std::vector<Params> points;
-  points.reserve(grid.size());
-  for (double t : grid) {
-    Params p = base;
-    p.t_ids = t;
-    points.push_back(std::move(p));
-  }
-  const auto evals = evaluate(points);
+  GridSpec spec;
+  spec.t_ids(std::vector<double>(grid.begin(), grid.end()));
+  auto run_result = run(spec, base);
 
   SweepResult result;
   result.points.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    result.points.push_back({grid[i], evals[i]});
+    result.points.push_back({grid[i], std::move(run_result.evals[i])});
   }
   return result;
 }
@@ -150,24 +182,17 @@ SweepResult SweepEngine::sweep_t_ids(const Params& base,
 McSweepResult SweepEngine::sweep_mc(const Params& base,
                                     std::span<const double> grid,
                                     const sim::McOptions& mc) {
-  std::vector<Params> points;
-  points.reserve(grid.size());
-  for (double t : grid) {
-    Params p = base;
-    p.t_ids = t;
-    points.push_back(std::move(p));
-  }
-  const auto evals = evaluate(points);
-
-  sim::MonteCarloEngine engine(mc);
-  auto mcs = engine.run_des(points);
+  GridSpec spec;
+  spec.t_ids(std::vector<double>(grid.begin(), grid.end()));
+  auto grid_result = run_mc(spec, base, mc);
 
   McSweepResult result;
   result.points.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    result.points.push_back({grid[i], evals[i], std::move(mcs[i])});
+    result.points.push_back({grid[i], std::move(grid_result.points[i].eval),
+                             std::move(grid_result.points[i].mc)});
   }
-  result.mc_stats = engine.stats();
+  result.mc_stats = grid_result.mc_stats;
   return result;
 }
 

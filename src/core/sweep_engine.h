@@ -12,6 +12,14 @@
 //   4. drives the points through sim::parallel_for.
 // Structure caching persists across calls, so a bench that sweeps four
 // m-values over the TIDS grid pays for one exploration in total.
+//
+// Grids: run()/run_mc() evaluate a whole core::GridSpec — the paper's
+// multi-dimensional design space (TIDS × m × detection shape × attacker
+// profile, arbitrary subsets) — in one batch; run_mc() additionally
+// drives ONE Monte-Carlo schedule over every grid point with CRN
+// substreams keyed by replication only (contrasts along every axis are
+// variance-reduced) and optional antithetic pairs.  sweep_t_ids /
+// sweep_mc are the 1-D special cases.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "core/gcs_spn_model.h"
+#include "core/grid_spec.h"
 #include "core/params.h"
 #include "sim/mc_engine.h"
 
@@ -63,6 +72,39 @@ struct McSweepResult {
   [[nodiscard]] std::size_t mttsf_inside_ci() const;
 };
 
+/// A multi-dimensional grid answered analytically: one Evaluation per
+/// GridSpec point, in the spec's row-major order (last axis fastest).
+struct GridRunResult {
+  GridSpec spec;
+  std::vector<Evaluation> evals;
+
+  [[nodiscard]] const Evaluation& at(
+      std::span<const std::size_t> coords) const {
+    return evals[spec.index(coords)];
+  }
+};
+
+/// A grid point answered analytically AND by CI-bounded simulation.
+struct McGridPoint {
+  Evaluation eval;
+  sim::McPointResult mc;
+};
+
+struct McGridResult {
+  GridSpec spec;
+  std::vector<McGridPoint> points;
+  sim::MonteCarloEngine::Stats mc_stats;
+
+  [[nodiscard]] const McGridPoint& at(
+      std::span<const std::size_t> coords) const {
+    return points[spec.index(coords)];
+  }
+
+  /// #points whose analytic MTTSF lies inside the simulation 95% CI
+  /// (expect ~95%; the occasional miss is Monte-Carlo noise).
+  [[nodiscard]] std::size_t mttsf_inside_ci() const;
+};
+
 struct SweepEngineOptions {
   /// Worker threads for the point loop (0 = hardware concurrency).
   std::size_t threads = 0;
@@ -86,14 +128,30 @@ class SweepEngine {
   [[nodiscard]] std::vector<Evaluation> evaluate(
       std::span<const Params> points);
 
+  /// Evaluates a full named-axis cartesian grid analytically: every
+  /// structural configuration in the grid explores once (cached), and
+  /// every point shares the batched numeric solve path.
+  [[nodiscard]] GridRunResult run(const GridSpec& spec, const Params& base);
+
+  /// Answers a full grid analytically AND by Monte-Carlo simulation in
+  /// one call: one batched SPN solve per point plus ONE
+  /// sim::MonteCarloEngine schedule over the whole grid, whose CRN
+  /// substreams are keyed by replication index only — so contrasts
+  /// along EVERY axis (not just TIDS) are variance-reduced, and
+  /// antithetic pairs (mc.antithetic) compose on top.
+  [[nodiscard]] McGridResult run_mc(const GridSpec& spec, const Params& base,
+                                    const sim::McOptions& mc = {});
+
   /// Evaluates `base` at every TIDS in `grid` (base.t_ids is ignored).
+  /// A 1-D special case of run().
   [[nodiscard]] SweepResult sweep_t_ids(const Params& base,
                                         std::span<const double> grid);
 
   /// Companion: answers the same TIDS grid analytically (batched SPN
   /// solve) AND by Monte-Carlo simulation (sim::MonteCarloEngine with
   /// CRN + CI-targeted stopping) in one call, so every figure can carry
-  /// CI-bounded validation instead of spot checks.
+  /// CI-bounded validation instead of spot checks.  A 1-D special case
+  /// of run_mc().
   [[nodiscard]] McSweepResult sweep_mc(const Params& base,
                                        std::span<const double> grid,
                                        const sim::McOptions& mc = {});

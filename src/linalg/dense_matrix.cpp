@@ -1,7 +1,9 @@
 #include "linalg/dense_matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace midas::linalg {
@@ -34,6 +36,22 @@ LuSolver::LuSolver(DenseMatrix a) : lu_(std::move(a)) {
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
+  // Singularity threshold scaled to the matrix: a pivot only means
+  // anything relative to ‖A‖∞.  An absolute cutoff (the former 1e-300)
+  // accepts the tiny-but-nonzero pivots that cancellation leaves in a
+  // singular-to-rounding block and returns garbage; n·ε·‖A‖∞ is the
+  // magnitude roundoff alone can produce there.
+  double norm = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < n; ++c) row += std::abs(lu_(r, c));
+    norm = std::max(norm, row);
+  }
+  const double pivot_floor =
+      std::max(static_cast<double>(n) *
+                   std::numeric_limits<double>::epsilon() * norm,
+               1e-300);
+
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot.
     std::size_t pivot = k;
@@ -44,7 +62,7 @@ LuSolver::LuSolver(DenseMatrix a) : lu_(std::move(a)) {
         pivot = r;
       }
     }
-    if (best < 1e-300) {
+    if (best < pivot_floor) {
       throw std::runtime_error("LuSolver: singular matrix");
     }
     if (pivot != k) {

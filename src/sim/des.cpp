@@ -49,17 +49,15 @@ DesContext DesContext::fresh(const core::Params& params) {
       gcs::CostModel(params.cost));
 }
 
-Trajectory simulate_group(const core::Params& params, std::uint64_t seed,
+Trajectory simulate_group(const core::Params& params, UniformStream& draw,
                           const DesContext& context) {
   params.validate();
 
   const ids::VotingTable& voting = *context.voting;
   const gcs::CostModel& cost = context.cost;
 
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> uni(0.0, 1.0);
   auto exp_sample = [&](double rate) {
-    return -std::log1p(-uni(rng)) / rate;
+    return -std::log1p(-draw()) / rate;
   };
 
   State s;
@@ -146,7 +144,7 @@ Trajectory simulate_group(const core::Params& params, std::uint64_t seed,
     traj.accumulated_cost += breakdown.total() * dt;
 
     // Pick the event (Gillespie direct method).
-    double u = uni(rng) * total;
+    double u = draw() * total;
     if ((u -= attack) < 0.0) {
       --s.tm;
       ++s.ucm;
@@ -176,6 +174,12 @@ Trajectory simulate_group(const core::Params& params, std::uint64_t seed,
     }
     --s.ng;  // merge
   }
+}
+
+Trajectory simulate_group(const core::Params& params, std::uint64_t seed,
+                          const DesContext& context) {
+  UniformStream draw(seed);
+  return simulate_group(params, draw, context);
 }
 
 Trajectory simulate_group(const core::Params& params, std::uint64_t seed) {

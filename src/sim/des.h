@@ -14,6 +14,7 @@
 #include "core/params.h"
 #include "gcs/cost_model.h"
 #include "ids/voting.h"
+#include "sim/rng.h"
 #include "sim/stats.h"
 
 namespace midas::sim {
@@ -55,9 +56,18 @@ struct DesContext {
              gcs::CostModel c);
 };
 
-/// Simulates one replication with the given seed and shared context.
-/// Deterministic in (params, seed); `context` must be built from the
-/// same params.
+/// Simulates one replication drawing from the given uniform stream —
+/// the antithetic-capable entry point: a (plain, flipped) pair of
+/// streams over one seed yields an antithetic trajectory pair.
+/// Deterministic in (params, stream state); `context` must be built
+/// from the same params.
+[[nodiscard]] Trajectory simulate_group(const core::Params& params,
+                                        UniformStream& draw,
+                                        const DesContext& context);
+
+/// Simulates one replication with the given seed and shared context
+/// (a plain stream over `seed`; bitwise-identical to the pre-stream
+/// code path).  Deterministic in (params, seed).
 [[nodiscard]] Trajectory simulate_group(const core::Params& params,
                                         std::uint64_t seed,
                                         const DesContext& context);

@@ -12,10 +12,13 @@ namespace midas::sim {
 
 namespace {
 
-/// Streaming accumulators for one block or one point.
+/// Streaming accumulators for one block or one point.  The Welfords
+/// hold one entry per SAMPLE (a replication, or an antithetic pair
+/// average); the counters count TRAJECTORIES.
 struct Accum {
   Welford ttsf;
   Welford cost_rate;
+  std::size_t num_trajectories = 0;
   std::size_t c1 = 0;
   std::size_t timeouts = 0;
   bool keys_ok = true;
@@ -27,6 +30,7 @@ struct Accum {
   void merge(const Accum& other) {
     ttsf.merge(other.ttsf);
     cost_rate.merge(other.cost_rate);
+    num_trajectories += other.num_trajectories;
     c1 += other.c1;
     timeouts += other.timeouts;
     keys_ok = keys_ok && other.keys_ok;
@@ -143,14 +147,14 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
           const Item& item = items[i];
           Accum& acc = partial[i];
           if (opts_.capture_trajectories) {
-            acc.trajectories.reserve(item.count);
+            acc.trajectories.reserve(item.count *
+                                     (opts_.antithetic ? 2 : 1));
           }
-          for (std::size_t k = 0; k < item.count; ++k) {
-            const std::size_t rep = item.first_rep + k;
-            const Sample s =
-                sample(item.point, replication_seed(item.point, rep));
-            acc.ttsf.push(s.traj.ttsf);
-            acc.cost_rate.push(s.traj.mean_cost_rate());
+          // Trajectory-level statistics (failure split, survival
+          // indicators, capture) accumulate per trajectory regardless
+          // of pairing; only the Welford samples are pair-averaged.
+          auto record = [&](const Sample& s) {
+            ++acc.num_trajectories;
             if (s.traj.failed_by_c1) ++acc.c1;
             if (s.timed_out) ++acc.timeouts;
             acc.keys_ok = acc.keys_ok && s.keys_ok;
@@ -162,6 +166,25 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
             if (opts_.capture_trajectories) {
               acc.trajectories.push_back(s.traj);
             }
+          };
+          for (std::size_t k = 0; k < item.count; ++k) {
+            const std::size_t rep = item.first_rep + k;
+            const std::uint64_t seed = replication_seed(item.point, rep);
+            const Sample s = sample(item.point, seed, false);
+            record(s);
+            if (!opts_.antithetic) {
+              acc.ttsf.push(s.traj.ttsf);
+              acc.cost_rate.push(s.traj.mean_cost_rate());
+              continue;
+            }
+            // The pair's flipped member shares the seed; one Welford
+            // sample per pair keeps the CI (and the stopping rule)
+            // honest about the negative within-pair correlation.
+            const Sample t = sample(item.point, seed, true);
+            record(t);
+            acc.ttsf.push(0.5 * (s.traj.ttsf + t.traj.ttsf));
+            acc.cost_rate.push(
+                0.5 * (s.traj.mean_cost_rate() + t.traj.mean_cost_rate()));
           }
         },
         opts_.threads);
@@ -191,7 +214,7 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
     McPointResult r;
     r.ttsf = st.accum.ttsf.summary();
     r.cost_rate = st.accum.cost_rate.summary();
-    r.replications = st.accum.ttsf.count();
+    r.replications = st.accum.num_trajectories;
     r.p_failure_c1 = r.replications > 0
                          ? static_cast<double>(st.accum.c1) /
                                static_cast<double>(r.replications)
@@ -221,13 +244,13 @@ std::vector<McPointResult> MonteCarloEngine::run_des(
   contexts.reserve(points.size());
   for (const auto& p : points) contexts.emplace_back(p);
 
-  auto results =
-      run_grid(points.size(),
-               [&](std::size_t point, std::uint64_t seed) -> Sample {
-                 return {simulate_group(points[point], seed,
-                                        contexts[point]),
-                         true, false};
-               });
+  auto results = run_grid(
+      points.size(),
+      [&](std::size_t point, std::uint64_t seed, bool antithetic) -> Sample {
+        UniformStream draw(seed, antithetic);
+        return {simulate_group(points[point], draw, contexts[point]), true,
+                false};
+      });
   stats_.seconds += watch.seconds();
   return results;
 }
@@ -239,9 +262,17 @@ McPointResult MonteCarloEngine::run_des(const core::Params& point) {
 
 std::vector<McPointResult> MonteCarloEngine::run_protocol(
     std::span<const ProtocolSimParams> points) {
+  if (opts_.antithetic) {
+    // The packet-level simulator does not draw through UniformStream,
+    // so a "flipped" run would silently be an ordinary replication.
+    throw std::invalid_argument(
+        "MonteCarloEngine::run_protocol: antithetic pairs are only "
+        "supported for DES grids");
+  }
   const util::Stopwatch watch;
   auto results = run_grid(
-      points.size(), [&](std::size_t point, std::uint64_t seed) -> Sample {
+      points.size(),
+      [&](std::size_t point, std::uint64_t seed, bool) -> Sample {
         const ProtocolSimResult r = run_protocol_sim(points[point], seed);
         Sample s;
         s.traj.ttsf = r.ttsf;

@@ -7,7 +7,10 @@
 //      draws from the same SplitMix64 substream (seeds keyed by
 //      (point, replication) via derive_seed2; CRN drops the point key),
 //      so curve differences between points are positively correlated
-//      and their contrasts have variance-reduced estimates.
+//      and their contrasts have variance-reduced estimates.  Antithetic
+//      pairs (McOptions::antithetic) layer under this: each replication
+//      becomes a plain/flipped trajectory pair over one seed, and the
+//      statistics run on pair averages.
 //   2. Streaming Welford accumulation (sim::Welford): no stored
 //      trajectory vectors — O(1) memory per point regardless of the
 //      replication count.  Raw trajectories are opt-in for tests.
@@ -56,6 +59,19 @@ struct McOptions {
   /// substream (keyed by its index).
   bool crn = true;
 
+  /// Antithetic pairs (DES grids only; run_protocol rejects it): each
+  /// scheduled replication becomes a PAIR of trajectories sharing one
+  /// substream seed — a plain draw stream and its 1−u flip
+  /// (sim::UniformStream) — and the engine's sample statistics (means,
+  /// CIs, the CI-targeted stopping) run on pair averages, whose
+  /// negative within-pair correlation pushes the estimator variance
+  /// below the 1/n Monte-Carlo baseline.  Layered under CRN: pair
+  /// seeds stay keyed by replication index only, so contrasts along
+  /// every grid axis remain variance-reduced as well.  With this set,
+  /// min/max_replications and block count PAIRS;
+  /// McPointResult::replications still reports trajectories (2×).
+  bool antithetic = false;
+
   /// Worker threads for the (point × block) schedule (0 = hardware
   /// concurrency).
   std::size_t threads = 0;
@@ -72,9 +88,13 @@ struct McOptions {
 
 /// Per-point outcome of a grid run.
 struct McPointResult {
+  /// Sample summaries — over replications, or over pair averages in
+  /// antithetic mode (`ttsf.n` then counts pairs).
   Summary ttsf;
   Summary cost_rate;
   double p_failure_c1 = 0.0;
+  /// Trajectories simulated for this point (2× `ttsf.n` when
+  /// antithetic).
   std::size_t replications = 0;
   /// CI target met before max_replications (vacuously true when
   /// adaptive stopping is disabled).
@@ -108,9 +128,12 @@ class MonteCarloEngine {
   [[nodiscard]] std::vector<McPointResult> run_protocol(
       std::span<const ProtocolSimParams> points);
 
-  /// The seed replication `rep` of sweep point `point` uses — exposed
-  /// so any replication is reproducible in isolation with
-  /// simulate_group / run_protocol_sim.
+  /// The seed sample `rep` of sweep point `point` uses — exposed so any
+  /// replication is reproducible in isolation with simulate_group /
+  /// run_protocol_sim.  In antithetic mode `rep` indexes PAIRS: both
+  /// trajectories of pair `rep` share this seed and differ only in the
+  /// UniformStream antithetic flag (captured trajectory 2·rep is the
+  /// plain member, 2·rep+1 the flipped one).
   [[nodiscard]] std::uint64_t replication_seed(std::size_t point,
                                                std::size_t rep) const;
 
@@ -132,6 +155,9 @@ class MonteCarloEngine {
     bool timed_out = false;
   };
 
+  /// `sample(point, seed, antithetic)` runs one trajectory; run_grid
+  /// calls it once per sample, or twice per pair (plain + flipped) in
+  /// antithetic mode.
   template <typename SampleFn>
   std::vector<McPointResult> run_grid(std::size_t num_points,
                                       const SampleFn& sample);

@@ -181,7 +181,7 @@ AbsorbingResult AbsorbingAnalyzer::solve(
     }
   }
 
-  res.solver_iterations = components_.size();
+  res.solver_blocks = components_.size();
   res.converged = true;
   double mtta = 0.0;
   for (std::size_t i = 0; i < nt; ++i) {
@@ -221,6 +221,40 @@ double AbsorbingAnalyzer::accumulated_impulse_reward(
   for (const auto& e : graph_.edges) {
     if (e.impulse == 0.0) continue;
     acc += res.sojourn[e.src] * e.rate * e.impulse;
+  }
+  return acc;
+}
+
+double AbsorbingAnalyzer::accumulated_impulse_reward(
+    const AbsorbingResult& res, std::span<const double> edge_rates) const {
+  if (edge_rates.size() != graph_.edges.size()) {
+    throw std::invalid_argument(
+        "accumulated_impulse_reward: edge_rates size does not match edge "
+        "count");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < graph_.edges.size(); ++i) {
+    const auto& e = graph_.edges[i];
+    if (e.impulse == 0.0) continue;
+    acc += res.sojourn[e.src] * edge_rates[i] * e.impulse;
+  }
+  return acc;
+}
+
+double AbsorbingAnalyzer::accumulated_impulse_reward(
+    const AbsorbingResult& res, std::span<const double> edge_rates,
+    std::span<const double> edge_impulses) const {
+  if (edge_rates.size() != graph_.edges.size() ||
+      edge_impulses.size() != graph_.edges.size()) {
+    throw std::invalid_argument(
+        "accumulated_impulse_reward: edge_rates/edge_impulses size does "
+        "not match edge count");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < graph_.edges.size(); ++i) {
+    if (edge_impulses[i] == 0.0) continue;
+    acc += res.sojourn[graph_.edges[i].src] * edge_rates[i] *
+           edge_impulses[i];
   }
   return acc;
 }

@@ -36,7 +36,9 @@ struct AbsorbingResult {
   /// Probability of being absorbed in each state (0 for transient).
   std::vector<double> absorb_probability;
   bool converged = false;
-  std::size_t solver_iterations = 0;
+  /// SCC condensation blocks solved (the direct solver has no iteration
+  /// count; this was misleadingly named solver_iterations before).
+  std::size_t solver_blocks = 0;
 };
 
 class AbsorbingAnalyzer {
@@ -62,10 +64,24 @@ class AbsorbingAnalyzer {
       const AbsorbingResult& res,
       const std::function<double(const Marking&)>& reward) const;
 
-  /// Expected accumulated impulse reward using the impulses recorded on
-  /// the graph edges:  Σ_e τ_src · rate_e · impulse_e.
+  /// Expected accumulated impulse reward  Σ_e τ_src · rate_e · imp_e.
+  /// The no-argument form uses the rates/impulses stored on the graph
+  /// edges and pairs with solve(); the overloads pair with
+  /// solve(edge_rates): a result obtained under a rate override MUST be
+  /// rewarded with the same override, or the eviction costs silently
+  /// blend two parameter points (the stored-rate × overridden-sojourn
+  /// defect this overload set fixes).  Spans must match the edge count.
   [[nodiscard]] double accumulated_impulse_reward(
       const AbsorbingResult& res) const;
+  /// Overridden rates, stored impulses (rate-only sweeps).
+  [[nodiscard]] double accumulated_impulse_reward(
+      const AbsorbingResult& res,
+      std::span<const double> edge_rates) const;
+  /// Overridden rates and impulses (full per-point re-rating, e.g.
+  /// core::SweepEngine's compute_rates arrays).
+  [[nodiscard]] double accumulated_impulse_reward(
+      const AbsorbingResult& res, std::span<const double> edge_rates,
+      std::span<const double> edge_impulses) const;
 
   /// Probability-weighted classification of absorption causes:
   /// sums absorb probabilities over states where `pred` holds.

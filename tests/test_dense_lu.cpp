@@ -1,5 +1,6 @@
 #include "linalg/dense_matrix.h"
 
+#include <cmath>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -47,6 +48,32 @@ TEST(LuSolver, SingularMatrixThrows) {
   a(1, 0) = 2;
   a(1, 1) = 4;
   EXPECT_THROW(LuSolver{a}, std::runtime_error);
+}
+
+TEST(LuSolver, SingularToRoundingThrows) {
+  // Rows identical up to one ulp: elimination leaves the pivot 2^-52 —
+  // tiny but nonzero, so the former absolute 1e-300 cutoff accepted it
+  // and produced a garbage solution dominated by cancellation noise.
+  // The norm-scaled threshold (n·ε·‖A‖∞) must reject it.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 1.0 + std::ldexp(1.0, -52);
+  EXPECT_THROW(LuSolver{a}, std::runtime_error);
+}
+
+TEST(LuSolver, StiffButWellPosedDiagonalSolves) {
+  // Rates spanning 14 orders of magnitude (the CTMC blocks' stiffness
+  // regime) are ill-conditioned but representable exactly; the scaled
+  // threshold must NOT flag them.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1e8;
+  a(1, 1) = 1e-6;
+  const LuSolver lu(a);
+  const auto x = lu.solve({1e8, 2e-6});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
 }
 
 TEST(LuSolver, NonSquareThrows) {

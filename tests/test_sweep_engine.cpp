@@ -100,6 +100,57 @@ TEST(StructureKey, DistinctAcrossStructuralChanges) {
   EXPECT_NE(core::structure_key(loose_a), core::structure_key(loose_b));
 }
 
+TEST(AbsorbingAnalyzer, ImpulseRewardHonoursRateOverride) {
+  // Regression for the stored-rate defect: accumulated_impulse_reward
+  // multiplied sojourn by the graph's stored e.rate even when the
+  // sojourns came from solve(edge_rates) with different rates —
+  // silently mixing two parameter points' eviction costs.  Point A's
+  // structure re-rated to point B (t_ids differs, so T_IDS/T_FA rates
+  // differ while the impulses coincide) must reproduce point B's
+  // impulse reward exactly, and must NOT equal the stored-rate value.
+  Params a = small_params();
+  a.t_ids = 120.0;
+  Params b = small_params();
+  b.t_ids = 30.0;
+
+  const core::GcsSpnModel model_a(a);
+  const core::GcsSpnModel model_b(b);
+  const auto graph_a = spn::explore(model_a.net());
+  const spn::AbsorbingAnalyzer analyzer(graph_a);
+
+  std::vector<double> rates_b(graph_a.edges.size());
+  std::vector<double> impulses_b(graph_a.edges.size());
+  graph_a.compute_rates(model_b.net(), rates_b, impulses_b);
+  const auto res = analyzer.solve(rates_b);
+
+  // Oracle: point B solved on its own freshly explored graph.
+  const auto graph_b = spn::explore(model_b.net());
+  const spn::AbsorbingAnalyzer analyzer_b(graph_b);
+  const double want =
+      analyzer_b.accumulated_impulse_reward(analyzer_b.solve());
+  ASSERT_GT(want, 0.0);
+
+  const double rate_override =
+      analyzer.accumulated_impulse_reward(res, rates_b);
+  const double full_override =
+      analyzer.accumulated_impulse_reward(res, rates_b, impulses_b);
+  EXPECT_NEAR(rate_override, want, 1e-12 * want);
+  EXPECT_NEAR(full_override, want, 1e-12 * want);
+
+  // The pre-fix behaviour — stored rates under overridden sojourns —
+  // is measurably wrong (t_ids 120 vs 30 scales the detection rates).
+  const double stored_rates = analyzer.accumulated_impulse_reward(res);
+  EXPECT_GT(std::fabs(stored_rates - want), 1e-3 * want);
+
+  // Size mismatches throw instead of silently truncating.
+  std::vector<double> short_span(graph_a.edges.size() - 1, 1.0);
+  EXPECT_THROW((void)analyzer.accumulated_impulse_reward(res, short_span),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)analyzer.accumulated_impulse_reward(res, rates_b, short_span),
+      std::invalid_argument);
+}
+
 TEST(SweepEngine, RejectsMismatchedRateSpans) {
   const core::GcsSpnModel model(small_params());
   const spn::AbsorbingAnalyzer analyzer(model.graph());
