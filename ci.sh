@@ -24,6 +24,30 @@ cmake --build build -j"${JOBS}"
 # antithetic pairs stop beating plain CRN.  Records BENCH_mc.json.
 (cd build && ./bench_mc --smoke)
 
+# --- Sharded sweep service demo: two sweep_shard WORKER PROCESSES split
+# each paper grid (concurrently — this is the multi-process path, not a
+# thread demo), then sweep_merge recombines the shard files, reports the
+# cross-shard optima, and gates the merge against a fresh single-process
+# run: analytic values within 1e-12 and Monte-Carlo accumulator states
+# bitwise identical.  Non-zero exit on any divergence.  Records
+# BENCH_shard_merge_fig2.json / BENCH_shard_merge_fig4.json.
+for plan in fig2 fig4; do
+  (
+    cd build
+    ./sweep_shard --plan "${plan}" --shards 2 --shard 0 --smoke 1 \
+                  --out "shard_0_${plan}.json" &
+    SHARD0=$!
+    ./sweep_shard --plan "${plan}" --shards 2 --shard 1 --smoke 1 \
+                  --out "shard_1_${plan}.json" &
+    SHARD1=$!
+    # Two waits: `wait p0 p1` would report only p1's status.
+    wait "${SHARD0}"
+    wait "${SHARD1}"
+    ./sweep_merge --inputs "shard_0_${plan}.json,shard_1_${plan}.json" \
+                  --check 1 --json-out "BENCH_shard_merge_${plan}.json"
+  )
+done
+
 # --- Figure/ablation grid benches, smoke mode: every figure runs as a
 # core::GridSpec batch and validates each grid point against a
 # CI-bounded Monte-Carlo interval (CRN + antithetic).  Non-zero exit if

@@ -1,0 +1,375 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/sweep_engine.h"
+#include "util/json.h"
+
+namespace midas::core {
+
+namespace {
+
+constexpr const char* kFormat = "midas-shard-v1";
+
+util::Json range_to_json(const ShardRange& r) {
+  auto j = util::Json::object();
+  j.set("begin", util::Json(static_cast<double>(r.begin)));
+  j.set("end", util::Json(static_cast<double>(r.end)));
+  return j;
+}
+
+ShardRange range_from_json(const util::Json& j) {
+  return {j.at("begin").as_size(), j.at("end").as_size()};
+}
+
+util::Json eval_to_json(const Evaluation& e) {
+  auto j = util::Json::object();
+  j.set("mttsf", util::Json::number(e.mttsf));
+  j.set("ctotal", util::Json::number(e.ctotal));
+  j.set("cost_group_comm", util::Json::number(e.cost_rates.group_comm));
+  j.set("cost_status", util::Json::number(e.cost_rates.status));
+  j.set("cost_rekey", util::Json::number(e.cost_rates.rekey));
+  j.set("cost_ids", util::Json::number(e.cost_rates.ids));
+  j.set("cost_beacon", util::Json::number(e.cost_rates.beacon));
+  j.set("cost_partition_merge",
+        util::Json::number(e.cost_rates.partition_merge));
+  j.set("eviction_cost_rate", util::Json::number(e.eviction_cost_rate));
+  j.set("p_failure_c1", util::Json::number(e.p_failure_c1));
+  j.set("p_failure_c2", util::Json::number(e.p_failure_c2));
+  j.set("num_states", util::Json(static_cast<double>(e.num_states)));
+  j.set("solver_blocks", util::Json(static_cast<double>(e.solver_blocks)));
+  return j;
+}
+
+Evaluation eval_from_json(const util::Json& j) {
+  Evaluation e;
+  e.mttsf = j.at("mttsf").to_double();
+  e.ctotal = j.at("ctotal").to_double();
+  e.cost_rates.group_comm = j.at("cost_group_comm").to_double();
+  e.cost_rates.status = j.at("cost_status").to_double();
+  e.cost_rates.rekey = j.at("cost_rekey").to_double();
+  e.cost_rates.ids = j.at("cost_ids").to_double();
+  e.cost_rates.beacon = j.at("cost_beacon").to_double();
+  e.cost_rates.partition_merge = j.at("cost_partition_merge").to_double();
+  e.eviction_cost_rate = j.at("eviction_cost_rate").to_double();
+  e.p_failure_c1 = j.at("p_failure_c1").to_double();
+  e.p_failure_c2 = j.at("p_failure_c2").to_double();
+  e.num_states = j.at("num_states").as_size();
+  e.solver_blocks = j.at("solver_blocks").as_size();
+  return e;
+}
+
+util::Json welford_to_json(const sim::WelfordState& s) {
+  auto j = util::Json::object();
+  j.set("n", util::Json(static_cast<double>(s.n)));
+  j.set("mean", util::Json::number(s.mean));
+  j.set("m2", util::Json::number(s.m2));
+  return j;
+}
+
+sim::WelfordState welford_from_json(const util::Json& j) {
+  return {j.at("n").as_size(), j.at("mean").to_double(),
+          j.at("m2").to_double()};
+}
+
+util::Json mc_point_to_json(const sim::McPointResult& r) {
+  auto j = util::Json::object();
+  // Raw accumulator states and counts only: the reader re-derives the
+  // Summary fields, which is what makes cross-process results bitwise.
+  j.set("ttsf", welford_to_json(r.ttsf_state));
+  j.set("cost_rate", welford_to_json(r.cost_rate_state));
+  j.set("replications", util::Json(static_cast<double>(r.replications)));
+  j.set("failures_c1", util::Json(static_cast<double>(r.failures_c1)));
+  j.set("converged", util::Json(r.converged));
+  j.set("keys_always_agreed", util::Json(r.keys_always_agreed));
+  j.set("timeouts", util::Json(static_cast<double>(r.timeouts)));
+  auto survival = util::Json::array();
+  for (const std::size_t count : r.survival_counts) {
+    survival.push_back(util::Json(static_cast<double>(count)));
+  }
+  j.set("survival_counts", std::move(survival));
+  return j;
+}
+
+sim::McPointResult mc_point_from_json(const util::Json& j) {
+  sim::McPointResult r;
+  r.ttsf_state = welford_from_json(j.at("ttsf"));
+  r.cost_rate_state = welford_from_json(j.at("cost_rate"));
+  r.ttsf = sim::Welford::from_state(r.ttsf_state).summary();
+  r.cost_rate = sim::Welford::from_state(r.cost_rate_state).summary();
+  r.replications = j.at("replications").as_size();
+  r.failures_c1 = j.at("failures_c1").as_size();
+  r.p_failure_c1 = r.replications > 0
+                       ? static_cast<double>(r.failures_c1) /
+                             static_cast<double>(r.replications)
+                       : 0.0;
+  r.converged = j.at("converged").as_bool();
+  r.keys_always_agreed = j.at("keys_always_agreed").as_bool();
+  r.timeouts = j.at("timeouts").as_size();
+  for (const auto& count : j.at("survival_counts").elements()) {
+    r.survival_counts.push_back(count.as_size());
+    r.survival.push_back(
+        sim::binomial_summary(r.replications, r.survival_counts.back()));
+  }
+  return r;
+}
+
+util::Json stats_to_json(const sim::MonteCarloEngine::Stats& s) {
+  auto j = util::Json::object();
+  j.set("points", util::Json(static_cast<double>(s.points)));
+  j.set("replications", util::Json(static_cast<double>(s.replications)));
+  j.set("blocks", util::Json(static_cast<double>(s.blocks)));
+  j.set("rounds", util::Json(static_cast<double>(s.rounds)));
+  j.set("seconds", util::Json::number(s.seconds));
+  return j;
+}
+
+sim::MonteCarloEngine::Stats stats_from_json(const util::Json& j) {
+  sim::MonteCarloEngine::Stats s;
+  s.points = j.at("points").as_size();
+  s.replications = j.at("replications").as_size();
+  s.blocks = j.at("blocks").as_size();
+  s.rounds = j.at("rounds").as_size();
+  s.seconds = j.at("seconds").to_double();
+  return s;
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::contiguous(std::size_t num_points,
+                                std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardPlan: num_shards must be positive");
+  }
+  ShardPlan plan;
+  plan.num_points_ = num_points;
+  plan.ranges_.reserve(num_shards);
+  const std::size_t base = num_points / num_shards;
+  const std::size_t extra = num_points % num_shards;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t take = base + (s < extra ? 1 : 0);
+    plan.ranges_.push_back({cursor, cursor + take});
+    cursor += take;
+  }
+  return plan;
+}
+
+ShardPlan ShardPlan::by_structure(const GridSpec& spec, const Params& base,
+                                  std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardPlan: num_shards must be positive");
+  }
+  const std::size_t n = spec.num_points();
+
+  // Row-major runs of equal structure_key: run r covers points
+  // [run_begin[r], run_begin[r+1]).
+  std::vector<std::size_t> run_begin;
+  std::string prev_key;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key = structure_key(spec.point(base, i));
+    if (i == 0 || key != prev_key) run_begin.push_back(i);
+    prev_key = std::move(key);
+  }
+  run_begin.push_back(n);
+  const std::size_t runs = run_begin.size() - 1;
+
+  ShardPlan plan;
+  plan.num_points_ = n;
+  plan.ranges_.reserve(num_shards);
+  std::size_t run = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (run >= runs) {
+      plan.ranges_.push_back({n, n});
+      continue;
+    }
+    const std::size_t begin = run_begin[run];
+    std::size_t end = begin;
+    if (s + 1 == num_shards) {
+      // Last shard absorbs every remaining run.
+      run = runs;
+      end = n;
+    } else {
+      // Greedy balance: grow toward an even share of the remaining
+      // points, whole runs at a time (the run that crosses the target
+      // is included, so progress is guaranteed).
+      const std::size_t target =
+          (n - begin + (num_shards - s) - 1) / (num_shards - s);
+      while (run < runs && end - begin < target) {
+        ++run;
+        end = run_begin[run];
+      }
+    }
+    plan.ranges_.push_back({begin, end});
+  }
+  return plan;
+}
+
+const ShardRange& ShardPlan::range(std::size_t shard) const {
+  if (shard >= ranges_.size()) {
+    throw std::out_of_range("ShardPlan: shard index " +
+                            std::to_string(shard) + " out of range (" +
+                            std::to_string(ranges_.size()) + " shards)");
+  }
+  return ranges_[shard];
+}
+
+void write_shard_json(const std::string& path, const ShardFile& file) {
+  auto j = util::Json::object();
+  j.set("format", util::Json(kFormat));
+  j.set("plan", util::Json(file.plan));
+  j.set("mode", util::Json(file.mode));
+  j.set("grid_points", util::Json(static_cast<double>(file.grid_points)));
+  j.set("num_shards", util::Json(static_cast<double>(file.num_shards)));
+  j.set("shard_index", util::Json(static_cast<double>(file.shard_index)));
+  j.set("has_mc", util::Json(file.has_mc));
+  j.set("range", range_to_json(file.result.range));
+
+  auto evals = util::Json::array();
+  for (const auto& e : file.result.evals) evals.push_back(eval_to_json(e));
+  j.set("evals", std::move(evals));
+
+  if (file.has_mc) {
+    auto mc = util::Json::array();
+    for (const auto& r : file.result.mc) mc.push_back(mc_point_to_json(r));
+    j.set("mc", std::move(mc));
+    j.set("mc_stats", stats_to_json(file.result.mc_stats));
+  }
+  util::write_json_file(path, j);
+}
+
+ShardFile read_shard_json(const std::string& path) {
+  const auto j = util::read_json_file(path);
+  if (j.at("format").as_string() != kFormat) {
+    throw std::runtime_error("read_shard_json: " + path +
+                             " has unknown format '" +
+                             j.at("format").as_string() + "'");
+  }
+  ShardFile file;
+  file.plan = j.at("plan").as_string();
+  file.mode = j.at("mode").as_string();
+  file.grid_points = j.at("grid_points").as_size();
+  file.num_shards = j.at("num_shards").as_size();
+  file.shard_index = j.at("shard_index").as_size();
+  file.has_mc = j.at("has_mc").as_bool();
+  file.result.range = range_from_json(j.at("range"));
+
+  for (const auto& e : j.at("evals").elements()) {
+    file.result.evals.push_back(eval_from_json(e));
+  }
+  if (file.has_mc) {
+    for (const auto& r : j.at("mc").elements()) {
+      file.result.mc.push_back(mc_point_from_json(r));
+    }
+    file.result.mc_stats = stats_from_json(j.at("mc_stats"));
+  }
+  return file;
+}
+
+void validate_shard_tiling(std::size_t num_points,
+                           std::span<const ShardRange> ranges) {
+  std::vector<ShardRange> order;
+  order.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    if (r.begin > r.end || r.end > num_points) {
+      throw std::invalid_argument(
+          "validate_shard_tiling: range [" + std::to_string(r.begin) +
+          ", " + std::to_string(r.end) + ") is invalid for a " +
+          std::to_string(num_points) + "-point grid");
+    }
+    if (!r.empty()) order.push_back(r);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const ShardRange& a, const ShardRange& b) {
+              return a.begin < b.begin;
+            });
+  std::size_t cursor = 0;
+  for (const auto& r : order) {
+    if (r.begin != cursor) {
+      throw std::invalid_argument(
+          "validate_shard_tiling: shard ranges do not tile the grid (" +
+          std::string(r.begin > cursor ? "gap" : "overlap") + " at point " +
+          std::to_string(std::min(cursor, r.begin)) + ")");
+    }
+    cursor = r.end;
+  }
+  if (cursor != num_points) {
+    throw std::invalid_argument(
+        "validate_shard_tiling: shard ranges do not tile the grid (gap at "
+        "point " +
+        std::to_string(cursor) + ")");
+  }
+}
+
+MergedShardSet merge_shard_files(std::span<const ShardFile> files) {
+  if (files.empty()) {
+    throw std::invalid_argument("merge_shard_files: no shard files");
+  }
+  const ShardFile& ref = files.front();
+  MergedShardSet merged;
+  merged.plan = ref.plan;
+  merged.mode = ref.mode;
+  merged.grid_points = ref.grid_points;
+  merged.num_shards = ref.num_shards;
+  merged.has_mc = ref.has_mc;
+
+  std::vector<char> seen(ref.num_shards, 0);
+  for (const auto& f : files) {
+    if (f.plan != ref.plan || f.mode != ref.mode ||
+        f.grid_points != ref.grid_points || f.num_shards != ref.num_shards ||
+        f.has_mc != ref.has_mc) {
+      throw std::invalid_argument(
+          "merge_shard_files: shard " + std::to_string(f.shard_index) +
+          " metadata disagrees with shard " +
+          std::to_string(ref.shard_index) + " (plan/mode/grid/shards/mc)");
+    }
+    if (f.shard_index >= f.num_shards) {
+      throw std::invalid_argument("merge_shard_files: shard index " +
+                                  std::to_string(f.shard_index) +
+                                  " out of range");
+    }
+    if (seen[f.shard_index]) {
+      throw std::invalid_argument("merge_shard_files: duplicate shard " +
+                                  std::to_string(f.shard_index));
+    }
+    seen[f.shard_index] = 1;
+    const auto& r = f.result.range;
+    if (r.begin > r.end || r.end > f.grid_points) {
+      throw std::invalid_argument("merge_shard_files: shard " +
+                                  std::to_string(f.shard_index) +
+                                  " has an invalid range");
+    }
+    if (f.result.evals.size() != r.size() ||
+        (f.has_mc && f.result.mc.size() != r.size())) {
+      throw std::invalid_argument(
+          "merge_shard_files: shard " + std::to_string(f.shard_index) +
+          " payload size does not match its range");
+    }
+  }
+
+  std::vector<ShardRange> ranges;
+  ranges.reserve(files.size());
+  for (const auto& f : files) ranges.push_back(f.result.range);
+  validate_shard_tiling(merged.grid_points, ranges);
+
+  merged.evals.resize(merged.grid_points);
+  if (merged.has_mc) merged.mc.resize(merged.grid_points);
+  for (const auto& f : files) {
+    const auto& r = f.result.range;
+    std::copy(f.result.evals.begin(), f.result.evals.end(),
+              merged.evals.begin() + static_cast<std::ptrdiff_t>(r.begin));
+    if (merged.has_mc) {
+      std::copy(f.result.mc.begin(), f.result.mc.end(),
+                merged.mc.begin() + static_cast<std::ptrdiff_t>(r.begin));
+      merged.mc_stats.points += f.result.mc_stats.points;
+      merged.mc_stats.replications += f.result.mc_stats.replications;
+      merged.mc_stats.blocks += f.result.mc_stats.blocks;
+      merged.mc_stats.rounds += f.result.mc_stats.rounds;
+      merged.mc_stats.seconds += f.result.mc_stats.seconds;
+    }
+  }
+  return merged;
+}
+
+}  // namespace midas::core

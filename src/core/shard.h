@@ -1,0 +1,156 @@
+// Sharded multi-config sweep service: slicing a core::GridSpec across
+// processes/hosts and recombining the pieces deterministically.
+//
+// Row-major grid indexing means a shard is just a contiguous point
+// range [begin, end): every shard evaluates its slice with the same
+// SweepEngine code path the single-process run uses, so the merged
+// result is the single-process result — exactly.  Two invariants make
+// that true:
+//   * the analytic path depends only on the point itself (one structure
+//     exploration per structure_key inside each shard, numeric solves
+//     per point), and
+//   * the Monte-Carlo path schedules each point independently with
+//     substreams keyed by replication only under CRN (and by GLOBAL
+//     point index otherwise, via McOptions::point_stream_offset), so a
+//     point's Welford state is invariant to which shard ran it.
+// The merge therefore checks an exact tiling and places slices — no
+// floating-point reconciliation is ever needed (Welford merge stays
+// available for replication-sharded extensions; it is associative).
+//
+// ShardPlan chooses the split: contiguous() balances point counts;
+// by_structure() additionally aligns shard boundaries with runs of
+// equal structure_key, so no structural configuration is explored by
+// two shards just because the cut landed inside its run.
+//
+// ShardFile + write_shard_json/read_shard_json persist a shard's slice
+// (Evaluation values, raw Welford states {n, mean, m2} and counts — not
+// derived CIs — plus CI metadata) so the merge step reproduces MC
+// summaries bit-for-bit across processes.  The sweep_shard/sweep_merge
+// tools drive this over the paper grids; see also SweepEngine::
+// run_shard / run_mc_shard and merge_shards / merge_mc_shards.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/gcs_spn_model.h"
+#include "core/grid_spec.h"
+#include "core/params.h"
+#include "sim/mc_engine.h"
+
+namespace midas::core {
+
+/// A contiguous row-major slice [begin, end) of a grid's points.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin == end; }
+  bool operator==(const ShardRange&) const = default;
+};
+
+/// A deterministic partition of a grid's [0, num_points) into
+/// num_shards contiguous ranges (some possibly empty when shards
+/// outnumber points).  Every worker process recomputes the same plan
+/// from the same (spec, shards) inputs — no coordination needed.
+class ShardPlan {
+ public:
+  /// Balanced contiguous split: the first (num_points % num_shards)
+  /// shards take one extra point.
+  [[nodiscard]] static ShardPlan contiguous(std::size_t num_points,
+                                            std::size_t num_shards);
+
+  /// Contiguous split whose boundaries only fall between runs of equal
+  /// structure_key(spec.point(base, i)), so each shard pays exactly one
+  /// exploration per structure it touches and no run is split across
+  /// shards.  (A structure whose points recur in non-adjacent runs —
+  /// possible when a structural axis is not the slowest — is explored
+  /// once per shard that owns one of its runs.)  Greedy point-balanced;
+  /// trailing shards are empty when runs are fewer than shards.
+  [[nodiscard]] static ShardPlan by_structure(const GridSpec& spec,
+                                              const Params& base,
+                                              std::size_t num_shards);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return ranges_.size();
+  }
+  [[nodiscard]] std::size_t num_points() const noexcept {
+    return num_points_;
+  }
+  [[nodiscard]] const ShardRange& range(std::size_t shard) const;
+  [[nodiscard]] const std::vector<ShardRange>& ranges() const noexcept {
+    return ranges_;
+  }
+
+ private:
+  std::vector<ShardRange> ranges_;
+  std::size_t num_points_ = 0;
+};
+
+/// One shard's analytic slice (evals[i] answers point range.begin + i).
+struct GridShardResult {
+  ShardRange range;
+  std::vector<Evaluation> evals;
+};
+
+/// One shard's analytic + Monte-Carlo slice.  `mc` is empty for
+/// analytic-only shards; otherwise parallel to `evals`.
+struct McGridShardResult {
+  ShardRange range;
+  std::vector<Evaluation> evals;
+  std::vector<sim::McPointResult> mc;
+  sim::MonteCarloEngine::Stats mc_stats;
+};
+
+/// The on-disk form of one shard's results plus the metadata the merge
+/// step validates: shards of one run must agree on plan id, mode, grid
+/// size and shard count, and their ranges must tile the grid exactly.
+struct ShardFile {
+  std::string plan;        // producer-chosen grid identifier, e.g. "fig2"
+  std::string mode;        // producer-chosen config tag, e.g. "smoke"
+  std::size_t grid_points = 0;
+  std::size_t num_shards = 0;
+  std::size_t shard_index = 0;
+  bool has_mc = false;
+  McGridShardResult result;
+};
+
+/// Serialises `file` as strict JSON ("midas-shard-v1"): every double
+/// with round-trip precision, MC points as raw Welford states and
+/// counts.  Throws std::runtime_error on IO failure.
+void write_shard_json(const std::string& path, const ShardFile& file);
+
+/// Parses a file written by write_shard_json (summaries are rebuilt
+/// from the serialised accumulator states, bitwise-identical to the
+/// producing process).  Throws std::runtime_error on IO/format errors.
+[[nodiscard]] ShardFile read_shard_json(const std::string& path);
+
+/// Shard files recombined into full-grid vectors (index = grid point).
+struct MergedShardSet {
+  std::string plan;
+  std::string mode;
+  std::size_t grid_points = 0;
+  std::size_t num_shards = 0;
+  bool has_mc = false;
+  std::vector<Evaluation> evals;
+  std::vector<sim::McPointResult> mc;
+  sim::MonteCarloEngine::Stats mc_stats;  // summed over shards
+};
+
+/// Validates and merges a complete shard set: consistent metadata, an
+/// exact non-overlapping tiling of [0, grid_points), per-shard sizes
+/// matching their ranges, and uniform has_mc.  Throws
+/// std::invalid_argument naming the first violation.
+[[nodiscard]] MergedShardSet merge_shard_files(
+    std::span<const ShardFile> files);
+
+/// Throws std::invalid_argument unless the non-empty ranges tile
+/// [0, num_points) exactly (no gap, no overlap).  Shared by every merge
+/// path.
+void validate_shard_tiling(std::size_t num_points,
+                           std::span<const ShardRange> ranges);
+
+}  // namespace midas::core

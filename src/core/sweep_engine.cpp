@@ -1,5 +1,6 @@
 #include "core/sweep_engine.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -86,12 +87,17 @@ std::vector<Evaluation> SweepEngine::evaluate(
   if (points.empty()) return evals;
 
   // Resolve cache entries serially (the map is not touched by workers).
+  // Every structure this batch needs is pinned for its duration; the
+  // LRU cap is enforced only after the batch completes.
   std::vector<CacheEntry*> entry_of(points.size(), nullptr);
   if (opts_.reuse_structure) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      auto& slot = cache_[structure_key(points[i])];
+      std::string key = structure_key(points[i]);
+      auto& slot = cache_[key];
       if (!slot) slot = std::make_unique<CacheEntry>();
       entry_of[i] = slot.get();
+      // LRU bookkeeping only matters when a cap can evict.
+      if (opts_.max_cache_entries != 0) touch_cache_key(key);
     }
   }
 
@@ -132,8 +138,29 @@ std::vector<Evaluation> SweepEngine::evaluate(
       },
       opts_.threads);
 
+  enforce_cache_cap();
   stats_.seconds += watch.seconds();
   return evals;
+}
+
+void SweepEngine::touch_cache_key(const std::string& key) {
+  const auto it = std::find(lru_.begin(), lru_.end(), key);
+  if (it != lru_.end()) lru_.erase(it);
+  lru_.push_back(key);
+}
+
+void SweepEngine::enforce_cache_cap() {
+  if (opts_.max_cache_entries == 0) return;
+  while (cache_.size() > opts_.max_cache_entries && !lru_.empty()) {
+    cache_.erase(lru_.front());
+    lru_.erase(lru_.begin());
+    ++stats_.cache_evictions;
+  }
+}
+
+void SweepEngine::clear_cache() {
+  cache_.clear();
+  lru_.clear();
 }
 
 GridRunResult SweepEngine::run(const GridSpec& spec, const Params& base) {
@@ -162,6 +189,109 @@ McGridResult SweepEngine::run_mc(const GridSpec& spec, const Params& base,
     result.points.push_back({evals[i], std::move(mcs[i])});
   }
   result.mc_stats = engine.stats();
+  return result;
+}
+
+namespace {
+
+/// The parameter points of one contiguous grid slice.
+std::vector<Params> slice_points(const GridSpec& spec, const Params& base,
+                                 ShardRange range) {
+  if (range.begin > range.end || range.end > spec.num_points()) {
+    throw std::out_of_range(
+        "SweepEngine: shard range [" + std::to_string(range.begin) + ", " +
+        std::to_string(range.end) + ") is invalid for a " +
+        std::to_string(spec.num_points()) + "-point grid");
+  }
+  std::vector<Params> points;
+  points.reserve(range.size());
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    points.push_back(spec.point(base, i));
+  }
+  return points;
+}
+
+}  // namespace
+
+GridShardResult SweepEngine::run_shard(const GridSpec& spec,
+                                       const Params& base,
+                                       ShardRange range) {
+  const auto points = slice_points(spec, base, range);
+  return {range, evaluate(points)};
+}
+
+McGridShardResult SweepEngine::run_mc_shard(const GridSpec& spec,
+                                            const Params& base,
+                                            ShardRange range,
+                                            const sim::McOptions& mc) {
+  const auto points = slice_points(spec, base, range);
+  McGridShardResult result;
+  result.range = range;
+  result.evals = evaluate(points);
+
+  // One schedule over the slice.  Under CRN the substreams already
+  // ignore the point index; otherwise shifting the stream keys by
+  // range.begin reproduces the full-grid streams, so either way each
+  // point's summaries are bitwise those of run_mc() on the whole grid.
+  sim::McOptions opts = mc;
+  opts.point_stream_offset += range.begin;
+  sim::MonteCarloEngine engine(opts);
+  result.mc = engine.run_des(points);
+  result.mc_stats = engine.stats();
+  return result;
+}
+
+GridRunResult merge_shards(const GridSpec& spec,
+                           std::span<const GridShardResult> shards) {
+  std::vector<ShardRange> ranges;
+  ranges.reserve(shards.size());
+  for (const auto& s : shards) {
+    if (s.evals.size() != s.range.size()) {
+      throw std::invalid_argument(
+          "merge_shards: shard payload size does not match its range");
+    }
+    ranges.push_back(s.range);
+  }
+  validate_shard_tiling(spec.num_points(), ranges);
+
+  GridRunResult result;
+  result.spec = spec;
+  result.evals.resize(spec.num_points());
+  for (const auto& s : shards) {
+    std::copy(s.evals.begin(), s.evals.end(),
+              result.evals.begin() +
+                  static_cast<std::ptrdiff_t>(s.range.begin));
+  }
+  return result;
+}
+
+McGridResult merge_mc_shards(const GridSpec& spec,
+                             std::span<const McGridShardResult> shards) {
+  std::vector<ShardRange> ranges;
+  ranges.reserve(shards.size());
+  for (const auto& s : shards) {
+    if (s.evals.size() != s.range.size() ||
+        s.mc.size() != s.range.size()) {
+      throw std::invalid_argument(
+          "merge_mc_shards: shard payload size does not match its range");
+    }
+    ranges.push_back(s.range);
+  }
+  validate_shard_tiling(spec.num_points(), ranges);
+
+  McGridResult result;
+  result.spec = spec;
+  result.points.resize(spec.num_points());
+  for (const auto& s : shards) {
+    for (std::size_t i = 0; i < s.range.size(); ++i) {
+      result.points[s.range.begin + i] = {s.evals[i], s.mc[i]};
+    }
+    result.mc_stats.points += s.mc_stats.points;
+    result.mc_stats.replications += s.mc_stats.replications;
+    result.mc_stats.blocks += s.mc_stats.blocks;
+    result.mc_stats.rounds += s.mc_stats.rounds;
+    result.mc_stats.seconds += s.mc_stats.seconds;
+  }
   return result;
 }
 

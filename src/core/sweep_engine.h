@@ -20,6 +20,14 @@
 // substreams keyed by replication only (contrasts along every axis are
 // variance-reduced) and optional antithetic pairs.  sweep_t_ids /
 // sweep_mc are the 1-D special cases.
+//
+// Sharding: run_shard()/run_mc_shard() evaluate one contiguous
+// row-major slice of the grid (see core::ShardPlan), and
+// merge_shards()/merge_mc_shards() recombine a complete tiling into the
+// single-process result — exactly, because points are solved
+// independently and MC substreams are keyed shard-invariantly.  A
+// long-lived shard worker bounds its structure cache with
+// SweepEngineOptions::max_cache_entries or clear_cache().
 #pragma once
 
 #include <cstddef>
@@ -33,6 +41,7 @@
 #include "core/gcs_spn_model.h"
 #include "core/grid_spec.h"
 #include "core/params.h"
+#include "core/shard.h"
 #include "sim/mc_engine.h"
 
 namespace midas::core {
@@ -111,6 +120,13 @@ struct SweepEngineOptions {
   /// When false, every point re-explores from scratch (the naive path;
   /// kept for validation and speedup measurement).
   bool reuse_structure = true;
+  /// Upper bound on cached explored structures (0 = unbounded).  The
+  /// cache previously grew without limit — a memory leak for a
+  /// long-lived shard worker sweeping many structural configs.  With a
+  /// cap, the least-recently-used entries are evicted after each
+  /// evaluate() call (a single batch may transiently exceed the cap;
+  /// every structure it needs stays alive until the batch completes).
+  std::size_t max_cache_entries = 0;
 };
 
 /// The key under which parameter points share one explored structure:
@@ -142,6 +158,28 @@ class SweepEngine {
   [[nodiscard]] McGridResult run_mc(const GridSpec& spec, const Params& base,
                                     const sim::McOptions& mc = {});
 
+  /// Evaluates one contiguous row-major slice of the grid analytically —
+  /// a shard worker's entry point.  Because every point is solved
+  /// independently (structure explorations keyed by structure_key,
+  /// numeric solves per point), the slice's results are identical to
+  /// the corresponding rows of run(): merge_shards() of a full tiling
+  /// reproduces the single-process grid exactly.
+  [[nodiscard]] GridShardResult run_shard(const GridSpec& spec,
+                                          const Params& base,
+                                          ShardRange range);
+
+  /// run_shard plus one Monte-Carlo schedule over the slice.  The MC
+  /// summaries are shard-invariant: under CRN the substreams are keyed
+  /// by replication only, and otherwise the engine offsets its
+  /// substream keys by range.begin (McOptions::point_stream_offset), so
+  /// each point draws the same randomness it would in the full-grid
+  /// run_mc() and merge_mc_shards() recombines BITWISE-identical
+  /// summaries.
+  [[nodiscard]] McGridShardResult run_mc_shard(const GridSpec& spec,
+                                               const Params& base,
+                                               ShardRange range,
+                                               const sim::McOptions& mc = {});
+
   /// Evaluates `base` at every TIDS in `grid` (base.t_ids is ignored).
   /// A 1-D special case of run().
   [[nodiscard]] SweepResult sweep_t_ids(const Params& base,
@@ -161,9 +199,20 @@ class SweepEngine {
     std::size_t explorations = 0;      // structural configs explored
     std::size_t states_explored = 0;   // Σ states over fresh explorations
     std::size_t states_evaluated = 0;  // Σ states over all points
+    std::size_t cache_evictions = 0;   // entries dropped by the LRU cap
     double seconds = 0.0;              // wall clock inside evaluate()
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Drops every cached explored structure (a later sweep re-explores).
+  /// Long-lived shard workers call this between unrelated jobs; the
+  /// max_cache_entries option bounds growth within a job.  Not safe
+  /// concurrently with evaluate() — like every other member.
+  void clear_cache();
+  /// Cached explored structures currently held.
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return cache_.size();
+  }
 
  private:
   struct CacheEntry {
@@ -174,10 +223,28 @@ class SweepEngine {
     std::unique_ptr<const spn::AbsorbingAnalyzer> analyzer;
   };
 
+  /// Moves `key` to the most-recently-used position of lru_.
+  void touch_cache_key(const std::string& key);
+  /// Evicts least-recently-used entries until the cap is respected.
+  void enforce_cache_cap();
+
   SweepEngineOptions opts_;
   std::unordered_map<std::string, std::unique_ptr<CacheEntry>> cache_;
+  /// Cache keys, least-recently-used first (parallel to cache_).
+  std::vector<std::string> lru_;
   std::mutex stats_mutex_;
   Stats stats_;
 };
+
+/// Recombines a complete set of shard slices into the single-process
+/// GridRunResult.  The ranges must tile [0, spec.num_points()) exactly
+/// (empty shards allowed); throws std::invalid_argument otherwise.
+[[nodiscard]] GridRunResult merge_shards(
+    const GridSpec& spec, std::span<const GridShardResult> shards);
+
+/// Monte-Carlo counterpart: recombines run_mc_shard slices into the
+/// single-process McGridResult (per-shard engine stats are summed).
+[[nodiscard]] McGridResult merge_mc_shards(
+    const GridSpec& spec, std::span<const McGridShardResult> shards);
 
 }  // namespace midas::core

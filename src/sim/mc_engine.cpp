@@ -87,8 +87,11 @@ MonteCarloEngine::MonteCarloEngine(McOptions opts) : opts_(std::move(opts)) {
 std::uint64_t MonteCarloEngine::replication_seed(std::size_t point,
                                                  std::size_t rep) const {
   // CRN: one substream shared by every point; independent: substream
-  // keyed by the point index (offset so the layouts never coincide).
-  const std::uint64_t stream = opts_.crn ? 0 : point + 1;
+  // keyed by the GLOBAL point index (offset so the layouts never
+  // coincide, and shifted by point_stream_offset so a shard reproduces
+  // the full-grid streams).
+  const std::uint64_t stream =
+      opts_.crn ? 0 : opts_.point_stream_offset + point + 1;
   return derive_seed2(opts_.base_seed, stream, rep);
 }
 
@@ -214,7 +217,10 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
     McPointResult r;
     r.ttsf = st.accum.ttsf.summary();
     r.cost_rate = st.accum.cost_rate.summary();
+    r.ttsf_state = st.accum.ttsf.state();
+    r.cost_rate_state = st.accum.cost_rate.state();
     r.replications = st.accum.num_trajectories;
+    r.failures_c1 = st.accum.c1;
     r.p_failure_c1 = r.replications > 0
                          ? static_cast<double>(st.accum.c1) /
                                static_cast<double>(r.replications)
@@ -224,6 +230,7 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
     for (const std::size_t count : st.accum.survival) {
       r.survival.push_back(binomial_summary(r.replications, count));
     }
+    r.survival_counts = st.accum.survival;
     r.trajectories = std::move(st.accum.trajectories);
     r.keys_always_agreed = st.accum.keys_ok;
     r.timeouts = st.accum.timeouts;

@@ -59,6 +59,13 @@ struct McOptions {
   /// substream (keyed by its index).
   bool crn = true;
 
+  /// Global index of the first grid point this engine run covers.  A
+  /// shard evaluating points [b, e) of a larger grid passes b so the
+  /// independent (non-CRN) substream keys match the full-grid run —
+  /// under CRN the key drops the point index and this is irrelevant.
+  /// core::SweepEngine::run_mc_shard sets it automatically.
+  std::size_t point_stream_offset = 0;
+
   /// Antithetic pairs (DES grids only; run_protocol rejects it): each
   /// scheduled replication becomes a PAIR of trajectories sharing one
   /// substream seed — a plain draw stream and its 1−u flip
@@ -92,7 +99,16 @@ struct McPointResult {
   /// antithetic mode (`ttsf.n` then counts pairs).
   Summary ttsf;
   Summary cost_rate;
+  /// Raw Welford accumulator states behind `ttsf` / `cost_rate` — the
+  /// sharded sweep service serialises THESE (not the derived Summary),
+  /// so a shard re-imported elsewhere reproduces its summaries bitwise
+  /// and merges associatively with sibling shards.
+  WelfordState ttsf_state;
+  WelfordState cost_rate_state;
   double p_failure_c1 = 0.0;
+  /// Raw trajectory count behind p_failure_c1 (= failures_c1 /
+  /// replications).
+  std::size_t failures_c1 = 0;
   /// Trajectories simulated for this point (2× `ttsf.n` when
   /// antithetic).
   std::size_t replications = 0;
@@ -103,6 +119,9 @@ struct McPointResult {
   /// proportion with a 95% Wilson interval (never zero-width, even
   /// when every replication survives a horizon).
   std::vector<Summary> survival;
+  /// Raw survivor counts behind `survival` (per horizon, out of
+  /// `replications` trajectories) — serialised by the shard files.
+  std::vector<std::size_t> survival_counts;
   /// Filled only when capture_trajectories is set, in replication order.
   std::vector<Trajectory> trajectories;
 

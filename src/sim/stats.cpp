@@ -1,6 +1,7 @@
 #include "sim/stats.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace midas::sim {
 
@@ -63,6 +64,18 @@ Summary binomial_summary(std::size_t n, std::size_t successes) {
       z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
   s.ci_half_width = std::max(center + spread - p, p - (center - spread));
   return s;
+}
+
+Welford Welford::from_state(const WelfordState& s) {
+  if (s.m2 < 0.0 || (s.n == 0 && (s.mean != 0.0 || s.m2 != 0.0))) {
+    throw std::invalid_argument(
+        "Welford::from_state: invalid accumulator state");
+  }
+  Welford w;
+  w.n_ = s.n;
+  w.mean_ = s.mean;
+  w.m2_ = s.m2;
+  return w;
 }
 
 void Welford::push(double x) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 
 namespace midas::sim {
@@ -11,12 +12,22 @@ struct Summary {
   std::size_t n = 0;
   double mean = 0.0;
   double variance = 0.0;   // unbiased sample variance
-  double ci_half_width = 0.0;  // 95% two-sided
+  /// 95% two-sided half-width.  With n < 2 samples no variance estimate
+  /// exists, so the interval is reported as INFINITE rather than the
+  /// zero-width degenerate one it used to be: contains() then holds for
+  /// every value ("cannot reject") instead of vacuously passing/failing
+  /// on whether a single replication landed exactly on the mean — the
+  /// same honesty the Wilson interval brought to 0/1 proportions.
+  double ci_half_width = std::numeric_limits<double>::infinity();
 
   [[nodiscard]] double lower() const { return mean - ci_half_width; }
   [[nodiscard]] double upper() const { return mean + ci_half_width; }
   [[nodiscard]] bool contains(double value) const {
     return value >= lower() && value <= upper();
+  }
+  /// True when the CI is meaningful (n >= 2 behind a finite width).
+  [[nodiscard]] bool has_ci() const {
+    return ci_half_width < std::numeric_limits<double>::infinity();
   }
 };
 
@@ -24,7 +35,8 @@ struct Summary {
 /// (interpolated table; exact asymptote 1.96 for large df).
 [[nodiscard]] double t_quantile_95(std::size_t df);
 
-/// Summarises a sample with a 95% CI for the mean.
+/// Summarises a sample with a 95% CI for the mean.  Fewer than two
+/// points carry no variance information: the half-width is infinite.
 [[nodiscard]] Summary summarize(std::span<const double> sample);
 
 /// Summary for a Bernoulli proportion (successes out of n) with a 95%
@@ -32,9 +44,20 @@ struct Summary {
 /// proportion.  Unlike the Student-t CI on 0/1 indicators, the width
 /// never degenerates to zero at proportions of exactly 0 or 1 — an
 /// all-survivors sample still carries its real statistical
-/// uncertainty.
+/// uncertainty.  n = 0 reports an infinite half-width.
 [[nodiscard]] Summary binomial_summary(std::size_t n,
                                        std::size_t successes);
+
+/// The full accumulator state of a Welford instance — everything needed
+/// to continue, merge, or summarise it later.  The sharded sweep service
+/// serialises these (not derived Summary fields) so that a shard's
+/// Monte-Carlo results re-imported on another host reproduce summaries
+/// bit-for-bit and merge associatively across shards.
+struct WelfordState {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  // sum of squared deviations from the mean
+};
 
 /// Streaming mean/variance accumulator (Welford's algorithm): O(1)
 /// memory per metric regardless of replication count, mergeable across
@@ -45,6 +68,15 @@ class Welford {
  public:
   void push(double x);
   void merge(const Welford& other);
+
+  /// Export / import of the raw accumulator (see WelfordState).
+  /// from_state(w.state()) is an exact copy; from_state throws
+  /// std::invalid_argument on negative m2 or a non-empty state with
+  /// n = 0.
+  [[nodiscard]] WelfordState state() const noexcept {
+    return {n_, mean_, m2_};
+  }
+  [[nodiscard]] static Welford from_state(const WelfordState& s);
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }

@@ -77,6 +77,71 @@ AbsorbingAnalyzer::AbsorbingAnalyzer(const ReachabilityGraph& graph)
 
   scc_ = strongly_connected_components(out_offsets, out_targets);
   components_ = scc_.members();
+
+  // Absorption must be certain from the initial marking, or MTTA
+  // diverges and the solve fails downstream with an opaque symptom (a
+  // zero-exit-rate state, or a singular SCC block).  Detect the two
+  // ways that happens here, where the message can say what is wrong:
+  //   1. no absorbing state is reachable from the initial state at all;
+  //   2. some reachable transient region cannot reach absorption (a
+  //      recurrent transient class traps probability mass).
+  // Edge existence is structural, so this is a construction-time check;
+  // solve(edge_rates) only re-weights existing edges (positively).
+  std::vector<char> can_absorb(nt, 0);
+  std::vector<std::uint32_t> stack;
+  for (std::size_t i = 0; i < nt; ++i) {
+    for (const auto& e : graph_.out_edges(expand_[i])) {
+      if (e.src != e.dst && absorbing_[e.dst]) {
+        can_absorb[i] = 1;
+        stack.push_back(static_cast<std::uint32_t>(i));
+        break;
+      }
+    }
+  }
+  while (!stack.empty()) {
+    const auto j = stack.back();
+    stack.pop_back();
+    for (std::uint32_t k = in_offsets_[j]; k < in_offsets_[j + 1]; ++k) {
+      const auto src = in_edges_[k].src;
+      if (!can_absorb[src]) {
+        can_absorb[src] = 1;
+        stack.push_back(src);
+      }
+    }
+  }
+  if (!can_absorb[init_compact_]) {
+    throw std::runtime_error(
+        "AbsorbingAnalyzer: no absorbing state is reachable from the "
+        "initial marking " +
+        graph_.states[graph_.initial].to_string() +
+        " — every path cycles among transient states forever, so mean "
+        "time to absorption diverges");
+  }
+  // Forward sweep over the transient region reachable from the initial
+  // state: a reachable state that cannot absorb is a trap.
+  std::vector<char> reachable(nt, 0);
+  reachable[init_compact_] = 1;
+  stack.push_back(init_compact_);
+  while (!stack.empty()) {
+    const auto j = stack.back();
+    stack.pop_back();
+    if (!can_absorb[j]) {
+      throw std::runtime_error(
+          "AbsorbingAnalyzer: transient state " +
+          graph_.states[expand_[j]].to_string() +
+          " is reachable from the initial marking but cannot reach any "
+          "absorbing state (recurrent transient class: mean time to "
+          "absorption diverges)");
+    }
+    for (const auto& e : graph_.out_edges(expand_[j])) {
+      if (e.src == e.dst) continue;
+      const auto cd = compact_[e.dst];
+      if (cd != UINT32_MAX && !reachable[cd]) {
+        reachable[cd] = 1;
+        stack.push_back(cd);
+      }
+    }
+  }
 }
 
 AbsorbingResult AbsorbingAnalyzer::solve() const {

@@ -43,8 +43,14 @@ struct AbsorbingResult {
 
 class AbsorbingAnalyzer {
  public:
-  /// The graph must contain at least one absorbing state reachable from
-  /// the initial state; otherwise the MTTA solve will fail to converge.
+  /// The graph must contain at least one absorbing state, reachable
+  /// from the initial state, and no transient region reachable from the
+  /// initial state may be unable to reach absorption (MTTA would
+  /// diverge).  All three conditions are verified HERE, at
+  /// construction, with descriptive errors — previously an unreachable
+  /// absorbing set surfaced only mid-solve as a cryptic
+  /// "transient state with zero exit rate" (single-state cycle) or a
+  /// singular SCC block (multi-state cycle).
   explicit AbsorbingAnalyzer(const ReachabilityGraph& graph);
 
   /// Solves from the graph's initial state with the rates stored on the

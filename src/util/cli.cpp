@@ -9,8 +9,11 @@ Cli::Cli(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
 Cli& Cli::flag(const std::string& name, double def, const std::string& help) {
-  if (flags_.emplace(name, Flag{Kind::Double, std::to_string(def), help})
-          .second) {
+  // Round-trip formatting: std::to_string would render 1e-12 as
+  // "0.000000", silently replacing a small default with zero.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", def);
+  if (flags_.emplace(name, Flag{Kind::Double, buf, help}).second) {
     order_.push_back(name);
   }
   return *this;

@@ -134,6 +134,51 @@ TEST(Absorbing, SelfLoopImpulsesAccrueAtRate) {
   EXPECT_NEAR(an.accumulated_impulse_reward(res), c * rho / mu, 1e-9);
 }
 
+TEST(Absorbing, UnreachableAbsorbingStateThrowsAtConstruction) {
+  // Regression: a graph whose absorbing state exists but is NOT
+  // reachable from the initial marking used to pass construction and
+  // fail mid-solve — with "transient state with zero exit rate" or a
+  // singular SCC block, neither of which names the actual defect.  The
+  // analyzer now detects it at construction.  Cycle-only from the
+  // initial state: 0 ⇄ 1, with state 2 absorbing but unconnected.
+  ReachabilityGraph g;
+  g.states.assign(3, Marking(1));
+  g.edges = {{0, 1, 1.0, 0, 0.0, 1.0, 0.0}, {1, 0, 1.0, 0, 0.0, 1.0, 0.0}};
+  g.edge_offsets = {0, 1, 2, 2};
+  g.initial = 0;
+  try {
+    const AbsorbingAnalyzer an(g);
+    FAIL() << "construction must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no absorbing state is reachable"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Absorbing, ReachableTransientTrapThrowsAtConstruction) {
+  // Initial state CAN absorb (0 → 3), but 0 → 1 enters a 1 ⇄ 2 cycle
+  // with no exit: probability mass is trapped, MTTA diverges.  Must be
+  // rejected at construction with a descriptive error, not by a
+  // singular dense block inside solve().
+  ReachabilityGraph g;
+  g.states.assign(4, Marking(1));
+  g.edges = {{0, 1, 1.0, 0, 0.0, 1.0, 0.0},
+             {0, 3, 1.0, 0, 0.0, 1.0, 0.0},
+             {1, 2, 1.0, 0, 0.0, 1.0, 0.0},
+             {2, 1, 1.0, 0, 0.0, 1.0, 0.0}};
+  g.edge_offsets = {0, 2, 3, 4, 4};
+  g.initial = 0;
+  try {
+    const AbsorbingAnalyzer an(g);
+    FAIL() << "construction must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("recurrent transient class"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Absorbing, NoAbsorbingStatesThrows) {
   PetriNet net;
   const auto q = net.add_place("Q", 0);

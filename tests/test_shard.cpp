@@ -1,0 +1,360 @@
+// Sharded sweep service: plan slicing, shard/merge equivalence with the
+// single-process engine (the acceptance criterion: ≤1e-12 analytic —
+// exact in practice — and BITWISE Monte-Carlo summaries), and the JSON
+// shard-file round trip.
+#include "core/shard.h"
+
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/sweep_engine.h"
+
+namespace {
+
+using namespace midas;
+using core::Params;
+using core::ShardPlan;
+using core::ShardRange;
+
+Params small_params() {
+  Params p = Params::paper_defaults();
+  p.n_init = 20;
+  p.max_groups = 1;
+  return p;
+}
+
+/// The m × TIDS slice the analytic equivalence tests run (6 points).
+core::GridSpec small_grid() {
+  core::GridSpec spec;
+  spec.num_voters({3, 5}).t_ids({30, 120, 480});
+  return spec;
+}
+
+void expect_evals_bitwise(const core::Evaluation& a,
+                          const core::Evaluation& b) {
+  EXPECT_EQ(a.mttsf, b.mttsf);
+  EXPECT_EQ(a.ctotal, b.ctotal);
+  EXPECT_EQ(a.cost_rates.group_comm, b.cost_rates.group_comm);
+  EXPECT_EQ(a.cost_rates.status, b.cost_rates.status);
+  EXPECT_EQ(a.cost_rates.rekey, b.cost_rates.rekey);
+  EXPECT_EQ(a.cost_rates.ids, b.cost_rates.ids);
+  EXPECT_EQ(a.cost_rates.beacon, b.cost_rates.beacon);
+  EXPECT_EQ(a.cost_rates.partition_merge, b.cost_rates.partition_merge);
+  EXPECT_EQ(a.eviction_cost_rate, b.eviction_cost_rate);
+  EXPECT_EQ(a.p_failure_c1, b.p_failure_c1);
+  EXPECT_EQ(a.p_failure_c2, b.p_failure_c2);
+  EXPECT_EQ(a.num_states, b.num_states);
+  EXPECT_EQ(a.solver_blocks, b.solver_blocks);
+}
+
+void expect_mc_bitwise(const sim::McPointResult& a,
+                       const sim::McPointResult& b) {
+  EXPECT_EQ(a.ttsf_state.n, b.ttsf_state.n);
+  EXPECT_EQ(a.ttsf_state.mean, b.ttsf_state.mean);
+  EXPECT_EQ(a.ttsf_state.m2, b.ttsf_state.m2);
+  EXPECT_EQ(a.cost_rate_state.n, b.cost_rate_state.n);
+  EXPECT_EQ(a.cost_rate_state.mean, b.cost_rate_state.mean);
+  EXPECT_EQ(a.cost_rate_state.m2, b.cost_rate_state.m2);
+  EXPECT_EQ(a.ttsf.mean, b.ttsf.mean);
+  EXPECT_EQ(a.ttsf.ci_half_width, b.ttsf.ci_half_width);
+  EXPECT_EQ(a.cost_rate.mean, b.cost_rate.mean);
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.failures_c1, b.failures_c1);
+  EXPECT_EQ(a.p_failure_c1, b.p_failure_c1);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.survival_counts, b.survival_counts);
+  ASSERT_EQ(a.survival.size(), b.survival.size());
+  for (std::size_t h = 0; h < a.survival.size(); ++h) {
+    EXPECT_EQ(a.survival[h].mean, b.survival[h].mean);
+    EXPECT_EQ(a.survival[h].ci_half_width, b.survival[h].ci_half_width);
+  }
+}
+
+TEST(ShardPlan, ContiguousIsBalancedAndTiles) {
+  const auto plan = ShardPlan::contiguous(10, 3);
+  ASSERT_EQ(plan.num_shards(), 3u);
+  EXPECT_EQ(plan.range(0), (ShardRange{0, 4}));
+  EXPECT_EQ(plan.range(1), (ShardRange{4, 7}));
+  EXPECT_EQ(plan.range(2), (ShardRange{7, 10}));
+  core::validate_shard_tiling(10, plan.ranges());
+
+  // One shard takes everything; more shards than points leaves the
+  // trailing shards empty but still tiling.
+  EXPECT_EQ(ShardPlan::contiguous(5, 1).range(0), (ShardRange{0, 5}));
+  const auto wide = ShardPlan::contiguous(2, 4);
+  EXPECT_EQ(wide.range(0), (ShardRange{0, 1}));
+  EXPECT_EQ(wide.range(1), (ShardRange{1, 2}));
+  EXPECT_TRUE(wide.range(2).empty());
+  EXPECT_TRUE(wide.range(3).empty());
+  core::validate_shard_tiling(2, wide.ranges());
+
+  EXPECT_THROW((void)ShardPlan::contiguous(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)plan.range(3), std::out_of_range);
+}
+
+TEST(ShardPlan, ByStructureKeepsStructureRunsWhole) {
+  // n_init is structural: the grid's row-major order (n_init slowest)
+  // yields one run of equal structure_key per n_init level.  Shard
+  // boundaries must fall only between runs, so each structure is
+  // explored by exactly one shard.
+  core::GridSpec spec;
+  spec.axis("n_init", std::vector<double>{20, 24},
+            [](Params& p, double v) {
+              p.n_init = static_cast<std::int32_t>(v);
+            })
+      .t_ids({30, 120, 480});
+  const Params base = small_params();
+
+  const auto plan = ShardPlan::by_structure(spec, base, 2);
+  ASSERT_EQ(plan.num_shards(), 2u);
+  EXPECT_EQ(plan.range(0), (ShardRange{0, 3}));
+  EXPECT_EQ(plan.range(1), (ShardRange{3, 6}));
+  core::validate_shard_tiling(6, plan.ranges());
+
+  // More shards than runs: the extra shards are empty, runs stay whole.
+  const auto wide = ShardPlan::by_structure(spec, base, 4);
+  EXPECT_EQ(wide.range(0), (ShardRange{0, 3}));
+  EXPECT_EQ(wide.range(1), (ShardRange{3, 6}));
+  EXPECT_TRUE(wide.range(2).empty());
+  EXPECT_TRUE(wide.range(3).empty());
+  core::validate_shard_tiling(6, wide.ranges());
+
+  // A structure-uniform grid (paper default: every m shares the
+  // structure) collapses into one run owned by shard 0.
+  const auto uniform = ShardPlan::by_structure(small_grid(), base, 2);
+  EXPECT_EQ(uniform.range(0), (ShardRange{0, 6}));
+  EXPECT_TRUE(uniform.range(1).empty());
+
+  // Each shard pays exactly one exploration for the structures it owns.
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    core::SweepEngine engine;
+    (void)engine.run_shard(spec, base, plan.range(s));
+    EXPECT_EQ(engine.stats().explorations, 1u) << "shard " << s;
+  }
+}
+
+TEST(ShardMerge, AnalyticMatchesSingleProcessExactly) {
+  const auto spec = small_grid();
+  const Params base = small_params();
+
+  core::SweepEngine single;
+  const auto whole = single.run(spec, base);
+
+  // Uneven split including a single-point shard, each evaluated by its
+  // own engine (as separate worker processes would).
+  const std::vector<ShardRange> ranges{{0, 1}, {1, 4}, {4, 6}};
+  std::vector<core::GridShardResult> shards;
+  for (const auto& r : ranges) {
+    core::SweepEngine worker;
+    shards.push_back(worker.run_shard(spec, base, r));
+  }
+  const auto merged = core::merge_shards(spec, shards);
+
+  ASSERT_EQ(merged.evals.size(), whole.evals.size());
+  for (std::size_t i = 0; i < whole.evals.size(); ++i) {
+    expect_evals_bitwise(merged.evals[i], whole.evals[i]);
+  }
+}
+
+TEST(ShardMerge, McMergesBitwiseUnderEveryStreamMode) {
+  const auto spec = small_grid();
+  const Params base = small_params();
+
+  sim::McOptions mc;
+  mc.base_seed = 0xFACADE;
+  mc.rel_ci_target = 0.15;
+  mc.min_replications = 32;
+  mc.block = 32;
+  mc.survival_horizons = {1e4, 1e6};
+
+  // CRN (substreams keyed by replication only), independent streams
+  // (keyed by GLOBAL point index via point_stream_offset), and
+  // antithetic pairs layered on CRN: in every mode a k-shard split must
+  // reproduce the single-process run bit-for-bit.
+  struct Mode {
+    const char* name;
+    bool crn;
+    bool antithetic;
+  };
+  for (const Mode mode : {Mode{"crn", true, false},
+                          Mode{"independent", false, false},
+                          Mode{"antithetic", true, true}}) {
+    sim::McOptions opts = mc;
+    opts.crn = mode.crn;
+    opts.antithetic = mode.antithetic;
+
+    core::SweepEngine single;
+    const auto whole = single.run_mc(spec, base, opts);
+
+    const std::vector<ShardRange> ranges{{0, 2}, {2, 3}, {3, 6}};
+    std::vector<core::McGridShardResult> shards;
+    for (const auto& r : ranges) {
+      core::SweepEngine worker;
+      shards.push_back(worker.run_mc_shard(spec, base, r, opts));
+    }
+    const auto merged = core::merge_mc_shards(spec, shards);
+
+    ASSERT_EQ(merged.points.size(), whole.points.size()) << mode.name;
+    for (std::size_t i = 0; i < whole.points.size(); ++i) {
+      SCOPED_TRACE(std::string(mode.name) + " point " +
+                   std::to_string(i));
+      expect_evals_bitwise(merged.points[i].eval, whole.points[i].eval);
+      expect_mc_bitwise(merged.points[i].mc, whole.points[i].mc);
+    }
+    EXPECT_EQ(merged.mc_stats.replications, whole.mc_stats.replications)
+        << mode.name;
+    EXPECT_EQ(merged.mttsf_inside_ci(), whole.mttsf_inside_ci())
+        << mode.name;
+  }
+}
+
+TEST(ShardMerge, ValidatesTilingAndPayloads) {
+  const auto spec = small_grid();  // 6 points
+  const Params base = small_params();
+  core::SweepEngine engine;
+
+  const auto a = engine.run_shard(spec, base, {0, 3});
+  const auto b = engine.run_shard(spec, base, {3, 6});
+
+  // Gap: [0,3) + [4,6).
+  {
+    const auto tail = engine.run_shard(spec, base, {4, 6});
+    const std::vector<core::GridShardResult> gap{a, tail};
+    EXPECT_THROW((void)core::merge_shards(spec, gap),
+                 std::invalid_argument);
+  }
+  // Overlap: [0,3) + [2,6).
+  {
+    const auto over = engine.run_shard(spec, base, {2, 6});
+    const std::vector<core::GridShardResult> lap{a, over};
+    EXPECT_THROW((void)core::merge_shards(spec, lap),
+                 std::invalid_argument);
+  }
+  // Payload size inconsistent with the range.
+  {
+    auto broken = a;
+    broken.evals.pop_back();
+    const std::vector<core::GridShardResult> bad{broken, b};
+    EXPECT_THROW((void)core::merge_shards(spec, bad),
+                 std::invalid_argument);
+  }
+  // Out-of-grid shard range is rejected at the engine.
+  EXPECT_THROW((void)engine.run_shard(spec, base, {4, 9}),
+               std::out_of_range);
+
+  // The happy path including an empty shard.
+  const auto empty = engine.run_shard(spec, base, {6, 6});
+  const std::vector<core::GridShardResult> full{a, b, empty};
+  const auto merged = core::merge_shards(spec, full);
+  EXPECT_EQ(merged.evals.size(), 6u);
+}
+
+TEST(ShardFileJson, RoundTripsBitwise) {
+  const auto spec = small_grid();
+  const Params base = small_params();
+
+  sim::McOptions mc;
+  mc.base_seed = 0x5EED;
+  mc.rel_ci_target = 0.2;
+  mc.min_replications = 32;
+  mc.block = 32;
+  mc.survival_horizons = {1e5};
+
+  core::SweepEngine engine;
+  core::ShardFile file;
+  file.plan = "unit";
+  file.mode = "smoke";
+  file.grid_points = spec.num_points();
+  file.num_shards = 3;
+  file.shard_index = 1;
+  file.has_mc = true;
+  file.result = engine.run_mc_shard(spec, base, {1, 4}, mc);
+
+  const std::string path = "/tmp/midas_test_shard.json";
+  core::write_shard_json(path, file);
+  const auto back = core::read_shard_json(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(back.plan, file.plan);
+  EXPECT_EQ(back.mode, file.mode);
+  EXPECT_EQ(back.grid_points, file.grid_points);
+  EXPECT_EQ(back.num_shards, file.num_shards);
+  EXPECT_EQ(back.shard_index, file.shard_index);
+  EXPECT_EQ(back.has_mc, file.has_mc);
+  EXPECT_EQ(back.result.range, file.result.range);
+  ASSERT_EQ(back.result.evals.size(), file.result.evals.size());
+  for (std::size_t i = 0; i < file.result.evals.size(); ++i) {
+    expect_evals_bitwise(back.result.evals[i], file.result.evals[i]);
+  }
+  ASSERT_EQ(back.result.mc.size(), file.result.mc.size());
+  for (std::size_t i = 0; i < file.result.mc.size(); ++i) {
+    expect_mc_bitwise(back.result.mc[i], file.result.mc[i]);
+  }
+  EXPECT_EQ(back.result.mc_stats.replications,
+            file.result.mc_stats.replications);
+  EXPECT_EQ(back.result.mc_stats.seconds, file.result.mc_stats.seconds);
+
+  // Metadata disagreement is caught by the file-level merge.
+  auto other = back;
+  other.shard_index = 0;
+  other.plan = "different";
+  const std::vector<core::ShardFile> bad{file, other};
+  EXPECT_THROW((void)core::merge_shard_files(bad), std::invalid_argument);
+
+  // Duplicate shard index too.
+  const std::vector<core::ShardFile> dup{file, file};
+  EXPECT_THROW((void)core::merge_shard_files(dup), std::invalid_argument);
+}
+
+TEST(ShardFileJson, FileLevelMergeReconstructsTheGrid) {
+  const auto spec = small_grid();
+  const Params base = small_params();
+
+  sim::McOptions mc;
+  mc.base_seed = 0xFACADE;
+  mc.rel_ci_target = 0.2;
+  mc.min_replications = 32;
+  mc.block = 32;
+
+  core::SweepEngine single;
+  const auto whole = single.run_mc(spec, base, mc);
+
+  const auto plan = ShardPlan::contiguous(spec.num_points(), 2);
+  std::vector<core::ShardFile> files;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    core::SweepEngine worker;
+    core::ShardFile f;
+    f.plan = "unit";
+    f.mode = "smoke";
+    f.grid_points = spec.num_points();
+    f.num_shards = plan.num_shards();
+    f.shard_index = s;
+    f.has_mc = true;
+    f.result = worker.run_mc_shard(spec, base, plan.range(s), mc);
+    // Through the serialization layer, as the real service runs.
+    const std::string path =
+        "/tmp/midas_test_shard_" + std::to_string(s) + ".json";
+    core::write_shard_json(path, f);
+    files.push_back(core::read_shard_json(path));
+    std::remove(path.c_str());
+  }
+
+  const auto merged = core::merge_shard_files(files);
+  EXPECT_EQ(merged.plan, "unit");
+  EXPECT_EQ(merged.num_shards, 2u);
+  ASSERT_EQ(merged.evals.size(), whole.points.size());
+  ASSERT_TRUE(merged.has_mc);
+  for (std::size_t i = 0; i < whole.points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    expect_evals_bitwise(merged.evals[i], whole.points[i].eval);
+    expect_mc_bitwise(merged.mc[i], whole.points[i].mc);
+  }
+  EXPECT_EQ(merged.mc_stats.replications, whole.mc_stats.replications);
+}
+
+}  // namespace

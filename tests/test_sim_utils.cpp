@@ -1,5 +1,7 @@
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <random>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -112,7 +114,66 @@ TEST(Stats, EmptyAndSingletonSamples) {
   const std::vector<double> one{3.0};
   const auto s = summarize(one);
   EXPECT_DOUBLE_EQ(s.mean, 3.0);
-  EXPECT_DOUBLE_EQ(s.ci_half_width, 0.0);
+  EXPECT_TRUE(std::isinf(s.ci_half_width));
+}
+
+TEST(Stats, DegenerateCiIsInfiniteNotZero) {
+  // Regression: n < 2 used to report a zero-width CI, so contains()
+  // held only when the target hit a single replication's value exactly —
+  // a shard evaluating one replication would vacuously pass or fail its
+  // validation gate.  An n < 2 summary now carries an INFINITE
+  // half-width: it cannot reject anything, and has_ci() flags it.
+  const auto empty = summarize({});
+  EXPECT_TRUE(std::isinf(empty.ci_half_width));
+  EXPECT_FALSE(empty.has_ci());
+  EXPECT_TRUE(empty.contains(12345.0));
+
+  const std::vector<double> one{3.0};
+  const auto single = summarize(one);
+  EXPECT_FALSE(single.has_ci());
+  EXPECT_TRUE(single.contains(3.0));
+  EXPECT_TRUE(single.contains(-1e18));  // no vacuous rejection
+
+  Welford w;
+  w.push(7.0);
+  EXPECT_TRUE(std::isinf(w.summary().ci_half_width));
+  EXPECT_TRUE(w.summary().contains(0.0));
+  w.push(9.0);
+  EXPECT_TRUE(w.summary().has_ci());  // two samples: finite again
+
+  EXPECT_TRUE(std::isinf(binomial_summary(0, 0).ci_half_width));
+  const auto real = summarize(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(real.has_ci());
+  EXPECT_FALSE(real.contains(100.0));  // finite CIs still reject
+}
+
+TEST(Stats, WelfordStateRoundTripsAndMerges) {
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> dist(2.0, 1.5);
+  Welford a, b;
+  for (int i = 0; i < 257; ++i) a.push(dist(rng));
+  for (int i = 0; i < 63; ++i) b.push(dist(rng));
+
+  // Export → import is an exact copy (bitwise — the shard files rely
+  // on this to reproduce summaries across processes).
+  const auto round = Welford::from_state(a.state());
+  EXPECT_EQ(round.count(), a.count());
+  EXPECT_EQ(round.mean(), a.mean());
+  EXPECT_EQ(round.summary().ci_half_width, a.summary().ci_half_width);
+
+  // Merging imported states equals merging the live accumulators.
+  Welford live = a;
+  live.merge(b);
+  Welford imported = Welford::from_state(a.state());
+  imported.merge(Welford::from_state(b.state()));
+  EXPECT_EQ(imported.count(), live.count());
+  EXPECT_EQ(imported.mean(), live.mean());
+  EXPECT_EQ(imported.variance(), live.variance());
+
+  EXPECT_THROW((void)Welford::from_state({3, 1.0, -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Welford::from_state({0, 1.0, 0.0}),
+               std::invalid_argument);
 }
 
 TEST(Stats, TQuantilesDecreaseTowardNormal) {
@@ -174,7 +235,7 @@ TEST(Stats, WelfordEdgeCases) {
   EXPECT_EQ(w.summary().n, 0u);
   w.push(3.0);
   EXPECT_DOUBLE_EQ(w.mean(), 3.0);
-  EXPECT_DOUBLE_EQ(w.summary().ci_half_width, 0.0);
+  EXPECT_TRUE(std::isinf(w.summary().ci_half_width));
 }
 
 TEST(Stats, BinomialSummaryWilsonInterval) {
@@ -196,7 +257,7 @@ TEST(Stats, BinomialSummaryWilsonInterval) {
   EXPECT_NEAR(half.ci_half_width, 1.96 * 0.05, 0.01);
 
   EXPECT_EQ(binomial_summary(0, 0).n, 0u);
-  EXPECT_DOUBLE_EQ(binomial_summary(0, 0).ci_half_width, 0.0);
+  EXPECT_FALSE(binomial_summary(0, 0).has_ci());
 }
 
 TEST(Stats, CiNarrowsWithSampleSize) {

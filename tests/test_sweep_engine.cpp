@@ -276,6 +276,70 @@ TEST(SweepEngine, MatchesOnPartitionMergeConfiguration) {
   }
 }
 
+TEST(SweepEngine, ClearCacheDropsEveryCachedStructure) {
+  const std::vector<double> grid{60, 240};
+  core::SweepEngine engine;
+  const auto first = engine.sweep_t_ids(small_params(), grid);
+  EXPECT_EQ(engine.stats().explorations, 1u);
+  EXPECT_EQ(engine.cache_size(), 1u);
+
+  engine.clear_cache();
+  EXPECT_EQ(engine.cache_size(), 0u);
+
+  // A later sweep re-explores — and still produces identical results.
+  const auto second = engine.sweep_t_ids(small_params(), grid);
+  EXPECT_EQ(engine.stats().explorations, 2u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    expect_evaluations_match(first.points[i].eval, second.points[i].eval,
+                             0.0);
+  }
+}
+
+TEST(SweepEngine, CacheCapEvictsLeastRecentlyUsed) {
+  // Regression for the unbounded structure cache: a long-lived shard
+  // worker sweeping many structural configs leaked one explored graph +
+  // analyzer per structure_key, forever.  With max_cache_entries the
+  // cache holds the cap after every evaluate() call and evicts
+  // least-recently-USED first (re-use refreshes an entry's position).
+  const std::vector<double> grid{120};
+  const auto with_n = [](std::int32_t n) {
+    Params p = small_params();
+    p.n_init = n;  // structural: each n is its own cache entry
+    return p;
+  };
+
+  core::SweepEngine engine({.max_cache_entries = 2});
+  (void)engine.sweep_t_ids(with_n(16), grid);  // cache: {16}
+  (void)engine.sweep_t_ids(with_n(18), grid);  // cache: {16, 18}
+  EXPECT_EQ(engine.stats().explorations, 2u);
+  EXPECT_EQ(engine.cache_size(), 2u);
+
+  (void)engine.sweep_t_ids(with_n(16), grid);  // hit; refreshes 16
+  EXPECT_EQ(engine.stats().explorations, 2u);
+
+  (void)engine.sweep_t_ids(with_n(20), grid);  // evicts 18 (LRU), not 16
+  EXPECT_EQ(engine.stats().explorations, 3u);
+  EXPECT_EQ(engine.cache_size(), 2u);
+  EXPECT_EQ(engine.stats().cache_evictions, 1u);
+
+  (void)engine.sweep_t_ids(with_n(16), grid);  // still cached
+  EXPECT_EQ(engine.stats().explorations, 3u);
+  (void)engine.sweep_t_ids(with_n(18), grid);  // evicted → re-explores
+  EXPECT_EQ(engine.stats().explorations, 4u);
+
+  // A single batch needing more structures than the cap still works:
+  // every structure lives through its batch, the cache is trimmed after.
+  std::vector<Params> batch{with_n(16), with_n(18), with_n(20),
+                            with_n(22)};
+  core::SweepEngine burst({.max_cache_entries = 1});
+  const auto evals = burst.evaluate(batch);
+  EXPECT_EQ(burst.cache_size(), 1u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto reference = core::GcsSpnModel(batch[i]).evaluate_reference();
+    expect_evaluations_match(evals[i], reference, 1e-12);
+  }
+}
+
 TEST(SweepEngine, StructureCachePersistsAcrossCalls) {
   const std::vector<double> grid{60, 240};
   core::SweepEngine engine;

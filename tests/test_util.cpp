@@ -1,11 +1,15 @@
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace {
@@ -112,6 +116,97 @@ TEST(Cli, WrongTypeAccessThrows) {
   const char* argv[] = {"prog"};
   ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
   EXPECT_THROW((void)cli.get_int("alpha"), std::invalid_argument);
+}
+
+TEST(Cli, SmallDoubleDefaultSurvives) {
+  // Regression: std::to_string rendered a 1e-12 default as "0.000000",
+  // silently replacing sub-micro defaults with zero (sweep_merge's
+  // equality tolerance among them).
+  Cli cli("prog", "test");
+  cli.flag("tol", 1e-12, "tolerance");
+  cli.flag("big", 2.5e+300, "huge");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_double("tol"), 1e-12);
+  EXPECT_EQ(cli.get_double("big"), 2.5e+300);
+}
+
+TEST(Json, ScalarsAndContainersRoundTrip) {
+  auto obj = Json::object();
+  obj.set("name", Json("shard \"zero\"\n"));
+  obj.set("count", Json(12.0));
+  obj.set("precise", Json(0.1234567890123456789));
+  obj.set("flag", Json(true));
+  obj.set("nothing", Json());
+  auto arr = Json::array();
+  arr.push_back(Json(1.0));
+  arr.push_back(Json(-2.5e-13));
+  obj.set("values", std::move(arr));
+
+  const auto parsed = Json::parse(obj.dump());
+  EXPECT_EQ(parsed.at("name").as_string(), "shard \"zero\"\n");
+  EXPECT_EQ(parsed.at("count").as_size(), 12u);
+  // Bitwise round-trip is what the shard files rely on.
+  EXPECT_EQ(parsed.at("precise").as_number(), 0.1234567890123456789);
+  EXPECT_TRUE(parsed.at("flag").as_bool());
+  EXPECT_TRUE(parsed.at("nothing").is_null());
+  EXPECT_EQ(parsed.at("values").size(), 2u);
+  EXPECT_EQ(parsed.at("values").at(1).as_number(), -2.5e-13);
+}
+
+TEST(Json, NonFiniteDoublesUseFlagStrings) {
+  const double inf = std::numeric_limits<double>::infinity();
+  auto obj = Json::object();
+  obj.set("pos", Json::number(inf));
+  obj.set("neg", Json::number(-inf));
+  obj.set("nan", Json::number(std::nan("")));
+  obj.set("finite", Json::number(3.5));
+
+  const auto parsed = Json::parse(obj.dump());
+  EXPECT_EQ(parsed.at("pos").to_double(), inf);
+  EXPECT_EQ(parsed.at("neg").to_double(), -inf);
+  EXPECT_TRUE(std::isnan(parsed.at("nan").to_double()));
+  EXPECT_EQ(parsed.at("finite").to_double(), 3.5);
+  // Strict JSON: the dump contains no bare inf/nan tokens.
+  const auto text = obj.dump();
+  EXPECT_EQ(text.find(": inf"), std::string::npos);
+  EXPECT_EQ(text.find(": nan"), std::string::npos);
+}
+
+TEST(Json, ParseAcceptsHandwrittenDocuments) {
+  const auto v = Json::parse(R"({
+    "a": [1, 2.5, {"nested": "yés"}],
+    "b": false
+  })");
+  EXPECT_EQ(v.at("a").at(0).as_size(), 1u);
+  EXPECT_EQ(v.at("a").at(2).at("nested").as_string(), "y\xC3\xA9s");
+  EXPECT_FALSE(v.at("b").as_bool());
+}
+
+TEST(Json, MalformedDocumentsThrow) {
+  EXPECT_THROW((void)Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1} trailing"),
+               std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("12e4000x"), std::runtime_error);
+  // Type and key errors are descriptive.
+  const auto v = Json::parse("{\"a\": 1.5}");
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+  EXPECT_THROW((void)v.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.at("a").as_size(), std::runtime_error);  // fraction
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path = "/tmp/midas_test_json.json";
+  auto obj = Json::object();
+  obj.set("x", Json(0.5));
+  write_json_file(path, obj);
+  const auto back = read_json_file(path);
+  EXPECT_EQ(back.at("x").as_number(), 0.5);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_json_file("/nonexistent/nope.json"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+// Shared between the sweep_shard worker and the sweep_merge combiner:
+// the named paper grids a shard set can be built from, and the
+// Monte-Carlo configuration that goes with them.  Both processes must
+// derive IDENTICAL (spec, base, mc) from (plan, mode) — the plan name
+// travels in the shard files and the merge step re-derives everything
+// from it, so no other coordination exists between the workers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/grid_spec.h"
+#include "core/optimizer.h"
+#include "core/params.h"
+#include "sim/mc_engine.h"
+
+namespace midas::tools {
+
+struct PlanDef {
+  std::string name;
+  core::GridSpec spec;
+  core::Params base;
+};
+
+/// The TIDS axis: the full paper grid, or a 3-point subset in smoke
+/// mode (same thinning the figure benches use for CI runtimes).
+inline std::vector<double> plan_t_ids(bool smoke) {
+  return smoke ? std::vector<double>{15, 120, 1200}
+               : core::paper_t_ids_grid();
+}
+
+/// "fig2": the Fig. 2 design slice, vote-participants m × TIDS.
+/// "fig4": the Fig. 4 slice, detection shape × TIDS (linear attacker).
+inline PlanDef make_plan(const std::string& name, bool smoke) {
+  PlanDef plan;
+  plan.name = name;
+  plan.base = core::Params::paper_defaults();
+  if (name == "fig2") {
+    plan.spec.num_voters({3, 5, 7, 9}).t_ids(plan_t_ids(smoke));
+    return plan;
+  }
+  if (name == "fig4") {
+    plan.base.attacker_shape = ids::Shape::Linear;
+    plan.spec
+        .detection_shape({ids::Shape::Logarithmic, ids::Shape::Linear,
+                          ids::Shape::Polynomial})
+        .t_ids(plan_t_ids(smoke));
+    return plan;
+  }
+  throw std::invalid_argument("unknown plan '" + name +
+                              "' (expected fig2 or fig4)");
+}
+
+/// The Monte-Carlo schedule shards run: CRN + antithetic pairs (keyed
+/// by replication only — the property that makes MC results
+/// shard-invariant), CI-targeted stopping loosened in smoke mode.
+inline sim::McOptions plan_mc_options(bool smoke) {
+  sim::McOptions mc;
+  mc.base_seed = 0x5AADE;
+  mc.rel_ci_target = smoke ? 0.10 : 0.075;
+  mc.antithetic = true;
+  return mc;
+}
+
+inline std::string mode_name(bool smoke) { return smoke ? "smoke" : "full"; }
+
+inline bool mode_is_smoke(const std::string& mode) {
+  if (mode == "smoke") return true;
+  if (mode == "full") return false;
+  throw std::invalid_argument("unknown mode '" + mode +
+                              "' (expected smoke or full)");
+}
+
+}  // namespace midas::tools

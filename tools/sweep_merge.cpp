@@ -1,0 +1,213 @@
+// Merge step of the distributed sweep service: reads the shard JSON
+// files a sweep_shard fleet produced, validates that they tile the grid
+// exactly, recombines them, and reports the cross-shard optima (argmax
+// MTTSF / argmin Ĉtotal with their grid labels — the quantities the
+// paper's figures exist to locate).
+//
+// With --check 1 (the CI gate; off by default since it costs as much
+// as every shard combined) it ALSO re-runs the whole grid
+// single-process and verifies the merge reproduces it:
+// analytic values within --tolerance (1e-12; in practice exactly), and
+// Monte-Carlo accumulator states bitwise identical — the CRN substreams
+// are keyed by replication only, so a point's randomness cannot depend
+// on which shard ran it.  Exits non-zero on any mismatch and records
+// BENCH_shard_merge.json for the workflow to archive.
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/shard.h"
+#include "core/sweep_engine.h"
+#include "shard_common.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace midas;
+
+double rel_diff(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+/// Largest relative difference over every metric the paper reports.
+double eval_rel_diff(const core::Evaluation& a, const core::Evaluation& b) {
+  double d = std::max(rel_diff(a.mttsf, b.mttsf),
+                      rel_diff(a.ctotal, b.ctotal));
+  d = std::max(d, rel_diff(a.cost_rates.group_comm, b.cost_rates.group_comm));
+  d = std::max(d, rel_diff(a.cost_rates.status, b.cost_rates.status));
+  d = std::max(d, rel_diff(a.cost_rates.rekey, b.cost_rates.rekey));
+  d = std::max(d, rel_diff(a.cost_rates.ids, b.cost_rates.ids));
+  d = std::max(d, rel_diff(a.cost_rates.beacon, b.cost_rates.beacon));
+  d = std::max(d, rel_diff(a.cost_rates.partition_merge,
+                           b.cost_rates.partition_merge));
+  d = std::max(d, rel_diff(a.eviction_cost_rate, b.eviction_cost_rate));
+  d = std::max(d, rel_diff(a.p_failure_c1, b.p_failure_c1));
+  d = std::max(d, rel_diff(a.p_failure_c2, b.p_failure_c2));
+  return d;
+}
+
+bool welford_bitwise_equal(const sim::WelfordState& a,
+                           const sim::WelfordState& b) {
+  return a.n == b.n && a.mean == b.mean && a.m2 == b.m2;
+}
+
+bool mc_bitwise_equal(const sim::McPointResult& a,
+                      const sim::McPointResult& b) {
+  return welford_bitwise_equal(a.ttsf_state, b.ttsf_state) &&
+         welford_bitwise_equal(a.cost_rate_state, b.cost_rate_state) &&
+         a.replications == b.replications &&
+         a.failures_c1 == b.failures_c1 && a.converged == b.converged &&
+         a.survival_counts == b.survival_counts &&
+         a.timeouts == b.timeouts &&
+         a.keys_always_agreed == b.keys_always_agreed;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("sweep_merge",
+                "merge sweep_shard JSON files, report cross-shard optima, "
+                "and gate against the single-process run");
+  cli.flag("inputs", std::string(""),
+           "comma-separated shard JSON files (required)");
+  cli.flag("check", 0,
+           "re-run the grid single-process and gate equality (0|1) — "
+           "costs as much as every shard combined; the CI demo enables "
+           "it, a production merge should not");
+  cli.flag("tolerance", 1e-12,
+           "max relative analytic difference tolerated by --check");
+  cli.flag("threads", 0, "worker threads for --check (0 = hardware)");
+  cli.flag("json-out", std::string("BENCH_shard_merge.json"),
+           "bench artifact path");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto paths = split_csv(cli.get_string("inputs"));
+    if (paths.empty()) {
+      std::fprintf(stderr, "sweep_merge: --inputs is required\n");
+      return 1;
+    }
+
+    std::vector<core::ShardFile> files;
+    files.reserve(paths.size());
+    for (const auto& p : paths) files.push_back(core::read_shard_json(p));
+    const auto merged = core::merge_shard_files(files);
+    std::printf("sweep_merge: %zu shard file(s), plan %s (%s), %zu grid "
+                "points, MC %s\n",
+                files.size(), merged.plan.c_str(), merged.mode.c_str(),
+                merged.grid_points, merged.has_mc ? "yes" : "no");
+
+    const auto plan =
+        tools::make_plan(merged.plan, tools::mode_is_smoke(merged.mode));
+
+    // Cross-shard optima — the figures' headline quantities.
+    std::size_t best_mttsf = 0, best_ctotal = 0;
+    for (std::size_t i = 1; i < merged.evals.size(); ++i) {
+      if (merged.evals[i].mttsf > merged.evals[best_mttsf].mttsf) {
+        best_mttsf = i;
+      }
+      if (merged.evals[i].ctotal < merged.evals[best_ctotal].ctotal) {
+        best_ctotal = i;
+      }
+    }
+    std::printf("  argmax MTTSF:  %s  (MTTSF = %.6e s)\n",
+                plan.spec.label(best_mttsf).c_str(),
+                merged.evals[best_mttsf].mttsf);
+    std::printf("  argmin Ctotal: %s  (Ctotal = %.6e hop-bits/s)\n",
+                plan.spec.label(best_ctotal).c_str(),
+                merged.evals[best_ctotal].ctotal);
+
+    // Single-process equality gate.
+    bool ok = true;
+    double max_analytic_diff = 0.0;
+    std::size_t mc_mismatches = 0;
+    double check_seconds = 0.0;
+    const bool check = cli.get_int("check") != 0;
+    if (check) {
+      const util::Stopwatch watch;
+      const auto threads =
+          static_cast<std::size_t>(cli.get_int("threads"));
+      core::SweepEngine engine({.threads = threads});
+      const auto single = engine.run(plan.spec, plan.base);
+      for (std::size_t i = 0; i < merged.evals.size(); ++i) {
+        max_analytic_diff = std::max(
+            max_analytic_diff,
+            eval_rel_diff(merged.evals[i], single.evals[i]));
+      }
+      const double tolerance = cli.get_double("tolerance");
+      if (max_analytic_diff > tolerance) ok = false;
+      if (merged.has_mc) {
+        auto mc = tools::plan_mc_options(tools::mode_is_smoke(merged.mode));
+        mc.threads = threads;
+        const auto single_mc = engine.run_mc(plan.spec, plan.base, mc);
+        for (std::size_t i = 0; i < merged.mc.size(); ++i) {
+          if (!mc_bitwise_equal(merged.mc[i], single_mc.points[i].mc)) {
+            ++mc_mismatches;
+            std::fprintf(stderr,
+                         "sweep_merge: MC state mismatch at point %zu (%s)\n",
+                         i, plan.spec.label(i).c_str());
+          }
+        }
+        if (mc_mismatches > 0) ok = false;
+      }
+      check_seconds = watch.seconds();
+      std::printf(
+          "  check vs single-process: max analytic rel diff %.3e "
+          "(tolerance %.0e), MC bitwise %s  -> %s\n",
+          max_analytic_diff, tolerance,
+          merged.has_mc
+              ? (mc_mismatches == 0 ? "identical" : "MISMATCH")
+              : "n/a",
+          ok ? "ok" : "SHARD MERGE REGRESSION");
+    }
+
+    auto json = util::Json::object();
+    json.set("bench", util::Json("sweep_merge"));
+    json.set("plan", util::Json(merged.plan));
+    json.set("mode", util::Json(merged.mode));
+    json.set("shards", util::Json(static_cast<double>(merged.num_shards)));
+    json.set("grid_points",
+             util::Json(static_cast<double>(merged.grid_points)));
+    json.set("mc_replications",
+             util::Json(static_cast<double>(merged.mc_stats.replications)));
+    json.set("shard_mc_seconds", util::Json::number(merged.mc_stats.seconds));
+    json.set("argmax_mttsf", util::Json(plan.spec.label(best_mttsf)));
+    json.set("mttsf_best", util::Json::number(merged.evals[best_mttsf].mttsf));
+    json.set("argmin_ctotal", util::Json(plan.spec.label(best_ctotal)));
+    json.set("ctotal_best",
+             util::Json::number(merged.evals[best_ctotal].ctotal));
+    json.set("checked", util::Json(check));
+    if (check) {
+      json.set("max_analytic_rel_diff",
+               util::Json::number(max_analytic_diff));
+      json.set("mc_bitwise_identical",
+               util::Json(merged.has_mc && mc_mismatches == 0));
+      json.set("check_seconds", util::Json::number(check_seconds));
+    }
+    const std::string out = cli.get_string("json-out");
+    util::write_json_file(out, json);
+    std::printf("json written: %s\n", out.c_str());
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_merge: %s\n", e.what());
+    return 1;
+  }
+}
