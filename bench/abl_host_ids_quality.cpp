@@ -2,6 +2,9 @@
 // fixes 1% ("1% or less is considered acceptable"); this ablation maps
 // how MTTSF and the optimal TIDS degrade as the per-node detector
 // worsens — the design-space question a deployment would ask first.
+// The whole map is the "host_ids_quality" experiment preset: a generic
+// "host_ids_error" axis (sets p1 = p2 jointly) × the paper TIDS grid,
+// answered in one ExperimentService run.
 #include "bench_common.h"
 
 int main() {
@@ -11,30 +14,46 @@ int main() {
       "worse per-node detectors lower MTTSF and push the optimal TIDS "
       "up (less trigger-happy voting pays off)");
 
-  const auto grid = core::paper_t_ids_grid();
-  core::SweepEngine engine;  // p1/p2 scale rates only: 1 structure
+  const auto spec = core::experiment_preset("host_ids_quality", false);
+  const auto grid = spec.grid();
+  core::ExperimentService service;
+  const auto run = service.run(spec);
+  const auto& evals = run.at(core::BackendKind::Analytic).evals;
+
+  const auto& perr_levels = spec.axes[0].values;
+  const auto& t_levels = spec.axes[1].values;
+
   util::Table table({"p1=p2", "optimal TIDS(s)", "MTTSF(s)",
                      "Ctotal(hop-bits/s)", "P[C1]"});
   util::CsvWriter csv("abl_host_ids_quality.csv");
   csv.header({"p_err", "optimal_t_ids", "mttsf", "ctotal", "p_c1"});
 
-  for (const double perr : {0.001, 0.005, 0.01, 0.02, 0.05}) {
-    core::Params p = core::Params::paper_defaults();
-    p.p1 = perr;
-    p.p2 = perr;
-    const auto sweep = engine.sweep_t_ids(p, grid);
-    const auto& opt = sweep.best_mttsf();
-    table.add_row({util::Table::fix(perr, 3), util::Table::fix(opt.t_ids, 0),
-                   util::Table::sci(opt.eval.mttsf),
-                   util::Table::sci(opt.eval.ctotal),
-                   util::Table::fix(opt.eval.p_failure_c1, 3)});
-    csv.row({util::CsvWriter::num(perr), util::CsvWriter::num(opt.t_ids),
-             util::CsvWriter::num(opt.eval.mttsf),
-             util::CsvWriter::num(opt.eval.ctotal),
-             util::CsvWriter::num(opt.eval.p_failure_c1)});
+  for (std::size_t e = 0; e < perr_levels.size(); ++e) {
+    // Optimal TIDS along the inner axis of this p-error row.
+    std::size_t opt = 0;
+    for (std::size_t t = 0; t < t_levels.size(); ++t) {
+      const std::size_t coords[]{e, t};
+      const std::size_t opt_coords[]{e, opt};
+      if (evals[grid.index(coords)].mttsf >
+          evals[grid.index(opt_coords)].mttsf) {
+        opt = t;
+      }
+    }
+    const std::size_t coords[]{e, opt};
+    const auto& best = evals[grid.index(coords)];
+    table.add_row({util::Table::fix(perr_levels[e], 3),
+                   util::Table::fix(t_levels[opt], 0),
+                   util::Table::sci(best.mttsf),
+                   util::Table::sci(best.ctotal),
+                   util::Table::fix(best.p_failure_c1, 3)});
+    csv.row({util::CsvWriter::num(perr_levels[e]),
+             util::CsvWriter::num(t_levels[opt]),
+             util::CsvWriter::num(best.mttsf),
+             util::CsvWriter::num(best.ctotal),
+             util::CsvWriter::num(best.p_failure_c1)});
   }
   table.print(std::cout);
   std::printf("\ncsv written: abl_host_ids_quality.csv\n\n");
-  bench::print_engine_stats(engine);
+  bench::print_engine_stats(service.sweep_engine());
   return 0;
 }

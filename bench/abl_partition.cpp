@@ -1,8 +1,11 @@
 // Ablation A3: group partition/merge dynamics on vs off.  The paper
 // parameterises T_PAR/T_MER "by simulation"; this bench actually runs
 // the MANET random-waypoint simulator, extracts the birth–death rates,
-// and compares the resulting model against the single-group variant.
+// and compares the resulting model against the single-group variant —
+// two ExperimentService runs over the same declarative TIDS axis whose
+// base parameters differ only in the measured group dynamics.
 #include "bench_common.h"
+#include "core/optimizer.h"
 #include "manet/partition_estimator.h"
 
 int main() {
@@ -35,28 +38,45 @@ int main() {
   }
   std::printf("\n");
 
-  const auto grid = core::paper_t_ids_grid();
+  core::ExperimentSpec spec;
+  spec.name = "abl_partition";
+  spec.mode = "full";
+  core::AxisSpec t_axis;
+  t_axis.param = "t_ids";
+  t_axis.values = core::paper_t_ids_grid();
+  spec.axes = {t_axis};
 
-  core::Params single = core::Params::paper_defaults();
-  single.max_groups = 1;
-
-  core::Params multi = core::Params::paper_defaults();
-  multi.apply_mobility_estimate(est);
+  spec.base = core::Params::paper_defaults();
+  spec.base.max_groups = 1;
+  core::ExperimentSpec multi = spec;
+  multi.base = core::Params::paper_defaults();
+  multi.base.apply_mobility_estimate(est);
   // Cap the group count so the state space stays comparable when the
   // mobility run saw rare deep fragmentation.
-  if (multi.max_groups > 4) {
-    multi.max_groups = 4;
-    multi.partition_rates.resize(5);
-    multi.merge_rates.resize(5);
-    multi.partition_rates[4] = 0.0;
+  if (multi.base.max_groups > 4) {
+    multi.base.max_groups = 4;
+    multi.base.partition_rates.resize(5);
+    multi.base.merge_rates.resize(5);
+    multi.base.partition_rates[4] = 0.0;
   }
 
-  core::SweepEngine engine;  // 2 structures (group dynamics on/off)
+  core::ExperimentService service;  // 2 structures (group dynamics on/off)
+  const auto to_series = [&](const std::string& label,
+                             const core::ExperimentSpec& s) {
+    const auto run = service.run(s);
+    bench::Series series;
+    series.label = label;
+    const auto& evals = run.at(core::BackendKind::Analytic).evals;
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      series.sweep.points.push_back({t_axis.values[i], evals[i]});
+    }
+    return series;
+  };
   std::vector<bench::Series> series;
-  series.push_back({"single group", engine.sweep_t_ids(single, grid)});
-  series.push_back(
-      {"measured partition/merge", engine.sweep_t_ids(multi, grid)});
-  bench::report(grid, series, bench::Metric::Mttsf, "abl_partition.csv");
-  bench::print_engine_stats(engine);
+  series.push_back(to_series("single group", spec));
+  series.push_back(to_series("measured partition/merge", multi));
+  bench::report(t_axis.values, series, bench::Metric::Mttsf,
+                "abl_partition.csv");
+  bench::print_engine_stats(service.sweep_engine());
   return 0;
 }

@@ -1,10 +1,10 @@
 // Ablation A4: parameter elasticities of MTTSF and Ĉtotal at the paper's
 // default design point — which of the paper's Section 5 parameters
 // actually govern the two metrics.  Complements the figure sweeps with
-// local derivative information, then widens the two dominant knobs
-// (λc × TIDS) into a core::GridSpec response surface via generic
-// numeric axes — answered analytically in one batch and validated per
-// point by CI-bounded Monte-Carlo simulation (CRN + antithetic pairs).
+// local derivative information, then widens the two dominant knobs into
+// the "sensitivity_surface" experiment preset (λc × TIDS via a generic
+// numeric axis) — answered analytically AND validated per point by
+// CI-bounded Monte-Carlo simulation from ONE ExperimentService run.
 // `--smoke` thins the surface; exits non-zero on a validation
 // regression.
 #include <cstdio>
@@ -42,49 +42,35 @@ int main(int argc, char** argv) {
   std::printf("\ncsv written: abl_sensitivity.csv\n\n");
 
   // Response surface on the dominant knobs: λc (attacker pressure) ×
-  // TIDS, as generic numeric GridSpec axes around the design point.
-  const double lc0 = p.lambda_c;
-  const std::vector<double> lc_levels =
-      smoke ? std::vector<double>{0.5 * lc0, 2.0 * lc0}
-            : std::vector<double>{0.25 * lc0, 0.5 * lc0, lc0, 2.0 * lc0,
-                                  4.0 * lc0};
-  const std::vector<double> t_levels =
-      smoke ? std::vector<double>{30, 480} : std::vector<double>{15, 60, 120,
-                                                                 480, 1200};
-  core::GridSpec surface;
-  surface
-      .axis("lambda_c", lc_levels,
-            [](core::Params& q, double v) { q.lambda_c = v; })
-      .t_ids(t_levels);
+  // TIDS as a declarative spec with a generic numeric axis.  One
+  // service run answers the surface analytically AND by simulation.
+  const auto spec = core::experiment_preset("sensitivity_surface", smoke);
+  const auto surface = spec.grid();
+  core::ExperimentService service;
+  const auto run = service.run(spec);
+  const auto& evals = run.at(core::BackendKind::Analytic).evals;
 
-  // One run_mc answers the surface analytically AND by simulation; the
-  // table reads the analytic side from the same result.
-  core::SweepEngine engine;
-  const auto mc =
-      engine.run_mc(surface, p, bench::validation_mc_options(smoke));
   util::Table surf({"lambda_c", "TIDS(s)", "MTTSF(s)", "Ctotal"});
   util::CsvWriter surf_csv("abl_sensitivity_surface.csv");
   surf_csv.header({"lambda_c", "t_ids", "mttsf", "ctotal"});
-  for (std::size_t i = 0; i < mc.points.size(); ++i) {
-    const auto c = mc.spec.coords(i);
-    const auto& ev = mc.points[i].eval;
-    surf.add_row({util::Table::sci(lc_levels[c[0]]),
-                  util::Table::fix(t_levels[c[1]], 0),
-                  util::Table::sci(ev.mttsf), util::Table::sci(ev.ctotal)});
-    surf_csv.row({util::CsvWriter::num(lc_levels[c[0]]),
-                  util::CsvWriter::num(t_levels[c[1]]),
-                  util::CsvWriter::num(ev.mttsf),
-                  util::CsvWriter::num(ev.ctotal)});
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    const auto c = surface.coords(i);
+    surf.add_row({util::Table::sci(spec.axes[0].values[c[0]]),
+                  util::Table::fix(spec.axes[1].values[c[1]], 0),
+                  util::Table::sci(evals[i].mttsf),
+                  util::Table::sci(evals[i].ctotal)});
+    surf_csv.row({util::CsvWriter::num(spec.axes[0].values[c[0]]),
+                  util::CsvWriter::num(spec.axes[1].values[c[1]]),
+                  util::CsvWriter::num(evals[i].mttsf),
+                  util::CsvWriter::num(evals[i].ctotal)});
   }
   surf.print(std::cout);
   std::printf("\ncsv written: abl_sensitivity_surface.csv\n\n");
-  bench::print_engine_stats(engine);
+  bench::print_engine_stats(service.sweep_engine());
 
-  bench::BenchJson json;
-  json.field("bench", std::string("abl_sensitivity"));
-  json.field("mode", std::string(smoke ? "smoke" : "full"));
-  json.field("grid_points", surface.num_points());
-  const bool ok = bench::report_grid_validation(mc, json);
-  json.write("BENCH_abl_sensitivity.json");
+  auto json = bench::artifact("abl_sensitivity", smoke,
+                              surface.num_points());
+  const bool ok = bench::report_validation(run, json);
+  bench::write_artifact(json, "BENCH_abl_sensitivity.json");
   return ok ? 0 : 1;
 }

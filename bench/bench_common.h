@@ -1,21 +1,25 @@
-// Shared helpers for the figure-reproduction benches: each bench prints
-// the paper-figure series as an aligned table, writes a CSV next to the
-// binary, and states the qualitative checks the paper's figure makes.
+// Shared PRESENTATION helpers for the figure-reproduction benches.
+// Everything that DEFINES an experiment (grids, backends, Monte-Carlo
+// schedules, seeds) lives in core::experiment_preset — benches run
+// their work through core::ExperimentService::run(spec) like every
+// other consumer and only format the answers here: aligned tables, CSV
+// files next to the binary, CI-gate summaries, and util::Json
+// BENCH_*.json artifacts.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "core/grid_spec.h"
-#include "core/optimizer.h"
+#include "core/experiment.h"
+#include "core/experiment_presets.h"
 #include "core/sweep_engine.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -33,36 +37,6 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
-
-/// Minimal ordered-field JSON emitter for BENCH_*.json perf artifacts.
-class BenchJson {
- public:
-  void field(const std::string& name, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    fields_.emplace_back(name, buf);
-  }
-  void field(const std::string& name, std::size_t value) {
-    fields_.emplace_back(name, std::to_string(value));
-  }
-  void field(const std::string& name, const std::string& value) {
-    fields_.emplace_back(name, '"' + value + '"');
-  }
-
-  void write(const std::string& path) const {
-    std::ofstream out(path);
-    out << "{\n";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
-          << (i + 1 < fields_.size() ? ",\n" : "\n");
-    }
-    out << "}\n";
-    std::printf("json written: %s\n", path.c_str());
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
 
 /// A named MTTSF or Ctotal series over the TIDS grid.
 struct Series {
@@ -114,13 +88,13 @@ inline void report(const std::vector<double>& grid,
   std::printf("\ncsv written: %s\n\n", csv_path.c_str());
 }
 
-/// Slices a 2-D analytic grid run (axis 0 = series, axis 1 = TIDS) into
+/// Slices a 2-D analytic result (axis 0 = series, axis 1 = TIDS) into
 /// the named Series rows report() takes, so the figure benches keep
-/// their table format while running through core::GridSpec.
+/// their table format while running through the experiment service.
 inline std::vector<Series> series_from_grid(
-    const core::GridRunResult& run) {
-  const auto& s_axis = run.spec.axis_at(0);
-  const auto& t_axis = run.spec.axis_at(1);
+    const core::GridSpec& spec, std::span<const core::Evaluation> evals) {
+  const auto& s_axis = spec.axis_at(0);
+  const auto& t_axis = spec.axis_at(1);
   std::vector<Series> out;
   out.reserve(s_axis.size());
   for (std::size_t s = 0; s < s_axis.size(); ++s) {
@@ -129,7 +103,8 @@ inline std::vector<Series> series_from_grid(
     series.sweep.points.reserve(t_axis.size());
     for (std::size_t t = 0; t < t_axis.size(); ++t) {
       const std::size_t coords[]{s, t};
-      series.sweep.points.push_back({t_axis.values[t], run.at(coords)});
+      series.sweep.points.push_back(
+          {t_axis.values[t], evals[spec.index(coords)]});
     }
     out.push_back(std::move(series));
   }
@@ -138,68 +113,73 @@ inline std::vector<Series> series_from_grid(
 
 /// CI-bounded validation report shared by the figure/ablation benches:
 /// prints every grid point's analytic MTTSF against its simulation 95%
-/// CI, records the outcome in `json`, and gates with every point
-/// converged and at most max(1, 15% of points) outside their CIs — 95%
-/// intervals legitimately miss ~5% of the time, so small smoke grids
-/// must tolerate one honest miss and large grids several before a flip
-/// means a real regression rather than Monte-Carlo noise.
-inline bool report_grid_validation(const core::McGridResult& val,
-                                   BenchJson& json) {
+/// CI (the result's Analytic backend vs its Des backend), records the
+/// outcome in `json`, and gates with every point converged and at most
+/// max(1, 15% of points) outside their CIs — 95% intervals legitimately
+/// miss ~5% of the time, so small smoke grids must tolerate one honest
+/// miss and large grids several before a flip means a real regression
+/// rather than Monte-Carlo noise.
+inline bool report_validation(const core::ExperimentResult& result,
+                              util::Json& json) {
+  const auto grid = result.spec.grid();
+  const auto& evals = result.at(core::BackendKind::Analytic).evals;
+  const auto& sim_run = result.at(core::BackendKind::Des);
+
   util::Table table({"point", "MTTSF analytic", "MTTSF sim (95% CI)",
                      "reps", "inside CI"});
   bool converged_all = true;
-  for (std::size_t i = 0; i < val.points.size(); ++i) {
-    const auto& pt = val.points[i];
-    converged_all = converged_all && pt.mc.converged;
-    table.add_row({val.spec.label(i), util::Table::sci(pt.eval.mttsf),
-                   util::Table::sci(pt.mc.ttsf.mean) + " ± " +
-                       util::Table::sci(pt.mc.ttsf.ci_half_width, 1),
-                   std::to_string(pt.mc.replications),
-                   pt.mc.ttsf.contains(pt.eval.mttsf) ? "yes" : "NO"});
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < sim_run.mc.size(); ++i) {
+    const auto& mc = sim_run.mc[i];
+    converged_all = converged_all && mc.converged;
+    if (mc.ttsf.contains(evals[i].mttsf)) ++inside;
+    table.add_row({grid.label(result.range.begin + i),
+                   util::Table::sci(evals[i].mttsf),
+                   util::Table::sci(mc.ttsf.mean) + " ± " +
+                       util::Table::sci(mc.ttsf.ci_half_width, 1),
+                   std::to_string(mc.replications),
+                   mc.ttsf.contains(evals[i].mttsf) ? "yes" : "NO"});
   }
   table.print(std::cout);
 
-  const std::size_t n = val.points.size();
-  const std::size_t inside = val.mttsf_inside_ci();
+  const std::size_t n = sim_run.mc.size();
   const std::size_t allowed_misses = std::max<std::size_t>(1, n * 15 / 100);
   const bool ok = converged_all && inside + allowed_misses >= n;
   std::printf("\nanalytic inside simulation 95%% CI: %zu/%zu, converged %s "
               "(%zu trajectories in %.2f s)  -> %s\n\n",
               inside, n, converged_all ? "all" : "NOT ALL",
-              val.mc_stats.replications, val.mc_stats.seconds,
+              sim_run.mc_stats.replications, sim_run.mc_stats.seconds,
               ok ? "ok" : "VALIDATION REGRESSION");
-  json.field("validation_points", n);
-  json.field("validation_inside_ci", inside);
-  json.field("validation_replications", val.mc_stats.replications);
-  json.field("validation_seconds", val.mc_stats.seconds);
-  json.field("validation_converged",
-             std::string(converged_all ? "yes" : "no"));
+  json.set("validation_points", util::Json(static_cast<double>(n)));
+  json.set("validation_inside_ci",
+           util::Json(static_cast<double>(inside)));
+  json.set("validation_replications",
+           util::Json(static_cast<double>(sim_run.mc_stats.replications)));
+  json.set("validation_seconds",
+           util::Json::number(sim_run.mc_stats.seconds));
+  json.set("validation_converged",
+           util::Json(std::string(converged_all ? "yes" : "no")));
   return ok;
 }
 
-/// Monte-Carlo options for the figure validations: CI-targeted stopping
-/// with CRN + antithetic pairs (substreams keyed by replication only,
-/// so contrasts along every grid axis are variance-reduced).  `--smoke`
-/// loosens the relative CI target for CI runtimes; benches also thin
-/// their TIDS axis in smoke mode.
-inline sim::McOptions validation_mc_options(bool smoke) {
-  sim::McOptions mc;
-  mc.base_seed = 0xFACADE;
-  mc.rel_ci_target = smoke ? 0.10 : 0.075;
-  mc.antithetic = true;
-  return mc;
+/// Starts a BENCH_*.json artifact with the standard identity fields.
+inline util::Json artifact(const std::string& bench, bool smoke,
+                           std::size_t grid_points) {
+  auto json = util::Json::object();
+  json.set("bench", util::Json(bench));
+  json.set("mode", util::Json(std::string(smoke ? "smoke" : "full")));
+  json.set("grid_points", util::Json(static_cast<double>(grid_points)));
+  return json;
 }
 
-/// The TIDS levels the validations simulate: the full paper grid, or a
-/// 3-point subset covering both ends and the interior in smoke mode.
-inline std::vector<double> validation_t_ids(bool smoke) {
-  return smoke ? std::vector<double>{15, 120, 1200}
-               : core::paper_t_ids_grid();
+inline void write_artifact(const util::Json& json, const std::string& path) {
+  util::write_json_file(path, json);
+  std::printf("json written: %s\n", path.c_str());
 }
 
-/// Wall-clock + throughput line for an engine-driven bench: how many
-/// points were evaluated, how many explorations they cost, and the
-/// states/s and points/s the run achieved.
+/// Wall-clock + throughput line for the analytic engine behind a
+/// service: how many points were evaluated, how many explorations they
+/// cost, and the states/s and points/s the run achieved.
 inline void print_engine_stats(const core::SweepEngine& engine) {
   const auto& st = engine.stats();
   if (st.seconds <= 0.0 || st.points == 0) return;

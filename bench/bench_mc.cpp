@@ -1,13 +1,14 @@
 // Monte-Carlo engine benchmark, run on the val_des_vs_spn workload
-// (the 4-point TIDS validation grid, scaled-down population).
-// Measures, in the same process:
+// (the "val_des" experiment preset: 4-point TIDS validation grid,
+// scaled-down population).  Measures, in the same process:
 //   * the seed-era per-point replication loop — a fresh voting table
 //     per trajectory, every trajectory stored, a uniform fixed
 //     replication count sized for the hardest grid point
 //     (run_replications_reference), and
-//   * the engine path — shared per-point contexts, streaming Welford
-//     summaries, CI-targeted sequential stopping, one (point × block)
-//     parallel_for schedule (sim::MonteCarloEngine via sweep_mc),
+//   * the service path — the same declarative spec every consumer runs:
+//     shared per-point contexts, streaming Welford summaries,
+//     CI-targeted sequential stopping, one (point × block) parallel_for
+//     schedule (core::ExperimentService → sim::MonteCarloEngine),
 // at EQUAL confidence-interval width: the baseline runs the uniform
 // replication count the engine needed at its worst point, which is the
 // conservative choice an experimenter without sequential stopping must
@@ -15,7 +16,8 @@
 // curve contrasts (common vs independent random-number substreams) and
 // the antithetic-pair variance reduction layered on top of CRN
 // (per-point estimator variance and pooled contrast variance, measured
-// on the Fig. 2 m-axis at equal trajectory budget), and writes
+// on the Fig. 2 m-axis at equal trajectory budget) — every arm is a
+// spec variation run through the SAME service — and writes
 // BENCH_mc.json so the trajectory is tracked PR-on-PR.
 //
 // `--smoke` loosens the CI target and shrinks the variance-measurement
@@ -26,9 +28,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/sweep_engine.h"
 #include "sim/des.h"
-#include "sim/mc_engine.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -53,50 +53,47 @@ int main(int argc, char** argv) {
   }
 
   bench::print_header(
-      "Monte-Carlo engine: val_des_vs_spn grid, seed loop vs batched",
+      "Monte-Carlo engine: val_des grid, seed loop vs batched service",
       "CI-adaptive batched replications >= 3x over the per-point loop at "
       "equal CI width; analytic values inside the 95% CIs; CRN contrasts "
       "below independent-stream variance; antithetic pairs below plain "
       "CRN variance");
 
-  core::Params base = core::Params::paper_defaults();
-  base.n_init = 15;
-  base.max_groups = 1;
-  base.lambda_c = 1.0 / 2000.0;
-  const std::vector<double> grid{15.0, 60.0, 240.0, 1200.0};
-  const double target = smoke ? 0.075 : 0.05;
-
-  // --- Engine path: analytic + CI-bounded simulation in one call.
-  sim::McOptions mc;
-  mc.rel_ci_target = target;
-  mc.base_seed = 0xFACADE;
-  core::SweepEngine engine;
-  const auto sweep = engine.sweep_mc(base, grid, mc);
-  const double engine_seconds = sweep.mc_stats.seconds;
+  // --- Service path: analytic + CI-bounded simulation from one spec.
+  const auto spec = core::experiment_preset("val_des", smoke);
+  const double target = spec.mc.rel_ci_target;
+  const auto& grid = spec.axes[0].values;
+  core::ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& evals = result.at(core::BackendKind::Analytic).evals;
+  const auto& des = result.at(core::BackendKind::Des);
+  const double engine_seconds = des.mc_stats.seconds;
 
   std::size_t max_reps = 0;
   bool converged_all = true;
+  std::size_t inside = 0;
   util::Table table({"TIDS(s)", "MTTSF analytic", "MTTSF sim (95% CI)",
                      "reps", "inside CI"});
-  for (const auto& pt : sweep.points) {
-    max_reps = std::max(max_reps, pt.mc.replications);
-    converged_all = converged_all && pt.mc.converged;
-    table.add_row({util::Table::fix(pt.t_ids, 0),
-                   util::Table::sci(pt.eval.mttsf),
-                   util::Table::sci(pt.mc.ttsf.mean) + " ± " +
-                       util::Table::sci(pt.mc.ttsf.ci_half_width, 1),
-                   std::to_string(pt.mc.replications),
-                   pt.mc.ttsf.contains(pt.eval.mttsf) ? "yes" : "NO"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& mc = des.mc[i];
+    max_reps = std::max(max_reps, mc.replications);
+    converged_all = converged_all && mc.converged;
+    if (mc.ttsf.contains(evals[i].mttsf)) ++inside;
+    table.add_row({util::Table::fix(grid[i], 0),
+                   util::Table::sci(evals[i].mttsf),
+                   util::Table::sci(mc.ttsf.mean) + " ± " +
+                       util::Table::sci(mc.ttsf.ci_half_width, 1),
+                   std::to_string(mc.replications),
+                   mc.ttsf.contains(evals[i].mttsf) ? "yes" : "NO"});
   }
   table.print(std::cout);
-  const std::size_t inside = sweep.mttsf_inside_ci();
 
   // --- Baseline at equal CI width: the uniform fixed count that covers
   // the hardest point, through the preserved seed-era loop.
   const util::Stopwatch baseline_watch;
   double worst_baseline_width = 0.0;
   for (const double t : grid) {
-    core::Params p = base;
+    core::Params p = spec.base;
     p.t_ids = t;
     const auto r =
         sim::run_replications_reference(p, max_reps, 0xFACADE, 0);
@@ -109,11 +106,11 @@ int main(int argc, char** argv) {
 
   std::printf("\nCI target (rel):  %.3f   engine worst achieved: ok=%s\n",
               target, converged_all ? "yes" : "NO");
-  std::printf("engine:           %.3f s  (%zu replications, %zu rounds, "
+  std::printf("service:          %.3f s  (%zu replications, %zu rounds, "
               "%.3e trajectories/s)\n",
-              engine_seconds, sweep.mc_stats.replications,
-              sweep.mc_stats.rounds,
-              static_cast<double>(sweep.mc_stats.replications) /
+              engine_seconds, des.mc_stats.replications,
+              des.mc_stats.rounds,
+              static_cast<double>(des.mc_stats.replications) /
                   engine_seconds);
   std::printf("seed-era loop:    %.3f s  (%zu replications, worst rel "
               "width %.3f)\n",
@@ -121,27 +118,21 @@ int main(int argc, char** argv) {
   std::printf("speedup:          %.1fx  (%s 3x)\n", speedup,
               speedup >= 3.0 ? ">=" : "BELOW");
   std::printf("analytic inside simulation 95%% CI: %zu/%zu\n",
-              inside, sweep.points.size());
+              inside, grid.size());
 
   // --- CRN vs independent substreams: variance of adjacent-point curve
-  // contrasts at a fixed replication count.
+  // contrasts at a fixed replication count — the same spec with the
+  // schedule pinned and trajectories captured.
   const std::size_t crn_reps = smoke ? 200 : 400;
   auto run_captured = [&](bool crn) {
-    sim::McOptions o;
-    o.base_seed = 0xFACADE;
-    o.rel_ci_target = 0.0;
-    o.min_replications = crn_reps;
-    o.max_replications = crn_reps;
-    o.crn = crn;
-    o.capture_trajectories = true;
-    std::vector<core::Params> points;
-    for (const double t : grid) {
-      core::Params p = base;
-      p.t_ids = t;
-      points.push_back(std::move(p));
-    }
-    sim::MonteCarloEngine e(o);
-    return e.run_des(points);
+    core::ExperimentSpec variant = spec;
+    variant.backends = {core::BackendKind::Des};
+    variant.mc.rel_ci_target = 0.0;
+    variant.mc.min_replications = crn_reps;
+    variant.mc.max_replications = crn_reps;
+    variant.mc.crn = crn;
+    variant.mc.capture_trajectories = true;
+    return service.run(variant).at(core::BackendKind::Des).mc;
   };
   const auto crn_run = run_captured(true);
   const auto ind_run = run_captured(false);
@@ -173,24 +164,22 @@ int main(int argc, char** argv) {
   //     pooled over the m pairs (pooling keeps the ratio stable when an
   //     individual contrast's antithetic variance is near zero).
   const std::size_t anti_pairs = smoke ? 600 : 1200;
-  std::vector<core::Params> m_grid;
-  for (const std::int64_t m : {3, 5, 7, 9}) {
-    core::Params p = base;
-    p.t_ids = 60.0;
-    p.num_voters = m;
-    m_grid.push_back(std::move(p));
-  }
+  const std::vector<double> m_values{3, 5, 7, 9};
   auto run_anti = [&](bool antithetic) {
-    sim::McOptions o;
-    o.base_seed = 0xFACADE;
-    o.rel_ci_target = 0.0;
-    o.min_replications = antithetic ? anti_pairs : 2 * anti_pairs;
-    o.max_replications = o.min_replications;
-    o.crn = true;
-    o.antithetic = antithetic;
-    o.capture_trajectories = true;
-    sim::MonteCarloEngine e(o);
-    return e.run_des(m_grid);
+    core::ExperimentSpec variant = spec;
+    variant.backends = {core::BackendKind::Des};
+    variant.base.t_ids = 60.0;
+    core::AxisSpec m_axis;
+    m_axis.param = "num_voters";
+    m_axis.values = m_values;
+    variant.axes = {m_axis};
+    variant.mc.rel_ci_target = 0.0;
+    variant.mc.min_replications = antithetic ? anti_pairs : 2 * anti_pairs;
+    variant.mc.max_replications = variant.mc.min_replications;
+    variant.mc.crn = true;
+    variant.mc.antithetic = antithetic;
+    variant.mc.capture_trajectories = true;
+    return service.run(variant).at(core::BackendKind::Des).mc;
   };
   const auto plain_run = run_anti(false);
   const auto anti_run = run_anti(true);
@@ -200,7 +189,7 @@ int main(int argc, char** argv) {
               "%zu trajectories each):\n",
               2 * anti_pairs);
   double point_ratio_sum = 0.0;
-  for (std::size_t p = 0; p < m_grid.size(); ++p) {
+  for (std::size_t p = 0; p < m_values.size(); ++p) {
     sim::Welford wp, wa;
     for (const auto& t : plain_run[p].trajectories) wp.push(t.ttsf);
     const auto& at = anti_run[p].trajectories;
@@ -212,15 +201,15 @@ int main(int argc, char** argv) {
         wa.variance() / static_cast<double>(anti_pairs);
     const double ratio = est_var_plain / est_var_anti;
     point_ratio_sum += ratio;
-    std::printf("  m=%lld: estimator-variance ratio plain/antithetic = "
+    std::printf("  m=%.0f: estimator-variance ratio plain/antithetic = "
                 "%.2f\n",
-                static_cast<long long>(m_grid[p].num_voters), ratio);
+                m_values[p], ratio);
   }
   const double anti_point_ratio =
-      point_ratio_sum / static_cast<double>(m_grid.size());
+      point_ratio_sum / static_cast<double>(m_values.size());
 
   double contrast_var_plain = 0.0, contrast_var_anti = 0.0;
-  for (std::size_t p = 0; p + 1 < m_grid.size(); ++p) {
+  for (std::size_t p = 0; p + 1 < m_values.size(); ++p) {
     sim::Welford wp, wa;
     for (std::size_t r = 0; r < 2 * anti_pairs; ++r) {
       wp.push(plain_run[p].trajectories[r].ttsf -
@@ -242,27 +231,31 @@ int main(int argc, char** argv) {
   std::printf("  pooled adjacent-m contrast-variance ratio: %.2f  (%s 1)\n",
               anti_contrast_ratio, anti_contrast_ratio > 1.0 ? ">" : "NOT >");
 
-  bench::BenchJson json;
-  json.field("bench", std::string("mc_val_grid"));
-  json.field("mode", std::string(smoke ? "smoke" : "full"));
-  json.field("points", grid.size());
-  json.field("rel_ci_target", target);
-  json.field("engine_seconds", engine_seconds);
-  json.field("engine_replications", sweep.mc_stats.replications);
-  json.field("trajectories_per_second",
-             static_cast<double>(sweep.mc_stats.replications) /
-                 engine_seconds);
-  json.field("baseline_seconds", baseline_seconds);
-  json.field("baseline_replications", baseline_reps);
-  json.field("speedup", speedup);
-  json.field("worst_baseline_rel_width", worst_baseline_width);
-  json.field("analytic_inside_ci", inside);
-  json.field("crn_variance_ratio_mean", ratio_mean);
-  json.field("crn_variance_ratio_min", ratio_min);
-  json.field("antithetic_pairs", anti_pairs);
-  json.field("antithetic_point_variance_ratio", anti_point_ratio);
-  json.field("antithetic_contrast_variance_ratio", anti_contrast_ratio);
-  json.write("BENCH_mc.json");
+  auto json = bench::artifact("mc_val_grid", smoke, grid.size());
+  json.set("rel_ci_target", util::Json::number(target));
+  json.set("engine_seconds", util::Json::number(engine_seconds));
+  json.set("engine_replications",
+           util::Json(static_cast<double>(des.mc_stats.replications)));
+  json.set("trajectories_per_second",
+           util::Json::number(
+               static_cast<double>(des.mc_stats.replications) /
+               engine_seconds));
+  json.set("baseline_seconds", util::Json::number(baseline_seconds));
+  json.set("baseline_replications",
+           util::Json(static_cast<double>(baseline_reps)));
+  json.set("speedup", util::Json::number(speedup));
+  json.set("worst_baseline_rel_width",
+           util::Json::number(worst_baseline_width));
+  json.set("analytic_inside_ci", util::Json(static_cast<double>(inside)));
+  json.set("crn_variance_ratio_mean", util::Json::number(ratio_mean));
+  json.set("crn_variance_ratio_min", util::Json::number(ratio_min));
+  json.set("antithetic_pairs",
+           util::Json(static_cast<double>(anti_pairs)));
+  json.set("antithetic_point_variance_ratio",
+           util::Json::number(anti_point_ratio));
+  json.set("antithetic_contrast_variance_ratio",
+           util::Json::number(anti_contrast_ratio));
+  bench::write_artifact(json, "BENCH_mc.json");
 
   // Non-zero exit so CI catches a perf or correctness regression.  One
   // CI miss out of four points is expected Monte-Carlo behaviour; the
@@ -270,7 +263,7 @@ int main(int argc, char** argv) {
   // plain CRN on both the per-point estimators and the pooled curve
   // contrasts.
   const bool ok = speedup >= 3.0 && converged_all &&
-                  inside + 1 >= sweep.points.size() && ratio_mean > 1.0 &&
+                  inside + 1 >= grid.size() && ratio_mean > 1.0 &&
                   anti_point_ratio > 1.0 && anti_contrast_ratio > 1.0;
   return ok ? 0 : 1;
 }

@@ -4,8 +4,9 @@
 //   * the naive per-point path — fresh exploration + one full-state
 //     reward pass per cost component (GcsSpnModel::evaluate_reference,
 //     the pre-engine code path), and
-//   * the engine path — explore once, re-rate a clone per point, fused
-//     single-pass rewards (core::SweepEngine),
+//   * the service path — the same declarative spec every other consumer
+//     runs, answered by the Analytic backend (explore once, re-rate a
+//     clone per point, fused single-pass rewards),
 // checks the two agree to 1e-12 relative on every reported metric, and
 // writes BENCH_sweep.json so the perf trajectory is tracked PR-on-PR.
 //
@@ -19,7 +20,6 @@
 #include "bench_common.h"
 #include "core/gcs_spn_model.h"
 #include "core/optimizer.h"
-#include "core/sweep_engine.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -61,34 +61,30 @@ int main(int argc, char** argv) {
       "explore-once + single-pass rewards >= 5x over per-point "
       "re-exploration, metrics equal to 1e-12");
 
+  // The Figure 2 design slice as a declarative spec (population shrunk
+  // in smoke mode so CI finishes in seconds).
+  core::ExperimentSpec spec = core::experiment_preset("fig2", smoke);
+  spec.name = "fig2_sweep";
+  if (smoke) spec.base.n_init = 20;
+  const auto grid_spec = spec.grid();
+  const auto points = grid_spec.expand(spec.base);
   const auto grid = core::paper_t_ids_grid();
-  const std::vector<int> m_values{3, 5, 7, 9};
-  std::vector<core::Params> points;
-  for (const int m : m_values) {
-    for (const double t : grid) {
-      core::Params p = core::Params::paper_defaults();
-      if (smoke) p.n_init = 20;
-      p.num_voters = m;
-      p.t_ids = t;
-      points.push_back(std::move(p));
-    }
-  }
 
   // Naive per-point path: what every figure bench did before the engine.
   std::vector<core::Evaluation> naive;
   naive.reserve(points.size());
-  std::size_t naive_states = 0;
   const util::Stopwatch naive_watch;
   for (const auto& p : points) {
     naive.push_back(core::GcsSpnModel(p).evaluate_reference());
-    naive_states += naive.back().num_states;
   }
   const double naive_seconds = naive_watch.seconds();
 
-  // Engine path (fresh engine: the exploration is paid inside the run).
-  core::SweepEngine engine;
-  const auto evals = engine.evaluate(points);
-  const double engine_seconds = engine.stats().seconds;
+  // Service path (fresh service: the exploration is paid inside the run).
+  core::ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& evals = result.at(core::BackendKind::Analytic).evals;
+  const auto& stats = service.sweep_engine().stats();
+  const double engine_seconds = stats.seconds;
 
   double max_diff = 0.0;
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -97,34 +93,34 @@ int main(int argc, char** argv) {
 
   const double speedup = naive_seconds / engine_seconds;
   std::printf("points:           %zu  (%zu m-values x %zu-point grid)\n",
-              points.size(), m_values.size(), grid.size());
+              points.size(), spec.axes[0].values.size(), grid.size());
   std::printf("states per point: %zu\n", evals.front().num_states);
   std::printf("naive path:       %.3f s  (%zu explorations)\n",
               naive_seconds, points.size());
-  std::printf("engine path:      %.3f s  (%zu exploration(s))\n",
-              engine_seconds, engine.stats().explorations);
+  std::printf("service path:     %.3f s  (%zu exploration(s))\n",
+              engine_seconds, stats.explorations);
   std::printf("speedup:          %.1fx\n", speedup);
   std::printf("max rel diff:     %.3e  (%s 1e-12)\n", max_diff,
               max_diff <= 1e-12 ? "<=" : "EXCEEDS");
-  bench::print_engine_stats(engine);
+  bench::print_engine_stats(service.sweep_engine());
 
-  bench::BenchJson json;
-  json.field("bench", std::string("fig2_sweep"));
-  json.field("mode", std::string(smoke ? "smoke" : "full"));
-  json.field("points", points.size());
-  json.field("grid_size", grid.size());
-  json.field("naive_seconds", naive_seconds);
-  json.field("engine_seconds", engine_seconds);
-  json.field("speedup", speedup);
-  json.field("explorations", engine.stats().explorations);
-  json.field("states_evaluated", engine.stats().states_evaluated);
-  json.field("states_per_second",
-             static_cast<double>(engine.stats().states_evaluated) /
-                 engine_seconds);
-  json.field("points_per_second",
-             static_cast<double>(points.size()) / engine_seconds);
-  json.field("max_rel_diff", max_diff);
-  json.write("BENCH_sweep.json");
+  auto json = bench::artifact("fig2_sweep", smoke, points.size());
+  json.set("grid_size", util::Json(static_cast<double>(grid.size())));
+  json.set("naive_seconds", util::Json::number(naive_seconds));
+  json.set("engine_seconds", util::Json::number(engine_seconds));
+  json.set("speedup", util::Json::number(speedup));
+  json.set("explorations",
+           util::Json(static_cast<double>(stats.explorations)));
+  json.set("states_evaluated",
+           util::Json(static_cast<double>(stats.states_evaluated)));
+  json.set("states_per_second",
+           util::Json::number(
+               static_cast<double>(stats.states_evaluated) / engine_seconds));
+  json.set("points_per_second",
+           util::Json::number(
+               static_cast<double>(points.size()) / engine_seconds));
+  json.set("max_rel_diff", util::Json::number(max_diff));
+  bench::write_artifact(json, "BENCH_sweep.json");
 
   // Non-zero exit on disagreement so CI catches a broken re-rate path.
   return max_diff <= 1e-12 ? 0 : 1;

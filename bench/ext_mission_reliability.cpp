@@ -5,47 +5,36 @@
 // surviving a CONCRETE mission duration — and shows how the optimal
 // TIDS shifts with the mission length.
 //
-// The analytic values (backward-equation integrator) are cross-checked
-// by the Monte-Carlo engine: one CRN-batched run_des schedule over the
-// TIDS grid estimates R(t) as streaming survival-indicator proportions
-// with 95% Wilson CIs at every (TIDS, horizon) cell.
+// The simulation side is the "mission" experiment preset: ONE
+// ExperimentService run whose DES backend estimates R(t) as streaming
+// survival-indicator proportions with 95% Wilson CIs at every
+// (TIDS, horizon) cell.  The analytic R(t) values come from the
+// backward-equation integrator (GcsSpnModel::reliability_at — a
+// transient measure the per-point Evaluation does not carry).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/gcs_spn_model.h"
-#include "sim/mc_engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::print_header(
       "Extension E1: mission reliability R(t) per detection interval",
       "R(t) from the backward-equation integrator; short missions tolerate "
       "longer TIDS than long missions; Monte-Carlo survival CIs agree");
 
-  const std::vector<double> horizons_h{6, 24, 72, 168, 336};  // hours
-  std::vector<double> horizons_s;
-  for (double h : horizons_h) horizons_s.push_back(h * 3600.0);
+  const auto spec = core::experiment_preset("mission", smoke);
+  const auto grid_spec = spec.grid();
+  core::ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& des = result.at(core::BackendKind::Des);
 
-  const std::vector<double> grid{15.0, 60.0, 240.0, 1200.0};
-  std::vector<core::Params> points;
-  for (const double t_ids : grid) {
-    core::Params p = core::Params::paper_defaults();
-    p.t_ids = t_ids;
-    points.push_back(std::move(p));
-  }
-
-  // Simulated survival per horizon: one CRN-batched engine schedule
-  // over the whole grid (the analytic side here is the transient
-  // reliability_at solve, done per point below).
-  sim::McOptions mc;
-  mc.base_seed = 0x51D;
-  mc.rel_ci_target = 0.0;  // survival needs a fixed indicator budget
-  mc.min_replications = 400;
-  mc.max_replications = 400;
-  mc.survival_horizons = horizons_s;
-  sim::MonteCarloEngine engine(mc);
-  const auto simulated = engine.run_des(points);
+  const auto& horizons_s = spec.mc.survival_horizons;
+  std::vector<double> horizons_h;
+  for (const double s : horizons_s) horizons_h.push_back(s / 3600.0);
+  const auto& grid = spec.axes[0].values;
 
   std::vector<std::string> header{"TIDS(s)"};
   for (double h : horizons_h) {
@@ -67,13 +56,13 @@ int main() {
   std::size_t inside = 0, cells = 0;
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const double t_ids = grid[i];
-    const core::GcsSpnModel model(points[i]);
+    const core::GcsSpnModel model(grid_spec.point(spec.base, i));
     const auto r = model.reliability_at(horizons_s);
 
     std::vector<std::string> row{util::Table::fix(t_ids, 0)};
     std::vector<std::string> csv_row{util::CsvWriter::num(t_ids)};
     for (std::size_t h = 0; h < r.size(); ++h) {
-      const auto& sim_r = simulated[i].survival[h];
+      const auto& sim_r = des.mc[i].survival[h];
       row.push_back(util::Table::fix(r[h], 4));
       row.push_back(util::Table::fix(sim_r.mean, 3) + " ± " +
                     util::Table::fix(sim_r.ci_half_width, 3));
@@ -102,8 +91,8 @@ int main() {
               horizons_h.back(), argbest_long, best_long);
   std::printf("analytic R(t) inside the simulation 95%% CI: %zu/%zu cells "
               "(%zu trajectories, %.2f s)\n",
-              inside, cells, engine.stats().replications,
-              engine.stats().seconds);
+              inside, cells, des.mc_stats.replications,
+              des.mc_stats.seconds);
   std::printf("csv written: ext_mission_reliability.csv\n");
   return 0;
 }

@@ -1,10 +1,10 @@
 // Figure 2 reproduction: MTTSF vs TIDS as the number of vote-
-// participants m varies (linear attacker, linear detection) — run as
-// one core::GridSpec (m × TIDS) batch, then validated per point by
-// CI-bounded Monte-Carlo simulation (CRN + antithetic pairs) instead
-// of spot checks.  `--smoke` thins the validation grid and loosens the
-// CI target for CI runtimes; exits non-zero if the analytic values
-// leave the simulation CIs.
+// participants m varies (linear attacker, linear detection) — the
+// "fig2" experiment preset run through core::ExperimentService, then
+// validated per point by the "fig2_val" preset (analytic + DES
+// backends, CRN + antithetic pairs) instead of spot checks.  `--smoke`
+// thins the validation grid and loosens the CI target for CI runtimes;
+// exits non-zero if the analytic values leave the simulation CIs.
 //
 // Paper claims checked here:
 //   * each m-curve is unimodal in TIDS (rises to an optimum, then falls);
@@ -21,29 +21,26 @@ int main(int argc, char** argv) {
       "unimodal curves; larger m -> larger MTTSF, smaller optimal TIDS "
       "(paper: 480/60/15/5 s for m=3/5/7/9)");
 
-  const std::vector<std::int64_t> voters{3, 5, 7, 9};
-  const core::Params base = core::Params::paper_defaults();
-  core::SweepEngine engine;  // all m-curves share one explored structure
+  // One service: the figure grid and its validation twin share the
+  // explored structure cache.
+  core::ExperimentService service;
 
-  // The figure: the full (m × TIDS) design slice as one grid batch.
-  core::GridSpec fig;
-  fig.num_voters(voters).t_ids(core::paper_t_ids_grid());
-  const auto run = engine.run(fig, base);
-  bench::report(core::paper_t_ids_grid(), bench::series_from_grid(run),
+  // The figure: the full (m × TIDS) design slice as one spec.
+  const auto fig_spec = core::experiment_preset("fig2", smoke);
+  const auto fig_grid = fig_spec.grid();
+  const auto fig = service.run(fig_spec);
+  bench::report(fig_spec.axes.back().values,
+                bench::series_from_grid(
+                    fig_grid, fig.at(core::BackendKind::Analytic).evals),
                 bench::Metric::Mttsf, "fig2_mttsf_vs_m.csv");
-  bench::print_engine_stats(engine);
+  bench::print_engine_stats(service.sweep_engine());
 
-  // CI-bounded validation: the same grid (thinned in smoke mode)
-  // answered by simulation, one CRN/antithetic schedule for all points.
-  core::GridSpec val;
-  val.num_voters(voters).t_ids(bench::validation_t_ids(smoke));
-  bench::BenchJson json;
-  json.field("bench", std::string("fig2_mttsf_vs_m"));
-  json.field("mode", std::string(smoke ? "smoke" : "full"));
-  json.field("grid_points", fig.num_points());
-  const auto mc =
-      engine.run_mc(val, base, bench::validation_mc_options(smoke));
-  const bool ok = bench::report_grid_validation(mc, json);
-  json.write("BENCH_fig2.json");
+  // CI-bounded validation: the same design slice (thinned in smoke
+  // mode) answered analytically AND by simulation from one spec.
+  const auto val = service.run(core::experiment_preset("fig2_val", smoke));
+  auto json = bench::artifact("fig2_mttsf_vs_m", smoke,
+                              fig_grid.num_points());
+  const bool ok = bench::report_validation(val, json);
+  bench::write_artifact(json, "BENCH_fig2.json");
   return ok ? 0 : 1;
 }

@@ -1,8 +1,9 @@
 // Figure 3 reproduction: total communication cost Ĉtotal vs TIDS as the
 // number of vote-participants m varies (linear attacker & detection) —
-// one core::GridSpec (m × TIDS) batch plus per-point CI-bounded
-// Monte-Carlo validation (CRN + antithetic pairs).  `--smoke` thins the
-// validation grid; exits non-zero on a validation regression.
+// the "fig3" experiment preset through core::ExperimentService plus the
+// "fig3_val" CI-bounded validation twin (CRN + antithetic pairs).
+// `--smoke` thins the validation grid; exits non-zero on a validation
+// regression.
 //
 // Paper claims checked here:
 //   * each curve has a cost-minimising TIDS (tradeoff: shorter TIDS →
@@ -21,26 +22,21 @@ int main(int argc, char** argv) {
       "unimodal cost curves; larger m -> higher Ctotal; cost-optimal "
       "TIDS insensitive to m");
 
-  const std::vector<std::int64_t> voters{3, 5, 7, 9};
-  const core::Params base = core::Params::paper_defaults();
-  core::SweepEngine engine;  // all m-curves share one explored structure
+  core::ExperimentService service;
 
-  core::GridSpec fig;
-  fig.num_voters(voters).t_ids(core::paper_t_ids_grid());
-  const auto run = engine.run(fig, base);
-  bench::report(core::paper_t_ids_grid(), bench::series_from_grid(run),
+  const auto fig_spec = core::experiment_preset("fig3", smoke);
+  const auto fig_grid = fig_spec.grid();
+  const auto fig = service.run(fig_spec);
+  bench::report(fig_spec.axes.back().values,
+                bench::series_from_grid(
+                    fig_grid, fig.at(core::BackendKind::Analytic).evals),
                 bench::Metric::Ctotal, "fig3_cost_vs_m.csv");
-  bench::print_engine_stats(engine);
+  bench::print_engine_stats(service.sweep_engine());
 
-  core::GridSpec val;
-  val.num_voters(voters).t_ids(bench::validation_t_ids(smoke));
-  bench::BenchJson json;
-  json.field("bench", std::string("fig3_cost_vs_m"));
-  json.field("mode", std::string(smoke ? "smoke" : "full"));
-  json.field("grid_points", fig.num_points());
-  const auto mc =
-      engine.run_mc(val, base, bench::validation_mc_options(smoke));
-  const bool ok = bench::report_grid_validation(mc, json);
-  json.write("BENCH_fig3.json");
+  const auto val = service.run(core::experiment_preset("fig3_val", smoke));
+  auto json = bench::artifact("fig3_cost_vs_m", smoke,
+                              fig_grid.num_points());
+  const bool ok = bench::report_validation(val, json);
+  bench::write_artifact(json, "BENCH_fig3.json");
   return ok ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 // Figure 4 reproduction: MTTSF vs TIDS for the three detection functions
 // (logarithmic / linear / polynomial) under a LINEAR attacker, m = 5 —
-// one core::GridSpec (detection shape × TIDS) batch plus per-point
-// CI-bounded Monte-Carlo validation (CRN + antithetic pairs).
+// the "fig4" experiment preset through core::ExperimentService plus the
+// "fig4_val" CI-bounded validation twin (CRN + antithetic pairs).
 // `--smoke` thins the validation grid; exits non-zero on a validation
 // regression.
 //
@@ -22,20 +22,16 @@ int main(int argc, char** argv) {
       "linear detection best overall; poly best at large TIDS; log best "
       "at small TIDS");
 
-  const std::vector<ids::Shape> shapes{ids::Shape::Logarithmic,
-                                       ids::Shape::Linear,
-                                       ids::Shape::Polynomial};
-  core::Params base = core::Params::paper_defaults();
-  base.attacker_shape = ids::Shape::Linear;
-  core::SweepEngine engine;  // detection shapes only re-rate the structure
+  core::ExperimentService service;
 
-  core::GridSpec fig;
-  fig.detection_shape(shapes).t_ids(core::paper_t_ids_grid());
-  const auto run = engine.run(fig, base);
-  const auto series = bench::series_from_grid(run);
-  bench::report(core::paper_t_ids_grid(), series, bench::Metric::Mttsf,
+  const auto fig_spec = core::experiment_preset("fig4", smoke);
+  const auto fig_grid = fig_spec.grid();
+  const auto fig = service.run(fig_spec);
+  const auto series = bench::series_from_grid(
+      fig_grid, fig.at(core::BackendKind::Analytic).evals);
+  bench::report(fig_spec.axes.back().values, series, bench::Metric::Mttsf,
                 "fig4_mttsf_vs_detection.csv");
-  bench::print_engine_stats(engine);
+  bench::print_engine_stats(service.sweep_engine());
 
   // The paper's crossover claims, stated explicitly for the harness log:
   const auto& log_pts = series[0].sweep.points;
@@ -60,15 +56,10 @@ int main(int argc, char** argv) {
   std::printf("  overall: linear %s {log, poly}  (paper: linear wins)\n\n",
               best_lin >= best_other ? ">=" : "<");
 
-  core::GridSpec val;
-  val.detection_shape(shapes).t_ids(bench::validation_t_ids(smoke));
-  bench::BenchJson json;
-  json.field("bench", std::string("fig4_mttsf_vs_detection"));
-  json.field("mode", std::string(smoke ? "smoke" : "full"));
-  json.field("grid_points", fig.num_points());
-  const auto mc =
-      engine.run_mc(val, base, bench::validation_mc_options(smoke));
-  const bool ok = bench::report_grid_validation(mc, json);
-  json.write("BENCH_fig4.json");
+  const auto val = service.run(core::experiment_preset("fig4_val", smoke));
+  auto json = bench::artifact("fig4_mttsf_vs_detection", smoke,
+                              fig_grid.num_points());
+  const bool ok = bench::report_validation(val, json);
+  bench::write_artifact(json, "BENCH_fig4.json");
   return ok ? 0 : 1;
 }

@@ -1,8 +1,8 @@
 // Figure 5 reproduction: Ĉtotal vs TIDS for the three detection
-// functions under a linear attacker, m = 5 — one core::GridSpec
-// (detection shape × TIDS) batch plus per-point CI-bounded Monte-Carlo
-// validation (CRN + antithetic pairs).  `--smoke` thins the validation
-// grid; exits non-zero on a validation regression.
+// functions under a linear attacker, m = 5 — the "fig5" experiment
+// preset through core::ExperimentService plus the "fig5_val" CI-bounded
+// validation twin (CRN + antithetic pairs).  `--smoke` thins the
+// validation grid; exits non-zero on a validation regression.
 //
 // Paper claims checked here:
 //   * each detection function has a cost-minimising TIDS;
@@ -21,20 +21,16 @@ int main(int argc, char** argv) {
       "log detection worst at large TIDS, poly worst at small TIDS; "
       "optimal TIDS shifts right as detection becomes aggressive");
 
-  const std::vector<ids::Shape> shapes{ids::Shape::Logarithmic,
-                                       ids::Shape::Linear,
-                                       ids::Shape::Polynomial};
-  core::Params base = core::Params::paper_defaults();
-  base.attacker_shape = ids::Shape::Linear;
-  core::SweepEngine engine;  // detection shapes only re-rate the structure
+  core::ExperimentService service;
 
-  core::GridSpec fig;
-  fig.detection_shape(shapes).t_ids(core::paper_t_ids_grid());
-  const auto run = engine.run(fig, base);
-  const auto series = bench::series_from_grid(run);
-  bench::report(core::paper_t_ids_grid(), series, bench::Metric::Ctotal,
+  const auto fig_spec = core::experiment_preset("fig5", smoke);
+  const auto fig_grid = fig_spec.grid();
+  const auto fig = service.run(fig_spec);
+  const auto series = bench::series_from_grid(
+      fig_grid, fig.at(core::BackendKind::Analytic).evals);
+  bench::report(fig_spec.axes.back().values, series, bench::Metric::Ctotal,
                 "fig5_cost_vs_detection.csv");
-  bench::print_engine_stats(engine);
+  bench::print_engine_stats(service.sweep_engine());
 
   const auto& log_pts = series[0].sweep.points;
   const auto& poly_pts = series[2].sweep.points;
@@ -48,24 +44,18 @@ int main(int argc, char** argv) {
   std::printf("  largest TIDS (%g s): log %s poly cost (paper: log "
               "costlier)\n",
               log_pts.back().t_ids,
-              log_pts.back().eval.ctotal > poly_pts.back().eval.ctotal
-                  ? ">"
-                  : "<=");
+              log_pts.back().eval.ctotal > poly_pts.back().eval.ctotal ? ">"
+                                                                       : "<=");
   std::printf("  optimal-TIDS ordering: log %.0f s, linear %.0f s, poly "
               "%.0f s (paper: increasing)\n\n",
               series[0].sweep.best_ctotal().t_ids,
               series[1].sweep.best_ctotal().t_ids,
               series[2].sweep.best_ctotal().t_ids);
 
-  core::GridSpec val;
-  val.detection_shape(shapes).t_ids(bench::validation_t_ids(smoke));
-  bench::BenchJson json;
-  json.field("bench", std::string("fig5_cost_vs_detection"));
-  json.field("mode", std::string(smoke ? "smoke" : "full"));
-  json.field("grid_points", fig.num_points());
-  const auto mc =
-      engine.run_mc(val, base, bench::validation_mc_options(smoke));
-  const bool ok = bench::report_grid_validation(mc, json);
-  json.write("BENCH_fig5.json");
+  const auto val = service.run(core::experiment_preset("fig5_val", smoke));
+  auto json = bench::artifact("fig5_cost_vs_detection", smoke,
+                              fig_grid.num_points());
+  const bool ok = bench::report_validation(val, json);
+  bench::write_artifact(json, "BENCH_fig5.json");
   return ok ? 0 : 1;
 }

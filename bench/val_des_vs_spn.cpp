@@ -1,19 +1,15 @@
 // Validation V1: analytic SPN solution vs independent discrete-event
 // Monte-Carlo simulation, with 95% confidence intervals — the paper's
-// own validation methodology, executed end-to-end.  A scaled-down
-// population keeps each trajectory short; the agreement is exact in
-// distribution, so only Monte-Carlo noise separates the columns.
-//
-// Runs through core::SweepEngine::sweep_mc: the grid is answered
-// analytically (explore-once batched solve) and by simulation
-// (CRN-batched replications with CI-targeted stopping) from one call,
+// own validation methodology, executed end-to-end as the "val_des"
+// experiment preset: ONE ExperimentService run answers the scaled-down
+// TIDS grid with the Analytic backend (explore-once batched solve) AND
+// the DES backend (CRN-batched replications with CI-targeted stopping),
 // so every point carries a certified 5% relative CI instead of a fixed
 // replication budget.
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/sweep_engine.h"
 
 int main() {
   using namespace midas;
@@ -21,18 +17,12 @@ int main() {
       "Validation V1: analytic MTTSF/Ctotal vs discrete-event simulation",
       "analytic values inside the simulation's 95% confidence intervals");
 
-  core::Params base = core::Params::paper_defaults();
-  base.n_init = 15;
-  base.max_groups = 1;
-  base.lambda_c = 1.0 / 2000.0;  // faster dynamics → shorter trajectories
-
-  const std::vector<double> grid{15.0, 60.0, 240.0, 1200.0};
-  sim::McOptions mc;
-  mc.base_seed = 0xFACADE;
-  mc.rel_ci_target = 0.05;  // stop each point at a 5% relative CI
-
-  core::SweepEngine engine;
-  const auto sweep = engine.sweep_mc(base, grid, mc);
+  const auto spec = core::experiment_preset("val_des", false);
+  const auto grid = spec.grid();
+  core::ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& evals = result.at(core::BackendKind::Analytic).evals;
+  const auto& des = result.at(core::BackendKind::Des);
 
   util::Table table({"TIDS(s)", "MTTSF analytic", "MTTSF sim (95% CI)",
                      "reps", "inside CI", "Ctotal analytic", "Ctotal sim",
@@ -42,37 +32,41 @@ int main() {
               "replications", "ctotal_analytic", "ctotal_sim",
               "p_c1_analytic", "p_c1_sim"});
 
-  for (const auto& pt : sweep.points) {
-    const bool ok = pt.mc.ttsf.contains(pt.eval.mttsf);
+  std::size_t inside = 0;
+  const auto& t_ids = spec.axes[0].values;
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    const auto& mc = des.mc[i];
+    const bool ok = mc.ttsf.contains(evals[i].mttsf);
+    if (ok) ++inside;
     table.add_row(
-        {util::Table::fix(pt.t_ids, 0), util::Table::sci(pt.eval.mttsf),
-         util::Table::sci(pt.mc.ttsf.mean) + " ± " +
-             util::Table::sci(pt.mc.ttsf.ci_half_width, 1),
-         std::to_string(pt.mc.replications), ok ? "yes" : "NO",
-         util::Table::sci(pt.eval.ctotal),
-         util::Table::sci(pt.mc.cost_rate.mean),
-         util::Table::fix(pt.eval.p_failure_c1, 3),
-         util::Table::fix(pt.mc.p_failure_c1, 3)});
-    csv.row({util::CsvWriter::num(pt.t_ids),
-             util::CsvWriter::num(pt.eval.mttsf),
-             util::CsvWriter::num(pt.mc.ttsf.mean),
-             util::CsvWriter::num(pt.mc.ttsf.ci_half_width),
-             util::CsvWriter::num(static_cast<double>(pt.mc.replications)),
-             util::CsvWriter::num(pt.eval.ctotal),
-             util::CsvWriter::num(pt.mc.cost_rate.mean),
-             util::CsvWriter::num(pt.eval.p_failure_c1),
-             util::CsvWriter::num(pt.mc.p_failure_c1)});
+        {util::Table::fix(t_ids[i], 0), util::Table::sci(evals[i].mttsf),
+         util::Table::sci(mc.ttsf.mean) + " ± " +
+             util::Table::sci(mc.ttsf.ci_half_width, 1),
+         std::to_string(mc.replications), ok ? "yes" : "NO",
+         util::Table::sci(evals[i].ctotal),
+         util::Table::sci(mc.cost_rate.mean),
+         util::Table::fix(evals[i].p_failure_c1, 3),
+         util::Table::fix(mc.p_failure_c1, 3)});
+    csv.row({util::CsvWriter::num(t_ids[i]),
+             util::CsvWriter::num(evals[i].mttsf),
+             util::CsvWriter::num(mc.ttsf.mean),
+             util::CsvWriter::num(mc.ttsf.ci_half_width),
+             util::CsvWriter::num(static_cast<double>(mc.replications)),
+             util::CsvWriter::num(evals[i].ctotal),
+             util::CsvWriter::num(mc.cost_rate.mean),
+             util::CsvWriter::num(evals[i].p_failure_c1),
+             util::CsvWriter::num(mc.p_failure_c1)});
   }
   table.print(std::cout);
   std::printf("\n%zu/%zu analytic MTTSF values inside the simulation 95%% "
               "CI (expect ~95%%, i.e. occasional misses are normal)\n",
-              sweep.mttsf_inside_ci(), sweep.points.size());
+              inside, evals.size());
   std::printf("mc engine: %zu replications in %zu blocks / %zu rounds, "
               "%.3f s (%.3e trajectories/s)\n",
-              sweep.mc_stats.replications, sweep.mc_stats.blocks,
-              sweep.mc_stats.rounds, sweep.mc_stats.seconds,
-              static_cast<double>(sweep.mc_stats.replications) /
-                  sweep.mc_stats.seconds);
+              des.mc_stats.replications, des.mc_stats.blocks,
+              des.mc_stats.rounds, des.mc_stats.seconds,
+              static_cast<double>(des.mc_stats.replications) /
+                  des.mc_stats.seconds);
   std::printf("csv written: val_des_vs_spn.csv\n");
   return 0;
 }

@@ -6,43 +6,28 @@
 // fixed mean, per-message traffic accounting instead of rate rewards.
 // Expect order-of-magnitude agreement and matching trends, not equality.
 //
-// The replication grid runs through sim::MonteCarloEngine::run_protocol:
-// one (point × block) schedule for all TIDS points, streaming summaries,
-// and the key-agreement safety invariant checked on every trajectory.
+// The whole comparison is the "val_protocol" experiment preset: ONE
+// ExperimentService run answers the TIDS grid with the Analytic and
+// ProtocolSim backends — the replication schedule, streaming summaries
+// and the key-agreement safety invariant all ride the same
+// MonteCarloEngine the DES grids use.
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
 #include "bench_common.h"
-#include "sim/mc_engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::print_header(
       "Validation V2: protocol-level simulation vs analytic model",
       "same order of magnitude for TTSF and traffic; same TIDS trend");
 
-  std::vector<sim::ProtocolSimParams> points;
-  std::vector<core::Evaluation> analytic;
-  for (const double t_ids : {30.0, 120.0, 600.0}) {
-    auto params = sim::ProtocolSimParams::small_defaults();
-    params.model.t_ids = t_ids;
-    // Align the model's network shape with the simulated topology so
-    // the cost comparison is apples-to-apples.
-    params.model.cost.mean_hops = 1.6;  // measured for this field/range
-    params.model.cost.sync_rekey_params();
-    analytic.push_back(core::GcsSpnModel(params.model).evaluate());
-    points.push_back(std::move(params));
-  }
-
-  sim::McOptions mc;
-  mc.base_seed = 0xCAFE;
-  mc.rel_ci_target = 0.0;  // fixed budget: protocol trajectories are costly
-  mc.min_replications = 24;
-  mc.max_replications = 24;
-  mc.block = 4;
-  sim::MonteCarloEngine engine(mc);
-  const auto results = engine.run_protocol(points);
+  const auto spec = core::experiment_preset("val_protocol", smoke);
+  core::ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& analytic = result.at(core::BackendKind::Analytic).evals;
+  const auto& protocol = result.at(core::BackendKind::ProtocolSim);
 
   util::Table table({"TIDS(s)", "MTTSF analytic", "TTSF protocol (95% CI)",
                      "ratio", "Ctotal analytic", "traffic protocol",
@@ -51,18 +36,18 @@ int main() {
   csv.header({"t_ids", "mttsf_analytic", "ttsf_sim", "ttsf_ci",
               "ctotal_analytic", "traffic_sim"});
 
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const double t_ids = points[i].model.t_ids;
-    const auto& r = results[i];
+  const auto& t_ids = spec.axes[0].values;
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    const auto& r = protocol.mc[i];
     table.add_row(
-        {util::Table::fix(t_ids, 0), util::Table::sci(analytic[i].mttsf),
+        {util::Table::fix(t_ids[i], 0), util::Table::sci(analytic[i].mttsf),
          util::Table::sci(r.ttsf.mean) + " ± " +
              util::Table::sci(r.ttsf.ci_half_width, 1),
          util::Table::fix(r.ttsf.mean / analytic[i].mttsf, 2),
          util::Table::sci(analytic[i].ctotal),
          util::Table::sci(r.cost_rate.mean),
          r.keys_always_agreed ? "yes" : "NO"});
-    csv.row({util::CsvWriter::num(t_ids),
+    csv.row({util::CsvWriter::num(t_ids[i]),
              util::CsvWriter::num(analytic[i].mttsf),
              util::CsvWriter::num(r.ttsf.mean),
              util::CsvWriter::num(r.ttsf.ci_half_width),
@@ -75,8 +60,8 @@ int main() {
               "fixed-hop-count assumptions; the TIDS ordering must match.\n");
   std::printf("mc engine: %zu protocol trajectories in %zu blocks / %zu "
               "rounds, %.1f s\n",
-              engine.stats().replications, engine.stats().blocks,
-              engine.stats().rounds, engine.stats().seconds);
+              protocol.mc_stats.replications, protocol.mc_stats.blocks,
+              protocol.mc_stats.rounds, protocol.mc_stats.seconds);
   std::printf("csv written: val_protocol_sim.csv\n");
   return 0;
 }

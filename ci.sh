@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (build + full gtest suite via ctest),
-# the sweep-engine equivalence/speedup bench, the Monte-Carlo engine
-# bench, the figure/ablation grid benches (all in smoke mode), and the
-# micro benches with a minimal measurement budget.  Leaves the
-# BENCH_*.json artifacts in build/ for the workflow to archive.
+# the declarative experiment-API gates (spec round-trip + legacy parity
+# via run_experiment), the sweep-engine equivalence/speedup bench, the
+# Monte-Carlo engine bench, the sharded sweep demo (contiguous AND
+# pilot-cost-balanced splits), the figure/ablation grid benches (all in
+# smoke mode), and the micro benches with a minimal measurement budget.
+# Leaves the BENCH_*.json artifacts in build/ for the workflow to
+# archive.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,6 +16,21 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
+
+# --- Experiment-API gate: emit the fig2 validation spec as a JSON
+# file, execute it end-to-end through run_experiment, and require
+#   * the spec file to round-trip BYTE-FOR-BYTE through parse +
+#     re-serialisation (the wire format must be canonical), and
+#   * the service answers to match the legacy entry points
+#     (SweepEngine::run / run_mc): analytic within 1e-12 (in practice
+#     exactly) and Monte-Carlo accumulator states bitwise under CRN.
+# Non-zero exit on any divergence.
+(
+  cd build
+  ./run_experiment --preset fig2_val --smoke 1 --spec-out fig2_spec.json
+  ./run_experiment --spec fig2_spec.json --round-trip-check 1 \
+                   --parity-check 1 --out fig2_experiment.json
+)
 
 # --- Sweep-engine smoke: exits non-zero if the cached-rate path diverges
 # from fresh per-point exploration, and records BENCH_sweep.json.
@@ -25,28 +43,36 @@ cmake --build build -j"${JOBS}"
 (cd build && ./bench_mc --smoke)
 
 # --- Sharded sweep service demo: two sweep_shard WORKER PROCESSES split
-# each paper grid (concurrently — this is the multi-process path, not a
-# thread demo), then sweep_merge recombines the shard files, reports the
-# cross-shard optima, and gates the merge against a fresh single-process
-# run: analytic values within 1e-12 and Monte-Carlo accumulator states
-# bitwise identical.  Non-zero exit on any divergence.  Records
-# BENCH_shard_merge_fig2.json / BENCH_shard_merge_fig4.json.
-for plan in fig2 fig4; do
+# each paper spec (concurrently — this is the multi-process path, not a
+# thread demo), then sweep_merge recombines the experiment-result files,
+# reports the cross-shard optima AND the achieved load balance, and
+# gates the merge against a fresh single-process service run: analytic
+# values within 1e-12 and Monte-Carlo accumulator states bitwise
+# identical.  Non-zero exit on any divergence.  fig2 exercises the
+# replication-balanced --policy by-pilot-cost split (every worker
+# derives the identical plan from a deterministic pilot block), fig4 the
+# plain contiguous split.  Records BENCH_shard_merge_fig2.json /
+# BENCH_shard_merge_fig4.json (including per-shard seconds and the
+# slowest/fastest ratio).
+run_shard_demo() {
+  local plan="$1" policy="$2"
   (
     cd build
     ./sweep_shard --plan "${plan}" --shards 2 --shard 0 --smoke 1 \
-                  --out "shard_0_${plan}.json" &
-    SHARD0=$!
+                  --policy "${policy}" --out "shard_0_${plan}.json" &
+    local SHARD0=$!
     ./sweep_shard --plan "${plan}" --shards 2 --shard 1 --smoke 1 \
-                  --out "shard_1_${plan}.json" &
-    SHARD1=$!
+                  --policy "${policy}" --out "shard_1_${plan}.json" &
+    local SHARD1=$!
     # Two waits: `wait p0 p1` would report only p1's status.
     wait "${SHARD0}"
     wait "${SHARD1}"
     ./sweep_merge --inputs "shard_0_${plan}.json,shard_1_${plan}.json" \
                   --check 1 --json-out "BENCH_shard_merge_${plan}.json"
   )
-done
+}
+run_shard_demo fig2 by-pilot-cost
+run_shard_demo fig4 contiguous
 
 # --- Figure/ablation grid benches, smoke mode: every figure runs as a
 # core::GridSpec batch and validates each grid point against a
@@ -54,7 +80,8 @@ done
 # the analytic values leave the simulation CIs.  Records
 # BENCH_fig*.json / BENCH_abl*.json.
 for b in fig2_mttsf_vs_m fig3_cost_vs_m fig4_mttsf_vs_detection \
-         fig5_cost_vs_detection abl_attacker_matrix abl_sensitivity; do
+         fig5_cost_vs_detection abl_attacker_matrix abl_sensitivity \
+         val_protocol_sim ext_mission_reliability; do
   (cd build && "./${b}" --smoke)
 done
 

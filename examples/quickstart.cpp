@@ -1,12 +1,15 @@
 // Quickstart: build the paper's GCS+IDS model at the Section 5 default
 // parameters, solve it, sweep the detection interval to find the
 // optimal TIDS — the paper's headline exercise — cross-validate a sweep
-// point by CI-bounded Monte-Carlo simulation, and answer a
-// multi-dimensional (m × TIDS) design grid analytically + by simulation
-// through core::GridSpec, all in ~90 lines.
+// point by CI-bounded Monte-Carlo simulation, answer a
+// multi-dimensional (m × TIDS) design grid analytically + by simulation,
+// and run the same design question as ONE declarative ExperimentSpec
+// through core::ExperimentService (the JSON-serialisable API every
+// bench and tool speaks), all in ~120 lines.
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.h"
 #include "core/gcs_spn_model.h"
 #include "core/optimizer.h"
 #include "core/sweep_engine.h"
@@ -69,7 +72,9 @@ int main() {
   //    call.  One structure exploration serves every point; the
   //    Monte-Carlo substreams are keyed by replication only (CRN), with
   //    antithetic pairs layered on top, so contrasts along BOTH axes
-  //    are variance-reduced.
+  //    are variance-reduced.  (run_mc is a deprecated thin wrapper kept
+  //    for exactly this kind of inline use — new code should prefer the
+  //    declarative service in step 6.)
   core::GridSpec spec;
   spec.num_voters({3, 9}).t_ids({60.0, 480.0});
   sim::McOptions grid_mc;
@@ -86,5 +91,37 @@ int main() {
                 pt.mc.ttsf.contains(pt.eval.mttsf) ? "inside CI"
                                                    : "OUTSIDE CI");
   }
+
+  // 6. The same question as ONE declarative experiment: a JSON-
+  //    serialisable ExperimentSpec (base parameters, named axes,
+  //    backend selection, Monte-Carlo schedule) answered by
+  //    core::ExperimentService — the API behind every figure bench,
+  //    the run_experiment CLI and the sweep_shard/sweep_merge fleet.
+  core::ExperimentSpec request;
+  request.name = "quickstart";
+  request.base = params;
+  core::AxisSpec m_axis;
+  m_axis.param = "num_voters";
+  m_axis.values = {3, 9};
+  core::AxisSpec t_axis;
+  t_axis.param = "t_ids";
+  t_axis.values = {60.0, 480.0};
+  request.axes = {m_axis, t_axis};
+  request.backends = {core::BackendKind::Analytic, core::BackendKind::Des};
+  request.mc = grid_mc;
+
+  core::ExperimentService service;
+  const auto result = service.run(request);
+  const auto& evals = result.at(core::BackendKind::Analytic).evals;
+  const auto& des = result.at(core::BackendKind::Des);
+  std::printf("\nexperiment service run (same spec as JSON wire format):\n");
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    std::printf("  %-22s MTTSF %.3e | sim %.3e ± %.1e\n",
+                request.grid().label(i).c_str(), evals[i].mttsf,
+                des.mc[i].ttsf.mean, des.mc[i].ttsf.ci_half_width);
+  }
+  std::printf("\nspec serialises to %zu bytes of JSON "
+              "(ExperimentSpec::to_json) — try tools/run_experiment\n",
+              request.to_json().dump().size());
   return 0;
 }

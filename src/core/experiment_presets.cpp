@@ -1,0 +1,209 @@
+#include "core/experiment_presets.h"
+
+#include <stdexcept>
+
+#include "core/optimizer.h"
+#include "sim/protocol_sim.h"
+
+namespace midas::core {
+
+namespace {
+
+std::vector<double> t_ids_axis(bool smoke) {
+  return smoke ? std::vector<double>{15, 120, 1200} : paper_t_ids_grid();
+}
+
+AxisSpec t_ids_of(std::vector<double> values) {
+  AxisSpec axis;
+  axis.param = "t_ids";
+  axis.values = std::move(values);
+  return axis;
+}
+
+AxisSpec voters_axis() {
+  AxisSpec axis;
+  axis.param = "num_voters";
+  axis.values = {3, 5, 7, 9};
+  return axis;
+}
+
+AxisSpec shapes_axis(const std::string& param) {
+  AxisSpec axis;
+  axis.param = param;
+  axis.levels = {"logarithmic", "linear", "polynomial"};
+  return axis;
+}
+
+/// Monte-Carlo schedule of the figure validations: CRN + antithetic
+/// pairs, CI-targeted stopping loosened in smoke mode.
+sim::McOptions validation_mc(bool smoke) {
+  sim::McOptions mc;
+  mc.base_seed = 0xFACADE;
+  mc.rel_ci_target = smoke ? 0.10 : 0.075;
+  mc.antithetic = true;
+  return mc;
+}
+
+ExperimentSpec named(const std::string& name, bool smoke) {
+  ExperimentSpec spec;
+  spec.name = name;
+  spec.mode = smoke ? "smoke" : "full";
+  spec.base = Params::paper_defaults();
+  return spec;
+}
+
+}  // namespace
+
+std::vector<double> validation_t_ids(bool smoke) { return t_ids_axis(smoke); }
+
+std::vector<std::string> experiment_preset_names() {
+  return {"fig2",
+          "fig2_val",
+          "fig3",
+          "fig3_val",
+          "fig4",
+          "fig4_val",
+          "fig5",
+          "fig5_val",
+          "attacker_matrix",
+          "attacker_matrix_val",
+          "sensitivity_surface",
+          "host_ids_quality",
+          "val_des",
+          "val_protocol",
+          "mission"};
+}
+
+ExperimentSpec experiment_preset(const std::string& name, bool smoke) {
+  // --- Figure grids: the m × TIDS slice (figs 2/3) and the detection
+  // shape × TIDS slice under a linear attacker (figs 4/5).  The "_val"
+  // twins thin the TIDS axis in smoke mode and add the DES backend.
+  if (name == "fig2" || name == "fig3" || name == "fig2_val" ||
+      name == "fig3_val") {
+    const bool val = name.size() > 4;
+    ExperimentSpec spec = named(name, smoke);
+    spec.axes = {voters_axis(), t_ids_of(val ? t_ids_axis(smoke)
+                                             : paper_t_ids_grid())};
+    if (val) {
+      spec.backends = {BackendKind::Analytic, BackendKind::Des};
+      spec.mc = validation_mc(smoke);
+    }
+    return spec;
+  }
+  if (name == "fig4" || name == "fig5" || name == "fig4_val" ||
+      name == "fig5_val") {
+    const bool val = name.size() > 4;
+    ExperimentSpec spec = named(name, smoke);
+    spec.base.attacker_shape = ids::Shape::Linear;
+    spec.axes = {shapes_axis("detection_shape"),
+                 t_ids_of(val ? t_ids_axis(smoke) : paper_t_ids_grid())};
+    if (val) {
+      spec.backends = {BackendKind::Analytic, BackendKind::Des};
+      spec.mc = validation_mc(smoke);
+    }
+    return spec;
+  }
+
+  // --- Ablations.
+  if (name == "attacker_matrix" || name == "attacker_matrix_val") {
+    const bool val = name == "attacker_matrix_val";
+    ExperimentSpec spec = named(name, smoke);
+    spec.base.attacker_progress = AttackerProgress::CampaignProgress;
+    spec.axes = {shapes_axis("attacker_shape"),
+                 shapes_axis("detection_shape"),
+                 t_ids_of(val ? (smoke ? std::vector<double>{120}
+                                       : std::vector<double>{15, 120, 1200})
+                              : paper_t_ids_grid())};
+    if (val) {
+      spec.backends = {BackendKind::Analytic, BackendKind::Des};
+      spec.mc = validation_mc(smoke);
+    }
+    return spec;
+  }
+  if (name == "sensitivity_surface") {
+    ExperimentSpec spec = named(name, smoke);
+    spec.base.t_ids = 120.0;
+    const double lc0 = spec.base.lambda_c;
+    AxisSpec lambda_c;
+    lambda_c.param = "lambda_c";
+    lambda_c.values = smoke ? std::vector<double>{0.5 * lc0, 2.0 * lc0}
+                            : std::vector<double>{0.25 * lc0, 0.5 * lc0, lc0,
+                                                  2.0 * lc0, 4.0 * lc0};
+    spec.axes = {std::move(lambda_c),
+                 t_ids_of(smoke ? std::vector<double>{30, 480}
+                                : std::vector<double>{15, 60, 120, 480,
+                                                      1200})};
+    spec.backends = {BackendKind::Analytic, BackendKind::Des};
+    spec.mc = validation_mc(smoke);
+    return spec;
+  }
+  if (name == "host_ids_quality") {
+    ExperimentSpec spec = named(name, smoke);
+    AxisSpec perr;
+    perr.param = "host_ids_error";
+    perr.values = {0.001, 0.005, 0.01, 0.02, 0.05};
+    spec.axes = {std::move(perr), t_ids_of(paper_t_ids_grid())};
+    return spec;
+  }
+
+  // --- Validations + extensions.
+  if (name == "val_des") {
+    // Scaled-down population: exact distributional agreement, short
+    // trajectories, each point stopped at a tight relative CI.
+    ExperimentSpec spec = named(name, smoke);
+    spec.base.n_init = 15;
+    spec.base.max_groups = 1;
+    spec.base.lambda_c = 1.0 / 2000.0;
+    spec.axes = {t_ids_of({15.0, 60.0, 240.0, 1200.0})};
+    spec.backends = {BackendKind::Analytic, BackendKind::Des};
+    spec.mc.base_seed = 0xFACADE;
+    spec.mc.rel_ci_target = smoke ? 0.075 : 0.05;
+    return spec;
+  }
+  if (name == "val_protocol") {
+    // The packet-level simulator probes the MODELLING assumptions, so
+    // the comparison is trend-level on a fixed replication budget.
+    ExperimentSpec spec = named(name, smoke);
+    const auto defaults = sim::ProtocolSimParams::small_defaults();
+    spec.base = defaults.model;
+    spec.base.cost.mean_hops = 1.6;  // measured for this field/range
+    spec.base.cost.sync_rekey_params();
+    spec.axes = {t_ids_of({30.0, 120.0, 600.0})};
+    spec.backends = {BackendKind::Analytic, BackendKind::ProtocolSim};
+    spec.mc.base_seed = 0xCAFE;
+    spec.mc.rel_ci_target = 0.0;
+    spec.mc.min_replications = smoke ? 12 : 24;
+    spec.mc.max_replications = spec.mc.min_replications;
+    spec.mc.block = 4;
+    spec.protocol.mobility = defaults.mobility;
+    spec.protocol.radio_range_m = defaults.radio_range_m;
+    spec.protocol.tick_s = defaults.tick_s;
+    spec.protocol.topology_refresh_s = defaults.topology_refresh_s;
+    spec.protocol.max_time_s = defaults.max_time_s;
+    return spec;
+  }
+  if (name == "mission") {
+    // Mission reliability R(t): survival-indicator proportions need a
+    // fixed budget, not CI stopping.
+    ExperimentSpec spec = named(name, smoke);
+    spec.axes = {t_ids_of({15.0, 60.0, 240.0, 1200.0})};
+    spec.backends = {BackendKind::Analytic, BackendKind::Des};
+    spec.mc.base_seed = 0x51D;
+    spec.mc.rel_ci_target = 0.0;
+    spec.mc.min_replications = smoke ? 150 : 400;
+    spec.mc.max_replications = spec.mc.min_replications;
+    for (const double hours : {6.0, 24.0, 72.0, 168.0, 336.0}) {
+      spec.mc.survival_horizons.push_back(hours * 3600.0);
+    }
+    return spec;
+  }
+
+  std::string known;
+  for (const auto& n : experiment_preset_names()) {
+    known += known.empty() ? n : (" | " + n);
+  }
+  throw std::invalid_argument("experiment_preset: unknown preset '" + name +
+                              "' (expected " + known + ")");
+}
+
+}  // namespace midas::core

@@ -1,8 +1,10 @@
 #include "core/shard.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "core/experiment.h"
 #include "core/sweep_engine.h"
 #include "util/json.h"
 
@@ -21,118 +23,6 @@ util::Json range_to_json(const ShardRange& r) {
 
 ShardRange range_from_json(const util::Json& j) {
   return {j.at("begin").as_size(), j.at("end").as_size()};
-}
-
-util::Json eval_to_json(const Evaluation& e) {
-  auto j = util::Json::object();
-  j.set("mttsf", util::Json::number(e.mttsf));
-  j.set("ctotal", util::Json::number(e.ctotal));
-  j.set("cost_group_comm", util::Json::number(e.cost_rates.group_comm));
-  j.set("cost_status", util::Json::number(e.cost_rates.status));
-  j.set("cost_rekey", util::Json::number(e.cost_rates.rekey));
-  j.set("cost_ids", util::Json::number(e.cost_rates.ids));
-  j.set("cost_beacon", util::Json::number(e.cost_rates.beacon));
-  j.set("cost_partition_merge",
-        util::Json::number(e.cost_rates.partition_merge));
-  j.set("eviction_cost_rate", util::Json::number(e.eviction_cost_rate));
-  j.set("p_failure_c1", util::Json::number(e.p_failure_c1));
-  j.set("p_failure_c2", util::Json::number(e.p_failure_c2));
-  j.set("num_states", util::Json(static_cast<double>(e.num_states)));
-  j.set("solver_blocks", util::Json(static_cast<double>(e.solver_blocks)));
-  return j;
-}
-
-Evaluation eval_from_json(const util::Json& j) {
-  Evaluation e;
-  e.mttsf = j.at("mttsf").to_double();
-  e.ctotal = j.at("ctotal").to_double();
-  e.cost_rates.group_comm = j.at("cost_group_comm").to_double();
-  e.cost_rates.status = j.at("cost_status").to_double();
-  e.cost_rates.rekey = j.at("cost_rekey").to_double();
-  e.cost_rates.ids = j.at("cost_ids").to_double();
-  e.cost_rates.beacon = j.at("cost_beacon").to_double();
-  e.cost_rates.partition_merge = j.at("cost_partition_merge").to_double();
-  e.eviction_cost_rate = j.at("eviction_cost_rate").to_double();
-  e.p_failure_c1 = j.at("p_failure_c1").to_double();
-  e.p_failure_c2 = j.at("p_failure_c2").to_double();
-  e.num_states = j.at("num_states").as_size();
-  e.solver_blocks = j.at("solver_blocks").as_size();
-  return e;
-}
-
-util::Json welford_to_json(const sim::WelfordState& s) {
-  auto j = util::Json::object();
-  j.set("n", util::Json(static_cast<double>(s.n)));
-  j.set("mean", util::Json::number(s.mean));
-  j.set("m2", util::Json::number(s.m2));
-  return j;
-}
-
-sim::WelfordState welford_from_json(const util::Json& j) {
-  return {j.at("n").as_size(), j.at("mean").to_double(),
-          j.at("m2").to_double()};
-}
-
-util::Json mc_point_to_json(const sim::McPointResult& r) {
-  auto j = util::Json::object();
-  // Raw accumulator states and counts only: the reader re-derives the
-  // Summary fields, which is what makes cross-process results bitwise.
-  j.set("ttsf", welford_to_json(r.ttsf_state));
-  j.set("cost_rate", welford_to_json(r.cost_rate_state));
-  j.set("replications", util::Json(static_cast<double>(r.replications)));
-  j.set("failures_c1", util::Json(static_cast<double>(r.failures_c1)));
-  j.set("converged", util::Json(r.converged));
-  j.set("keys_always_agreed", util::Json(r.keys_always_agreed));
-  j.set("timeouts", util::Json(static_cast<double>(r.timeouts)));
-  auto survival = util::Json::array();
-  for (const std::size_t count : r.survival_counts) {
-    survival.push_back(util::Json(static_cast<double>(count)));
-  }
-  j.set("survival_counts", std::move(survival));
-  return j;
-}
-
-sim::McPointResult mc_point_from_json(const util::Json& j) {
-  sim::McPointResult r;
-  r.ttsf_state = welford_from_json(j.at("ttsf"));
-  r.cost_rate_state = welford_from_json(j.at("cost_rate"));
-  r.ttsf = sim::Welford::from_state(r.ttsf_state).summary();
-  r.cost_rate = sim::Welford::from_state(r.cost_rate_state).summary();
-  r.replications = j.at("replications").as_size();
-  r.failures_c1 = j.at("failures_c1").as_size();
-  r.p_failure_c1 = r.replications > 0
-                       ? static_cast<double>(r.failures_c1) /
-                             static_cast<double>(r.replications)
-                       : 0.0;
-  r.converged = j.at("converged").as_bool();
-  r.keys_always_agreed = j.at("keys_always_agreed").as_bool();
-  r.timeouts = j.at("timeouts").as_size();
-  for (const auto& count : j.at("survival_counts").elements()) {
-    r.survival_counts.push_back(count.as_size());
-    r.survival.push_back(
-        sim::binomial_summary(r.replications, r.survival_counts.back()));
-  }
-  return r;
-}
-
-util::Json stats_to_json(const sim::MonteCarloEngine::Stats& s) {
-  auto j = util::Json::object();
-  j.set("points", util::Json(static_cast<double>(s.points)));
-  j.set("replications", util::Json(static_cast<double>(s.replications)));
-  j.set("blocks", util::Json(static_cast<double>(s.blocks)));
-  j.set("rounds", util::Json(static_cast<double>(s.rounds)));
-  j.set("seconds", util::Json::number(s.seconds));
-  return j;
-}
-
-sim::MonteCarloEngine::Stats stats_from_json(const util::Json& j) {
-  sim::MonteCarloEngine::Stats s;
-  s.points = j.at("points").as_size();
-  s.replications = j.at("replications").as_size();
-  s.blocks = j.at("blocks").as_size();
-  s.rounds = j.at("rounds").as_size();
-  s.seconds = j.at("seconds").to_double();
-  return s;
 }
 
 }  // namespace
@@ -206,6 +96,88 @@ ShardPlan ShardPlan::by_structure(const GridSpec& spec, const Params& base,
   return plan;
 }
 
+ShardPlan ShardPlan::by_pilot_cost(const GridSpec& spec, const Params& base,
+                                   std::size_t num_shards,
+                                   const sim::McOptions& mc,
+                                   std::size_t pilot_replications) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardPlan: num_shards must be positive");
+  }
+  const std::size_t n = spec.num_points();
+  if (n == 0 || num_shards == 1) {
+    return contiguous(n, num_shards);
+  }
+
+  // Deterministic pilot: a fixed replication budget per point with the
+  // SAME substream keying the real run will use (bitwise reproducible
+  // across processes and thread counts), adaptive stopping off.
+  sim::McOptions pilot = mc;
+  pilot.rel_ci_target = 0.0;
+  pilot.min_replications = std::max<std::size_t>(2, pilot_replications);
+  pilot.max_replications = pilot.min_replications;
+  pilot.block = pilot.min_replications;
+  pilot.capture_trajectories = false;
+  pilot.survival_horizons.clear();
+  sim::MonteCarloEngine engine(pilot);
+  const auto points = spec.expand(base);
+  const auto estimates = engine.run_des(points);
+
+  // Predicted replications: invert the 95% CI-stopping rule from the
+  // pilot variance.  With adaptive stopping disabled every point runs
+  // the same count and only trajectory length differentiates cost.
+  std::vector<double> weight(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& s = estimates[i].ttsf;
+    double reps = static_cast<double>(mc.min_replications);
+    if (mc.rel_ci_target > 0.0 && s.n >= 2 && s.mean > 0.0) {
+      const double z = 1.96 * std::sqrt(s.variance) /
+                       (mc.rel_ci_target * s.mean);
+      reps = std::clamp(std::ceil(z * z),
+                        static_cast<double>(mc.min_replications),
+                        static_cast<double>(mc.max_replications));
+    }
+    const double per_rep = std::max(s.mean, 0.0);
+    weight[i] = reps * per_rep;
+    total += weight[i];
+  }
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return contiguous(n, num_shards);
+  }
+
+  // Greedy weighted split: each shard grows toward an even share of the
+  // remaining weight, whole points at a time, taking the boundary point
+  // when that lands closer to the target than stopping short.
+  ShardPlan plan;
+  plan.num_points_ = n;
+  plan.ranges_.reserve(num_shards);
+  std::size_t cursor = 0;
+  double remaining = total;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (s + 1 == num_shards) {
+      plan.ranges_.push_back({cursor, n});
+      break;
+    }
+    const std::size_t begin = cursor;
+    const double target =
+        remaining / static_cast<double>(num_shards - s);
+    double acc = 0.0;
+    while (cursor < n) {
+      const double w = weight[cursor];
+      if (acc > 0.0 && acc + w > target &&
+          (acc + w) - target > target - acc) {
+        break;
+      }
+      acc += w;
+      ++cursor;
+      if (acc >= target) break;
+    }
+    remaining -= acc;
+    plan.ranges_.push_back({begin, cursor});
+  }
+  return plan;
+}
+
 const ShardRange& ShardPlan::range(std::size_t shard) const {
   if (shard >= ranges_.size()) {
     throw std::out_of_range("ShardPlan: shard index " +
@@ -227,14 +199,14 @@ void write_shard_json(const std::string& path, const ShardFile& file) {
   j.set("range", range_to_json(file.result.range));
 
   auto evals = util::Json::array();
-  for (const auto& e : file.result.evals) evals.push_back(eval_to_json(e));
+  for (const auto& e : file.result.evals) evals.push_back(evaluation_to_json(e));
   j.set("evals", std::move(evals));
 
   if (file.has_mc) {
     auto mc = util::Json::array();
     for (const auto& r : file.result.mc) mc.push_back(mc_point_to_json(r));
     j.set("mc", std::move(mc));
-    j.set("mc_stats", stats_to_json(file.result.mc_stats));
+    j.set("mc_stats", mc_stats_to_json(file.result.mc_stats));
   }
   util::write_json_file(path, j);
 }
@@ -256,13 +228,13 @@ ShardFile read_shard_json(const std::string& path) {
   file.result.range = range_from_json(j.at("range"));
 
   for (const auto& e : j.at("evals").elements()) {
-    file.result.evals.push_back(eval_from_json(e));
+    file.result.evals.push_back(evaluation_from_json(e));
   }
   if (file.has_mc) {
     for (const auto& r : j.at("mc").elements()) {
       file.result.mc.push_back(mc_point_from_json(r));
     }
-    file.result.mc_stats = stats_from_json(j.at("mc_stats"));
+    file.result.mc_stats = mc_stats_from_json(j.at("mc_stats"));
   }
   return file;
 }

@@ -74,6 +74,29 @@ class ShardPlan {
                                               const Params& base,
                                               std::size_t num_shards);
 
+  /// Replication-balanced contiguous split for Monte-Carlo shards:
+  /// CI-adaptive stopping makes per-point cost vary severalfold across
+  /// a grid (slow-detection points need long trajectories AND more
+  /// replications), so the point-balanced splits above leave some
+  /// workers idle while the unlucky one finishes.  This plan runs a
+  /// small deterministic pilot block (`pilot_replications` fixed-budget
+  /// replications per point, same substream keying as the real run, so
+  /// every worker derives the IDENTICAL plan with no coordination) and
+  /// weights the split by each point's predicted cost:
+  ///
+  ///   weight = predicted replications × mean TTSF,
+  ///
+  /// where the replication prediction inverts the CI-stopping rule from
+  /// the pilot variance (clamped to [min, max]_replications; uniform
+  /// when `mc.rel_ci_target` disables adaptive stopping) and the mean
+  /// TTSF proxies per-trajectory cost (event count scales with
+  /// simulated time).  Falls back to contiguous() when the pilot finds
+  /// no usable weights.  The split itself is greedy: each shard takes
+  /// whole points toward an even share of the remaining weight.
+  [[nodiscard]] static ShardPlan by_pilot_cost(
+      const GridSpec& spec, const Params& base, std::size_t num_shards,
+      const sim::McOptions& mc, std::size_t pilot_replications = 16);
+
   [[nodiscard]] std::size_t num_shards() const noexcept {
     return ranges_.size();
   }

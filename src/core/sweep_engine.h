@@ -28,6 +28,16 @@
 // independently and MC substreams are keyed shard-invariantly.  A
 // long-lived shard worker bounds its structure cache with
 // SweepEngineOptions::max_cache_entries or clear_cache().
+//
+// DEPRECATION: the grid-level entry points here (run, run_mc,
+// run_shard, run_mc_shard, sweep_t_ids, sweep_mc) are THIN WRAPPERS
+// kept for inline/legacy use; new code should describe the experiment
+// as a core::ExperimentSpec and run it through
+// core::ExperimentService::run, which drives the same engine
+// primitives (evaluate + MonteCarloEngine) behind a declarative,
+// JSON-serialisable request — see src/core/experiment.h.  Parity is
+// CI-gated: service answers equal these wrappers' exactly (analytic
+// bitwise, MC accumulator states bitwise under CRN).
 #pragma once
 
 #include <cstddef>

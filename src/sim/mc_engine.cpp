@@ -269,18 +269,12 @@ McPointResult MonteCarloEngine::run_des(const core::Params& point) {
 
 std::vector<McPointResult> MonteCarloEngine::run_protocol(
     std::span<const ProtocolSimParams> points) {
-  if (opts_.antithetic) {
-    // The packet-level simulator does not draw through UniformStream,
-    // so a "flipped" run would silently be an ordinary replication.
-    throw std::invalid_argument(
-        "MonteCarloEngine::run_protocol: antithetic pairs are only "
-        "supported for DES grids");
-  }
   const util::Stopwatch watch;
   auto results = run_grid(
       points.size(),
-      [&](std::size_t point, std::uint64_t seed, bool) -> Sample {
-        const ProtocolSimResult r = run_protocol_sim(points[point], seed);
+      [&](std::size_t point, std::uint64_t seed, bool antithetic) -> Sample {
+        const ProtocolSimResult r =
+            run_protocol_sim(points[point], seed, antithetic);
         Sample s;
         s.traj.ttsf = r.ttsf;
         s.traj.accumulated_cost = r.traffic_hop_bits;

@@ -66,15 +66,17 @@ struct McOptions {
   /// core::SweepEngine::run_mc_shard sets it automatically.
   std::size_t point_stream_offset = 0;
 
-  /// Antithetic pairs (DES grids only; run_protocol rejects it): each
-  /// scheduled replication becomes a PAIR of trajectories sharing one
-  /// substream seed — a plain draw stream and its 1−u flip
-  /// (sim::UniformStream) — and the engine's sample statistics (means,
-  /// CIs, the CI-targeted stopping) run on pair averages, whose
-  /// negative within-pair correlation pushes the estimator variance
-  /// below the 1/n Monte-Carlo baseline.  Layered under CRN: pair
-  /// seeds stay keyed by replication index only, so contrasts along
-  /// every grid axis remain variance-reduced as well.  With this set,
+  /// Antithetic pairs: each scheduled replication becomes a PAIR of
+  /// trajectories sharing one substream seed — a plain draw stream and
+  /// its 1−u flip (sim::UniformStream) — and the engine's sample
+  /// statistics (means, CIs, the CI-targeted stopping) run on pair
+  /// averages, whose negative within-pair correlation pushes the
+  /// estimator variance below the 1/n Monte-Carlo baseline.  Layered
+  /// under CRN: pair seeds stay keyed by replication index only, so
+  /// contrasts along every grid axis remain variance-reduced as well.
+  /// Accepted by every backend — DES grids flip the Gillespie draw
+  /// stream, protocol grids the protocol decision stream
+  /// (run_protocol_sim's antithetic argument).  With this set,
   /// min/max_replications and block count PAIRS;
   /// McPointResult::replications still reports trajectories (2×).
   bool antithetic = false;

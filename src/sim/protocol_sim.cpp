@@ -11,6 +11,7 @@
 #include "gcs/view.h"
 #include "ids/functions.h"
 #include "manet/topology.h"
+#include "sim/rng.h"
 
 namespace midas::sim {
 
@@ -36,18 +37,56 @@ struct Node {
   bool evicted = false;
 };
 
+/// Uniform index in [0, n) from one stream draw.
+std::size_t pick_index(UniformStream& draw, std::size_t n) {
+  return static_cast<std::size_t>(draw() * static_cast<double>(n)) % n;
+}
+
+/// Fisher–Yates through the stream, so an antithetic pair mirrors the
+/// voter selection order too (std::shuffle would consume raw generator
+/// words the flipped stream cannot mirror).
+template <typename T>
+void stream_shuffle(std::vector<T>& v, UniformStream& draw) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[pick_index(draw, i)]);
+  }
+}
+
+/// Poisson count by CDF inversion of a SINGLE uniform — monotone in u,
+/// which is what makes the flipped pair member draw an antithetic
+/// packet count.  Probabilities walk in LOG space: exp(-lambda)
+/// underflows past lambda ≈ 745 (the early terms are genuinely
+/// negligible there), while the terms near the mode are ~1/sqrt(lambda)
+/// and accumulate fine in linear space — so the inversion stays correct
+/// for any rate a spec can sweep to, not just the small per-tick means
+/// of the defaults.  The cap guards the floating-point plateau where
+/// the accumulated CDF rounds below u.
+std::size_t poisson_inverse(double lambda, double u) {
+  if (lambda <= 0.0) return 0;
+  double log_p = -lambda;  // log P[X = 0]
+  double cdf = std::exp(log_p);
+  std::size_t k = 0;
+  const auto cap = static_cast<std::size_t>(
+      lambda + 40.0 * std::sqrt(lambda) + 100.0);
+  while (u > cdf && k < cap) {
+    ++k;
+    log_p += std::log(lambda / static_cast<double>(k));
+    cdf += std::exp(log_p);
+  }
+  return k;
+}
+
 }  // namespace
 
 ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed, bool antithetic) {
   params.model.validate();
   if (params.tick_s <= 0.0 || params.topology_refresh_s < params.tick_s) {
     throw std::invalid_argument("run_protocol_sim: bad tick configuration");
   }
 
   const auto& mp = params.model;
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  UniformStream draw(seed, antithetic);
 
   // --- Substrate instantiation.
   const auto n = static_cast<std::size_t>(mp.n_init);
@@ -108,8 +147,7 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
       if (!node.evicted && pred(node)) pool.push_back(&node);
     }
     if (pool.empty()) return nullptr;
-    return pool[static_cast<std::size_t>(uni(rng) * pool.size()) %
-                pool.size()];
+    return pool[pick_index(draw, pool.size())];
   };
 
   // --- Voting round: every live member is evaluated by m voters.
@@ -128,7 +166,7 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
       for (const std::size_t cand : live_idx) {
         if (cand != target) pool.push_back(cand);
       }
-      std::shuffle(pool.begin(), pool.end(), rng);
+      stream_shuffle(pool, draw);
       const auto m_eff = std::min<std::size_t>(
           static_cast<std::size_t>(mp.num_voters), pool.size());
       std::size_t negative = 0;
@@ -139,9 +177,9 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
         if (voter.compromised) {
           vote_evict = !subject.compromised;  // collusion
         } else if (subject.compromised) {
-          vote_evict = uni(rng) >= mp.p1;     // miss w.p. p1
+          vote_evict = draw() >= mp.p1;       // miss w.p. p1
         } else {
-          vote_evict = uni(rng) < mp.p2;      // false alarm w.p. p2
+          vote_evict = draw() < mp.p2;        // false alarm w.p. p2
         }
         negative += vote_evict ? 1 : 0;
         ++result.vote_messages;
@@ -202,7 +240,7 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     }
     const double attack_rate =
         ids::attacker_rate(mp.attacker_shape, mp.lambda_c, mc, mp.p_index);
-    if (uni(rng) < -std::expm1(-attack_rate * params.tick_s)) {
+    if (draw() < -std::expm1(-attack_rate * params.tick_s)) {
       if (Node* victim =
               pick_live([](const Node& x) { return !x.compromised; })) {
         victim->compromised = true;
@@ -214,14 +252,13 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     // compromised member's request leaks data if the serving node's
     // host IDS misses (probability p1) — condition C1.
     const double expected_sends = live * mp.lambda_q * params.tick_s;
-    std::poisson_distribution<int> sends(expected_sends);
-    const int packets = sends(rng);
-    for (int pk = 0; pk < packets; ++pk) {
+    const std::size_t packets = poisson_inverse(expected_sends, draw());
+    for (std::size_t pk = 0; pk < packets; ++pk) {
       ++result.data_messages;
       result.traffic_hop_bits += data_bits * live * mean_hops;
       // Which member sent this one?
-      const bool sender_compromised = uni(rng) < bad / live;
-      if (sender_compromised && uni(rng) < mp.p1) {
+      const bool sender_compromised = draw() < bad / live;
+      if (sender_compromised && draw() < mp.p1) {
         result.ttsf = now;
         result.failed_by_c1 = true;
         return result;

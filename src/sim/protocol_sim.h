@@ -58,7 +58,19 @@ struct ProtocolSimResult {
 };
 
 /// Runs one protocol-level trajectory.  Deterministic under `seed`.
+///
+/// Every protocol-level random choice — attacker timing, voter
+/// selection order, host-IDS vote errors, data-plane packet counts and
+/// sender picks — draws through one sim::UniformStream, so the
+/// `antithetic` member of a pair (same seed, flipped 1−u stream) mirrors
+/// the whole decision path and the Monte-Carlo engine can run
+/// antithetic pairs on protocol grids exactly as it does on DES grids.
+/// The mobility walk and the GDH session keep their own seed-derived
+/// streams and are COMMON within a pair: they are environment, not
+/// protocol randomness, and sharing them keeps the pair comparison on
+/// the protocol's own stochastic choices.
 [[nodiscard]] ProtocolSimResult run_protocol_sim(
-    const ProtocolSimParams& params, std::uint64_t seed);
+    const ProtocolSimParams& params, std::uint64_t seed,
+    bool antithetic = false);
 
 }  // namespace midas::sim

@@ -1,0 +1,438 @@
+// Declarative experiment API: spec JSON round-trips (bitwise, including
+// non-finite doubles and generic + typed axes), field-path validation
+// errors, new-API vs legacy-entry-point parity (analytic <= 1e-12 — in
+// practice bitwise — and MC bitwise under CRN), result wire-format
+// round-trips, shard-sliced service runs merging to the single-process
+// result, and pilot-cost shard plans.
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/experiment_presets.h"
+#include "core/sweep_engine.h"
+
+namespace {
+
+using namespace midas;
+using core::AxisSpec;
+using core::BackendKind;
+using core::ExperimentResult;
+using core::ExperimentService;
+using core::ExperimentSpec;
+using core::ShardSpec;
+
+/// A small mixed-axis spec: typed (num_voters, t_ids, detection_shape)
+/// plus a generic numeric axis (lambda_c), scaled-down population so
+/// the simulation backends run in test time.
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.name = "test";
+  spec.mode = "unit";
+  spec.base = core::Params::paper_defaults();
+  spec.base.n_init = 12;
+  spec.base.max_groups = 1;
+  spec.base.lambda_c = 1.0 / 1500.0;
+  AxisSpec m;
+  m.param = "num_voters";
+  m.values = {3, 5};
+  AxisSpec t;
+  t.param = "t_ids";
+  t.values = {60.0, 600.0};
+  spec.axes = {std::move(m), std::move(t)};
+  spec.mc.base_seed = 0xABCDEF;
+  spec.mc.rel_ci_target = 0.0;
+  spec.mc.min_replications = 24;
+  spec.mc.max_replications = 24;
+  spec.mc.block = 8;
+  return spec;
+}
+
+TEST(ExperimentSpec, JsonRoundTripIsBitwise) {
+  ExperimentSpec spec = small_spec();
+  spec.backends = {BackendKind::Analytic, BackendKind::Des};
+  AxisSpec shape;
+  shape.param = "detection_shape";
+  shape.levels = {"logarithmic", "polynomial"};
+  spec.axes.push_back(shape);
+  AxisSpec lc;
+  lc.param = "lambda_c";
+  lc.values = {1e-3, 1.0 / 3000.0};  // a non-representable decimal
+  spec.axes.push_back(lc);
+  spec.metrics = {"mttsf", "survival"};
+  spec.shard.policy = ShardSpec::Policy::Contiguous;
+  spec.shard.num_shards = 3;
+  spec.shard.shard_index = 1;
+
+  const std::string dump1 = spec.to_json().dump();
+  const ExperimentSpec back =
+      ExperimentSpec::from_json(util::Json::parse(dump1));
+  const std::string dump2 = back.to_json().dump();
+  EXPECT_EQ(dump1, dump2);
+
+  // Structural equality of the pieces with custom state.
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.axes.size(), 4u);
+  EXPECT_EQ(back.axes[3].values[1], 1.0 / 3000.0);  // bitwise double
+  EXPECT_EQ(back.backends, spec.backends);
+  EXPECT_EQ(back.shard, spec.shard);
+  EXPECT_EQ(back.metrics, spec.metrics);
+  EXPECT_EQ(back.mc.base_seed, spec.mc.base_seed);
+
+  // The declarative grid expands identically to the original.
+  const auto g1 = spec.grid();
+  const auto g2 = back.grid();
+  ASSERT_EQ(g1.num_points(), g2.num_points());
+  for (std::size_t i = 0; i < g1.num_points(); ++i) {
+    EXPECT_EQ(g1.label(i), g2.label(i)) << i;
+  }
+}
+
+TEST(ExperimentSpec, NonFiniteDoublesRoundTrip) {
+  ExperimentSpec spec = small_spec();
+  spec.protocol.max_time_s = std::numeric_limits<double>::infinity();
+  spec.mc.rel_ci_target = std::numeric_limits<double>::quiet_NaN();
+
+  const std::string dump1 = spec.to_json().dump();
+  const ExperimentSpec back =
+      ExperimentSpec::from_json(util::Json::parse(dump1));
+  EXPECT_TRUE(std::isinf(back.protocol.max_time_s));
+  EXPECT_GT(back.protocol.max_time_s, 0.0);
+  EXPECT_TRUE(std::isnan(back.mc.rel_ci_target));
+  EXPECT_EQ(dump1, back.to_json().dump());
+}
+
+TEST(ExperimentSpec, ValidationErrorsNameTheJsonPath) {
+  // Unknown backend (a parse-level error).
+  {
+    ExperimentSpec spec = small_spec();
+    auto j = spec.to_json();
+    auto backends = util::Json::array();
+    backends.push_back(util::Json("analytic"));
+    backends.push_back(util::Json("quantum"));
+    j.set("backends", std::move(backends));
+    try {
+      (void)ExperimentSpec::from_json(j);
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("spec.backends[1]"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("quantum"), std::string::npos);
+    }
+  }
+  // Empty grid axis (numeric: "no values"; categorical: "no levels").
+  {
+    ExperimentSpec spec = small_spec();
+    spec.axes[0].values.clear();
+    try {
+      spec.validate();
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("spec.grid.axes[0]"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("no values"), std::string::npos);
+    }
+    ExperimentSpec cat = small_spec();
+    AxisSpec shape;
+    shape.param = "detection_shape";
+    cat.axes = {shape};  // no levels
+    try {
+      cat.validate();
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("spec.grid.axes[0].levels"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("no levels"), std::string::npos);
+    }
+  }
+  // block > max_replications.
+  {
+    ExperimentSpec spec = small_spec();
+    spec.mc.block = 128;
+    spec.mc.max_replications = 64;
+    spec.mc.min_replications = 32;
+    try {
+      spec.validate();
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("spec.mc.block"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // Shard range outside the grid.
+  {
+    ExperimentSpec spec = small_spec();  // 4 points
+    spec.shard.policy = ShardSpec::Policy::Explicit;
+    spec.shard.range = {0, 40};
+    try {
+      spec.validate();
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("spec.shard.range.end"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("outside"), std::string::npos);
+    }
+  }
+  // Unknown axis parameter.
+  {
+    ExperimentSpec spec = small_spec();
+    spec.axes[0].param = "warp_factor";
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  // shard_index out of range.
+  {
+    ExperimentSpec spec = small_spec();
+    spec.shard.policy = ShardSpec::Policy::Contiguous;
+    spec.shard.num_shards = 2;
+    spec.shard.shard_index = 2;
+    try {
+      spec.validate();
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("spec.shard.shard_index"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ExperimentService, AnalyticParityWithLegacyEntryPoint) {
+  ExperimentSpec spec = small_spec();
+  spec.backends = {BackendKind::Analytic};
+
+  ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& run = result.at(BackendKind::Analytic);
+
+  core::SweepEngine engine;
+  const auto legacy = engine.run(spec.grid(), spec.base);
+  ASSERT_EQ(run.evals.size(), legacy.evals.size());
+  for (std::size_t i = 0; i < run.evals.size(); ++i) {
+    EXPECT_EQ(run.evals[i].mttsf, legacy.evals[i].mttsf) << i;
+    EXPECT_EQ(run.evals[i].ctotal, legacy.evals[i].ctotal) << i;
+    EXPECT_EQ(run.evals[i].p_failure_c1, legacy.evals[i].p_failure_c1) << i;
+  }
+}
+
+TEST(ExperimentService, DesParityWithLegacyEntryPointIsBitwiseUnderCrn) {
+  ExperimentSpec spec = small_spec();
+  spec.backends = {BackendKind::Analytic, BackendKind::Des};
+
+  ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& des = result.at(BackendKind::Des);
+
+  core::SweepEngine engine;
+  const auto legacy = engine.run_mc(spec.grid(), spec.base, spec.mc);
+  ASSERT_EQ(des.mc.size(), legacy.points.size());
+  for (std::size_t i = 0; i < des.mc.size(); ++i) {
+    EXPECT_EQ(des.mc[i].ttsf_state.n, legacy.points[i].mc.ttsf_state.n);
+    EXPECT_EQ(des.mc[i].ttsf_state.mean, legacy.points[i].mc.ttsf_state.mean);
+    EXPECT_EQ(des.mc[i].ttsf_state.m2, legacy.points[i].mc.ttsf_state.m2);
+    EXPECT_EQ(des.mc[i].cost_rate_state.mean,
+              legacy.points[i].mc.cost_rate_state.mean);
+    EXPECT_EQ(des.mc[i].replications, legacy.points[i].mc.replications);
+    EXPECT_EQ(des.mc[i].failures_c1, legacy.points[i].mc.failures_c1);
+  }
+}
+
+TEST(ExperimentService, ProtocolBackendRunsAndRecordsInvariants) {
+  ExperimentSpec spec = core::experiment_preset("val_protocol", true);
+  spec.axes[0].values = {60.0};  // one point keeps the test fast
+  spec.mc.min_replications = 4;
+  spec.mc.max_replications = 4;
+  spec.mc.block = 2;
+
+  ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& protocol = result.at(BackendKind::ProtocolSim);
+  ASSERT_EQ(protocol.mc.size(), 1u);
+  EXPECT_EQ(protocol.mc[0].replications, 4u);
+  EXPECT_TRUE(protocol.mc[0].keys_always_agreed);
+  EXPECT_GT(protocol.mc[0].ttsf.mean, 0.0);
+  // Analytic rides along in the same result.
+  EXPECT_GT(result.at(BackendKind::Analytic).evals[0].mttsf, 0.0);
+}
+
+TEST(ExperimentService, ShardedRunsMergeBitwiseToTheFullGrid) {
+  ExperimentSpec spec = small_spec();
+  spec.backends = {BackendKind::Analytic, BackendKind::Des};
+
+  ExperimentService service;
+  const auto full = service.run(spec);
+
+  for (const auto policy :
+       {ShardSpec::Policy::Contiguous, ShardSpec::Policy::ByPilotCost}) {
+    std::vector<ExperimentResult> parts;
+    for (std::size_t s = 0; s < 3; ++s) {
+      ExperimentSpec shard = spec;
+      shard.shard.policy = policy;
+      shard.shard.num_shards = 3;
+      shard.shard.shard_index = s;
+      shard.shard.pilot_replications = 4;
+      parts.push_back(service.run(shard));
+    }
+    const auto merged = core::merge_experiment_results(parts);
+    ASSERT_EQ(merged.range.end, full.range.end);
+    const auto& fa = full.at(BackendKind::Analytic);
+    const auto& ma = merged.at(BackendKind::Analytic);
+    for (std::size_t i = 0; i < fa.evals.size(); ++i) {
+      EXPECT_EQ(ma.evals[i].mttsf, fa.evals[i].mttsf) << i;
+    }
+    const auto& fd = full.at(BackendKind::Des);
+    const auto& md = merged.at(BackendKind::Des);
+    for (std::size_t i = 0; i < fd.mc.size(); ++i) {
+      EXPECT_EQ(md.mc[i].ttsf_state.mean, fd.mc[i].ttsf_state.mean) << i;
+      EXPECT_EQ(md.mc[i].ttsf_state.m2, fd.mc[i].ttsf_state.m2) << i;
+      EXPECT_EQ(md.mc[i].replications, fd.mc[i].replications) << i;
+    }
+  }
+}
+
+TEST(ExperimentResult, WireFormatRoundTripsBitwise) {
+  ExperimentSpec spec = small_spec();
+  spec.backends = {BackendKind::Analytic, BackendKind::Des};
+  ExperimentService service;
+  const auto result = service.run(spec);
+
+  const std::string dump1 = result.to_json().dump();
+  const auto back = ExperimentResult::from_json(util::Json::parse(dump1));
+  EXPECT_EQ(dump1, back.to_json().dump());
+
+  // Re-imported summaries are rebuilt from raw states, bitwise.
+  const auto& des = result.at(BackendKind::Des);
+  const auto& des2 = back.at(BackendKind::Des);
+  for (std::size_t i = 0; i < des.mc.size(); ++i) {
+    EXPECT_EQ(des.mc[i].ttsf.mean, des2.mc[i].ttsf.mean) << i;
+    EXPECT_EQ(des.mc[i].ttsf.ci_half_width, des2.mc[i].ttsf.ci_half_width)
+        << i;
+  }
+}
+
+TEST(ExperimentService, LegacySweepWrappersMatchTheService) {
+  // sweep_t_ids / sweep_mc are documented as deprecated wrappers; they
+  // must answer exactly like a 1-axis spec through the service.
+  core::Params base = core::Params::paper_defaults();
+  base.n_init = 12;
+  base.max_groups = 1;
+  base.lambda_c = 1.0 / 1500.0;
+  const std::vector<double> grid{60.0, 600.0};
+
+  core::SweepEngine engine;
+  const auto legacy = engine.sweep_t_ids(base, grid);
+
+  ExperimentSpec spec;
+  spec.name = "wrapper";
+  spec.base = base;
+  AxisSpec t;
+  t.param = "t_ids";
+  t.values = grid;
+  spec.axes = {std::move(t)};
+  ExperimentService service;
+  const auto result = service.run(spec);
+  const auto& evals = result.at(BackendKind::Analytic).evals;
+  ASSERT_EQ(evals.size(), legacy.points.size());
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    EXPECT_EQ(evals[i].mttsf, legacy.points[i].eval.mttsf) << i;
+  }
+}
+
+TEST(ExperimentPresets, EveryPresetValidatesAndBuildsItsGrid) {
+  for (const auto& name : core::experiment_preset_names()) {
+    for (const bool smoke : {false, true}) {
+      const auto spec = core::experiment_preset(name, smoke);
+      EXPECT_NO_THROW(spec.validate()) << name;
+      EXPECT_GT(spec.grid().num_points(), 0u) << name;
+      const auto dump = spec.to_json().dump();
+      const auto back = ExperimentSpec::from_json(util::Json::parse(dump));
+      EXPECT_EQ(dump, back.to_json().dump()) << name;
+    }
+  }
+  EXPECT_THROW((void)core::experiment_preset("nope", false),
+               std::invalid_argument);
+}
+
+TEST(ShardPlan, PilotCostPlanIsDeterministicAndTilesTheGrid) {
+  ExperimentSpec spec = small_spec();
+  const auto grid = spec.grid();
+  sim::McOptions mc = spec.mc;
+  mc.rel_ci_target = 0.05;  // adaptive: prediction path exercised
+  mc.min_replications = 8;
+  mc.max_replications = 1 << 12;
+
+  const auto plan =
+      core::ShardPlan::by_pilot_cost(grid, spec.base, 3, mc, 8);
+  ASSERT_EQ(plan.num_shards(), 3u);
+  EXPECT_EQ(plan.num_points(), grid.num_points());
+  std::size_t cursor = 0;
+  for (const auto& r : plan.ranges()) {
+    EXPECT_EQ(r.begin, cursor);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, grid.num_points());
+
+  // Identical inputs → identical plan (workers need no coordination).
+  const auto again =
+      core::ShardPlan::by_pilot_cost(grid, spec.base, 3, mc, 8);
+  EXPECT_EQ(plan.ranges(), again.ranges());
+
+  // Degenerate shapes fall back safely.
+  const auto one = core::ShardPlan::by_pilot_cost(grid, spec.base, 1, mc, 4);
+  EXPECT_EQ(one.range(0), (core::ShardRange{0, grid.num_points()}));
+  EXPECT_THROW(
+      (void)core::ShardPlan::by_pilot_cost(grid, spec.base, 0, mc, 4),
+      std::invalid_argument);
+}
+
+TEST(ShardPlan, PilotCostBalancesAHeterogeneousGrid) {
+  // Fast-detection (TIDS 15 s) points survive far longer than
+  // slow-detection (TIDS 1200 s) ones, so their trajectories cost far
+  // more: a point-balanced split piles all the expensive points into
+  // one shard, while the pilot-cost split moves the boundary so
+  // predicted work — not point count — balances.
+  core::Params base = core::Params::paper_defaults();
+  base.n_init = 12;
+  base.max_groups = 1;
+  base.lambda_c = 1.0 / 1500.0;
+  core::GridSpec grid;
+  grid.t_ids({15, 15, 15, 1200, 1200, 1200});
+
+  sim::McOptions mc;
+  mc.base_seed = 0x7E57;
+  mc.rel_ci_target = 0.0;
+  mc.min_replications = 16;
+  mc.max_replications = 16;
+
+  const auto plan = core::ShardPlan::by_pilot_cost(grid, base, 2, mc, 8);
+  EXPECT_EQ(plan.range(0).end, plan.range(1).begin);
+  EXPECT_EQ(plan.range(1).end, grid.num_points());
+
+  // Per-point cost proxy from an identical deterministic pilot.
+  sim::McOptions pilot = mc;
+  pilot.min_replications = 8;
+  pilot.max_replications = 8;
+  sim::MonteCarloEngine engine(pilot);
+  const auto est = engine.run_des(grid.expand(base));
+  const auto shard_cost = [&](const core::ShardRange& r) {
+    double cost = 0.0;
+    for (std::size_t i = r.begin; i < r.end; ++i) cost += est[i].ttsf.mean;
+    return cost;
+  };
+  const auto imbalance = [&](const core::ShardPlan& p) {
+    const double a = shard_cost(p.range(0));
+    const double b = shard_cost(p.range(1));
+    return std::max(a, b) / std::max(std::min(a, b), 1e-300);
+  };
+  const auto contiguous = core::ShardPlan::contiguous(grid.num_points(), 2);
+  EXPECT_LT(imbalance(plan), imbalance(contiguous));
+  EXPECT_NE(plan.range(0).size(), contiguous.range(0).size());
+}
+
+}  // namespace

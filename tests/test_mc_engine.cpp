@@ -324,13 +324,59 @@ TEST(McEngine, AntitheticDeterministicAcrossThreadCounts) {
   }
 }
 
-TEST(McEngine, AntitheticRejectedForProtocolGrids) {
+TEST(McEngine, AntitheticProtocolPairsShareSeedsAndCountTrajectories) {
   McOptions o;
+  o.rel_ci_target = 0.0;
+  o.min_replications = 4;  // pairs
+  o.max_replications = 4;
+  o.block = 2;
   o.antithetic = true;
+  o.capture_trajectories = true;
   MonteCarloEngine engine(o);
   const auto base = sim::ProtocolSimParams::small_defaults();
   const std::vector<sim::ProtocolSimParams> pts{base};
-  EXPECT_THROW((void)engine.run_protocol(pts), std::invalid_argument);
+  const auto r = engine.run_protocol(pts);
+  ASSERT_EQ(r.size(), 1u);
+  // 4 pairs = 8 trajectories; Welford samples count pairs.
+  EXPECT_EQ(r[0].replications, 8u);
+  EXPECT_EQ(r[0].ttsf.n, 4u);
+  ASSERT_EQ(r[0].trajectories.size(), 8u);
+  // Captured order is (plain, flipped) per pair: each member is the
+  // seed-addressed single-trajectory run with the matching flag.
+  for (std::size_t pair = 0; pair < 4; ++pair) {
+    const auto seed = engine.replication_seed(0, pair);
+    const auto plain = sim::run_protocol_sim(base, seed, false);
+    const auto flipped = sim::run_protocol_sim(base, seed, true);
+    EXPECT_DOUBLE_EQ(r[0].trajectories[2 * pair].ttsf, plain.ttsf) << pair;
+    EXPECT_DOUBLE_EQ(r[0].trajectories[2 * pair + 1].ttsf, flipped.ttsf)
+        << pair;
+    // The flipped member is a genuinely different trajectory...
+    EXPECT_NE(plain.ttsf, flipped.ttsf) << pair;
+  }
+}
+
+TEST(McEngine, AntitheticProtocolDeterministicAcrossThreadCounts) {
+  auto base = sim::ProtocolSimParams::small_defaults();
+  std::vector<sim::ProtocolSimParams> pts{base, base};
+  pts[1].model.t_ids = 600.0;
+  auto run = [&](std::size_t threads) {
+    McOptions o;
+    o.rel_ci_target = 0.0;
+    o.min_replications = 3;
+    o.block = 2;
+    o.threads = threads;
+    o.antithetic = true;
+    MonteCarloEngine engine(o);
+    return engine.run_protocol(pts);
+  };
+  const auto a = run(1);
+  const auto b = run(3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].replications, b[i].replications) << i;
+    EXPECT_EQ(a[i].ttsf.mean, b[i].ttsf.mean) << i;
+    EXPECT_EQ(a[i].cost_rate.mean, b[i].cost_rate.mean) << i;
+    EXPECT_TRUE(a[i].keys_always_agreed) << i;
+  }
 }
 
 TEST(McEngine, SurvivalHorizonsEstimateReliability) {

@@ -1,0 +1,270 @@
+// One-shot driver of the declarative experiment API: executes a JSON
+// ExperimentSpec end-to-end through core::ExperimentService and writes
+// the unified result file.  This is the CLI face of the service — the
+// same spec document a sweep_shard fleet splits up runs here as one
+// process, and a future network-facing service would accept unchanged.
+//
+//   run_experiment --spec fig2.json --out result.json
+//   run_experiment --preset fig2_val --smoke 1 --spec-out fig2.json
+//
+// CI gates ride along:
+//   --round-trip-check 1   re-serialise the parsed spec and fail unless
+//                          it reproduces the input file byte-for-byte
+//                          (the wire format must be canonical);
+//   --parity-check 1       re-answer the spec through the LEGACY entry
+//                          points (SweepEngine::run / run_mc,
+//                          MonteCarloEngine::run_protocol) and fail
+//                          unless analytic values agree to --tolerance
+//                          (in practice exactly) and Monte-Carlo
+//                          accumulator states are bitwise identical.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check_common.h"
+#include "core/experiment.h"
+#include "core/experiment_presets.h"
+#include "core/sweep_engine.h"
+#include "sim/protocol_sim.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace midas;
+using tools::eval_rel_diff;
+using tools::mc_bitwise_equal;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("run_experiment: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Per-point report table honouring the spec's requested metrics.
+void print_points(const core::ExperimentSpec& spec,
+                  const core::GridSpec& grid,
+                  const core::ExperimentResult& result) {
+  const auto wants_metric = [&](const char* m) {
+    return spec.metrics.empty() ||
+           std::find(spec.metrics.begin(), spec.metrics.end(), m) !=
+               spec.metrics.end();
+  };
+  const auto* analytic = result.find(core::BackendKind::Analytic);
+  const auto* sim_run = result.find(core::BackendKind::Des);
+  if (sim_run == nullptr) {
+    sim_run = result.find(core::BackendKind::ProtocolSim);
+  }
+
+  std::vector<std::string> header{"point"};
+  if (analytic != nullptr && wants_metric("mttsf")) header.push_back("MTTSF");
+  if (analytic != nullptr && wants_metric("ctotal")) {
+    header.push_back("Ctotal");
+  }
+  if (sim_run != nullptr && wants_metric("mttsf")) {
+    header.push_back("TTSF sim (95% CI)");
+    header.push_back("reps");
+  }
+  util::Table table(header);
+  for (std::size_t i = 0; i < result.range.size(); ++i) {
+    std::vector<std::string> row{grid.label(result.range.begin + i)};
+    if (analytic != nullptr && wants_metric("mttsf")) {
+      row.push_back(util::Table::sci(analytic->evals[i].mttsf));
+    }
+    if (analytic != nullptr && wants_metric("ctotal")) {
+      row.push_back(util::Table::sci(analytic->evals[i].ctotal));
+    }
+    if (sim_run != nullptr && wants_metric("mttsf")) {
+      row.push_back(util::Table::sci(sim_run->mc[i].ttsf.mean) + " ± " +
+                    util::Table::sci(sim_run->mc[i].ttsf.ci_half_width, 1));
+      row.push_back(std::to_string(sim_run->mc[i].replications));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+}
+
+/// Re-answers the spec via the legacy entry points and gates equality.
+bool parity_check(const core::ExperimentSpec& spec,
+                  const core::GridSpec& grid,
+                  const core::ExperimentResult& result, double tolerance) {
+  bool ok = true;
+  core::SweepEngine engine;
+  if (const auto* run = result.find(core::BackendKind::Analytic)) {
+    const auto legacy = engine.run(grid, spec.base);
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < run->evals.size(); ++i) {
+      max_diff = std::max(
+          max_diff,
+          eval_rel_diff(run->evals[i],
+                        legacy.evals[result.range.begin + i]));
+    }
+    std::printf("parity analytic (SweepEngine::run):        max rel diff "
+                "%.3e (tolerance %.0e) -> %s\n",
+                max_diff, tolerance, max_diff <= tolerance ? "ok" : "FAIL");
+    ok = ok && max_diff <= tolerance;
+  }
+  if (const auto* run = result.find(core::BackendKind::Des)) {
+    const auto legacy = engine.run_mc(grid, spec.base, spec.mc);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < run->mc.size(); ++i) {
+      if (!mc_bitwise_equal(run->mc[i],
+                            legacy.points[result.range.begin + i].mc)) {
+        ++mismatches;
+      }
+    }
+    std::printf("parity DES (SweepEngine::run_mc):          %zu/%zu points "
+                "bitwise -> %s\n",
+                run->mc.size() - mismatches, run->mc.size(),
+                mismatches == 0 ? "ok" : "FAIL");
+    ok = ok && mismatches == 0;
+  }
+  if (const auto* run = result.find(core::BackendKind::ProtocolSim)) {
+    std::vector<sim::ProtocolSimParams> points;
+    for (std::size_t i = result.range.begin; i < result.range.end; ++i) {
+      sim::ProtocolSimParams q;
+      q.model = grid.point(spec.base, i);
+      q.mobility = spec.protocol.mobility;
+      q.radio_range_m = spec.protocol.radio_range_m;
+      q.tick_s = spec.protocol.tick_s;
+      q.topology_refresh_s = spec.protocol.topology_refresh_s;
+      q.max_time_s = spec.protocol.max_time_s;
+      points.push_back(std::move(q));
+    }
+    sim::McOptions mc = spec.mc;
+    mc.point_stream_offset += result.range.begin;
+    sim::MonteCarloEngine legacy(mc);
+    const auto legacy_mc = legacy.run_protocol(points);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < run->mc.size(); ++i) {
+      if (!mc_bitwise_equal(run->mc[i], legacy_mc[i])) ++mismatches;
+    }
+    std::printf("parity protocol (MonteCarloEngine):        %zu/%zu points "
+                "bitwise -> %s\n",
+                run->mc.size() - mismatches, run->mc.size(),
+                mismatches == 0 ? "ok" : "FAIL");
+    ok = ok && mismatches == 0;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("run_experiment",
+                "execute a declarative experiment spec (JSON) through "
+                "core::ExperimentService");
+  cli.flag("spec", std::string(""), "spec JSON file to execute");
+  cli.flag("preset", std::string(""),
+           "named preset instead of --spec (see --list-presets)");
+  cli.flag("list-presets", 0, "print the preset names and exit (0|1)");
+  cli.flag("smoke", 0, "build the preset in smoke mode (0|1)");
+  cli.flag("spec-out", std::string(""),
+           "write the (preset) spec JSON here — with --spec, write the "
+           "canonical re-serialisation");
+  cli.flag("out", std::string(""), "result JSON output path");
+  cli.flag("threads", 0, "worker threads (0 = hardware concurrency)");
+  cli.flag("round-trip-check", 0,
+           "fail unless the parsed spec re-serialises to the input file "
+           "byte-for-byte (0|1)");
+  cli.flag("parity-check", 0,
+           "re-answer through the legacy SweepEngine/MonteCarloEngine "
+           "entry points and gate equality (0|1)");
+  cli.flag("tolerance", 1e-12,
+           "max relative analytic difference tolerated by --parity-check");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    if (cli.get_int("list-presets") != 0) {
+      for (const auto& name : core::experiment_preset_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+
+    const std::string spec_path = cli.get_string("spec");
+    const std::string preset = cli.get_string("preset");
+    if (spec_path.empty() == preset.empty()) {
+      std::fprintf(stderr,
+                   "run_experiment: exactly one of --spec or --preset is "
+                   "required\n");
+      return 1;
+    }
+
+    core::ExperimentSpec spec;
+    if (!spec_path.empty()) {
+      const std::string text = read_file(spec_path);
+      spec = core::ExperimentSpec::from_json(util::Json::parse(text));
+      if (cli.get_int("round-trip-check") != 0) {
+        const std::string canonical = spec.to_json().dump();
+        if (canonical != text) {
+          std::fprintf(stderr,
+                       "run_experiment: %s is not canonical — the parsed "
+                       "spec re-serialises differently (use --spec-out to "
+                       "write the canonical form)\n",
+                       spec_path.c_str());
+          return 1;
+        }
+        std::printf("round-trip check: %s is byte-for-byte canonical\n",
+                    spec_path.c_str());
+      }
+    } else {
+      spec = core::experiment_preset(preset, cli.get_int("smoke") != 0);
+    }
+
+    const std::string spec_out = cli.get_string("spec-out");
+    if (!spec_out.empty()) {
+      util::write_json_file(spec_out, spec.to_json());
+      std::printf("spec written: %s\n", spec_out.c_str());
+      if (spec_path.empty() && cli.get_string("out").empty() &&
+          cli.get_int("parity-check") == 0) {
+        return 0;  // emit-only invocation
+      }
+    }
+
+    core::ExperimentServiceOptions opts;
+    opts.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    core::ExperimentService service(opts);
+    const core::GridSpec grid = spec.grid();
+
+    std::string backend_names;
+    for (const auto kind : spec.backends) {
+      backend_names += (backend_names.empty() ? "" : ", ") + to_string(kind);
+    }
+    std::printf("run_experiment: %s (%s), %zu grid point(s), backends: %s\n",
+                spec.name.c_str(), spec.mode.c_str(), grid.num_points(),
+                backend_names.c_str());
+
+    const util::Stopwatch watch;
+    const auto result = service.run(spec);
+    std::printf("evaluated points [%zu, %zu) in %.2f s\n\n",
+                result.range.begin, result.range.end, watch.seconds());
+    print_points(spec, grid, result);
+
+    bool ok = true;
+    if (cli.get_int("parity-check") != 0) {
+      std::printf("\n");
+      ok = parity_check(spec, grid, result, cli.get_double("tolerance"));
+    }
+
+    const std::string out = cli.get_string("out");
+    if (!out.empty()) {
+      util::write_json_file(out, result.to_json());
+      std::printf("\nresult written: %s\n", out.c_str());
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_experiment: %s\n", e.what());
+    return 1;
+  }
+}

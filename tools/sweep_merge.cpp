@@ -1,26 +1,25 @@
-// Merge step of the distributed sweep service: reads the shard JSON
-// files a sweep_shard fleet produced, validates that they tile the grid
-// exactly, recombines them, and reports the cross-shard optima (argmax
-// MTTSF / argmin Ĉtotal with their grid labels — the quantities the
-// paper's figures exist to locate).
-//
-// With --check 1 (the CI gate; off by default since it costs as much
-// as every shard combined) it ALSO re-runs the whole grid
-// single-process and verifies the merge reproduces it:
-// analytic values within --tolerance (1e-12; in practice exactly), and
-// Monte-Carlo accumulator states bitwise identical — the CRN substreams
-// are keyed by replication only, so a point's randomness cannot depend
-// on which shard ran it.  Exits non-zero on any mismatch and records
-// BENCH_shard_merge.json for the workflow to archive.
+// Merge step of the distributed sweep service: reads the
+// experiment-result JSON files a sweep_shard fleet produced, validates
+// that they were cut from the SAME spec (bitwise JSON) and tile its
+// grid exactly, recombines them, reports the cross-shard optima and the
+// achieved per-shard load balance, and (with --check 1, the CI gate)
+// re-runs the whole spec single-process through ExperimentService and
+// verifies the merge reproduces it: analytic values within --tolerance
+// (in practice exactly) and Monte-Carlo accumulator states bitwise
+// identical.  Exits non-zero on any mismatch and records
+// BENCH_shard_merge.json for the workflow to archive — including the
+// slowest/fastest shard wall-clock ratio, the quantity the pilot-cost
+// shard plans exist to shrink.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <limits>
 #include <string>
 #include <vector>
 
-#include "core/shard.h"
-#include "core/sweep_engine.h"
-#include "shard_common.h"
+#include "check_common.h"
+#include "core/experiment.h"
 #include "util/cli.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
@@ -28,44 +27,8 @@
 namespace {
 
 using namespace midas;
-
-double rel_diff(double a, double b) {
-  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
-  return std::fabs(a - b) / scale;
-}
-
-/// Largest relative difference over every metric the paper reports.
-double eval_rel_diff(const core::Evaluation& a, const core::Evaluation& b) {
-  double d = std::max(rel_diff(a.mttsf, b.mttsf),
-                      rel_diff(a.ctotal, b.ctotal));
-  d = std::max(d, rel_diff(a.cost_rates.group_comm, b.cost_rates.group_comm));
-  d = std::max(d, rel_diff(a.cost_rates.status, b.cost_rates.status));
-  d = std::max(d, rel_diff(a.cost_rates.rekey, b.cost_rates.rekey));
-  d = std::max(d, rel_diff(a.cost_rates.ids, b.cost_rates.ids));
-  d = std::max(d, rel_diff(a.cost_rates.beacon, b.cost_rates.beacon));
-  d = std::max(d, rel_diff(a.cost_rates.partition_merge,
-                           b.cost_rates.partition_merge));
-  d = std::max(d, rel_diff(a.eviction_cost_rate, b.eviction_cost_rate));
-  d = std::max(d, rel_diff(a.p_failure_c1, b.p_failure_c1));
-  d = std::max(d, rel_diff(a.p_failure_c2, b.p_failure_c2));
-  return d;
-}
-
-bool welford_bitwise_equal(const sim::WelfordState& a,
-                           const sim::WelfordState& b) {
-  return a.n == b.n && a.mean == b.mean && a.m2 == b.m2;
-}
-
-bool mc_bitwise_equal(const sim::McPointResult& a,
-                      const sim::McPointResult& b) {
-  return welford_bitwise_equal(a.ttsf_state, b.ttsf_state) &&
-         welford_bitwise_equal(a.cost_rate_state, b.cost_rate_state) &&
-         a.replications == b.replications &&
-         a.failures_c1 == b.failures_c1 && a.converged == b.converged &&
-         a.survival_counts == b.survival_counts &&
-         a.timeouts == b.timeouts &&
-         a.keys_always_agreed == b.keys_always_agreed;
-}
+using tools::eval_rel_diff;
+using tools::mc_bitwise_equal;
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -80,16 +43,24 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+/// A shard's total wall clock over every backend it ran.
+double shard_seconds(const core::ExperimentResult& r) {
+  double seconds = 0.0;
+  for (const auto& run : r.backends) seconds += run.seconds;
+  return seconds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli("sweep_merge",
-                "merge sweep_shard JSON files, report cross-shard optima, "
-                "and gate against the single-process run");
+                "merge sweep_shard experiment-result files, report "
+                "cross-shard optima + load balance, and gate against the "
+                "single-process run");
   cli.flag("inputs", std::string(""),
-           "comma-separated shard JSON files (required)");
+           "comma-separated shard result JSON files (required)");
   cli.flag("check", 0,
-           "re-run the grid single-process and gate equality (0|1) — "
+           "re-run the spec single-process and gate equality (0|1) — "
            "costs as much as every shard combined; the CI demo enables "
            "it, a production merge should not");
   cli.flag("tolerance", 1e-12,
@@ -106,74 +77,102 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::vector<core::ShardFile> files;
-    files.reserve(paths.size());
-    for (const auto& p : paths) files.push_back(core::read_shard_json(p));
-    const auto merged = core::merge_shard_files(files);
-    std::printf("sweep_merge: %zu shard file(s), plan %s (%s), %zu grid "
-                "points, MC %s\n",
-                files.size(), merged.plan.c_str(), merged.mode.c_str(),
-                merged.grid_points, merged.has_mc ? "yes" : "no");
+    std::vector<core::ExperimentResult> parts;
+    parts.reserve(paths.size());
+    for (const auto& p : paths) {
+      parts.push_back(
+          core::ExperimentResult::from_json(util::read_json_file(p)));
+    }
+    const auto merged = core::merge_experiment_results(parts);
+    const auto grid = merged.spec.grid();
+    std::printf("sweep_merge: %zu shard file(s), spec %s (%s), %zu grid "
+                "points, policy %s\n",
+                parts.size(), merged.spec.name.c_str(),
+                merged.spec.mode.c_str(), grid.num_points(),
+                merged.shard_policy.c_str());
 
-    const auto plan =
-        tools::make_plan(merged.plan, tools::mode_is_smoke(merged.mode));
+    // Achieved load balance — the pilot-cost plans exist to shrink this.
+    double slowest = 0.0, fastest = 1e300;
+    auto shard_seconds_json = util::Json::array();
+    for (const auto& part : parts) {
+      const double seconds = shard_seconds(part);
+      slowest = std::max(slowest, seconds);
+      fastest = std::min(fastest, seconds);
+      shard_seconds_json.push_back(util::Json::number(seconds));
+      std::printf("  shard %zu: points [%zu, %zu), %.2f s\n",
+                  part.shard_index, part.range.begin, part.range.end,
+                  seconds);
+    }
+    const double balance_ratio =
+        fastest > 0.0 ? slowest / fastest
+                      : std::numeric_limits<double>::infinity();
+    std::printf("  load balance: slowest/fastest shard = %.2fx\n",
+                balance_ratio);
 
     // Cross-shard optima — the figures' headline quantities.
+    const auto* analytic = merged.find(core::BackendKind::Analytic);
     std::size_t best_mttsf = 0, best_ctotal = 0;
-    for (std::size_t i = 1; i < merged.evals.size(); ++i) {
-      if (merged.evals[i].mttsf > merged.evals[best_mttsf].mttsf) {
-        best_mttsf = i;
+    if (analytic != nullptr && !analytic->evals.empty()) {
+      for (std::size_t i = 1; i < analytic->evals.size(); ++i) {
+        if (analytic->evals[i].mttsf > analytic->evals[best_mttsf].mttsf) {
+          best_mttsf = i;
+        }
+        if (analytic->evals[i].ctotal < analytic->evals[best_ctotal].ctotal) {
+          best_ctotal = i;
+        }
       }
-      if (merged.evals[i].ctotal < merged.evals[best_ctotal].ctotal) {
-        best_ctotal = i;
-      }
+      std::printf("  argmax MTTSF:  %s  (MTTSF = %.6e s)\n",
+                  grid.label(best_mttsf).c_str(),
+                  analytic->evals[best_mttsf].mttsf);
+      std::printf("  argmin Ctotal: %s  (Ctotal = %.6e hop-bits/s)\n",
+                  grid.label(best_ctotal).c_str(),
+                  analytic->evals[best_ctotal].ctotal);
     }
-    std::printf("  argmax MTTSF:  %s  (MTTSF = %.6e s)\n",
-                plan.spec.label(best_mttsf).c_str(),
-                merged.evals[best_mttsf].mttsf);
-    std::printf("  argmin Ctotal: %s  (Ctotal = %.6e hop-bits/s)\n",
-                plan.spec.label(best_ctotal).c_str(),
-                merged.evals[best_ctotal].ctotal);
 
-    // Single-process equality gate.
+    // Single-process equality gate, through the same service API.
     bool ok = true;
     double max_analytic_diff = 0.0;
     std::size_t mc_mismatches = 0;
     double check_seconds = 0.0;
     const bool check = cli.get_int("check") != 0;
+    const auto* merged_mc = merged.find(core::BackendKind::Des);
+    if (merged_mc == nullptr) {
+      merged_mc = merged.find(core::BackendKind::ProtocolSim);
+    }
     if (check) {
       const util::Stopwatch watch;
-      const auto threads =
-          static_cast<std::size_t>(cli.get_int("threads"));
-      core::SweepEngine engine({.threads = threads});
-      const auto single = engine.run(plan.spec, plan.base);
-      for (std::size_t i = 0; i < merged.evals.size(); ++i) {
-        max_analytic_diff = std::max(
-            max_analytic_diff,
-            eval_rel_diff(merged.evals[i], single.evals[i]));
+      core::ExperimentServiceOptions opts;
+      opts.threads = static_cast<std::size_t>(cli.get_int("threads"));
+      core::ExperimentService service(opts);
+      const auto single = service.run(merged.spec);
+      if (analytic != nullptr) {
+        const auto& single_evals =
+            single.at(core::BackendKind::Analytic).evals;
+        for (std::size_t i = 0; i < analytic->evals.size(); ++i) {
+          max_analytic_diff =
+              std::max(max_analytic_diff,
+                       eval_rel_diff(analytic->evals[i], single_evals[i]));
+        }
+        if (max_analytic_diff > cli.get_double("tolerance")) ok = false;
       }
-      const double tolerance = cli.get_double("tolerance");
-      if (max_analytic_diff > tolerance) ok = false;
-      if (merged.has_mc) {
-        auto mc = tools::plan_mc_options(tools::mode_is_smoke(merged.mode));
-        mc.threads = threads;
-        const auto single_mc = engine.run_mc(plan.spec, plan.base, mc);
-        for (std::size_t i = 0; i < merged.mc.size(); ++i) {
-          if (!mc_bitwise_equal(merged.mc[i], single_mc.points[i].mc)) {
+      if (merged_mc != nullptr) {
+        const auto& single_mc = single.at(merged_mc->kind).mc;
+        for (std::size_t i = 0; i < merged_mc->mc.size(); ++i) {
+          if (!mc_bitwise_equal(merged_mc->mc[i], single_mc[i])) {
             ++mc_mismatches;
             std::fprintf(stderr,
                          "sweep_merge: MC state mismatch at point %zu (%s)\n",
-                         i, plan.spec.label(i).c_str());
+                         i, grid.label(i).c_str());
           }
         }
         if (mc_mismatches > 0) ok = false;
       }
       check_seconds = watch.seconds();
       std::printf(
-          "  check vs single-process: max analytic rel diff %.3e "
+          "  check vs single-process service: max analytic rel diff %.3e "
           "(tolerance %.0e), MC bitwise %s  -> %s\n",
-          max_analytic_diff, tolerance,
-          merged.has_mc
+          max_analytic_diff, cli.get_double("tolerance"),
+          merged_mc != nullptr
               ? (mc_mismatches == 0 ? "identical" : "MISMATCH")
               : "n/a",
           ok ? "ok" : "SHARD MERGE REGRESSION");
@@ -181,25 +180,35 @@ int main(int argc, char** argv) {
 
     auto json = util::Json::object();
     json.set("bench", util::Json("sweep_merge"));
-    json.set("plan", util::Json(merged.plan));
-    json.set("mode", util::Json(merged.mode));
-    json.set("shards", util::Json(static_cast<double>(merged.num_shards)));
+    json.set("plan", util::Json(merged.spec.name));
+    json.set("mode", util::Json(merged.spec.mode));
+    json.set("shards", util::Json(static_cast<double>(parts.size())));
+    json.set("policy", util::Json(merged.shard_policy));
     json.set("grid_points",
-             util::Json(static_cast<double>(merged.grid_points)));
-    json.set("mc_replications",
-             util::Json(static_cast<double>(merged.mc_stats.replications)));
-    json.set("shard_mc_seconds", util::Json::number(merged.mc_stats.seconds));
-    json.set("argmax_mttsf", util::Json(plan.spec.label(best_mttsf)));
-    json.set("mttsf_best", util::Json::number(merged.evals[best_mttsf].mttsf));
-    json.set("argmin_ctotal", util::Json(plan.spec.label(best_ctotal)));
-    json.set("ctotal_best",
-             util::Json::number(merged.evals[best_ctotal].ctotal));
+             util::Json(static_cast<double>(grid.num_points())));
+    json.set("shard_seconds", std::move(shard_seconds_json));
+    json.set("balance_ratio", util::Json::number(balance_ratio));
+    if (merged_mc != nullptr) {
+      json.set("mc_replications",
+               util::Json(
+                   static_cast<double>(merged_mc->mc_stats.replications)));
+      json.set("shard_mc_seconds",
+               util::Json::number(merged_mc->mc_stats.seconds));
+    }
+    if (analytic != nullptr && !analytic->evals.empty()) {
+      json.set("argmax_mttsf", util::Json(grid.label(best_mttsf)));
+      json.set("mttsf_best",
+               util::Json::number(analytic->evals[best_mttsf].mttsf));
+      json.set("argmin_ctotal", util::Json(grid.label(best_ctotal)));
+      json.set("ctotal_best",
+               util::Json::number(analytic->evals[best_ctotal].ctotal));
+    }
     json.set("checked", util::Json(check));
     if (check) {
       json.set("max_analytic_rel_diff",
                util::Json::number(max_analytic_diff));
       json.set("mc_bitwise_identical",
-               util::Json(merged.has_mc && mc_mismatches == 0));
+               util::Json(merged_mc != nullptr && mc_mismatches == 0));
       json.set("check_seconds", util::Json::number(check_seconds));
     }
     const std::string out = cli.get_string("json-out");

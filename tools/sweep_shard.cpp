@@ -1,103 +1,141 @@
-// Shard worker of the distributed sweep service: evaluates one slice of
-// a named paper grid (core::ShardPlan over a core::GridSpec) and writes
-// the results as a shard JSON file for sweep_merge to recombine.  Every
-// worker derives the same plan from the same flags, so k processes —
-// on one host or many — need no coordination beyond agreeing on
-// (plan, shards, mode):
+// Shard worker of the distributed sweep service, now speaking the
+// declarative experiment wire format: the worker's job is fully
+// determined by an ExperimentSpec (a preset name or a spec JSON file)
+// plus a shard selection, runs through core::ExperimentService like
+// every other consumer, and is written as an experiment-result JSON
+// file for sweep_merge to recombine.  k processes — on one host or
+// many — need no coordination beyond agreeing on the spec:
 //
 //   sweep_shard --plan fig2 --shards 4 --shard 0 --out shard_0.json &
 //   sweep_shard --plan fig2 --shards 4 --shard 1 --out shard_1.json &
 //   ...
 //   sweep_merge --inputs shard_0.json,shard_1.json,...
 //
-// The merged result equals the single-process SweepEngine::run/run_mc
+// The merged result equals the single-process ExperimentService::run
 // exactly (analytic bitwise; MC summaries bitwise because CRN
-// substreams are keyed by replication only).
+// substreams are keyed by replication only and non-CRN streams by
+// global point index).  --policy by-pilot-cost balances PREDICTED
+// Monte-Carlo work instead of point counts (see ShardPlan::
+// by_pilot_cost); every worker derives the identical plan from the
+// same deterministic pilot.
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 
-#include "core/shard.h"
-#include "core/sweep_engine.h"
-#include "shard_common.h"
+#include "core/experiment.h"
+#include "core/experiment_presets.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
   using namespace midas;
   util::Cli cli("sweep_shard",
-                "evaluate one shard of a paper grid and write a shard "
-                "JSON file");
-  cli.flag("plan", std::string("fig2"), "grid to run: fig2 | fig4");
+                "evaluate one shard of an experiment spec and write an "
+                "experiment-result JSON file");
+  cli.flag("plan", std::string("fig2"),
+           "preset grid to run (fig2 | fig4 → the fig2_val / fig4_val "
+           "experiment presets)");
+  cli.flag("spec", std::string(""),
+           "experiment spec JSON file instead of --plan");
   cli.flag("shards", 2, "total number of shards");
   cli.flag("shard", 0, "this worker's shard index (0-based)");
-  cli.flag("by-structure", 0,
-           "align shard boundaries with structure_key runs instead of a "
-           "balanced split — useful when a structural axis varies (0|1)");
-  cli.flag("mc", 1, "also run the CI-bounded Monte-Carlo schedule (0|1)");
+  cli.flag("policy", std::string("contiguous"),
+           "shard split: contiguous | by-structure | by-pilot-cost");
+  cli.flag("mc", 1, "keep the Monte-Carlo (DES) backend (0|1)");
   cli.flag("smoke", 0, "thin grid + loose CI target for CI runtimes (0|1)");
   cli.flag("threads", 0, "worker threads (0 = hardware concurrency)");
   cli.flag("out", std::string(""),
-           "output path (default: shard_<i>_of_<k>_<plan>.json)");
+           "output path (default: shard_<i>_of_<k>_<name>.json)");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
-    const std::string plan_name = cli.get_string("plan");
     const int shards = cli.get_int("shards");
     const int shard = cli.get_int("shard");
     const bool smoke = cli.get_int("smoke") != 0;
-    const bool with_mc = cli.get_int("mc") != 0;
     if (shards <= 0 || shard < 0 || shard >= shards) {
       std::fprintf(stderr,
                    "sweep_shard: need 0 <= shard < shards (have %d of %d)\n",
                    shard, shards);
       return 1;
     }
+
+    core::ExperimentSpec spec;
+    const std::string spec_path = cli.get_string("spec");
+    if (!spec_path.empty()) {
+      std::ifstream in(spec_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "sweep_shard: cannot read %s\n",
+                     spec_path.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      spec = core::ExperimentSpec::from_json(util::Json::parse(buf.str()));
+    } else {
+      // The historical plan names map to the validation presets (the
+      // full grid answered analytically AND by CI-bounded simulation).
+      spec = core::experiment_preset(cli.get_string("plan") + "_val", smoke);
+    }
+    if (cli.get_int("mc") == 0) {
+      spec.backends = {core::BackendKind::Analytic};
+    }
+
+    std::string policy_name = cli.get_string("policy");
+    if (spec.shard.policy != core::ShardSpec::Policy::All) {
+      // The spec file fully determines this worker's job, including its
+      // shard selection — the CLI split flags must not clobber it.
+      policy_name = to_string(spec.shard.policy);
+      std::printf("sweep_shard: using the spec file's shard selection "
+                  "(policy %s, shard %zu/%zu); --shards/--shard/--policy "
+                  "ignored\n",
+                  policy_name.c_str(), spec.shard.shard_index,
+                  spec.shard.num_shards);
+    } else {
+      if (policy_name == "contiguous") {
+        spec.shard.policy = core::ShardSpec::Policy::Contiguous;
+      } else if (policy_name == "by-structure") {
+        spec.shard.policy = core::ShardSpec::Policy::ByStructure;
+      } else if (policy_name == "by-pilot-cost") {
+        spec.shard.policy = core::ShardSpec::Policy::ByPilotCost;
+      } else {
+        std::fprintf(stderr,
+                     "sweep_shard: unknown --policy '%s' (expected "
+                     "contiguous | by-structure | by-pilot-cost)\n",
+                     policy_name.c_str());
+        return 1;
+      }
+      spec.shard.num_shards = static_cast<std::size_t>(shards);
+      spec.shard.shard_index = static_cast<std::size_t>(shard);
+    }
+
     std::string out = cli.get_string("out");
     if (out.empty()) {
       out = "shard_" + std::to_string(shard) + "_of_" +
-            std::to_string(shards) + "_" + plan_name + ".json";
+            std::to_string(shards) + "_" + spec.name + ".json";
     }
 
-    const auto plan = tools::make_plan(plan_name, smoke);
-    const auto shard_plan =
-        cli.get_int("by-structure") != 0
-            ? core::ShardPlan::by_structure(plan.spec, plan.base,
-                                            static_cast<std::size_t>(shards))
-            : core::ShardPlan::contiguous(plan.spec.num_points(),
-                                          static_cast<std::size_t>(shards));
-    const auto range = shard_plan.range(static_cast<std::size_t>(shard));
-    std::printf("sweep_shard: plan %s (%s), shard %d/%d -> points [%zu, %zu) "
-                "of %zu\n",
-                plan_name.c_str(), tools::mode_name(smoke).c_str(), shard,
-                shards, range.begin, range.end, plan.spec.num_points());
+    core::ExperimentServiceOptions opts;
+    opts.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    core::ExperimentService service(opts);
 
-    const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
-    core::SweepEngine engine({.threads = threads});
     const util::Stopwatch watch;
-    core::ShardFile file;
-    file.plan = plan_name;
-    file.mode = tools::mode_name(smoke);
-    file.grid_points = plan.spec.num_points();
-    file.num_shards = static_cast<std::size_t>(shards);
-    file.shard_index = static_cast<std::size_t>(shard);
-    file.has_mc = with_mc;
-    if (with_mc) {
-      auto mc = tools::plan_mc_options(smoke);
-      mc.threads = threads;
-      file.result = engine.run_mc_shard(plan.spec, plan.base, range, mc);
-    } else {
-      auto analytic = engine.run_shard(plan.spec, plan.base, range);
-      file.result.range = analytic.range;
-      file.result.evals = std::move(analytic.evals);
-    }
-    core::write_shard_json(out, file);
+    const auto result = service.run(spec);
+    util::write_json_file(out, result.to_json());
 
-    const auto& st = engine.stats();
-    std::printf("sweep_shard: %zu point(s), %zu exploration(s), %zu MC "
-                "trajectories in %.2f s -> %s\n",
-                st.points, st.explorations, file.result.mc_stats.replications,
-                watch.seconds(), out.c_str());
+    std::size_t replications = 0;
+    for (const auto& run : result.backends) {
+      replications += run.mc_stats.replications;
+    }
+    std::printf("sweep_shard: %s (%s), shard %zu/%zu (%s) -> points "
+                "[%zu, %zu) of %zu, %zu MC trajectories in %.2f s -> %s\n",
+                spec.name.c_str(), spec.mode.c_str(),
+                spec.shard.shard_index, spec.shard.num_shards,
+                policy_name.c_str(), result.range.begin, result.range.end,
+                spec.grid().num_points(), replications, watch.seconds(),
+                out.c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_shard: %s\n", e.what());
