@@ -74,6 +74,23 @@ run_shard_demo() {
 run_shard_demo fig2 by-pilot-cost
 run_shard_demo fig4 contiguous
 
+# --- Fault-tolerant fleet soak: a coordinator drives FOUR fleet_worker
+# processes through the fig2 validation spec over loopback TCP while a
+# fault plan kills two of them mid-run (one crashes while computing a
+# shard, one after computing but before sending the result).  The gate
+# requires (a) both scheduled kills actually fired, (b) the coordinator
+# detected the deaths and reassigned the orphaned leases, and (c) the
+# merged ExperimentResult is BYTE-IDENTICAL (canonical JSON, wall-clock
+# timings zeroed) to a crash-free single-process run_experiment answer.
+# Records BENCH_fleet_soak.json (recovery latency, reassignments,
+# duplicates dropped).
+(
+  cd build
+  ./fleet_soak --preset fig2_val --smoke 1 --workers 4 --clients 2 \
+               --faults "crash_mid_shard=1;crash_before_result=1" \
+               --out BENCH_fleet_soak.json
+)
+
 # --- Figure/ablation grid benches, smoke mode: every figure runs as a
 # core::GridSpec batch and validates each grid point against a
 # CI-bounded Monte-Carlo interval (CRN + antithetic).  Non-zero exit if

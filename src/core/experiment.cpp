@@ -901,6 +901,21 @@ ExperimentResult ExperimentResult::from_json(const util::Json& j) {
   return result;
 }
 
+util::Json ExperimentResult::canonical_json() const {
+  ExperimentResult c = *this;
+  for (auto& run : c.backends) {
+    run.seconds = 0.0;
+    run.mc_stats.seconds = 0.0;
+    // parallel_for batching rounds depend on how many points one
+    // engine run held — a process-topology artifact, like wall clock:
+    // a 4-shard merge legitimately sums more rounds than one whole-grid
+    // run.  points/replications/blocks are per-point deterministic and
+    // stay: they MUST match across topologies.
+    run.mc_stats.rounds = 0;
+  }
+  return c.to_json();
+}
+
 ExperimentResult merge_experiment_results(
     std::span<const ExperimentResult> parts) {
   if (parts.empty()) {
@@ -917,7 +932,9 @@ ExperimentResult merge_experiment_results(
   const std::size_t points = grid.num_points();
 
   std::vector<ShardRange> ranges;
+  std::vector<std::size_t> labels;
   ranges.reserve(parts.size());
+  labels.reserve(parts.size());
   std::vector<char> seen(parts.size(), 0);
   for (const auto& part : parts) {
     if (normalised_dump(part.spec) != ref_dump) {
@@ -957,8 +974,9 @@ ExperimentResult merge_experiment_results(
       seen[part.shard_index] = 1;
     }
     ranges.push_back(part.range);
+    labels.push_back(part.shard_index);
   }
-  validate_shard_tiling(points, ranges);
+  validate_shard_tiling(points, ranges, labels);
 
   ExperimentResult merged;
   merged.spec = parts.front().spec;

@@ -181,6 +181,17 @@ struct ExperimentResult {
 
   [[nodiscard]] util::Json to_json() const;
   [[nodiscard]] static ExperimentResult from_json(const util::Json& j);
+
+  /// to_json() with every execution-topology field zeroed (backend
+  /// seconds, mc_stats.seconds, mc_stats.rounds — scheduling batches
+  /// depend on how many points one engine run held) — the
+  /// payload-identity form.  Those are the ONLY legitimately
+  /// run-dependent contents of a result, so two runs of the same spec
+  /// are byte-identical here iff their payloads are: the fleet
+  /// coordinator dedupes duplicate shard completions by this form, and
+  /// the soak gate byte-compares fleet merges against single-process
+  /// runs with it.
+  [[nodiscard]] util::Json canonical_json() const;
 };
 
 /// Recombines a complete shard set into the whole-grid result: specs

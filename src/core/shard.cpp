@@ -175,7 +175,76 @@ ShardPlan ShardPlan::by_pilot_cost(const GridSpec& spec, const Params& base,
     remaining -= acc;
     plan.ranges_.push_back({begin, cursor});
   }
+  plan.weights_.reserve(plan.ranges_.size());
+  for (const auto& r : plan.ranges_) {
+    double sum = 0.0;
+    for (std::size_t i = r.begin; i < r.end; ++i) sum += weight[i];
+    plan.weights_.push_back(sum);
+  }
   return plan;
+}
+
+std::vector<ShardRange> ShardPlan::replan(
+    std::span<const ShardRange> uncompleted, std::size_t num_pieces) {
+  if (num_pieces == 0) {
+    throw std::invalid_argument("ShardPlan::replan: num_pieces must be "
+                                "positive");
+  }
+  std::vector<ShardRange> inputs;
+  for (const auto& r : uncompleted) {
+    if (r.begin > r.end) {
+      throw std::invalid_argument("ShardPlan::replan: range [" +
+                                  std::to_string(r.begin) + ", " +
+                                  std::to_string(r.end) + ") is invalid");
+    }
+    if (!r.empty()) inputs.push_back(r);
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [](const ShardRange& a, const ShardRange& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    if (inputs[i].begin < inputs[i - 1].end) {
+      throw std::invalid_argument(
+          "ShardPlan::replan: ranges [" +
+          std::to_string(inputs[i - 1].begin) + ", " +
+          std::to_string(inputs[i - 1].end) + ") and [" +
+          std::to_string(inputs[i].begin) + ", " +
+          std::to_string(inputs[i].end) + ") overlap");
+    }
+  }
+  if (inputs.size() >= num_pieces) return inputs;
+
+  // Distribute the extra cuts one at a time to the input currently
+  // split coarsest (largest points-per-piece); ties go to the earliest
+  // range, so the outcome is deterministic.
+  std::vector<std::size_t> pieces(inputs.size(), 1);
+  for (std::size_t extra = num_pieces - inputs.size(); extra > 0; --extra) {
+    std::size_t best = inputs.size();
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (pieces[i] >= inputs[i].size()) continue;  // already per-point
+      const double ratio = static_cast<double>(inputs[i].size()) /
+                           static_cast<double>(pieces[i]);
+      if (best == inputs.size() || ratio > best_ratio) {
+        best = i;
+        best_ratio = ratio;
+      }
+    }
+    if (best == inputs.size()) break;  // every range already per-point
+    ++pieces[best];
+  }
+
+  std::vector<ShardRange> out;
+  out.reserve(num_pieces);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ShardPlan split = contiguous(inputs[i].size(), pieces[i]);
+    for (const auto& r : split.ranges()) {
+      if (r.empty()) continue;
+      out.push_back({inputs[i].begin + r.begin, inputs[i].begin + r.end});
+    }
+  }
+  return out;
 }
 
 const ShardRange& ShardPlan::range(std::size_t shard) const {
@@ -241,36 +310,69 @@ ShardFile read_shard_json(const std::string& path) {
 
 void validate_shard_tiling(std::size_t num_points,
                            std::span<const ShardRange> ranges) {
-  std::vector<ShardRange> order;
-  order.reserve(ranges.size());
-  for (const auto& r : ranges) {
+  validate_shard_tiling(num_points, ranges, {});
+}
+
+void validate_shard_tiling(std::size_t num_points,
+                           std::span<const ShardRange> ranges,
+                           std::span<const std::size_t> shard_labels) {
+  if (!shard_labels.empty() && shard_labels.size() != ranges.size()) {
+    throw std::invalid_argument(
+        "validate_shard_tiling: " + std::to_string(shard_labels.size()) +
+        " labels for " + std::to_string(ranges.size()) + " ranges");
+  }
+  const auto describe = [&](std::size_t pos) {
+    const std::size_t label =
+        shard_labels.empty() ? pos : shard_labels[pos];
+    return "shard " + std::to_string(label) + " [" +
+           std::to_string(ranges[pos].begin) + ", " +
+           std::to_string(ranges[pos].end) + ")";
+  };
+  std::vector<std::size_t> order;  // positions of non-empty ranges
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const ShardRange& r = ranges[i];
     if (r.begin > r.end || r.end > num_points) {
-      throw std::invalid_argument(
-          "validate_shard_tiling: range [" + std::to_string(r.begin) +
-          ", " + std::to_string(r.end) + ") is invalid for a " +
-          std::to_string(num_points) + "-point grid");
+      throw std::invalid_argument("validate_shard_tiling: " + describe(i) +
+                                  " is invalid for a " +
+                                  std::to_string(num_points) +
+                                  "-point grid");
     }
-    if (!r.empty()) order.push_back(r);
+    if (!r.empty()) order.push_back(i);
   }
   std::sort(order.begin(), order.end(),
-            [](const ShardRange& a, const ShardRange& b) {
-              return a.begin < b.begin;
+            [&](std::size_t a, std::size_t b) {
+              return ranges[a].begin < ranges[b].begin;
             });
   std::size_t cursor = 0;
-  for (const auto& r : order) {
-    if (r.begin != cursor) {
+  std::size_t prev = ranges.size();  // position covering [?, cursor)
+  for (const std::size_t pos : order) {
+    const ShardRange& r = ranges[pos];
+    if (r.begin > cursor) {
       throw std::invalid_argument(
-          "validate_shard_tiling: shard ranges do not tile the grid (" +
-          std::string(r.begin > cursor ? "gap" : "overlap") + " at point " +
-          std::to_string(std::min(cursor, r.begin)) + ")");
+          "validate_shard_tiling: points [" + std::to_string(cursor) +
+          ", " + std::to_string(r.begin) + ") are covered by no shard (" +
+          (prev < ranges.size() ? describe(prev) + " ends at " +
+                                      std::to_string(cursor)
+                                : "no shard starts at 0") +
+          ", next is " + describe(pos) + ")");
+    }
+    if (r.begin < cursor) {
+      throw std::invalid_argument(
+          "validate_shard_tiling: " + describe(prev) + " and " +
+          describe(pos) + " overlap on points [" +
+          std::to_string(r.begin) + ", " +
+          std::to_string(std::min(cursor, r.end)) + ")");
     }
     cursor = r.end;
+    prev = pos;
   }
   if (cursor != num_points) {
     throw std::invalid_argument(
-        "validate_shard_tiling: shard ranges do not tile the grid (gap at "
-        "point " +
-        std::to_string(cursor) + ")");
+        "validate_shard_tiling: points [" + std::to_string(cursor) + ", " +
+        std::to_string(num_points) + ") are covered by no shard (" +
+        (prev < ranges.size() ? "last is " + describe(prev)
+                              : "no non-empty shards") +
+        ")");
   }
 }
 
@@ -321,9 +423,14 @@ MergedShardSet merge_shard_files(std::span<const ShardFile> files) {
   }
 
   std::vector<ShardRange> ranges;
+  std::vector<std::size_t> labels;
   ranges.reserve(files.size());
-  for (const auto& f : files) ranges.push_back(f.result.range);
-  validate_shard_tiling(merged.grid_points, ranges);
+  labels.reserve(files.size());
+  for (const auto& f : files) {
+    ranges.push_back(f.result.range);
+    labels.push_back(f.shard_index);
+  }
+  validate_shard_tiling(merged.grid_points, ranges, labels);
 
   merged.evals.resize(merged.grid_points);
   if (merged.has_mc) merged.mc.resize(merged.grid_points);

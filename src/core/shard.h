@@ -97,6 +97,21 @@ class ShardPlan {
       const GridSpec& spec, const Params& base, std::size_t num_shards,
       const sim::McOptions& mc, std::size_t pilot_replications = 16);
 
+  /// Lease-oriented replanning: splits the UNCOMPLETED remainder of a
+  /// run — a set of disjoint point ranges whose results never arrived
+  /// (dead worker, expired lease) — into up to `num_pieces` balanced
+  /// sub-ranges so several surviving workers can absorb it in parallel.
+  /// Every output range is a sub-range of exactly one input (a piece
+  /// never bridges a completed gap), outputs preserve input order, and
+  /// the union is exactly the input union, so re-dispatched pieces
+  /// still tile with the already-completed shards at merge time.  When
+  /// `num_pieces` <= the input count the inputs are returned as-is;
+  /// otherwise the extra splits go to the largest inputs first.  The
+  /// result is deterministic in (inputs, num_pieces).  Throws
+  /// std::invalid_argument on overlapping inputs or num_pieces == 0.
+  [[nodiscard]] static std::vector<ShardRange> replan(
+      std::span<const ShardRange> uncompleted, std::size_t num_pieces);
+
   [[nodiscard]] std::size_t num_shards() const noexcept {
     return ranges_.size();
   }
@@ -108,8 +123,18 @@ class ShardPlan {
     return ranges_;
   }
 
+  /// Per-shard predicted cost weights (same order as ranges()) — filled
+  /// by by_pilot_cost(), empty for the other planners and for its
+  /// contiguous fallback.  The fleet coordinator scales per-lease
+  /// deadlines by these, so an expensive shard is not declared a
+  /// straggler on the schedule of a cheap one.
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
  private:
   std::vector<ShardRange> ranges_;
+  std::vector<double> weights_;
   std::size_t num_points_ = 0;
 };
 
@@ -172,8 +197,16 @@ struct MergedShardSet {
 
 /// Throws std::invalid_argument unless the non-empty ranges tile
 /// [0, num_points) exactly (no gap, no overlap).  Shared by every merge
-/// path.
+/// path.  The error names the offending slices — which shards overlap,
+/// or which points are covered by no shard and which shards border the
+/// hole — because reassignment debugging starts from that message.
+/// `shard_labels`, when non-empty, gives the producer-facing shard
+/// index of each range (same order); otherwise ranges are named by
+/// position.
 void validate_shard_tiling(std::size_t num_points,
                            std::span<const ShardRange> ranges);
+void validate_shard_tiling(std::size_t num_points,
+                           std::span<const ShardRange> ranges,
+                           std::span<const std::size_t> shard_labels);
 
 }  // namespace midas::core

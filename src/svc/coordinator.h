@@ -1,0 +1,107 @@
+// The fleet coordinator: accepts ExperimentSpec requests and worker
+// registrations over framed connections (svc/transport.h), splits each
+// request into shard leases (core::ShardPlan + svc::LeaseTable), and
+// merges the completed slices back into ONE ExperimentResult that is
+// byte-identical (canonical_json) to a crash-free single-process
+// ExperimentService::run of the same spec.
+//
+// Protocol ("midas-fleet-v1", one JSON object per frame):
+//
+//   worker → coord   {"type":"hello","worker":NAME}
+//   worker → coord   {"type":"heartbeat","worker":NAME}
+//   client → coord   {"type":"request","id":ID,"spec":SPEC}
+//   coord  → worker  {"type":"lease","request":ID,"shard":N,
+//                     "attempt":K,"deadline_s":D,"spec":SPEC'}
+//                    where SPEC' is SPEC with shard = Explicit range
+//   worker → coord   {"type":"result","worker":NAME,"request":ID,
+//                     "shard":N,"result":RESULT}
+//   worker → coord   {"type":"shard_error","worker":NAME,"request":ID,
+//                     "shard":N,"error":TEXT}
+//   coord  → client  {"type":"response","id":ID,"complete":BOOL,
+//                     "gaps":[...],"stats":{...},"result":RESULT}
+//                    or {"type":"error","id":ID,"error":TEXT}
+//   coord  → worker  {"type":"shutdown"}   (drain)
+//
+// Threading: one acceptor thread, one reader thread per connection,
+// and ONE state thread (the serve() caller) that owns every decision —
+// readers only decode frames and enqueue events, so the LeaseTable and
+// request bookkeeping need no locks beyond the event queue.
+//
+// Failure semantics (the tentpole):
+//   * dispatch is at-least-once; duplicate completions are verified
+//     byte-identical on the canonical (timing-zeroed) payload and
+//     dropped — a mismatch fails the request loudly;
+//   * a worker is dead when its connection drops OR its heartbeat goes
+//     silent past the timeout; its leases are reassigned (optionally
+//     re-split across idle survivors) after deterministic backoff;
+//   * a lease past its weight-scaled deadline is offered to other
+//     workers while the straggler keeps computing — first result wins;
+//   * a shard that fails max_attempts dispatches is quarantined and
+//     reported as a named gap (the response still merges cleanly:
+//     quarantined ranges get explicit filler slices);
+//   * on stop (flag or request_stop()) the coordinator drains: open
+//     requests get an error frame, workers get "shutdown", then every
+//     thread is joined before serve() returns.
+#pragma once
+
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "svc/lease.h"
+#include "svc/transport.h"
+
+namespace midas::svc {
+
+struct CoordinatorOptions {
+  LeaseOptions lease;
+  /// Target shards per registered worker (re-splitting on reassignment
+  /// keeps recovery parallel even when this is small).
+  std::size_t shards_per_worker = 2;
+  std::size_t max_shards = 64;
+  /// Longest the state thread sleeps between bookkeeping passes.
+  double tick_interval_s = 0.05;
+  /// Reader/acceptor poll granularity (responsiveness to stop).
+  double poll_timeout_s = 0.25;
+};
+
+struct CoordinatorStats {
+  LeaseCounters lease;
+  std::size_t requests = 0;
+  std::size_t responses_complete = 0;  ///< merged with zero gaps
+  std::size_t responses_with_gaps = 0;
+  std::size_t requests_failed = 0;     ///< error frame sent
+  std::size_t workers_seen = 0;        ///< distinct hello frames
+  std::size_t protocol_errors = 0;     ///< malformed frames (conn dropped)
+  /// Orphaned-shard recovery latency: reassignment → accepted result.
+  std::size_t recoveries = 0;
+  double total_recovery_s = 0.0;
+  double max_recovery_s = 0.0;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options = {});
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Runs the event loop on the calling thread until `stop` (when
+  /// given) becomes nonzero or request_stop() is called, then drains
+  /// and joins every internal thread.  `stop` is polled — safe to flip
+  /// from a signal handler.
+  void serve(Listener& listener,
+             const volatile std::sig_atomic_t* stop = nullptr);
+
+  /// Thread-safe programmatic stop; serve() drains and returns.
+  void request_stop();
+
+  [[nodiscard]] CoordinatorStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace midas::svc

@@ -1,0 +1,118 @@
+#include "svc/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace midas::svc {
+
+namespace {
+
+std::size_t parse_count(std::string_view key, std::string_view value) {
+  std::size_t pos = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(std::string(value), &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("FaultPlan: bad value '" +
+                                std::string(value) + "' for " +
+                                std::string(key));
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+double parse_seconds(std::string_view key, std::string_view value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(std::string(value), &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || parsed < 0.0) {
+    throw std::invalid_argument("FaultPlan: bad value '" +
+                                std::string(value) + "' for " +
+                                std::string(key));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = text.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                  std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "crash_mid_shard") {
+      plan.crash_mid_shard = parse_count(key, value);
+    } else if (key == "crash_before_result") {
+      plan.crash_before_result = parse_count(key, value);
+    } else if (key == "stall_heartbeat_after") {
+      plan.stall_heartbeat_after = parse_count(key, value);
+    } else if (key == "delay_result_s") {
+      plan.delay_result_s = parse_seconds(key, value);
+    } else if (key == "duplicate_result") {
+      plan.duplicate_result = parse_count(key, value);
+    } else if (key == "truncate_result") {
+      plan.truncate_result = parse_count(key, value);
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown fault '" +
+                                  std::string(key) + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* text = std::getenv("MIDAS_FAULT_PLAN");
+  return text == nullptr ? FaultPlan{} : parse(text);
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  const auto add = [&](const char* key, const std::string& value) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (crash_mid_shard != 0) {
+    add("crash_mid_shard", std::to_string(crash_mid_shard));
+  }
+  if (crash_before_result != 0) {
+    add("crash_before_result", std::to_string(crash_before_result));
+  }
+  if (stall_heartbeat_after != 0) {
+    add("stall_heartbeat_after", std::to_string(stall_heartbeat_after));
+  }
+  if (delay_result_s > 0.0) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", delay_result_s);
+    add("delay_result_s", buf);
+  }
+  if (duplicate_result != 0) {
+    add("duplicate_result", std::to_string(duplicate_result));
+  }
+  if (truncate_result != 0) {
+    add("truncate_result", std::to_string(truncate_result));
+  }
+  return out;
+}
+
+}  // namespace midas::svc

@@ -1,0 +1,61 @@
+// Deterministic fault injection for the fleet runtime.  A FaultPlan
+// rides into a worker via CLI (`--fault ...`) or environment
+// (MIDAS_FAULT_PLAN) and makes one failure path fire at a precise,
+// reproducible point in the worker's life — so every recovery path the
+// coordinator claims to have is exercised in CI, not discovered in
+// production:
+//
+//   crash_mid_shard=K        exit hard while computing lease #K (the
+//                            coordinator sees the connection drop with
+//                            the lease outstanding)
+//   crash_before_result=K    compute lease #K fully, then exit before
+//                            sending the result (work lost after it
+//                            was done — the nastier variant)
+//   stall_heartbeat_after=K  stop heartbeating once lease #K arrives
+//                            but keep computing and send the result
+//                            late (tests liveness timeout + duplicate-
+//                            completion dedupe)
+//   delay_result_s=T         sleep T seconds before sending every
+//                            result (straggler; tests lease deadlines)
+//   duplicate_result=K       send result frame #K twice (tests
+//                            dedupe-by-determinism)
+//   truncate_result=K        send half of result frame #K, then exit
+//                            hard (tests typed truncation handling)
+//
+// Lease/result counters are 1-based; 0 disables a fault.  The plan
+// format is a comma-separated key=value list, e.g.
+// "crash_mid_shard=2,delay_result_s=0.25".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace midas::svc {
+
+struct FaultPlan {
+  std::size_t crash_mid_shard = 0;
+  std::size_t crash_before_result = 0;
+  std::size_t stall_heartbeat_after = 0;
+  double delay_result_s = 0.0;
+  std::size_t duplicate_result = 0;
+  std::size_t truncate_result = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return crash_mid_shard != 0 || crash_before_result != 0 ||
+           stall_heartbeat_after != 0 || delay_result_s > 0.0 ||
+           duplicate_result != 0 || truncate_result != 0;
+  }
+
+  /// Parses "key=value,key=value".  Empty input is the empty plan.
+  /// Throws std::invalid_argument naming an unknown key or bad value.
+  [[nodiscard]] static FaultPlan parse(std::string_view text);
+
+  /// parse(getenv("MIDAS_FAULT_PLAN")), empty plan when unset.
+  [[nodiscard]] static FaultPlan from_env();
+
+  /// The parseable textual form (empty string for the empty plan).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace midas::svc

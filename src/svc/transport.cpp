@@ -1,0 +1,282 @@
+#include "svc/transport.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "util/socket.h"
+
+namespace midas::svc {
+
+namespace {
+
+/// Shared recv loop: pull decoded frames out of `buf`, refilling it
+/// from `read_chunk` until a frame, the deadline, or the end of the
+/// stream.  `read_chunk(timeout_s, out)` returns false at end of
+/// stream, true otherwise (possibly with an empty chunk on timeout).
+template <typename ReadChunk>
+RecvResult recv_framed(util::FrameBuffer& buf, double timeout_s,
+                       const ReadChunk& read_chunk) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration<double>(timeout_s);
+  while (true) {
+    try {
+      if (auto frame = buf.next()) {
+        RecvResult r;
+        r.status = RecvResult::Status::Frame;
+        r.frame = std::move(*frame);
+        return r;
+      }
+    } catch (const util::FrameError& e) {
+      RecvResult r;
+      r.status = RecvResult::Status::ProtocolError;
+      r.error = e.what();
+      r.error_kind = e.kind();
+      return r;
+    }
+    const double remaining =
+        std::chrono::duration<double>(deadline - clock::now()).count();
+    if (remaining <= 0.0) return RecvResult{};  // Timeout
+    std::string chunk;
+    bool open;
+    try {
+      open = read_chunk(remaining, chunk);
+    } catch (const std::exception& e) {
+      RecvResult r;
+      r.status = RecvResult::Status::Closed;
+      r.error = e.what();
+      return r;
+    }
+    if (!open) {
+      RecvResult r;
+      if (buf.has_partial()) {
+        // The peer vanished mid-frame: that IS a truncated frame.
+        r.status = RecvResult::Status::ProtocolError;
+        r.error_kind = util::FrameErrorKind::Truncated;
+        r.error = "peer closed the stream mid-frame (" +
+                  std::to_string(buf.buffered_bytes()) +
+                  " bytes without a terminating newline)";
+      } else {
+        r.status = RecvResult::Status::Closed;
+      }
+      return r;
+    }
+    if (!chunk.empty()) {
+      try {
+        buf.feed(chunk);
+      } catch (const util::FrameError& e) {
+        RecvResult r;
+        r.status = RecvResult::Status::ProtocolError;
+        r.error = e.what();
+        r.error_kind = e.kind();
+        return r;
+      }
+    }
+  }
+}
+
+class TcpConnection final : public Connection {
+ public:
+  TcpConnection(util::TcpStream stream, std::string peer)
+      : stream_(std::move(stream)), peer_(std::move(peer)) {}
+
+  void send_bytes(std::string_view bytes) override {
+    std::lock_guard lock(send_mutex_);
+    stream_.write_all(bytes);
+  }
+
+  RecvResult recv(double timeout_s) override {
+    return recv_framed(buf_, timeout_s,
+                       [this](double remaining, std::string& chunk) {
+                         char tmp[16384];
+                         const long n =
+                             stream_.read_some(tmp, sizeof tmp, remaining);
+                         if (n == 0) return false;
+                         if (n > 0) {
+                           chunk.assign(tmp, static_cast<std::size_t>(n));
+                         }
+                         return true;
+                       });
+  }
+
+  void close() override { stream_.close(); }
+  std::string peer() const override { return peer_; }
+
+ private:
+  util::TcpStream stream_;
+  util::FrameBuffer buf_;
+  std::mutex send_mutex_;
+  std::string peer_;
+};
+
+/// One direction of an in-memory connection: a byte queue with close.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> chunks;
+  bool closed = false;
+
+  void push(std::string_view bytes) {
+    {
+      std::lock_guard lock(mutex);
+      if (closed) {
+        throw std::runtime_error("send on a closed in-memory connection");
+      }
+      chunks.emplace_back(bytes);
+    }
+    cv.notify_all();
+  }
+
+  /// false at end of stream; true otherwise (empty chunk on timeout).
+  bool pop(double timeout_s, std::string& out) {
+    std::unique_lock lock(mutex);
+    cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                [this] { return !chunks.empty() || closed; });
+    if (!chunks.empty()) {
+      out = std::move(chunks.front());
+      chunks.pop_front();
+      return true;
+    }
+    return !closed;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class MemoryConnection final : public Connection {
+ public:
+  MemoryConnection(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in,
+                   std::string peer, std::size_t max_frame_bytes)
+      : out_(std::move(out)),
+        in_(std::move(in)),
+        buf_(max_frame_bytes),
+        peer_(std::move(peer)) {}
+
+  ~MemoryConnection() override { close(); }
+
+  void send_bytes(std::string_view bytes) override { out_->push(bytes); }
+
+  RecvResult recv(double timeout_s) override {
+    return recv_framed(buf_, timeout_s,
+                       [this](double remaining, std::string& chunk) {
+                         return in_->pop(remaining, chunk);
+                       });
+  }
+
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+  util::FrameBuffer buf_;
+  std::string peer_;
+};
+
+}  // namespace
+
+void Connection::send(const util::Json& frame) {
+  send_bytes(util::encode_frame(frame));
+}
+
+// --- TCP --------------------------------------------------------------
+
+struct TcpServer::Impl {
+  util::TcpListener listener;
+};
+
+TcpServer::TcpServer(std::uint16_t port) : impl_(new Impl) {
+  impl_->listener = util::TcpListener::bind_loopback(port);
+}
+
+TcpServer::~TcpServer() = default;
+
+std::uint16_t TcpServer::port() const noexcept {
+  return impl_->listener.port();
+}
+
+std::shared_ptr<Connection> TcpServer::accept(double timeout_s) {
+  util::TcpStream stream = impl_->listener.accept(timeout_s);
+  if (!stream.is_open()) return nullptr;
+  return std::make_shared<TcpConnection>(std::move(stream), "tcp-peer");
+}
+
+void TcpServer::close() { impl_->listener.close(); }
+
+std::shared_ptr<Connection> tcp_connect(std::uint16_t port,
+                                        double timeout_s) {
+  return std::make_shared<TcpConnection>(
+      util::TcpStream::connect_loopback(port, timeout_s),
+      "127.0.0.1:" + std::to_string(port));
+}
+
+// --- In-memory --------------------------------------------------------
+
+std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>>
+memory_connection_pair(std::size_t max_frame_bytes) {
+  auto a2b = std::make_shared<Pipe>();
+  auto b2a = std::make_shared<Pipe>();
+  return {std::make_shared<MemoryConnection>(a2b, b2a, "mem-b",
+                                             max_frame_bytes),
+          std::make_shared<MemoryConnection>(b2a, a2b, "mem-a",
+                                             max_frame_bytes)};
+}
+
+struct MemoryHub::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Connection>> pending;
+  bool closed = false;
+};
+
+MemoryHub::MemoryHub() : impl_(new Impl) {}
+MemoryHub::~MemoryHub() = default;
+
+std::shared_ptr<Connection> MemoryHub::connect() {
+  auto [client, server] = memory_connection_pair();
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (impl_->closed) {
+      throw std::runtime_error("MemoryHub: connect after close");
+    }
+    impl_->pending.push_back(std::move(server));
+  }
+  impl_->cv.notify_all();
+  return client;
+}
+
+std::shared_ptr<Connection> MemoryHub::accept(double timeout_s) {
+  std::unique_lock lock(impl_->mutex);
+  impl_->cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                     [this] {
+                       return !impl_->pending.empty() || impl_->closed;
+                     });
+  if (impl_->pending.empty()) return nullptr;
+  auto conn = std::move(impl_->pending.front());
+  impl_->pending.pop_front();
+  return conn;
+}
+
+void MemoryHub::close() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->closed = true;
+  }
+  impl_->cv.notify_all();
+}
+
+}  // namespace midas::svc

@@ -1,0 +1,116 @@
+// Transport layer of the fleet runtime: a Connection moves
+// newline-delimited JSON frames (util/framing.h) over a byte stream,
+// a Listener accepts Connections.  Two implementations share the
+// exact same framing and error surface:
+//
+//   * TCP on 127.0.0.1 (util/socket.h) — the real multi-process fleet;
+//   * an in-memory byte-pipe pair — same-process tests, byte-faithful:
+//     because it carries BYTES (not parsed messages), tests can inject
+//     the same truncated/duplicated/interleaved-frame faults the wire
+//     can produce.
+//
+// recv() never throws for peer misbehaviour: malformed frames come
+// back as RecvResult{ProtocolError} with the typed FrameError kind, a
+// vanished peer as {Closed} (with Truncated noted when it died
+// mid-frame).  send()/send_bytes() are thread-safe per connection (a
+// worker's heartbeat thread and compute loop share one connection) and
+// throw std::runtime_error once the peer is gone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/framing.h"
+#include "util/json.h"
+
+namespace midas::svc {
+
+struct RecvResult {
+  enum class Status {
+    Frame,          ///< `frame` holds one decoded message
+    Timeout,        ///< nothing arrived within the timeout
+    Closed,         ///< orderly end of stream
+    ProtocolError,  ///< malformed bytes; `error` / `error_kind` say why
+  };
+  Status status = Status::Timeout;
+  util::Json frame;
+  std::string error;
+  util::FrameErrorKind error_kind = util::FrameErrorKind::BadJson;
+};
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Encodes and sends one frame.  Thread-safe.
+  void send(const util::Json& frame);
+
+  /// Sends raw bytes verbatim — the fault-injection door (truncated /
+  /// duplicated frames ride through here).  Thread-safe.
+  virtual void send_bytes(std::string_view bytes) = 0;
+
+  /// Receives the next frame, waiting at most `timeout_s`.
+  [[nodiscard]] virtual RecvResult recv(double timeout_s) = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual std::string peer() const = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  /// nullptr on timeout.  Throws when the listener itself fails.
+  [[nodiscard]] virtual std::shared_ptr<Connection> accept(
+      double timeout_s) = 0;
+};
+
+// --- TCP (127.0.0.1) --------------------------------------------------
+
+/// Listener bound to 127.0.0.1:`port` (0 = ephemeral; port() tells).
+class TcpServer final : public Listener {
+ public:
+  explicit TcpServer(std::uint16_t port);
+  ~TcpServer() override;
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] std::shared_ptr<Connection> accept(
+      double timeout_s) override;
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Connects to a TcpServer on 127.0.0.1.  Throws on refusal/timeout.
+[[nodiscard]] std::shared_ptr<Connection> tcp_connect(
+    std::uint16_t port, double timeout_s = 5.0);
+
+// --- In-memory --------------------------------------------------------
+
+/// Byte-pipe pair: frames sent on `first` arrive at `second` and vice
+/// versa.  close() on either side closes both directions.
+[[nodiscard]] std::pair<std::shared_ptr<Connection>,
+                        std::shared_ptr<Connection>>
+memory_connection_pair(std::size_t max_frame_bytes = std::size_t{1} << 24);
+
+/// In-process Listener: connect() hands the caller one end of a fresh
+/// pair and queues the other end for accept() — the same rendezvous a
+/// TCP listener provides, minus the kernel.
+class MemoryHub final : public Listener {
+ public:
+  MemoryHub();
+  ~MemoryHub() override;
+  [[nodiscard]] std::shared_ptr<Connection> connect();
+  [[nodiscard]] std::shared_ptr<Connection> accept(
+      double timeout_s) override;
+  /// Makes pending and future accept() calls return nullptr promptly.
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace midas::svc

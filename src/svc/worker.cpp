@@ -1,0 +1,174 @@
+#include "svc/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/framing.h"
+
+namespace midas::svc {
+
+namespace {
+
+/// Heartbeat thread with RAII join: keeps `{"type":"heartbeat"}` frames
+/// flowing on the shared connection until stopped (or stalled by the
+/// fault plan).  Send failures flip `lost` instead of throwing — the
+/// main loop notices on its next recv.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(Connection& connection, std::string worker,
+                double interval_s)
+      : connection_(connection),
+        worker_(std::move(worker)),
+        interval_s_(interval_s) {
+    thread_ = std::thread([this] { pump(); });
+  }
+
+  ~HeartbeatPump() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void stall() { stalled_.store(true, std::memory_order_relaxed); }
+
+ private:
+  void pump() {
+    util::Json frame = util::Json::object();
+    frame.set("type", util::Json("heartbeat"));
+    frame.set("worker", util::Json(worker_));
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(interval_s_),
+                   [this] { return stop_; });
+      if (stop_) return;
+      if (stalled_.load(std::memory_order_relaxed)) continue;
+      lock.unlock();
+      try {
+        connection_.send(frame);
+      } catch (const std::exception&) {
+        // Peer gone; the compute loop will see Closed on its own.
+      }
+      lock.lock();
+    }
+  }
+
+  Connection& connection_;
+  std::string worker_;
+  double interval_s_;
+  std::atomic<bool> stalled_{false};
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+Worker::Worker(WorkerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+  if (!options_.crash) {
+    options_.crash = [](int code) { std::_Exit(code); };
+  }
+}
+
+WorkerExit Worker::run(Connection& connection) {
+  // The coordinator can vanish at ANY send (including while this worker
+  // slept in a fault delay): every outbound frame goes through here so
+  // a dead peer surfaces as ConnectionLost — the reconnect loop's
+  // signal — never as an exception escaping run().
+  const auto try_send_bytes = [&](std::string_view bytes) {
+    try {
+      connection.send_bytes(bytes);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  const auto try_send = [&](const util::Json& frame) {
+    return try_send_bytes(util::encode_frame(frame));
+  };
+
+  util::Json hello = util::Json::object();
+  hello.set("type", util::Json("hello"));
+  hello.set("worker", util::Json(options_.name));
+  if (!try_send(hello)) return WorkerExit::ConnectionLost;
+
+  HeartbeatPump heartbeats(connection, options_.name,
+                           options_.heartbeat_interval_s);
+
+  while (true) {
+    RecvResult r = connection.recv(options_.poll_timeout_s);
+    if (r.status == RecvResult::Status::Timeout) continue;
+    if (r.status != RecvResult::Status::Frame) {
+      return WorkerExit::ConnectionLost;
+    }
+    const std::string& type = r.frame.at("type").as_string();
+    if (type == "shutdown") return WorkerExit::Shutdown;
+    if (type != "lease") continue;  // ignore anything unexpected
+
+    const std::string request = r.frame.at("request").as_string();
+    const std::uint64_t shard = r.frame.at("shard").as_u64();
+    ++leases_seen_;
+    if (options_.faults.stall_heartbeat_after != 0 &&
+        leases_seen_ >= options_.faults.stall_heartbeat_after) {
+      heartbeats.stall();
+    }
+    if (leases_seen_ == options_.faults.crash_mid_shard) {
+      options_.crash(3);
+      return WorkerExit::ConnectionLost;  // throwing test hook only
+    }
+
+    util::Json out = util::Json::object();
+    try {
+      const core::ExperimentSpec spec =
+          core::ExperimentSpec::from_json(r.frame.at("spec"));
+      const core::ExperimentResult result = service_.run(spec);
+      out.set("type", util::Json("result"));
+      out.set("worker", util::Json(options_.name));
+      out.set("request", util::Json(request));
+      out.set("shard", util::Json(static_cast<double>(shard)));
+      out.set("result", result.to_json());
+    } catch (const std::exception& e) {
+      out = util::Json::object();
+      out.set("type", util::Json("shard_error"));
+      out.set("worker", util::Json(options_.name));
+      out.set("request", util::Json(request));
+      out.set("shard", util::Json(static_cast<double>(shard)));
+      out.set("error", util::Json(e.what()));
+      if (!try_send(out)) return WorkerExit::ConnectionLost;
+      continue;
+    }
+
+    if (leases_seen_ == options_.faults.crash_before_result) {
+      options_.crash(4);
+      return WorkerExit::ConnectionLost;
+    }
+    if (options_.faults.delay_result_s > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options_.faults.delay_result_s));
+    }
+    ++results_sent_;
+    const std::string bytes = util::encode_frame(out);
+    if (results_sent_ == options_.faults.truncate_result) {
+      // The drill is "died mid-frame": crash even if the peer is gone.
+      (void)try_send_bytes(
+          std::string_view(bytes).substr(0, bytes.size() / 2));
+      options_.crash(5);
+      return WorkerExit::ConnectionLost;
+    }
+    if (!try_send_bytes(bytes)) return WorkerExit::ConnectionLost;
+    if (results_sent_ == options_.faults.duplicate_result) {
+      if (!try_send_bytes(bytes)) return WorkerExit::ConnectionLost;
+    }
+  }
+}
+
+}  // namespace midas::svc

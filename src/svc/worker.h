@@ -1,0 +1,61 @@
+// The fleet worker: connects to a coordinator, introduces itself, and
+// computes shard leases with its own core::ExperimentService — the
+// exact same engine a single-process run uses, which is what makes
+// fleet results bitwise-comparable.  A background thread heartbeats on
+// the shared connection (Connection::send is thread-safe) while the
+// main loop computes, so a long lease never looks like a death.
+//
+// The svc::FaultPlan hooks live here: crashes, heartbeat stalls,
+// result delays/duplications/truncations all fire at their scheduled
+// 1-based lease/result counts.  Crashes go through an injectable
+// `crash` hook (default std::_Exit) so in-process tests can observe
+// them without dying.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/experiment.h"
+#include "svc/fault.h"
+#include "svc/transport.h"
+
+namespace midas::svc {
+
+struct WorkerOptions {
+  std::string name = "worker";
+  double heartbeat_interval_s = 1.0;
+  /// recv poll granularity (responsiveness to shutdown).
+  double poll_timeout_s = 0.5;
+  FaultPlan faults;
+  core::ExperimentServiceOptions service;
+  /// Hard-exit hook for the crash faults.  Defaults to std::_Exit.
+  std::function<void(int)> crash;
+};
+
+enum class WorkerExit {
+  Shutdown,        ///< coordinator said "shutdown" — clean drain
+  ConnectionLost,  ///< stream closed or turned to garbage
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerOptions options);
+
+  /// Blocking: hello, then leases until shutdown or a dead connection.
+  /// The heartbeat thread is always joined before returning (or before
+  /// a throwing test crash hook propagates).
+  WorkerExit run(Connection& connection);
+
+  [[nodiscard]] std::size_t leases_computed() const noexcept {
+    return leases_seen_;
+  }
+
+ private:
+  WorkerOptions options_;
+  core::ExperimentService service_;
+  std::size_t leases_seen_ = 0;
+  std::size_t results_sent_ = 0;
+};
+
+}  // namespace midas::svc

@@ -35,6 +35,16 @@ Cli& Cli::flag(const std::string& name, std::string def,
   return *this;
 }
 
+Cli& Cli::required(const std::string& name) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("Cli::required: flag --" + name +
+                           " is not registered");
+  }
+  it->second.required = true;
+  return *this;
+}
+
 bool Cli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -62,6 +72,18 @@ bool Cli::parse(int argc, char** argv) {
       throw std::invalid_argument("unknown flag --" + name);
     }
     it->second.value = value;
+    it->second.provided = true;
+  }
+  std::string missing;
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    if (f.required && !f.provided) {
+      missing += (missing.empty() ? "--" : ", --") + name;
+    }
+  }
+  if (!missing.empty()) {
+    throw std::invalid_argument("missing required flag(s): " + missing +
+                                " (see --help)");
   }
   return true;
 }
@@ -93,8 +115,12 @@ void Cli::print_usage() const {
   std::printf("%s — %s\n\nflags:\n", program_.c_str(), description_.c_str());
   for (const auto& name : order_) {
     const auto& f = flags_.at(name);
-    std::printf("  --%-24s %s (default: %s)\n", name.c_str(), f.help.c_str(),
-                f.value.c_str());
+    if (f.required) {
+      std::printf("  --%-24s %s (required)\n", name.c_str(), f.help.c_str());
+    } else {
+      std::printf("  --%-24s %s (default: %s)\n", name.c_str(),
+                  f.help.c_str(), f.value.c_str());
+    }
   }
 }
 

@@ -19,8 +19,16 @@ class Cli {
   Cli& flag(const std::string& name, int def, const std::string& help);
   Cli& flag(const std::string& name, std::string def, const std::string& help);
 
+  /// Marks an already-registered flag as required: parse() fails unless
+  /// the user supplies it (the registration default is only a type
+  /// witness).  Every missing required flag is reported in ONE error so
+  /// a user fixes the whole invocation in a single round trip.  Throws
+  /// std::logic_error when `name` was never registered.
+  Cli& required(const std::string& name);
+
   /// Parses argv.  Returns false (after printing usage) when `--help` is
-  /// requested; throws std::invalid_argument for unknown flags/bad values.
+  /// requested; throws std::invalid_argument for unknown flags/bad values
+  /// and when any required flag is absent (listing all missing ones).
   [[nodiscard]] bool parse(int argc, char** argv);
 
   [[nodiscard]] double get_double(const std::string& name) const;
@@ -35,6 +43,8 @@ class Cli {
     Kind kind;
     std::string value;  // textual representation, parsed on demand
     std::string help;
+    bool required = false;
+    bool provided = false;
   };
 
   const Flag& lookup(const std::string& name, Kind kind) const;

@@ -323,7 +323,14 @@ std::uint64_t Json::as_u64() const {
 }
 
 void Json::dump_to(std::string& out, int depth) const {
-  const auto indent = [&](int d) { out.append(2 * static_cast<std::size_t>(d), ' '); };
+  const bool compact = depth < 0;
+  const auto indent = [&](int d) {
+    if (!compact) out.append(2 * static_cast<std::size_t>(d), ' ');
+  };
+  const auto newline = [&] {
+    if (!compact) out += '\n';
+  };
+  const int child = compact ? depth : depth + 1;
   switch (type_) {
     case Type::Null: out += "null"; break;
     case Type::Bool: out += bool_ ? "true" : "false"; break;
@@ -334,11 +341,13 @@ void Json::dump_to(std::string& out, int depth) const {
         out += "[]";
         break;
       }
-      out += "[\n";
+      out += '[';
+      newline();
       for (std::size_t i = 0; i < elements_.size(); ++i) {
-        indent(depth + 1);
-        elements_[i].dump_to(out, depth + 1);
-        out += i + 1 < elements_.size() ? ",\n" : "\n";
+        indent(child);
+        elements_[i].dump_to(out, child);
+        if (i + 1 < elements_.size()) out += ',';
+        newline();
       }
       indent(depth);
       out += ']';
@@ -348,13 +357,15 @@ void Json::dump_to(std::string& out, int depth) const {
         out += "{}";
         break;
       }
-      out += "{\n";
+      out += '{';
+      newline();
       for (std::size_t i = 0; i < members_.size(); ++i) {
-        indent(depth + 1);
+        indent(child);
         encode_string(out, members_[i].first);
-        out += ": ";
-        members_[i].second.dump_to(out, depth + 1);
-        out += i + 1 < members_.size() ? ",\n" : "\n";
+        out += compact ? ":" : ": ";
+        members_[i].second.dump_to(out, child);
+        if (i + 1 < members_.size()) out += ',';
+        newline();
       }
       indent(depth);
       out += '}';
@@ -366,6 +377,12 @@ std::string Json::dump() const {
   std::string out;
   dump_to(out, 0);
   out += '\n';
+  return out;
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_to(out, -1);
   return out;
 }
 

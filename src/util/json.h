@@ -82,10 +82,18 @@ class Json {
   /// top level.  Doubles round-trip bitwise (17 significant digits).
   [[nodiscard]] std::string dump() const;
 
+  /// Single-line serialisation (no indentation, no trailing newline),
+  /// same number/string encoding as dump().  Because every control
+  /// character in strings is escaped, the output never contains a raw
+  /// newline — this is the form the newline-delimited frame codec
+  /// (util/framing.h) puts on the wire.
+  [[nodiscard]] std::string dump_compact() const;
+
   /// Parses a complete document; trailing non-whitespace is an error.
   [[nodiscard]] static Json parse(std::string_view text);
 
  private:
+  /// depth < 0 selects the compact single-line form.
   void dump_to(std::string& out, int depth) const;
   [[noreturn]] void type_error(const char* want) const;
 

@@ -293,6 +293,18 @@ TEST(ExperimentService, ShardedRunsMergeBitwiseToTheFullGrid) {
       EXPECT_EQ(md.mc[i].ttsf_state.m2, fd.mc[i].ttsf_state.m2) << i;
       EXPECT_EQ(md.mc[i].replications, fd.mc[i].replications) << i;
     }
+
+    // The fleet invariant, whole-document: after normalising the merge
+    // provenance (what the coordinator does before answering), the
+    // canonical JSON is byte-identical to the whole-grid run — Des
+    // included.  This is what lets duplicate completions be verified
+    // by bytes and the soak gate compare across process topologies.
+    ExperimentResult normalised = merged;
+    normalised.num_shards = 1;
+    normalised.shard_index = 0;
+    normalised.shard_policy = full.shard_policy;
+    EXPECT_EQ(normalised.canonical_json().dump_compact(),
+              full.canonical_json().dump_compact());
   }
 }
 
@@ -433,6 +445,92 @@ TEST(ShardPlan, PilotCostBalancesAHeterogeneousGrid) {
   const auto contiguous = core::ShardPlan::contiguous(grid.num_points(), 2);
   EXPECT_LT(imbalance(plan), imbalance(contiguous));
   EXPECT_NE(plan.range(0).size(), contiguous.range(0).size());
+}
+
+/// Expects `call` to throw std::invalid_argument and returns its
+/// message so the test can assert WHICH shards the error names.
+template <typename Call>
+std::string merge_error(Call&& call) {
+  try {
+    call();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected merge to reject the part set";
+  return {};
+}
+
+TEST(ExperimentMerge, ErrorsNameTheGuiltyShardIndices) {
+  ExperimentSpec spec = small_spec();
+  spec.backends = {BackendKind::Analytic};
+  ExperimentService service;
+  std::vector<ExperimentResult> parts;
+  for (std::size_t s = 0; s < 3; ++s) {
+    ExperimentSpec shard = spec;
+    shard.shard.policy = ShardSpec::Policy::Contiguous;
+    shard.shard.num_shards = 3;
+    shard.shard.shard_index = s;
+    parts.push_back(service.run(shard));
+  }
+
+  // Shard 1 missing: the gap error names the uncovered points and the
+  // shards on either side — not a generic "bad tiling".
+  const std::vector<ExperimentResult> gap = {parts[0], parts[2]};
+  std::string what =
+      merge_error([&] { (void)core::merge_experiment_results(gap); });
+  EXPECT_NE(what.find("covered by no shard"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 0"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 2"), std::string::npos) << what;
+
+  // The same shard twice is called out by index.
+  const std::vector<ExperimentResult> dup = {parts[0], parts[1], parts[1]};
+  what = merge_error([&] { (void)core::merge_experiment_results(dup); });
+  EXPECT_NE(what.find("duplicate shard 1"), std::string::npos) << what;
+
+  // Overlapping ranges name both offenders.
+  std::vector<ExperimentResult> overlap = parts;
+  overlap[2] = parts[1];
+  overlap[2].shard_index = 2;
+  what = merge_error([&] { (void)core::merge_experiment_results(overlap); });
+  EXPECT_NE(what.find("overlap"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 2"), std::string::npos) << what;
+
+  // A part produced by a different spec is rejected by index too.
+  std::vector<ExperimentResult> alien = parts;
+  alien[1].spec.base.n_init += 1;
+  what = merge_error([&] { (void)core::merge_experiment_results(alien); });
+  EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("different spec"), std::string::npos) << what;
+}
+
+TEST(ExperimentResult, CanonicalJsonZeroesOnlyWallClockTimings) {
+  ExperimentSpec spec = small_spec();
+  spec.backends = {BackendKind::Analytic};
+  ExperimentService service;
+  const ExperimentResult result = service.run(spec);
+
+  // Two copies that differ ONLY in wall-clock timings...
+  ExperimentResult fast = result;
+  ExperimentResult slow = result;
+  for (auto& run : fast.backends) {
+    run.seconds = 0.001;
+    run.mc_stats.seconds = 0.0005;
+  }
+  for (auto& run : slow.backends) {
+    run.seconds = 982.0;
+    run.mc_stats.seconds = 14.5;
+  }
+  ASSERT_NE(fast.to_json().dump(), slow.to_json().dump());
+  // ...are canonically identical: timing never affects payload identity.
+  EXPECT_EQ(fast.canonical_json().dump_compact(),
+            slow.canonical_json().dump_compact());
+
+  // And the canonical form changes when the PAYLOAD changes.
+  ExperimentResult tampered = fast;
+  tampered.backends[0].evals[0].mttsf += 1.0;
+  EXPECT_NE(tampered.canonical_json().dump_compact(),
+            fast.canonical_json().dump_compact());
 }
 
 }  // namespace

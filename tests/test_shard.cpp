@@ -357,4 +357,73 @@ TEST(ShardFileJson, FileLevelMergeReconstructsTheGrid) {
   EXPECT_EQ(merged.mc_stats.replications, whole.mc_stats.replications);
 }
 
+TEST(ShardPlan, ReplanSplitsTheUncompletedRemainderDeterministically) {
+  // One orphaned lease fanned across three idle survivors: the pieces
+  // tile the original range in order, no point lost or duplicated.
+  const std::vector<ShardRange> orphan = {{10, 22}};
+  const auto pieces = ShardPlan::replan(orphan, 3);
+  ASSERT_EQ(pieces.size(), 3u);
+  std::size_t cursor = 10;
+  for (const auto& r : pieces) {
+    EXPECT_EQ(r.begin, cursor);
+    EXPECT_GT(r.end, r.begin);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, 22u);
+
+  // More inputs than pieces: returned sorted, empties dropped, intact.
+  const std::vector<ShardRange> many = {{8, 9}, {0, 4}, {4, 4}, {5, 8}};
+  const auto kept = ShardPlan::replan(many, 2);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].begin, 0u);
+  EXPECT_EQ(kept[1].begin, 5u);
+  EXPECT_EQ(kept[2].begin, 8u);
+
+  // Never splits below one point per piece.
+  const std::vector<ShardRange> tiny = {{3, 5}};
+  EXPECT_EQ(ShardPlan::replan(tiny, 8).size(), 2u);
+
+  // Overlapping inputs and zero pieces are programmer errors.
+  const std::vector<ShardRange> overlap = {{0, 6}, {4, 9}};
+  EXPECT_THROW((void)ShardPlan::replan(overlap, 2), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::replan(orphan, 0), std::invalid_argument);
+}
+
+TEST(ShardTiling, ErrorsNameTheGuiltyShardIndices) {
+  // The labeled overload is what merge paths use: errors must name the
+  // caller's shard indices (7 and 3 here), not list positions.
+  const std::vector<std::size_t> labels = {7, 3};
+  const auto error_of = [&](const std::vector<ShardRange>& ranges) {
+    try {
+      core::validate_shard_tiling(10, ranges, labels);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    ADD_FAILURE() << "expected the tiling to be rejected";
+    return std::string();
+  };
+
+  // Gap in the middle: names the uncovered run and both neighbours.
+  std::string what = error_of({{0, 4}, {6, 10}});
+  EXPECT_NE(what.find("[4, 6)"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 7"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 3"), std::string::npos) << what;
+
+  // Overlap: names both shards and the exact overlapping points.
+  what = error_of({{0, 6}, {4, 10}});
+  EXPECT_NE(what.find("overlap"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 7"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("[4, 6)"), std::string::npos) << what;
+
+  // Tail gap: names the last shard that fell short.
+  what = error_of({{0, 4}, {4, 8}});
+  EXPECT_NE(what.find("[8, 10)"), std::string::npos) << what;
+  EXPECT_NE(what.find("shard 3"), std::string::npos) << what;
+
+  // A healthy tiling passes with labels attached.
+  const std::vector<ShardRange> good = {{0, 4}, {4, 10}};
+  EXPECT_NO_THROW(core::validate_shard_tiling(10, good, labels));
+}
+
 }  // namespace

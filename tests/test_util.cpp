@@ -209,4 +209,59 @@ TEST(Json, FileRoundTrip) {
                std::runtime_error);
 }
 
+TEST(Cli, RequiredReportsEveryMissingFlagAtOnce) {
+  // One round trip, not N: a user who forgot three flags learns about
+  // all three in a single error.
+  Cli cli("prog", "test");
+  cli.flag("port", 0, "listen port")
+      .flag("name", std::string("w"), "worker name")
+      .flag("out", std::string(), "output path")
+      .flag("timeout", 5.0, "seconds")
+      .required("port")
+      .required("out")
+      .required("timeout");
+  const char* argv[] = {"prog", "--name", "w0", "--timeout", "3"};
+  try {
+    (void)cli.parse(5, const_cast<char**>(argv));
+    FAIL() << "expected a missing-required-flag error";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--port"), std::string::npos) << what;
+    EXPECT_NE(what.find("--out"), std::string::npos) << what;
+    // Provided flags are NOT in the complaint.
+    EXPECT_EQ(what.find("--timeout"), std::string::npos) << what;
+    EXPECT_EQ(what.find("--name"), std::string::npos) << what;
+  }
+
+  // The explicit default is a valid witness: passing --port 0 counts.
+  Cli ok("prog", "test");
+  ok.flag("port", 0, "listen port").required("port");
+  const char* good[] = {"prog", "--port", "0"};
+  EXPECT_TRUE(ok.parse(3, const_cast<char**>(good)));
+  EXPECT_EQ(ok.get_int("port"), 0);
+
+  // required() on an unregistered flag is a programmer error.
+  Cli typo("prog", "test");
+  EXPECT_THROW(typo.required("no-such-flag"), std::logic_error);
+}
+
+TEST(Json, DumpCompactIsOneLineAndSemanticallyIdentical) {
+  auto j = Json::object();
+  j.set("text", Json("line1\nline2\ttab"));
+  auto arr = Json::array();
+  arr.push_back(Json(1.5));
+  arr.push_back(Json(true));
+  auto inner = Json::object();
+  inner.set("k", Json("v"));
+  arr.push_back(inner);
+  j.set("items", arr);
+
+  const std::string compact = j.dump_compact();
+  // No raw newline anywhere: compact dumps are frameable as-is.
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  // Same document as the pretty dump, byte-for-byte after a round trip.
+  EXPECT_EQ(Json::parse(compact).dump(), j.dump());
+  EXPECT_EQ(Json::parse(j.dump()).dump_compact(), compact);
+}
+
 }  // namespace

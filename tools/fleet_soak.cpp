@@ -1,0 +1,358 @@
+// Fleet soak harness — the acceptance gate for the fault-tolerant
+// coordinator/worker runtime.  One process hosts the coordinator; real
+// fleet_worker processes are fork/exec'd (some armed with FaultPlans
+// that kill them mid-run); client threads submit preset experiment
+// requests over loopback TCP; and every merged response is
+// byte-compared (ExperimentResult::canonical_json) against a crash-free
+// single-process ExperimentService::run of the same spec.  If recovery
+// is anything less than bitwise, this exits nonzero.
+//
+//   fleet_soak --preset fig2_val --smoke 1 --workers 4 --clients 2 \
+//              --faults "crash_mid_shard=1;crash_before_result=1" \
+//              --out BENCH_fleet_soak.json
+//
+// --faults is a ';'-separated list of per-worker FaultPlans (worker i
+// gets entry i; missing entries mean no faults).  Crash faults exit
+// the worker with codes 3/4/5, which the harness counts to prove the
+// drills actually fired.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/experiment_presets.h"
+#include "svc/coordinator.h"
+#include "svc/fault.h"
+#include "svc/transport.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace midas;
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  if (out.size() == 1 && out[0].empty()) out.clear();
+  return out;
+}
+
+/// Directory of the running binary, so fleet_worker is found next to
+/// fleet_soak regardless of the caller's cwd.
+std::string self_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+pid_t spawn_worker(const std::string& binary, std::uint16_t port,
+                   const std::string& name, const std::string& fault) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fleet_soak: fork failed");
+  if (pid == 0) {
+    if (fault.empty()) {
+      ::unsetenv("MIDAS_FAULT_PLAN");
+    } else {
+      ::setenv("MIDAS_FAULT_PLAN", fault.c_str(), 1);
+    }
+    const std::string port_s = std::to_string(port);
+    ::execl(binary.c_str(), binary.c_str(), "--port", port_s.c_str(),
+            "--name", name.c_str(), "--heartbeat", "0.5",
+            (char*)nullptr);
+    std::perror("fleet_soak: execl fleet_worker");
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+struct ClientOutcome {
+  bool ok = false;
+  std::string error;
+  std::string canonical;  ///< canonical_json bytes of the merged result
+  bool complete = false;
+  std::size_t gaps = 0;
+};
+
+ClientOutcome run_client(std::uint16_t port, const std::string& id,
+                         const util::Json& spec_json, double deadline_s) {
+  ClientOutcome out;
+  try {
+    auto connection = svc::tcp_connect(port, 10.0);
+    util::Json request = util::Json::object();
+    request.set("type", util::Json("request"));
+    request.set("id", util::Json(id));
+    request.set("spec", spec_json);
+    connection->send(request);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(deadline_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      svc::RecvResult r = connection->recv(1.0);
+      if (r.status == svc::RecvResult::Status::Timeout) continue;
+      if (r.status != svc::RecvResult::Status::Frame) {
+        out.error = "connection lost before response (" + r.error + ")";
+        return out;
+      }
+      const std::string& type = r.frame.at("type").as_string();
+      if (type == "error") {
+        out.error = "coordinator error: " + r.frame.at("error").as_string();
+        return out;
+      }
+      if (type != "response") continue;
+      out.complete = r.frame.at("complete").as_bool();
+      out.gaps = r.frame.at("gaps").size();
+      const core::ExperimentResult result =
+          core::ExperimentResult::from_json(r.frame.at("result"));
+      out.canonical = result.canonical_json().dump_compact();
+      out.ok = true;
+      return out;
+    }
+    out.error = "timed out waiting for response";
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("fleet_soak",
+                "Kill-workers-mid-run soak: merged fleet results must be "
+                "byte-identical to a single-process run.");
+  cli.flag("preset", std::string("fig2_val"), "experiment preset name")
+      .flag("smoke", 1, "thin the preset for CI runtimes")
+      .flag("workers", 4, "worker processes to spawn")
+      .flag("clients", 2, "concurrent client requests")
+      .flag("faults", std::string(),
+            "';'-separated per-worker FaultPlans, e.g. "
+            "'crash_mid_shard=1;crash_before_result=1'")
+      .flag("shards-per-worker", 2, "coordinator lease granularity")
+      .flag("heartbeat-timeout", 3.0, "worker liveness timeout (s)")
+      .flag("lease-deadline", 60.0, "base per-lease deadline (s)")
+      .flag("backoff-base", 0.2, "re-dispatch backoff base (s)")
+      .flag("timeout", 600.0, "overall harness deadline (s)")
+      .flag("out", std::string(), "JSON artifact path (optional)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_soak: " << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    const util::Stopwatch watch;
+    const std::string preset = cli.get_string("preset");
+    const bool smoke = cli.get_int("smoke") != 0;
+    const int num_workers = cli.get_int("workers");
+    const int num_clients = cli.get_int("clients");
+    const double timeout_s = cli.get_double("timeout");
+    const std::vector<std::string> fault_plans =
+        split(cli.get_string("faults"), ';');
+    for (const std::string& plan : fault_plans) {
+      (void)svc::FaultPlan::parse(plan);  // validate up front
+    }
+
+    const core::ExperimentSpec spec =
+        core::experiment_preset(preset, smoke);
+    const util::Json spec_json = spec.to_json();
+
+    // 1. The crash-free reference: one process, no fleet.
+    std::printf("fleet_soak: reference single-process run (%s%s)\n",
+                preset.c_str(), smoke ? ", smoke" : "");
+    std::fflush(stdout);
+    core::ExperimentService reference_service;
+    const std::string reference =
+        reference_service.run(spec).canonical_json().dump_compact();
+
+    // 2. The fleet: coordinator thread + forked workers.
+    svc::CoordinatorOptions options;
+    options.shards_per_worker =
+        static_cast<std::size_t>(cli.get_int("shards-per-worker"));
+    options.lease.heartbeat_timeout_s = cli.get_double("heartbeat-timeout");
+    options.lease.lease_deadline_s = cli.get_double("lease-deadline");
+    options.lease.backoff_base_s = cli.get_double("backoff-base");
+    svc::TcpServer server(0);
+    const std::uint16_t port = server.port();
+    svc::Coordinator coordinator(options);
+    std::thread serve_thread(
+        [&coordinator, &server] { coordinator.serve(server, nullptr); });
+
+    const std::string worker_binary = self_dir() + "/fleet_worker";
+    std::vector<pid_t> pids;
+    for (int i = 0; i < num_workers; ++i) {
+      const std::string fault =
+          static_cast<std::size_t>(i) < fault_plans.size()
+              ? fault_plans[static_cast<std::size_t>(i)]
+              : std::string();
+      pids.push_back(spawn_worker(worker_binary, port,
+                                  "w" + std::to_string(i), fault));
+    }
+
+    // Wait for the full pool to register before submitting, so the
+    // shard plan reflects the intended fleet size.
+    const auto pool_deadline = std::chrono::steady_clock::now() +
+                               std::chrono::duration<double>(30.0);
+    while (coordinator.stats().workers_seen <
+               static_cast<std::size_t>(num_workers) &&
+           std::chrono::steady_clock::now() < pool_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // 3. Concurrent clients.
+    std::vector<ClientOutcome> outcomes(
+        static_cast<std::size_t>(num_clients));
+    std::vector<std::thread> clients;
+    for (int i = 0; i < num_clients; ++i) {
+      clients.emplace_back([&, i] {
+        outcomes[static_cast<std::size_t>(i)] =
+            run_client(port, "c" + std::to_string(i), spec_json,
+                       timeout_s);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    // 4. Drain the fleet and reap the workers.
+    coordinator.request_stop();
+    serve_thread.join();
+    int crashed = 0;
+    int clean_exits = 0;
+    for (const pid_t pid : pids) {
+      int status = 0;
+      // Workers exit on the shutdown frame or their crash fault; give
+      // them a moment, then force the stragglers.
+      for (int spin = 0; spin < 100; ++spin) {
+        if (::waitpid(pid, &status, WNOHANG) == pid) break;
+        if (spin == 99) {
+          ::kill(pid, SIGKILL);
+          ::waitpid(pid, &status, 0);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+      if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code >= 3 && code <= 5) {
+          ++crashed;
+        } else if (code == 0) {
+          ++clean_exits;
+        }
+      }
+    }
+
+    // 5. The verdict.
+    const svc::CoordinatorStats stats = coordinator.stats();
+    int expected_crashes = 0;
+    for (const std::string& plan : fault_plans) {
+      const svc::FaultPlan parsed = svc::FaultPlan::parse(plan);
+      if (parsed.crash_mid_shard != 0 || parsed.crash_before_result != 0 ||
+          parsed.truncate_result != 0) {
+        ++expected_crashes;
+      }
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const ClientOutcome& outcome = outcomes[i];
+      if (!outcome.ok) {
+        std::printf("fleet_soak: FAIL client %zu: %s\n", i,
+                    outcome.error.c_str());
+        ok = false;
+      } else if (!outcome.complete) {
+        std::printf("fleet_soak: FAIL client %zu: %zu gap(s) in response\n",
+                    i, outcome.gaps);
+        ok = false;
+      } else if (outcome.canonical != reference) {
+        std::printf(
+            "fleet_soak: FAIL client %zu: merged result is NOT "
+            "byte-identical to the single-process run (%zu vs %zu bytes)\n",
+            i, outcome.canonical.size(), reference.size());
+        ok = false;
+      }
+    }
+    if (crashed < expected_crashes) {
+      std::printf(
+          "fleet_soak: FAIL only %d worker crash(es) observed, %d "
+          "scheduled — the drills did not fire\n",
+          crashed, expected_crashes);
+      ok = false;
+    }
+    if (expected_crashes > 0 && stats.lease.reassignments == 0) {
+      std::printf(
+          "fleet_soak: FAIL workers crashed but no lease was ever "
+          "reassigned\n");
+      ok = false;
+    }
+
+    const double seconds = watch.seconds();
+    std::printf(
+        "fleet_soak: %s — %d clients, %d workers (%d crashed, %d clean), "
+        "reassignments=%zu splits=%zu duplicates=%zu recoveries=%zu "
+        "max_recovery=%.3fs in %.1fs\n",
+        ok ? "PASS (bitwise)" : "FAIL", num_clients, num_workers, crashed,
+        clean_exits, stats.lease.reassignments, stats.lease.splits,
+        stats.lease.duplicates_verified, stats.recoveries,
+        stats.max_recovery_s, seconds);
+
+    if (!cli.get_string("out").empty()) {
+      util::Json j = util::Json::object();
+      j.set("bench", util::Json("fleet_soak"));
+      j.set("preset", util::Json(preset));
+      j.set("smoke", util::Json(smoke));
+      j.set("workers", util::Json(static_cast<double>(num_workers)));
+      j.set("clients", util::Json(static_cast<double>(num_clients)));
+      j.set("faults", util::Json(cli.get_string("faults")));
+      j.set("bitwise_identical", util::Json(ok));
+      j.set("workers_crashed", util::Json(static_cast<double>(crashed)));
+      j.set("worker_deaths_detected",
+            util::Json(static_cast<double>(stats.lease.worker_deaths)));
+      j.set("reassignments",
+            util::Json(static_cast<double>(stats.lease.reassignments)));
+      j.set("splits", util::Json(static_cast<double>(stats.lease.splits)));
+      j.set("duplicates_verified",
+            util::Json(
+                static_cast<double>(stats.lease.duplicates_verified)));
+      j.set("quarantined",
+            util::Json(static_cast<double>(stats.lease.quarantined)));
+      j.set("recoveries",
+            util::Json(static_cast<double>(stats.recoveries)));
+      j.set("max_recovery_s", util::Json::number(stats.max_recovery_s));
+      j.set("mean_recovery_s",
+            util::Json::number(stats.recoveries == 0
+                                   ? 0.0
+                                   : stats.total_recovery_s /
+                                         static_cast<double>(
+                                             stats.recoveries)));
+      j.set("seconds", util::Json::number(seconds));
+      util::write_json_file(cli.get_string("out"), j);
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_soak: " << e.what() << "\n";
+    return 1;
+  }
+}

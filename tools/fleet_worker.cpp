@@ -1,0 +1,107 @@
+// Fleet worker process: connects to a coordinator on 127.0.0.1:--port,
+// computes shard leases with its own core::ExperimentService, and
+// heartbeats while doing so.  Reconnects with capped, jittered backoff
+// when the connection drops; exits 0 on a coordinator-initiated
+// shutdown, 1 when the coordinator stays unreachable.
+//
+// Fault injection (CI's recovery drills): --fault "key=value,..." or
+// the MIDAS_FAULT_PLAN environment variable (see svc/fault.h).  The
+// crash faults exit with distinct codes (3/4/5) so a harness can count
+// which drills actually fired.
+//
+//   fleet_worker --port 4700 --name w0
+//   MIDAS_FAULT_PLAN=crash_mid_shard=1 fleet_worker --port 4700 --name w1
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <thread>
+
+#include "svc/fault.h"
+#include "svc/transport.h"
+#include "svc/worker.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  util::Cli cli("fleet_worker",
+                "Experiment fleet worker (connects to fleet_coordinator).");
+  cli.flag("port", 0, "coordinator port on 127.0.0.1")
+      .required("port")
+      .flag("name", std::string("worker"), "worker name (hello frame)")
+      .flag("heartbeat", 1.0, "heartbeat interval in seconds")
+      .flag("threads", 0, "compute threads (0 = hardware)")
+      .flag("fault", std::string(),
+            "fault plan, e.g. 'crash_mid_shard=1' (default: "
+            "MIDAS_FAULT_PLAN env)")
+      .flag("max-reconnects", 10,
+            "consecutive failed connects before giving up");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_worker: " << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    svc::WorkerOptions options;
+    options.name = cli.get_string("name");
+    options.heartbeat_interval_s = cli.get_double("heartbeat");
+    options.service.threads =
+        static_cast<std::size_t>(cli.get_int("threads"));
+    options.faults = cli.get_string("fault").empty()
+                         ? svc::FaultPlan::from_env()
+                         : svc::FaultPlan::parse(cli.get_string("fault"));
+    if (options.faults.any()) {
+      std::fprintf(stderr, "fleet_worker %s: armed faults: %s\n",
+                   options.name.c_str(),
+                   options.faults.to_string().c_str());
+    }
+    const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+    const int max_reconnects = cli.get_int("max-reconnects");
+
+    svc::Worker worker(options);
+    int failed_connects = 0;
+    // Deterministic per-name jitter spreads a pool's reconnect storm.
+    std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+    for (const char c : options.name) {
+      jitter_seed = jitter_seed * 131 + static_cast<unsigned char>(c);
+    }
+    while (true) {
+      std::shared_ptr<svc::Connection> connection;
+      try {
+        connection = svc::tcp_connect(port, 5.0);
+        failed_connects = 0;
+      } catch (const std::exception& e) {
+        ++failed_connects;
+        if (failed_connects > max_reconnects) {
+          std::cerr << "fleet_worker " << options.name
+                    << ": giving up after " << failed_connects
+                    << " failed connects: " << e.what() << "\n";
+          return 1;
+        }
+        const double base =
+            std::min(5.0, 0.2 * static_cast<double>(1 << std::min(
+                                    failed_connects, 5)));
+        const double jitter =
+            static_cast<double>((jitter_seed >> 17) % 1000) / 4000.0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(base * (1.0 + jitter)));
+        continue;
+      }
+      const svc::WorkerExit exit_kind = worker.run(*connection);
+      connection->close();
+      if (exit_kind == svc::WorkerExit::Shutdown) {
+        std::fprintf(stderr,
+                     "fleet_worker %s: shutdown after %zu lease(s)\n",
+                     options.name.c_str(), worker.leases_computed());
+        return 0;
+      }
+      // ConnectionLost: the coordinator may be restarting — retry.
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_worker: " << e.what() << "\n";
+    return 1;
+  }
+}
