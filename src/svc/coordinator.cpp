@@ -222,7 +222,9 @@ struct Coordinator::Impl {
     conn.worker = name;
     worker_conns[name] = conn_id;
     worker_names_seen.insert(name);
-    table.worker_join(name, now);
+    // A rejoin can beat the old connection's Closed event; any leases
+    // the previous incarnation held come back as reassignments.
+    absorb(table.worker_join(name, now), now);
   }
 
   void handle_request(std::uint64_t conn_id, const util::Json& frame,
@@ -349,7 +351,12 @@ struct Coordinator::Impl {
     }
     Conn conn = std::move(it->second);
     conns.erase(it);
-    conn.connection->close();
+    // shutdown(), not close(): the reader thread may still be parked in
+    // poll/recv on this descriptor (protocol-error path), and closing
+    // the fd under it would let a concurrent accept recycle the number.
+    // The fd itself dies with the last shared_ptr, after the reader
+    // exits.
+    conn.connection->shutdown();
     if (conn.reader.joinable()) retired.push_back(std::move(conn.reader));
     if (conn.role == Conn::Role::Worker &&
         worker_conns.find(conn.worker) != worker_conns.end() &&
@@ -423,8 +430,13 @@ struct Coordinator::Impl {
   }
 
   void finalize(const std::string& tag, double now) {
-    Request request = std::move(requests.at(tag));
-    requests.erase(tag);
+    auto request_it = requests.find(tag);
+    // An earlier finalize this tick may have hit a dead client socket;
+    // handle_closed then dropped ALL of that client's requests —
+    // including siblings already collected in the caller's done list.
+    if (request_it == requests.end()) return;
+    Request request = std::move(request_it->second);
+    requests.erase(request_it);
     const std::vector<ShardInfo> shards = table.tag_shards(tag);
     forget_tag_orphans(tag);
     table.remove_tag(tag);
@@ -528,8 +540,20 @@ struct Coordinator::Impl {
 
   // --- Lifecycle. -------------------------------------------------------
 
+  /// Joins the acceptor thread on every exit path — an exception
+  /// escaping the event loop must not leave it joinable, or the
+  /// unwinding std::thread destructor calls std::terminate.
+  struct AcceptorGuard {
+    std::atomic<bool>& stop;
+    std::thread thread;
+    ~AcceptorGuard() {
+      stop.store(true);
+      if (thread.joinable()) thread.join();
+    }
+  };
+
   void serve(Listener& listener, const volatile std::sig_atomic_t* flag) {
-    std::thread acceptor([this, &listener] {
+    AcceptorGuard acceptor{stop, std::thread([this, &listener] {
       while (!stop.load(std::memory_order_relaxed)) {
         std::shared_ptr<Connection> connection;
         try {
@@ -543,7 +567,7 @@ struct Coordinator::Impl {
         event.connection = std::move(connection);
         enqueue(std::move(event));
       }
-    });
+    })};
 
     while (!stop.load(std::memory_order_relaxed) &&
            !(flag != nullptr && *flag != 0)) {
@@ -604,7 +628,10 @@ struct Coordinator::Impl {
       ++stats.requests_failed;
     }
     requests.clear();
-    for (auto& [id, conn] : conns) conn.connection->close();
+    // Wake every reader with shutdown(), join them, and only then drop
+    // the connections (closing the fds) — never close an fd a reader
+    // may still be polling.
+    for (auto& [id, conn] : conns) conn.connection->shutdown();
     for (auto& [id, conn] : conns) {
       if (conn.reader.joinable()) conn.reader.join();
     }
@@ -613,7 +640,6 @@ struct Coordinator::Impl {
       if (reader.joinable()) reader.join();
     }
     retired.clear();
-    if (acceptor.joinable()) acceptor.join();
     {
       std::lock_guard lock(stats_mutex);
       stats.lease = table.counters();

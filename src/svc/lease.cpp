@@ -88,9 +88,26 @@ std::vector<std::uint64_t> LeaseTable::add_shards(
   return ids;
 }
 
-void LeaseTable::worker_join(const std::string& name, double now) {
+TickReport LeaseTable::worker_join(const std::string& name, double now) {
+  TickReport report;
   Worker& worker = workers_[name];
   worker.last_heartbeat = now;
+  if (worker.held.empty()) return report;
+  // Rejoin before the old connection's Closed event: the leases the
+  // previous incarnation held would otherwise never be revoked (the
+  // stale conn id no longer matches), starving the worker of new work.
+  const std::set<std::uint64_t> held = std::move(worker.held);
+  worker.held.clear();
+  for (std::uint64_t id : held) {
+    auto it = shards_.find(id);
+    if (it == shards_.end()) continue;
+    if (it->second.state != ShardState::Leased ||
+        it->second.worker != name) {
+      continue;  // already reassigned elsewhere; nothing to revoke
+    }
+    reassign(id, now, report);
+  }
+  return report;
 }
 
 void LeaseTable::heartbeat(const std::string& name, double now) {
@@ -192,12 +209,14 @@ void LeaseTable::fail_shard(std::uint64_t shard_id,
   auto it = shards_.find(shard_id);
   if (it == shards_.end()) return;
   ShardInfo& shard = it->second;
-  shard.last_error = error;
-  // A failure only moves the shard when the reporter still owns the
-  // lease; late errors after reassignment or completion change nothing.
+  // A failure only moves the shard — or records its error — when the
+  // reporter still owns the lease; late errors after reassignment or
+  // completion change nothing (a superseded holder must not pollute a
+  // Done/Quarantined shard's gap report).
   if (shard.state != ShardState::Leased || shard.worker != worker) {
     return;
   }
+  shard.last_error = error;
   shard.worker.clear();
   if (shard.attempts >= options_.max_attempts) {
     shard.state = ShardState::Quarantined;

@@ -148,8 +148,11 @@ class LeaseTable {
       const std::string& tag, std::span<const core::ShardRange> ranges,
       std::span<const double> weights = {});
 
-  /// A worker connected (or reconnected).  Fresh heartbeat, no leases.
-  void worker_join(const std::string& name, double now);
+  /// A worker connected (or reconnected).  Fresh heartbeat, no leases:
+  /// anything a previous incarnation of the same name still held is an
+  /// orphan (the restarted process knows nothing about it) and goes
+  /// through the same reassignment path a worker death takes.
+  TickReport worker_join(const std::string& name, double now);
 
   /// A worker disconnected in an observable way.  Its leased shards go
   /// through the same reassignment path a heartbeat death takes.

@@ -104,6 +104,7 @@ class TcpConnection final : public Connection {
   }
 
   void close() override { stream_.close(); }
+  void shutdown() override { stream_.shutdown(); }
   std::string peer() const override { return peer_; }
 
  private:

@@ -55,6 +55,14 @@ class Connection {
   [[nodiscard]] virtual RecvResult recv(double timeout_s) = 0;
 
   virtual void close() = 0;
+
+  /// Half-teardown: wakes any recv() blocked on the peer and poisons
+  /// future send()s, but keeps the underlying descriptor alive until
+  /// the Connection is destroyed — so a reader thread still parked in
+  /// recv() can never observe its fd recycled by a concurrent accept.
+  /// Default forwards to close() for transports with no descriptor.
+  virtual void shutdown() { close(); }
+
   [[nodiscard]] virtual std::string peer() const = 0;
 };
 

@@ -129,6 +129,10 @@ void TcpStream::close() noexcept {
   }
 }
 
+void TcpStream::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 TcpListener::~TcpListener() { close(); }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept

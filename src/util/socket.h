@@ -47,6 +47,12 @@ class TcpStream {
   void write_all(std::string_view bytes);
 
   void close() noexcept;
+
+  /// ::shutdown(SHUT_RDWR) without releasing the fd: wakes a reader
+  /// blocked in read_some() on another thread while keeping the fd
+  /// number reserved (no reuse race) until close()/destruction.
+  void shutdown() noexcept;
+
   [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
 
  private:

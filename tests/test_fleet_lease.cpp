@@ -288,6 +288,57 @@ TEST(LeaseTable, FailShardRetriesThenQuarantines) {
   EXPECT_TRUE(table.tag_terminal("req"));
 }
 
+TEST(LeaseTable, RejoinRevokesStaleLeasesFromThePreviousIncarnation) {
+  // A restarted worker's hello can arrive BEFORE the old connection's
+  // Closed event.  The rejoin must orphan whatever the previous
+  // incarnation held — otherwise (in a single-worker fleet) the worker
+  // is never idle again and the request hangs forever.
+  LeaseOptions options = fast_options();
+  LeaseTable table(options);
+  const ShardRange ranges[] = {{0, 4}};
+  const auto ids = table.add_shards("req", ranges);
+  table.worker_join("only", 0.0);
+  ASSERT_EQ(table.dispatch(0.0).size(), 1u);
+  EXPECT_EQ(table.num_idle_workers(), 0u);
+
+  const TickReport report = table.worker_join("only", 1.0);
+  ASSERT_EQ(report.reassigned.size(), 1u);
+  EXPECT_EQ(report.reassigned[0], ids[0]);
+  EXPECT_EQ(table.shard(ids[0])->state, ShardState::Pending);
+  EXPECT_EQ(table.num_idle_workers(), 1u);  // clean slate
+
+  // After backoff the rejoined worker picks its old shard back up and
+  // the request can still finish.
+  const auto leases = table.dispatch(3.0);
+  ASSERT_EQ(leases.size(), 1u);
+  EXPECT_EQ(leases[0].worker, "only");
+  EXPECT_EQ(leases[0].attempt, 2u);
+  EXPECT_EQ(table.complete(ids[0], "only", "payload", 4.0),
+            CompletionOutcome::Accepted);
+  EXPECT_TRUE(table.tag_terminal("req"));
+
+  // A first join (nothing held) reports nothing.
+  EXPECT_TRUE(table.worker_join("fresh", 5.0).empty());
+}
+
+TEST(LeaseTable, LateFailureFromNonHolderDoesNotPolluteErrors) {
+  LeaseOptions options = fast_options();
+  LeaseTable table(options);
+  const ShardRange ranges[] = {{0, 2}};
+  const auto ids = table.add_shards("req", ranges);
+  table.worker_join("a", 0.0);
+  ASSERT_EQ(table.dispatch(0.0).size(), 1u);
+  EXPECT_EQ(table.complete(ids[0], "a", "payload", 1.0),
+            CompletionOutcome::Accepted);
+
+  // A late error from a superseded/expired holder must leave a Done
+  // shard's recorded error alone — the gap report depends on it.
+  table.fail_shard(ids[0], "a", "late straggler error", 2.0);
+  EXPECT_EQ(table.shard(ids[0])->state, ShardState::Done);
+  EXPECT_EQ(table.shard(ids[0])->last_error, "");
+  EXPECT_EQ(table.counters().failures, 1u);  // still counted as seen
+}
+
 TEST(LeaseTable, NextEventTimeCoversDispatchDeadlineAndHeartbeat) {
   LeaseOptions options;
   options.heartbeat_timeout_s = 7.0;
