@@ -102,11 +102,31 @@ for b in fig2_mttsf_vs_m fig3_cost_vs_m fig4_mttsf_vs_detection \
   (cd build && "./${b}" --smoke)
 done
 
+# --- Batched-solver kernel bench: standalone (always built), so it runs
+# unconditionally.  Exits non-zero if the batched solve falls below its
+# per-profile kernel speedup floor, if reuse-off stops being bitwise the
+# scalar solve, if reuse-on leaves 1e-12, or if factor reuse stops
+# sharing factorisations on the identical-point profile.  Records
+# BENCH_solver.json.
+(cd build && ./micro_solver --smoke)
+
 # --- Micro benches, smoke budget (skipped when Google Benchmark absent).
-for b in micro_solver micro_voting; do
+for b in micro_voting; do
   if [ -x "build/${b}" ]; then
     (cd build && "./${b}" --benchmark_min_time=0.01)
   fi
 done
+
+# --- UBSan build-and-test: the batched kernels lean on pointer/span
+# arithmetic over arena scratch, so rebuild the library + test suite
+# with UndefinedBehaviorSanitizer (non-recoverable: any finding aborts)
+# and run the full gtest binary once.  Only the midas_tests target is
+# built — the bench/tool executables are covered by the plain build.
+cmake -B build-ubsan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+cmake --build build-ubsan -j"${JOBS}" --target midas_tests
+./build-ubsan/midas_tests
 
 echo "ci.sh: all checks passed"

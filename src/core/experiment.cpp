@@ -449,6 +449,9 @@ void ExperimentSpec::validate() const {
   if (backends.empty()) {
     fail("spec.backends", "at least one backend is required");
   }
+  if (analytic.batch == 0) {
+    fail("spec.analytic.batch", "must be positive (1 = scalar path)");
+  }
   for (std::size_t i = 0; i < backends.size(); ++i) {
     for (std::size_t k = 0; k < i; ++k) {
       if (backends[k] == backends[i]) {
@@ -553,6 +556,11 @@ util::Json ExperimentSpec::to_json() const {
   }
   j.set("backends", std::move(backends_json));
 
+  auto analytic_json = util::Json::object();
+  analytic_json.set("batch",
+                    json_size(analytic.batch, "spec.analytic.batch"));
+  j.set("analytic", std::move(analytic_json));
+
   auto mc_json = util::Json::object();
   mc_json.set("base_seed", json_size(mc.base_seed, "spec.mc.base_seed"));
   mc_json.set("min_replications",
@@ -652,6 +660,9 @@ ExperimentSpec ExperimentSpec::from_json(const util::Json& j) {
     spec.backends.push_back(backend_from(
         backend_names[i], "spec.backends[" + std::to_string(i) + "]"));
   }
+
+  const Reader analytic = r.child("analytic");
+  spec.analytic.batch = analytic.size("batch");
 
   const Reader mc = r.child("mc");
   spec.mc.base_seed = mc.size("base_seed");
@@ -1029,13 +1040,13 @@ class AnalyticBackend final : public Backend {
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::Analytic;
   }
-  [[nodiscard]] BackendRun run(const ExperimentSpec&, const GridSpec&,
+  [[nodiscard]] BackendRun run(const ExperimentSpec& spec, const GridSpec&,
                                std::span<const Params> points,
                                ShardRange) override {
     const util::Stopwatch watch;
     BackendRun out;
     out.kind = BackendKind::Analytic;
-    out.evals = engine_.evaluate(points);
+    out.evals = engine_.evaluate(points, spec.analytic.batch);
     out.seconds = watch.seconds();
     return out;
   }

@@ -100,6 +100,15 @@ struct ProtocolOptions {
   double max_time_s = 3.0e6;
 };
 
+/// Knobs of the analytic (SPN) backend.
+struct AnalyticOptions {
+  /// Grid points per batched solve (SweepEngineOptions::batch): the
+  /// analytic backend chunks same-structure points into batches of this
+  /// width and drives the point-major batch kernels.  1 = the legacy
+  /// scalar per-point path.  Results do not depend on the width.
+  std::size_t batch = 8;
+};
+
 /// The declarative experiment request.  JSON schema "midas-experiment-v1":
 /// to_json() / from_json() round-trip bitwise (17-significant-digit
 /// doubles, non-finite values as flag strings via util::Json::number).
@@ -109,6 +118,7 @@ struct ExperimentSpec {
   Params base;
   std::vector<AxisSpec> axes;
   std::vector<BackendKind> backends{BackendKind::Analytic};
+  AnalyticOptions analytic;
   /// Replication schedule for the simulation backends (Des +
   /// ProtocolSim share it — that is the point of one spec).
   sim::McOptions mc;

@@ -1,7 +1,9 @@
 #include "core/gcs_spn_model.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 #include <algorithm>
 
@@ -79,15 +81,206 @@ ids::VotingErrorRates GcsSpnModel::voting_rates(
                      per_group(m[ucm_], groups));
 }
 
+void GcsSpnModel::enable_factor_memo() {
+  if (memo_enabled_) return;
+  const auto n = static_cast<std::size_t>(params_.n_init);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  det_memo_.assign(n + 1, nan);
+  if (params_.attacker_progress == AttackerProgress::CampaignProgress) {
+    atk_memo_.assign(n + 1, nan);
+  } else {
+    atk_memo_.assign((n + 1) * (n + 1), nan);
+  }
+  const auto gmax =
+      static_cast<std::size_t>(std::max<std::int32_t>(params_.max_groups, 1));
+  evict_memo_.assign((n + 1) * gmax, nan);
+  memo_enabled_ = true;
+}
+
+double GcsSpnModel::detection_rate_at(const spn::Marking& m) const {
+  return detection_rate_memo(m[tm_] + m[ucm_], m);
+}
+
+double GcsSpnModel::detection_rate_memo(std::int64_t members,
+                                        const spn::Marking& m) const {
+  if (memo_enabled_ && members >= 0 &&
+      members < static_cast<std::int64_t>(det_memo_.size())) {
+    double& slot = det_memo_[static_cast<std::size_t>(members)];
+    if (std::isnan(slot)) {
+      slot = ids::detection_rate(params_.detection_shape, params_.t_ids,
+                                 md(m), params_.p_index);
+    }
+    return slot;
+  }
+  return ids::detection_rate(params_.detection_shape, params_.t_ids, md(m),
+                             params_.p_index);
+}
+
+double GcsSpnModel::attacker_rate_at(const spn::Marking& m) const {
+  if (memo_enabled_) {
+    const std::int64_t n = params_.n_init;
+    std::int64_t key = -1;
+    if (params_.attacker_progress == AttackerProgress::CampaignProgress) {
+      // mc = 1 + UCm + DCm.
+      const std::int64_t k = m[ucm_] + m[dcm_];
+      if (k >= 0 && k <= n) key = k;
+    } else {
+      // mc = (Tm+UCm)/Tm.
+      const std::int64_t tm = m[tm_];
+      const std::int64_t ucm = m[ucm_];
+      if (tm >= 0 && tm <= n && ucm >= 0 && ucm <= n) {
+        key = tm * (n + 1) + ucm;
+      }
+    }
+    if (key >= 0 && key < static_cast<std::int64_t>(atk_memo_.size())) {
+      double& slot = atk_memo_[static_cast<std::size_t>(key)];
+      if (std::isnan(slot)) {
+        slot = ids::attacker_rate(params_.attacker_shape, params_.lambda_c,
+                                  mc(m), params_.p_index);
+      }
+      return slot;
+    }
+  }
+  return ids::attacker_rate(params_.attacker_shape, params_.lambda_c, mc(m),
+                            params_.p_index);
+}
+
+double GcsSpnModel::eviction_impulse_at(const spn::Marking& m) const {
+  return eviction_impulse_memo(m[tm_] + m[ucm_],
+                               std::max<std::int32_t>(m[ng_], 1));
+}
+
+double GcsSpnModel::eviction_impulse_memo(std::int64_t members,
+                                          std::int64_t groups) const {
+  // Exactly the T_IDS/T_FA impulse expression build() registers; the
+  // memo only caches its (deterministic) result, keyed by the two
+  // marking quantities it reads.
+  const auto compute = [&] {
+    gcs::GroupState s;
+    s.members = static_cast<double>(members);
+    s.groups = static_cast<double>(groups);
+    s.initial_size = static_cast<double>(params_.n_init);
+    return cost_->eviction_impulse_bits(s);
+  };
+  if (memo_enabled_) {
+    const std::int64_t gmax = std::max<std::int32_t>(params_.max_groups, 1);
+    if (members >= 0 && members <= params_.n_init && groups <= gmax) {
+      double& slot = evict_memo_[static_cast<std::size_t>(members * gmax +
+                                                          (groups - 1))];
+      if (std::isnan(slot)) slot = compute();
+      return slot;
+    }
+  }
+  return compute();
+}
+
+spn::BatchRateFn GcsSpnModel::batch_rate_fn(
+    std::vector<const GcsSpnModel*> models) {
+  if (models.empty()) return {};
+  // Map the shared structure's transition ids to their model role once;
+  // the hook then dispatches on a flat array instead of names.
+  enum class Role : std::uint8_t { CP, IDS, FA, DRQ, PAR, MER, Other };
+  const spn::PetriNet& net = models.front()->net();
+  std::vector<Role> roles(net.num_transitions(), Role::Other);
+  const auto assign = [&](const char* name, Role r) {
+    if (const auto t = net.find_transition(name)) roles[*t] = r;
+  };
+  assign("T_CP", Role::CP);
+  assign("T_IDS", Role::IDS);
+  assign("T_FA", Role::FA);
+  assign("T_DRQ", Role::DRQ);
+  assign("T_PAR", Role::PAR);
+  assign("T_MER", Role::MER);
+
+  return [models = std::move(models), roles = std::move(roles)](
+             spn::TransitionId t, const spn::Marking& m,
+             std::span<double> rates, std::span<double> impulses) -> bool {
+    if (t >= roles.size() || roles[t] == Role::Other) return false;
+    // PetriNet::rate clamps non-positive rate-function values to 0; the
+    // hook must agree bitwise with it, so mirror the clamp.
+    const auto clamp = [](double r) { return r > 0.0 ? r : 0.0; };
+    const GcsSpnModel& m0 = *models.front();
+    const std::size_t P = models.size();
+    switch (roles[t]) {
+      case Role::CP:
+        for (std::size_t p = 0; p < P; ++p) {
+          rates[p] = clamp(models[p]->attacker_rate_at(m));
+          impulses[p] = 0.0;
+        }
+        return true;
+      case Role::IDS: {
+        // Token counts, memo keys and the per-group voting-pool indices
+        // depend on the marking alone — hoist them out of the point
+        // loop.  The per-point expression is exactly the T_IDS rate
+        // lambda's.
+        const double ucm = static_cast<double>(m[m0.ucm_]);
+        const std::int64_t members = m[m0.tm_] + m[m0.ucm_];
+        const std::int64_t groups = std::max<std::int64_t>(m[m0.ng_], 1);
+        const std::int64_t g_tm = per_group(m[m0.tm_], groups);
+        const std::int64_t g_ucm = per_group(m[m0.ucm_], groups);
+        for (std::size_t p = 0; p < P; ++p) {
+          const GcsSpnModel& mod = *models[p];
+          rates[p] = clamp(ucm * mod.detection_rate_memo(members, m) *
+                           (1.0 - mod.voting_->at(g_tm, g_ucm).pfn));
+          impulses[p] = mod.eviction_impulse_memo(members, groups);
+        }
+        return true;
+      }
+      case Role::FA: {
+        const double tm = static_cast<double>(m[m0.tm_]);
+        const std::int64_t members = m[m0.tm_] + m[m0.ucm_];
+        const std::int64_t groups = std::max<std::int64_t>(m[m0.ng_], 1);
+        const std::int64_t g_tm = per_group(m[m0.tm_], groups);
+        const std::int64_t g_ucm = per_group(m[m0.ucm_], groups);
+        for (std::size_t p = 0; p < P; ++p) {
+          const GcsSpnModel& mod = *models[p];
+          rates[p] = clamp(tm * mod.detection_rate_memo(members, m) *
+                           mod.voting_->at(g_tm, g_ucm).pfp);
+          impulses[p] = mod.eviction_impulse_memo(members, groups);
+        }
+        return true;
+      }
+      case Role::DRQ: {
+        const double ucm = static_cast<double>(m[m0.ucm_]);
+        for (std::size_t p = 0; p < P; ++p) {
+          const auto& prm = models[p]->params_;
+          rates[p] = clamp(prm.p1 * prm.lambda_q * ucm);
+          impulses[p] = 0.0;
+        }
+        return true;
+      }
+      case Role::PAR: {
+        const auto g = static_cast<std::size_t>(m[m0.ng_]);
+        for (std::size_t p = 0; p < P; ++p) {
+          const auto& pr = models[p]->params_.partition_rates;
+          rates[p] = clamp(g < pr.size() ? pr[g] : 0.0);
+          impulses[p] = 0.0;
+        }
+        return true;
+      }
+      case Role::MER: {
+        const auto g = static_cast<std::size_t>(m[m0.ng_]);
+        for (std::size_t p = 0; p < P; ++p) {
+          const auto& mr = models[p]->params_.merge_rates;
+          rates[p] = clamp(g < mr.size() ? mr[g] : 0.0);
+          impulses[p] = 0.0;
+        }
+        return true;
+      }
+      case Role::Other:
+        break;
+    }
+    return false;
+  };
+}
+
 gcs::CostBreakdown GcsSpnModel::cost_rates(const spn::Marking& m) const {
   gcs::GroupState s;
   s.members = static_cast<double>(m[tm_] + m[ucm_]);
   s.groups = static_cast<double>(std::max<std::int32_t>(m[ng_], 1));
   s.initial_size = static_cast<double>(params_.n_init);
 
-  const double det = ids::detection_rate(params_.detection_shape,
-                                         params_.t_ids, md(m),
-                                         params_.p_index);
+  const double det = detection_rate_at(m);
   const auto g = static_cast<std::size_t>(s.groups);
   double pm_rate = 0.0;
   if (params_.max_groups > 1) {
@@ -116,23 +309,17 @@ void GcsSpnModel::build() {
   // holds — this is what makes C1/C2 states absorbing (paper §4).
   auto alive_guard = [this](const spn::Marking& m) { return alive(m); };
 
-  // Impulse: one eviction forces a GDH rekey of the affected group.
+  // Impulse: one eviction forces a GDH rekey of the affected group
+  // (eviction_impulse_at: memoised when the factor memo is on).
   auto eviction_impulse = [this](const spn::Marking& m) {
-    gcs::GroupState s;
-    s.members = static_cast<double>(m[tm_] + m[ucm_]);
-    s.groups = static_cast<double>(std::max<std::int32_t>(m[ng_], 1));
-    s.initial_size = static_cast<double>(params_.n_init);
-    return cost_->eviction_impulse_bits(s);
+    return eviction_impulse_at(m);
   };
 
   // T_CP: a trusted member is compromised at the attacker rate A(mc).
   net_.transition("T_CP")
       .input(tm_)
       .output(ucm_)
-      .rate([this](const spn::Marking& m) {
-        return ids::attacker_rate(params_.attacker_shape, params_.lambda_c,
-                                  mc(m), params_.p_index);
-      })
+      .rate([this](const spn::Marking& m) { return attacker_rate_at(m); })
       .guard(alive_guard)
       .add();
 
@@ -141,9 +328,7 @@ void GcsSpnModel::build() {
       .input(ucm_)
       .output(dcm_)
       .rate([this](const spn::Marking& m) {
-        const double det = ids::detection_rate(
-            params_.detection_shape, params_.t_ids, md(m), params_.p_index);
-        return static_cast<double>(m[ucm_]) * det *
+        return static_cast<double>(m[ucm_]) * detection_rate_at(m) *
                (1.0 - voting_rates(m).pfn);
       })
       .guard(alive_guard)
@@ -155,9 +340,8 @@ void GcsSpnModel::build() {
       .input(tm_)
       .output(dcm_)
       .rate([this](const spn::Marking& m) {
-        const double det = ids::detection_rate(
-            params_.detection_shape, params_.t_ids, md(m), params_.p_index);
-        return static_cast<double>(m[tm_]) * det * voting_rates(m).pfp;
+        return static_cast<double>(m[tm_]) * detection_rate_at(m) *
+               voting_rates(m).pfp;
       })
       .guard(alive_guard)
       .impulse(eviction_impulse)
@@ -352,6 +536,129 @@ Evaluation GcsSpnModel::evaluate_reference() const {
     ev.ctotal = ev.cost_rates.total() + ev.eviction_cost_rate;
   }
   return ev;
+}
+
+std::vector<Evaluation> evaluate_with_batch(
+    std::span<const GcsSpnModel* const> models,
+    const spn::AbsorbingAnalyzer& analyzer,
+    std::span<const double> edge_rates, std::span<const double> edge_impulses,
+    bool factor_reuse, util::Arena& arena) {
+  const std::size_t P = models.size();
+  if (P == 0) {
+    throw std::invalid_argument("evaluate_with_batch: empty model batch");
+  }
+  const auto& graph = analyzer.graph();
+  const std::size_t E = graph.edges.size();
+  const std::size_t n = graph.num_states();
+  if (edge_rates.size() != E * P || edge_impulses.size() != E * P) {
+    throw std::invalid_argument(
+        "evaluate_with_batch: edge_rates/edge_impulses must be edge count x "
+        "batch size");
+  }
+  spn::BatchSolveOptions sopts;
+  sopts.factor_reuse = factor_reuse;
+  const auto res = analyzer.solve_batch(edge_rates, P, sopts, &arena);
+
+  // cost_rates(m) depends on the marking only through Tm+UCm (members)
+  // and max(NG,1) (groups) — every other input is a model parameter.
+  // Classing the states by that pair lets each point compute ONE
+  // CostBreakdown per class (bitwise the per-state value, evaluated on
+  // the class representative's marking) instead of one per state.
+  const auto* m0 = models[0];
+  const auto tm = m0->place_tm();
+  const auto ucm = m0->place_ucm();
+  const auto ng = m0->place_ng();
+  std::vector<std::uint32_t> state_class(n);
+  std::vector<std::uint32_t> class_rep;
+  std::unordered_map<std::uint64_t, std::uint32_t> class_ids;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto& m = graph.states[s];
+    const auto members = static_cast<std::uint64_t>(m[tm] + m[ucm]);
+    const auto groups =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(m[ng], 1));
+    const std::uint64_t key = (members << 16) | groups;
+    const auto [it, inserted] =
+        class_ids.try_emplace(key, static_cast<std::uint32_t>(class_rep.size()));
+    if (inserted) class_rep.push_back(static_cast<std::uint32_t>(s));
+    state_class[s] = it->second;
+  }
+  const std::size_t n_classes = class_rep.size();
+  std::vector<gcs::CostBreakdown> class_cost(n_classes * P);
+  std::vector<char> class_filled(n_classes * P, 0);
+
+  std::vector<Evaluation> out(P);
+  std::vector<gcs::CostBreakdown> acc(P);
+  std::vector<double> evict(P, 0.0);
+  for (std::size_t p = 0; p < P; ++p) {
+    out[p].num_states = n;
+    out[p].solver_blocks = res.solver_blocks;
+    out[p].mttsf = res.mtta[p];
+  }
+
+  // State pass: rate-cost accumulation over transient mass and C1/C2
+  // classification of absorbing mass — per point, in evaluate_with's
+  // exact state order (states ascending, cost components in member
+  // order), so every point's sums are the scalar sums bitwise.
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* tau_row = res.sojourn.data() + s * P;
+    const double* ap_row = res.absorb_probability.data() + s * P;
+    const auto cls = static_cast<std::size_t>(state_class[s]);
+    for (std::size_t p = 0; p < P; ++p) {
+      const double tau = tau_row[p];
+      if (tau > 0.0) {
+        const std::size_t slot = cls * P + p;
+        if (!class_filled[slot]) {
+          class_cost[slot] =
+              models[p]->cost_rates(graph.states[class_rep[cls]]);
+          class_filled[slot] = 1;
+        }
+        const auto& c = class_cost[slot];
+        acc[p].group_comm += tau * c.group_comm;
+        acc[p].status += tau * c.status;
+        acc[p].rekey += tau * c.rekey;
+        acc[p].ids += tau * c.ids;
+        acc[p].beacon += tau * c.beacon;
+        acc[p].partition_merge += tau * c.partition_merge;
+      }
+      const double ap = ap_row[p];
+      if (ap > 0.0) {
+        if (models[p]->failed_c1(graph.states[s])) {
+          out[p].p_failure_c1 += ap;
+        } else if (models[p]->failed_c2(graph.states[s])) {
+          out[p].p_failure_c2 += ap;
+        }
+      }
+    }
+  }
+
+  // Impulse (eviction rekey) pass: the point-major mirror of
+  // accumulated_impulse_reward(res, edge_rates, edge_impulses) — same
+  // edge order, same zero-impulse skips, per point.
+  for (std::size_t i = 0; i < E; ++i) {
+    const double* imp_row = edge_impulses.data() + i * P;
+    const double* rate_row = edge_rates.data() + i * P;
+    const double* soj_row =
+        res.sojourn.data() + static_cast<std::size_t>(graph.edges[i].src) * P;
+    for (std::size_t p = 0; p < P; ++p) {
+      if (imp_row[p] == 0.0) continue;
+      evict[p] += soj_row[p] * rate_row[p] * imp_row[p];
+    }
+  }
+
+  for (std::size_t p = 0; p < P; ++p) {
+    auto& ev = out[p];
+    if (ev.mttsf > 0.0) {
+      ev.cost_rates.group_comm = acc[p].group_comm / ev.mttsf;
+      ev.cost_rates.status = acc[p].status / ev.mttsf;
+      ev.cost_rates.rekey = acc[p].rekey / ev.mttsf;
+      ev.cost_rates.ids = acc[p].ids / ev.mttsf;
+      ev.cost_rates.beacon = acc[p].beacon / ev.mttsf;
+      ev.cost_rates.partition_merge = acc[p].partition_merge / ev.mttsf;
+      ev.eviction_cost_rate = evict[p] / ev.mttsf;
+      ev.ctotal = ev.cost_rates.total() + ev.eviction_cost_rate;
+    }
+  }
+  return out;
 }
 
 }  // namespace midas::core

@@ -122,8 +122,53 @@ class GcsSpnModel {
   /// Per-state cost rate breakdown (hop-bits/s).
   [[nodiscard]] gcs::CostBreakdown cost_rates(const spn::Marking& m) const;
 
+  /// Opt-in memoisation of the marking-dependent transcendental rate
+  /// factors (the shape-function log/pow calls dominate the re-rating
+  /// pass).  The detection rate depends on the marking only through
+  /// Tm+UCm, the attacker rate only through (Tm, UCm) (or UCm+DCm under
+  /// CampaignProgress), so small dense tables capture them; memoised
+  /// values are computed by exactly the un-memoised expression, so
+  /// rates stay bitwise identical.  NOT enabled by default — the memo
+  /// tables make rate evaluation non-thread-safe, so only the sweep
+  /// engine's batch path (one private model per point per worker)
+  /// turns it on.
+  void enable_factor_memo();
+
+  /// D(md(m)) — the T_IDS/T_FA/cost detection factor, memoised when
+  /// enable_factor_memo() was called.
+  [[nodiscard]] double detection_rate_at(const spn::Marking& m) const;
+  /// A(mc(m)) — the T_CP attacker rate, memoised likewise.
+  [[nodiscard]] double attacker_rate_at(const spn::Marking& m) const;
+  /// The T_IDS/T_FA eviction rekey impulse, memoised likewise (it
+  /// depends on the marking only through (Tm+UCm, NG)).
+  [[nodiscard]] double eviction_impulse_at(const spn::Marking& m) const;
+
+  /// Fast path for ReachabilityGraph::compute_rates_batch: one call
+  /// answers a (transition, marking) pair for EVERY model in the batch,
+  /// hoisting the marking-derived quantities all points share (token
+  /// counts, per-group voting-pool indices) out of the per-point loop
+  /// and serving the per-point factors from the memo tables — this is
+  /// where the batched sweep's re-rating pass earns its speedup, since
+  /// the generic path pays two std::function dispatches plus a full
+  /// lambda body per point per pair.  All models must share
+  /// models[0]'s net structure (the sweep engine batches within one
+  /// structure key); enable_factor_memo() should be on.  The values
+  /// produced are bitwise the per-model net().rate()/impulse() answers:
+  /// the same helper functions evaluate the same expressions in the
+  /// same order.  Returns an empty function for an empty batch.
+  [[nodiscard]] static spn::BatchRateFn batch_rate_fn(
+      std::vector<const GcsSpnModel*> models);
+
  private:
   void build();
+
+  // Keyed memo bodies behind detection_rate_at / eviction_impulse_at:
+  // batch_rate_fn computes the marking-derived keys once per
+  // (transition, marking) pair and shares them across the point loop.
+  [[nodiscard]] double detection_rate_memo(std::int64_t members,
+                                           const spn::Marking& m) const;
+  [[nodiscard]] double eviction_impulse_memo(std::int64_t members,
+                                             std::int64_t groups) const;
 
   Params params_;
   std::shared_ptr<const ids::VotingTable> voting_;
@@ -131,9 +176,32 @@ class GcsSpnModel {
   spn::PetriNet net_;
   spn::PlaceId tm_ = 0, ucm_ = 0, dcm_ = 0, gf_ = 0, ng_ = 0;
 
+  // Factor memo (enable_factor_memo): NaN = slot not yet computed.
+  bool memo_enabled_ = false;
+  mutable std::vector<double> det_memo_;  // keyed by Tm+UCm
+  mutable std::vector<double> atk_memo_;  // keyed by (Tm,UCm) or UCm+DCm
+  mutable std::vector<double> evict_memo_;  // keyed by (Tm+UCm, NG)
+
   // Lazily explored graph (evaluate() + reliability_at() share it).
   mutable std::once_flag graph_once_;
   mutable std::unique_ptr<const spn::ReachabilityGraph> graph_;
 };
+
+/// Batched counterpart of GcsSpnModel::evaluate_with: one
+/// AbsorbingAnalyzer::solve_batch over the point-major
+/// [edge][point] rate/impulse matrices (ReachabilityGraph::
+/// compute_rates_batch), then a point-major reward/classification pass.
+/// models[p] supplies point p's parameters; all models must share the
+/// analyzer's structure (same places, same edge existence — the sweep
+/// engine batches within one structure_key).  With `factor_reuse` off,
+/// every metric of point p is BITWISE models[p]->evaluate_with(analyzer,
+/// rates_p, impulses_p); with it on, ≤1e-12 relative and independent of
+/// batch grouping.  Scratch comes from `arena` (caller resets between
+/// batches).
+[[nodiscard]] std::vector<Evaluation> evaluate_with_batch(
+    std::span<const GcsSpnModel* const> models,
+    const spn::AbsorbingAnalyzer& analyzer,
+    std::span<const double> edge_rates, std::span<const double> edge_impulses,
+    bool factor_reuse, util::Arena& arena);
 
 }  // namespace midas::core

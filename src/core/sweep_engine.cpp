@@ -1,10 +1,12 @@
 #include "core/sweep_engine.h"
 
 #include <algorithm>
+#include <deque>
 #include <sstream>
 #include <stdexcept>
 
 #include "sim/thread_pool.h"
+#include "util/arena.h"
 #include "util/stopwatch.h"
 
 namespace midas::core {
@@ -82,6 +84,11 @@ SweepEngine::SweepEngine(SweepEngineOptions opts) : opts_(opts) {}
 
 std::vector<Evaluation> SweepEngine::evaluate(
     std::span<const Params> points) {
+  return evaluate(points, opts_.batch);
+}
+
+std::vector<Evaluation> SweepEngine::evaluate(std::span<const Params> points,
+                                              std::size_t batch_width) {
   const util::Stopwatch watch;
   std::vector<Evaluation> evals(points.size());
   if (points.empty()) return evals;
@@ -99,6 +106,86 @@ std::vector<Evaluation> SweepEngine::evaluate(
       // LRU bookkeeping only matters when a cap can evict.
       if (opts_.max_cache_entries != 0) touch_cache_key(key);
     }
+  }
+
+  if (opts_.reuse_structure && batch_width > 1) {
+    // Batched path: chunk runs of consecutive points that share a
+    // structure into batches of `batch_width` and drive each through the
+    // point-major kernels.  Per-point results are independent of the
+    // chunking (grouping-independence is a design invariant of
+    // solve_batch's factor reuse), so shard boundaries and ragged final
+    // batches cannot perturb a single bit.
+    struct BatchRange {
+      std::size_t begin, end;
+      CacheEntry* entry;
+    };
+    std::vector<BatchRange> batches;
+    for (std::size_t i = 0; i < points.size();) {
+      CacheEntry* entry = entry_of[i];
+      std::size_t run_end = i + 1;
+      while (run_end < points.size() && entry_of[run_end] == entry) {
+        ++run_end;
+      }
+      for (std::size_t begin = i; begin < run_end; begin += batch_width) {
+        batches.push_back(
+            {begin, std::min(begin + batch_width, run_end), entry});
+      }
+      i = run_end;
+    }
+
+    sim::parallel_for(
+        batches.size(),
+        [&](std::size_t bi) {
+          const auto& bt = batches[bi];
+          const std::size_t B = bt.end - bt.begin;
+          // One private model per point (deque: GcsSpnModel is
+          // immovable — it embeds a once_flag).
+          std::deque<GcsSpnModel> models;
+          for (std::size_t j = 0; j < B; ++j) {
+            models.emplace_back(points[bt.begin + j]);
+          }
+          CacheEntry* entry = bt.entry;
+          std::call_once(entry->once, [&] {
+            entry->graph = std::make_shared<const spn::ReachabilityGraph>(
+                spn::explore(models.front().net()));
+            entry->analyzer = std::make_unique<const spn::AbsorbingAnalyzer>(
+                *entry->graph);
+            std::lock_guard lock(stats_mutex_);
+            ++stats_.explorations;
+            stats_.states_explored += entry->graph->num_states();
+          });
+          // These models are batch-private, so the transcendental factor
+          // memo is safe to turn on; the scalar path never enables it.
+          std::vector<const GcsSpnModel*> model_ptrs(B);
+          std::vector<const spn::PetriNet*> nets(B);
+          for (std::size_t j = 0; j < B; ++j) {
+            models[j].enable_factor_memo();
+            model_ptrs[j] = &models[j];
+            nets[j] = &models[j].net();
+          }
+          util::Arena& arena = util::thread_scratch_arena();
+          arena.reset();
+          const std::size_t E = entry->graph->edges.size();
+          auto rates = arena.make_span<double>(E * B);
+          auto impulses = arena.make_span<double>(E * B);
+          entry->graph->compute_rates_batch(nets, rates, impulses,
+                                            GcsSpnModel::batch_rate_fn(
+                                                model_ptrs));
+          const auto batch_evals =
+              evaluate_with_batch(model_ptrs, *entry->analyzer, rates,
+                                  impulses, opts_.factor_reuse, arena);
+          for (std::size_t j = 0; j < B; ++j) {
+            evals[bt.begin + j] = batch_evals[j];
+          }
+          std::lock_guard lock(stats_mutex_);
+          stats_.points += B;
+          stats_.states_evaluated += entry->graph->num_states() * B;
+        },
+        opts_.threads);
+
+    enforce_cache_cap();
+    stats_.seconds += watch.seconds();
+    return evals;
   }
 
   sim::parallel_for(

@@ -130,6 +130,20 @@ struct SweepEngineOptions {
   /// When false, every point re-explores from scratch (the naive path;
   /// kept for validation and speedup measurement).
   bool reuse_structure = true;
+  /// Grid points per batched solve: runs of points sharing one explored
+  /// structure are chunked into batches of this width and solved through
+  /// the point-major batch path (compute_rates_batch → solve_batch →
+  /// evaluate_with_batch), with scratch from the worker thread's arena.
+  /// 1 = the legacy scalar per-point path (also used when
+  /// reuse_structure is off).  Spec-level knob: ExperimentSpec::
+  /// analytic.batch.
+  std::size_t batch = 8;
+  /// Share LU factorisations across batch points whose normalised dense
+  /// SCC blocks coincide (spn::BatchSolveOptions::factor_reuse).  ON:
+  /// results are within 1e-12 relative of the scalar path and
+  /// independent of batch/shard grouping.  OFF: bitwise the scalar
+  /// path.
+  bool factor_reuse = true;
   /// Upper bound on cached explored structures (0 = unbounded).  The
   /// cache previously grew without limit — a memory leak for a
   /// long-lived shard worker sweeping many structural configs.  With a
@@ -150,9 +164,20 @@ class SweepEngine {
   explicit SweepEngine(SweepEngineOptions opts = {});
 
   /// Evaluates every parameter point; points whose structure_key()
-  /// matches share one exploration (cached across calls).
+  /// matches share one exploration (cached across calls).  Uses the
+  /// options' batch width.
   [[nodiscard]] std::vector<Evaluation> evaluate(
       std::span<const Params> points);
+
+  /// As above with an explicit batch width (the spec-level
+  /// analytic.batch knob): width <= 1 — or reuse_structure off — runs
+  /// the legacy scalar per-point path; otherwise consecutive points
+  /// sharing a structure are solved `batch_width` at a time through the
+  /// point-major batch kernels.  Per-point results do not depend on the
+  /// width (bitwise: the batch path is grouping-independent by
+  /// construction).
+  [[nodiscard]] std::vector<Evaluation> evaluate(
+      std::span<const Params> points, std::size_t batch_width);
 
   /// Evaluates a full named-axis cartesian grid analytically: every
   /// structural configuration in the grid explores once (cached), and

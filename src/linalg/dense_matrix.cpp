@@ -28,13 +28,9 @@ DenseMatrix DenseMatrix::identity(std::size_t n) {
   return m;
 }
 
-LuSolver::LuSolver(DenseMatrix a) : lu_(std::move(a)) {
-  if (lu_.rows() != lu_.cols()) {
-    throw std::invalid_argument("LuSolver: matrix must be square");
-  }
-  const std::size_t n = lu_.rows();
-  perm_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+void LuFactorView::factor() {
+  assert(lu.size() == n * n && ipiv.size() == n);
+  double* a = lu.data();
 
   // Singularity threshold scaled to the matrix: a pivot only means
   // anything relative to ‖A‖∞.  An absolute cutoff (the former 1e-300)
@@ -44,7 +40,7 @@ LuSolver::LuSolver(DenseMatrix a) : lu_(std::move(a)) {
   double norm = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     double row = 0.0;
-    for (std::size_t c = 0; c < n; ++c) row += std::abs(lu_(r, c));
+    for (std::size_t c = 0; c < n; ++c) row += std::abs(a[r * n + c]);
     norm = std::max(norm, row);
   }
   const double pivot_floor =
@@ -55,25 +51,116 @@ LuSolver::LuSolver(DenseMatrix a) : lu_(std::move(a)) {
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot.
     std::size_t pivot = k;
-    double best = std::abs(lu_(k, k));
+    double best = std::abs(a[k * n + k]);
     for (std::size_t r = k + 1; r < n; ++r) {
-      if (std::abs(lu_(r, k)) > best) {
-        best = std::abs(lu_(r, k));
+      if (std::abs(a[r * n + k]) > best) {
+        best = std::abs(a[r * n + k]);
         pivot = r;
       }
     }
     if (best < pivot_floor) {
       throw std::runtime_error("LuSolver: singular matrix");
     }
+    ipiv[k] = static_cast<std::uint32_t>(pivot);
     if (pivot != k) {
-      std::swap(perm_[pivot], perm_[k]);
-      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(pivot, c), lu_(k, c));
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[pivot * n + c], a[k * n + c]);
+      }
     }
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double f = lu_(r, k) / lu_(k, k);
-      lu_(r, k) = f;
-      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+      const double f = a[r * n + k] / a[k * n + k];
+      a[r * n + k] = f;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        a[r * n + c] -= f * a[k * n + c];
+      }
     }
+  }
+}
+
+void LuFactorView::solve_to(std::span<const double> b,
+                            std::span<double> x) const {
+  lu_solve_to(lu, ipiv, n, b, x);
+}
+
+void LuFactorView::solve_many(std::span<double> B, std::size_t n_rhs) const {
+  lu_solve_many(lu, ipiv, n, B, n_rhs);
+}
+
+void lu_solve_to(std::span<const double> lu,
+                 std::span<const std::uint32_t> ipiv, std::size_t n,
+                 std::span<const double> b, std::span<double> x) {
+  assert(b.size() == n && x.size() == n);
+  const double* a = lu.data();
+  if (x.data() != b.data()) std::copy(b.begin(), b.end(), x.begin());
+  // P b: replay the pivot-swap sequence (equivalent to gathering by the
+  // composed permutation — same values, no scratch).
+  for (std::size_t k = 0; k < n; ++k) {
+    if (ipiv[k] != k) std::swap(x[k], x[ipiv[k]]);
+  }
+  // Forward substitution (unit lower).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= a[i * n + j] * x[j];
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= a[ii * n + j] * x[j];
+    x[ii] /= a[ii * n + ii];
+  }
+}
+
+void lu_solve_many(std::span<const double> lu,
+                   std::span<const std::uint32_t> ipiv, std::size_t n,
+                   std::span<double> B, std::size_t n_rhs) {
+  assert(B.size() == n * n_rhs);
+  const double* a = lu.data();
+  double* x = B.data();
+  // P B: swap whole component rows — in place, no scratch.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t p = ipiv[k];
+    if (p != k) {
+      for (std::size_t j = 0; j < n_rhs; ++j) {
+        std::swap(x[k * n_rhs + j], x[p * n_rhs + j]);
+      }
+    }
+  }
+  // Forward substitution (unit lower): each axpy updates a contiguous
+  // row of n_rhs doubles.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* xi = x + i * n_rhs;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double f = a[i * n + j];
+      const double* xj = x + j * n_rhs;
+      for (std::size_t r = 0; r < n_rhs; ++r) xi[r] -= f * xj[r];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* xi = x + ii * n_rhs;
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      const double f = a[ii * n + j];
+      const double* xj = x + j * n_rhs;
+      for (std::size_t r = 0; r < n_rhs; ++r) xi[r] -= f * xj[r];
+    }
+    const double d = a[ii * n + ii];
+    for (std::size_t r = 0; r < n_rhs; ++r) xi[r] /= d;
+  }
+}
+
+LuSolver::LuSolver(DenseMatrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) {
+    throw std::invalid_argument("LuSolver: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  ipiv_.resize(n);
+  LuFactorView view{lu_.data(), ipiv_, n};
+  view.factor();
+  // Composed permutation for the gather in solve(): replaying the swap
+  // sequence on an identity map is exactly the bookkeeping the previous
+  // constructor interleaved with elimination.
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (ipiv_[k] != k) std::swap(perm_[k], perm_[ipiv_[k]]);
   }
 }
 
@@ -94,6 +181,22 @@ std::vector<double> LuSolver::solve(std::vector<double> b) const {
     x[ii] /= lu_(ii, ii);
   }
   return x;
+}
+
+void LuSolver::solve_to(std::span<const double> b, std::span<double> x) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n || x.size() != n) {
+    throw std::invalid_argument("LuSolver::solve_to: size mismatch");
+  }
+  lu_solve_to(lu_.data(), ipiv_, n, b, x);
+}
+
+void LuSolver::solve_many(std::span<double> B, std::size_t n_rhs) const {
+  const std::size_t n = lu_.rows();
+  if (n_rhs == 0 || B.size() != n * n_rhs) {
+    throw std::invalid_argument("LuSolver::solve_many: size mismatch");
+  }
+  lu_solve_many(lu_.data(), ipiv_, n, B, n_rhs);
 }
 
 }  // namespace midas::linalg

@@ -1,9 +1,12 @@
 // Small dense matrices with LU factorisation.  Used as the reference
-// solver in tests and for the tiny linear systems in the MANET
-// birth-death rate fit.
+// solver in tests, for the tiny linear systems in the MANET birth-death
+// rate fit, and — through LuFactorView — as the allocation-free batched
+// kernel behind spn::AbsorbingAnalyzer::solve_batch.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace midas::linalg {
@@ -29,11 +32,55 @@ class DenseMatrix {
   /// Identity matrix.
   [[nodiscard]] static DenseMatrix identity(std::size_t n);
 
+  /// Row-major storage (n·n doubles) — the layout LuFactorView factors
+  /// in place.
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept {
+    return data_;
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// Non-owning LU factorisation over caller storage (stack buffers, a
+/// util::Arena, a DenseMatrix's data()): factor() runs partial-pivoting
+/// Gaussian elimination IN PLACE on `lu` (row-major n×n) and records
+/// the pivot-row swap sequence in `ipiv`, so repeated solves perform
+/// zero allocations.  The arithmetic is bit-for-bit the LuSolver
+/// constructor's — the batched solver relies on that to stay bitwise
+/// identical to the scalar path.
+struct LuFactorView {
+  std::span<double> lu;           ///< n·n row-major; factored in place
+  std::span<std::uint32_t> ipiv;  ///< n; ipiv[k] = row swapped at step k
+  std::size_t n = 0;
+
+  /// Factors lu in place; throws std::runtime_error on a numerically
+  /// singular pivot (same norm-scaled floor as LuSolver).
+  void factor();
+
+  /// Solves A x = b into `x` (b and x may alias).  No allocations.
+  void solve_to(std::span<const double> b, std::span<double> x) const;
+
+  /// Multi-RHS solve, IN PLACE on B.  Layout is component-major
+  /// ("point-major" in the sweep engine's terms): B[r*n_rhs + j] is
+  /// component r of right-hand side j, so every substitution step
+  /// updates n_rhs contiguous doubles — the auto-vectorisable inner
+  /// loop the batch path is built around.  Column j of the result is
+  /// bitwise what solve_to would produce for column j alone.
+  void solve_many(std::span<double> B, std::size_t n_rhs) const;
+};
+
+/// Substitution kernels over an already-factored LU (read-only): the
+/// implementations behind LuFactorView / LuSolver solves.
+void lu_solve_to(std::span<const double> lu,
+                 std::span<const std::uint32_t> ipiv, std::size_t n,
+                 std::span<const double> b, std::span<double> x);
+void lu_solve_many(std::span<const double> lu,
+                   std::span<const std::uint32_t> ipiv, std::size_t n,
+                   std::span<double> B, std::size_t n_rhs);
 
 /// LU factorisation with partial pivoting; throws std::runtime_error on a
 /// numerically singular pivot.
@@ -44,9 +91,19 @@ class LuSolver {
   /// Solves A x = b.
   [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
 
+  /// Allocation-free variant: solves into caller storage (b and x may
+  /// alias).  Bitwise identical to solve().
+  void solve_to(std::span<const double> b, std::span<double> x) const;
+
+  /// Multi-RHS solve, in place on B (component-major layout
+  /// B[r*n_rhs + j]; see LuFactorView::solve_many).  No per-call
+  /// copies or allocations.
+  void solve_many(std::span<double> B, std::size_t n_rhs) const;
+
  private:
   DenseMatrix lu_;
-  std::vector<std::size_t> perm_;
+  std::vector<std::uint32_t> ipiv_;  // pivot-swap sequence (LAPACK-style)
+  std::vector<std::size_t> perm_;    // composed permutation (solve())
 };
 
 }  // namespace midas::linalg

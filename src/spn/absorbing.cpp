@@ -1,5 +1,8 @@
 #include "spn/absorbing.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <stdexcept>
 
 #include "linalg/dense_matrix.h"
@@ -24,6 +27,15 @@ AbsorbingAnalyzer::AbsorbingAnalyzer(const ReachabilityGraph& graph)
     throw std::runtime_error(
         "AbsorbingAnalyzer: chain has no absorbing states");
   }
+
+  // Snapshot of the stored edge rates so the no-argument solve() does
+  // not copy the edge list on every call (the graph is held const, so
+  // the snapshot cannot go stale).
+  stored_rates_.resize(graph_.edges.size());
+  for (std::size_t i = 0; i < stored_rates_.size(); ++i) {
+    stored_rates_[i] = graph_.edges[i].rate;
+  }
+
   if (nt == 0) return;  // initial state itself absorbing: MTTA = 0
 
   init_compact_ = compact_[graph_.initial];
@@ -75,8 +87,34 @@ AbsorbingAnalyzer::AbsorbingAnalyzer(const ReachabilityGraph& graph)
     }
   }
 
+  // Compacted exit-rate and absorption-flow structure: per transient
+  // state, the global indices of its non-self-loop out-edges in graph
+  // CSR order (exit), and among those the transient→absorbing ones
+  // (abs).  The per-edge `e.src != e.dst` / absorbing-dst tests used to
+  // run inside every solve(); now they run once here and the per-point
+  // loops walk dense index lists.
+  exit_offsets_.reserve(nt + 1);
+  abs_offsets_.reserve(nt + 1);
+  exit_offsets_.push_back(0);
+  abs_offsets_.push_back(0);
+  for (std::size_t i = 0; i < nt; ++i) {
+    const auto begin = graph_.edge_offsets[expand_[i]];
+    const auto end = graph_.edge_offsets[expand_[i] + 1];
+    for (std::uint32_t idx = begin; idx < end; ++idx) {
+      const auto& e = graph_.edges[idx];
+      if (e.src == e.dst) continue;
+      exit_edges_.push_back(idx);
+      if (absorbing_[e.dst]) abs_edges_.push_back({idx, e.dst});
+    }
+    exit_offsets_.push_back(static_cast<std::uint32_t>(exit_edges_.size()));
+    abs_offsets_.push_back(static_cast<std::uint32_t>(abs_edges_.size()));
+  }
+
   scc_ = strongly_connected_components(out_offsets, out_targets);
   components_ = scc_.members();
+  for (const auto& block : components_) {
+    max_block_ = std::max(max_block_, block.size());
+  }
 
   // Absorption must be certain from the initial marking, or MTTA
   // diverges and the solve fails downstream with an opaque symptom (a
@@ -145,15 +183,16 @@ AbsorbingAnalyzer::AbsorbingAnalyzer(const ReachabilityGraph& graph)
 }
 
 AbsorbingResult AbsorbingAnalyzer::solve() const {
-  std::vector<double> rates(graph_.edges.size());
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    rates[i] = graph_.edges[i].rate;
-  }
-  return solve(rates);
+  return solve(stored_rates_);
 }
 
 AbsorbingResult AbsorbingAnalyzer::solve(
     std::span<const double> edge_rates) const {
+  return solve(edge_rates, SolveOptions{});
+}
+
+AbsorbingResult AbsorbingAnalyzer::solve(std::span<const double> edge_rates,
+                                         const SolveOptions& opts) const {
   if (edge_rates.size() != graph_.edges.size()) {
     throw std::invalid_argument(
         "AbsorbingAnalyzer::solve: edge_rates size " +
@@ -164,25 +203,26 @@ AbsorbingResult AbsorbingAnalyzer::solve(
   const std::size_t nt = expand_.size();
 
   AbsorbingResult res;
-  res.sojourn.assign(n, 0.0);
-  res.absorb_probability.assign(n, 0.0);
+  if (opts.sojourn) res.sojourn.assign(n, 0.0);
 
   if (nt == 0) {
     // Initial state itself is absorbing: MTTA = 0.
     res.mtta = 0.0;
-    res.absorb_probability[graph_.initial] = 1.0;
+    if (opts.absorb_probability) {
+      res.absorb_probability.assign(n, 0.0);
+      res.absorb_probability[graph_.initial] = 1.0;
+    }
     res.converged = true;
     return res;
   }
 
-  // Total exit rate per transient state (self-loops cancel in Q).
+  // Total exit rate per transient state (self-loops cancel in Q): walk
+  // the construction-time compacted edge lists — no per-edge self-loop
+  // test in the sweep's hot path.
   std::vector<double> exit_rate(nt, 0.0);
   for (std::size_t i = 0; i < nt; ++i) {
-    const auto begin = graph_.edge_offsets[expand_[i]];
-    const auto end = graph_.edge_offsets[expand_[i] + 1];
-    for (std::uint32_t idx = begin; idx < end; ++idx) {
-      const auto& e = graph_.edges[idx];
-      if (e.src != e.dst) exit_rate[i] += edge_rates[idx];
+    for (std::uint32_t k = exit_offsets_[i]; k < exit_offsets_[i + 1]; ++k) {
+      exit_rate[i] += edge_rates[exit_edges_[k]];
     }
   }
 
@@ -250,20 +290,279 @@ AbsorbingResult AbsorbingAnalyzer::solve(
   res.converged = true;
   double mtta = 0.0;
   for (std::size_t i = 0; i < nt; ++i) {
-    res.sojourn[expand_[i]] = tau[i];
+    if (opts.sojourn) res.sojourn[expand_[i]] = tau[i];
     mtta += tau[i];
   }
   res.mtta = mtta;
 
-  // Absorption probabilities: flow into each absorbing state.
+  // Absorption probabilities: flow into each absorbing state, via the
+  // compacted transient→absorbing edge list.
+  if (opts.absorb_probability) {
+    res.absorb_probability.assign(n, 0.0);
+    for (std::size_t i = 0; i < nt; ++i) {
+      for (std::uint32_t k = abs_offsets_[i]; k < abs_offsets_[i + 1]; ++k) {
+        const auto& ae = abs_edges_[k];
+        res.absorb_probability[ae.dst] += tau[i] * edge_rates[ae.edge];
+      }
+    }
+  }
+  return res;
+}
+
+AbsorbingBatchResult AbsorbingAnalyzer::solve_batch(
+    std::span<const double> edge_rates, std::size_t num_points,
+    const BatchSolveOptions& opts, util::Arena* arena) const {
+  const std::size_t P = num_points;
+  if (P == 0) {
+    throw std::invalid_argument(
+        "AbsorbingAnalyzer::solve_batch: num_points must be positive");
+  }
+  if (edge_rates.size() != graph_.edges.size() * P) {
+    throw std::invalid_argument(
+        "AbsorbingAnalyzer::solve_batch: edge_rates size " +
+        std::to_string(edge_rates.size()) +
+        " does not match edge count x num_points = " +
+        std::to_string(graph_.edges.size() * P));
+  }
+  util::Arena& a = arena != nullptr ? *arena : util::thread_scratch_arena();
+  const std::size_t n = graph_.num_states();
+  const std::size_t nt = expand_.size();
+  const double* rates = edge_rates.data();
+
+  AbsorbingBatchResult res;
+  res.num_points = P;
+  res.mtta = a.make_span<double>(P, 0.0);
+  res.sojourn = a.make_span<double>(n * P, 0.0);
+  res.absorb_probability = a.make_span<double>(n * P, 0.0);
+
+  if (nt == 0) {
+    double* row = res.absorb_probability.data() +
+                  static_cast<std::size_t>(graph_.initial) * P;
+    for (std::size_t p = 0; p < P; ++p) row[p] = 1.0;
+    res.converged = true;
+    return res;
+  }
+
+  // Exit rates, point-major: each compacted edge contributes a
+  // contiguous row of P rates to its source's row.
+  auto exit = a.make_span<double>(nt * P, 0.0);
   for (std::size_t i = 0; i < nt; ++i) {
-    const auto s = expand_[i];
-    const auto begin = graph_.edge_offsets[s];
-    const auto end = graph_.edge_offsets[s + 1];
-    for (std::uint32_t idx = begin; idx < end; ++idx) {
-      const auto& e = graph_.edges[idx];
-      if (e.dst == s || !absorbing_[e.dst]) continue;
-      res.absorb_probability[e.dst] += res.sojourn[s] * edge_rates[idx];
+    double* row = exit.data() + i * P;
+    for (std::uint32_t k = exit_offsets_[i]; k < exit_offsets_[i + 1]; ++k) {
+      const double* er = rates + static_cast<std::size_t>(exit_edges_[k]) * P;
+      for (std::size_t p = 0; p < P; ++p) row[p] += er[p];
+    }
+  }
+
+  auto tau = a.make_span<double>(nt * P, 0.0);
+  auto local = a.make_span<std::uint32_t>(nt, UINT32_MAX);
+
+  // Dense-block scratch, sized once to the largest SCC.
+  const std::size_t kmax = std::max<std::size_t>(max_block_, 1);
+  auto b = a.make_span<double>(kmax * P);         // point-major RHS
+  auto M = a.make_span<double>(kmax * kmax * P);  // point-major blocks
+  auto Mp = a.make_span<double>(kmax * kmax);     // one point's block
+  auto xk = a.make_span<double>(kmax);
+  auto ipiv = a.make_span<std::uint32_t>(kmax);
+  // Factor-reuse scratch.
+  std::span<double> m00, G;
+  std::span<std::uint32_t> head, member;
+  if (opts.factor_reuse && max_block_ > 1) {
+    m00 = a.make_span<double>(P);
+    G = a.make_span<double>(kmax * P);  // grouped RHS, component-major
+    head = a.make_span<std::uint32_t>(P);
+    member = a.make_span<std::uint32_t>(P);
+  }
+
+  // Higher component id = earlier in topological order (sources first) —
+  // the scalar solve's order, mirrored exactly.
+  for (std::size_t c = components_.size(); c-- > 0;) {
+    const auto& block = components_[c];
+    const auto cc = static_cast<std::uint32_t>(c);
+    if (block.size() == 1) {
+      const auto j = block[0];
+      const double* ej = exit.data() + static_cast<std::size_t>(j) * P;
+      for (std::size_t p = 0; p < P; ++p) {
+        if (ej[p] <= 0.0) {
+          throw std::runtime_error(
+              "AbsorbingAnalyzer: transient state with zero exit rate");
+        }
+      }
+      // External inflow + initial mass, accumulated per point in the
+      // scalar external_b's in-CSR order.
+      double* bj = b.data();
+      const double init = j == init_compact_ ? 1.0 : 0.0;
+      for (std::size_t p = 0; p < P; ++p) bj[p] = init;
+      for (std::uint32_t k = in_offsets_[j]; k < in_offsets_[j + 1]; ++k) {
+        const auto& in = in_edges_[k];
+        if (scc_.component[in.src] == cc) continue;
+        const double* ts = tau.data() + static_cast<std::size_t>(in.src) * P;
+        const double* er = rates + static_cast<std::size_t>(in.edge) * P;
+        for (std::size_t p = 0; p < P; ++p) bj[p] += ts[p] * er[p];
+      }
+      double* tj = tau.data() + static_cast<std::size_t>(j) * P;
+      for (std::size_t p = 0; p < P; ++p) tj[p] = bj[p] / ej[p];
+      continue;
+    }
+    const std::size_t k = block.size();
+    if (k > 4096) {
+      throw std::runtime_error(
+          "AbsorbingAnalyzer: transient SCC of size " + std::to_string(k) +
+          " exceeds the dense-block limit");
+    }
+    // Point-major assembly:  M[(r·k+c)·P + p],  b[r·P + p].  The scalar
+    // solve accumulates b (cross-component in-edges) and the block
+    // coefficients (same-component in-edges) from the same ordered
+    // in-CSR scan; the targets are disjoint, so one interleaved scan
+    // reproduces both accumulation sequences bitwise.
+    std::fill_n(M.data(), k * k * P, 0.0);
+    for (std::size_t r = 0; r < k; ++r) {
+      local[block[r]] = static_cast<std::uint32_t>(r);
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      const auto j = block[r];
+      double* diag = M.data() + (r * k + r) * P;
+      const double* ej = exit.data() + static_cast<std::size_t>(j) * P;
+      for (std::size_t p = 0; p < P; ++p) diag[p] = ej[p];
+      double* br = b.data() + r * P;
+      const double init = j == init_compact_ ? 1.0 : 0.0;
+      for (std::size_t p = 0; p < P; ++p) br[p] = init;
+      for (std::uint32_t e = in_offsets_[j]; e < in_offsets_[j + 1]; ++e) {
+        const auto& in = in_edges_[e];
+        const double* er = rates + static_cast<std::size_t>(in.edge) * P;
+        if (scc_.component[in.src] != cc) {
+          const double* ts = tau.data() + static_cast<std::size_t>(in.src) * P;
+          for (std::size_t p = 0; p < P; ++p) br[p] += ts[p] * er[p];
+        } else {
+          double* mrc = M.data() + (r * k + local[in.src]) * P;
+          for (std::size_t p = 0; p < P; ++p) mrc[p] -= er[p];
+        }
+      }
+    }
+
+    // Per-point fallback path: gather point p's block, factor, solve —
+    // bitwise the scalar LuSolver path (shared factor/substitution
+    // kernels, same values in, same order).
+    auto solve_per_point = [&]() {
+      for (std::size_t p = 0; p < P; ++p) {
+        for (std::size_t rc = 0; rc < k * k; ++rc) Mp[rc] = M[rc * P + p];
+        linalg::LuFactorView view{Mp.first(k * k), ipiv.first(k), k};
+        view.factor();
+        for (std::size_t r = 0; r < k; ++r) xk[r] = b[r * P + p];
+        view.solve_to(xk.first(k), xk.first(k));
+        for (std::size_t r = 0; r < k; ++r) {
+          tau[static_cast<std::size_t>(block[r]) * P + p] = xk[r];
+        }
+      }
+      res.blocks_factored += P;
+    };
+
+    bool can_normalise = opts.factor_reuse;
+    if (can_normalise) {
+      // Normalisation scale: the power of two bracketing the head
+      // state's exit rate (block diagonal (0,0)).  A power-of-two
+      // divide is EXACT, so N_p = M_p / 2^e keeps every mantissa:
+      // factoring N_p chooses the same pivots and produces the scalar
+      // factorisation's values scaled by 2^-e, and the substitution
+      // returns bitwise the raw-block solution — factor reuse never
+      // perturbs the arithmetic, it only shares work.  The (0,0) entry
+      // is positive in any well-posed solve; bail out to the per-point
+      // path rather than take ilogb of a degenerate one.
+      for (std::size_t p = 0; p < P; ++p) {
+        const double pivot = M[p];  // entry (0,0), point-major row 0
+        if (!(pivot > 0.0)) {
+          can_normalise = false;
+          break;
+        }
+        m00[p] = std::ldexp(1.0, std::ilogb(pivot));
+      }
+    }
+    if (!can_normalise) {
+      solve_per_point();
+    } else {
+      // N_p = M_p / 2^e_p in place.  Points whose normalised blocks are
+      // bitwise identical (identical blocks, or exact power-of-two
+      // multiples — the common-scalar-multiple structure of rate-scaled
+      // sweeps) share one factorisation; tau_p then depends only on
+      // (N_p, b_p, e_p), never on which points share the batch.
+      for (std::size_t rc = 0; rc < k * k; ++rc) {
+        double* row = M.data() + rc * P;
+        for (std::size_t p = 0; p < P; ++p) row[p] /= m00[p];
+      }
+      auto same_block = [&](std::size_t p, std::size_t q) {
+        for (std::size_t rc = 0; rc < k * k; ++rc) {
+          const double* row = M.data() + rc * P;
+          if (std::bit_cast<std::uint64_t>(row[p]) !=
+              std::bit_cast<std::uint64_t>(row[q])) {
+            return false;
+          }
+        }
+        return true;
+      };
+      for (std::size_t p = 0; p < P; ++p) {
+        head[p] = static_cast<std::uint32_t>(p);
+        for (std::size_t q = 0; q < p; ++q) {
+          if (head[q] != q) continue;  // compare against group heads only
+          if (same_block(p, q)) {
+            head[p] = static_cast<std::uint32_t>(q);
+            break;
+          }
+        }
+      }
+      for (std::size_t h = 0; h < P; ++h) {
+        if (head[h] != h) continue;
+        std::size_t n_g = 0;
+        for (std::size_t p = 0; p < P; ++p) {
+          if (head[p] == h) member[n_g++] = static_cast<std::uint32_t>(p);
+        }
+        for (std::size_t rc = 0; rc < k * k; ++rc) Mp[rc] = M[rc * P + h];
+        linalg::LuFactorView view{Mp.first(k * k), ipiv.first(k), k};
+        view.factor();
+        ++res.blocks_factored;
+        // Scaled right-hand sides g_p = b_p / m00_p, component-major.
+        for (std::size_t r = 0; r < k; ++r) {
+          double* gr = G.data() + r * n_g;
+          for (std::size_t g = 0; g < n_g; ++g) {
+            const std::size_t p = member[g];
+            gr[g] = b[r * P + p] / m00[p];
+          }
+        }
+        view.solve_many(G.first(k * n_g), n_g);
+        for (std::size_t r = 0; r < k; ++r) {
+          const double* gr = G.data() + r * n_g;
+          for (std::size_t g = 0; g < n_g; ++g) {
+            tau[static_cast<std::size_t>(block[r]) * P + member[g]] = gr[g];
+          }
+        }
+        res.blocks_reused += n_g - 1;
+      }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      local[block[r]] = UINT32_MAX;  // reset for the next block
+    }
+  }
+
+  res.solver_blocks = components_.size();
+  res.converged = true;
+  double* mtta = res.mtta.data();
+  for (std::size_t i = 0; i < nt; ++i) {
+    const double* ti = tau.data() + i * P;
+    double* so =
+        res.sojourn.data() + static_cast<std::size_t>(expand_[i]) * P;
+    for (std::size_t p = 0; p < P; ++p) so[p] = ti[p];
+    for (std::size_t p = 0; p < P; ++p) mtta[p] += ti[p];
+  }
+
+  // Absorption probabilities: flow into each absorbing state, in the
+  // scalar pass's state/edge order per point.
+  for (std::size_t i = 0; i < nt; ++i) {
+    const double* ti = tau.data() + i * P;
+    for (std::uint32_t k = abs_offsets_[i]; k < abs_offsets_[i + 1]; ++k) {
+      const auto& ae = abs_edges_[k];
+      double* ap = res.absorb_probability.data() +
+                   static_cast<std::size_t>(ae.dst) * P;
+      const double* er = rates + static_cast<std::size_t>(ae.edge) * P;
+      for (std::size_t p = 0; p < P; ++p) ap[p] += ti[p] * er[p];
     }
   }
   return res;

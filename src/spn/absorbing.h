@@ -25,6 +25,7 @@
 
 #include "spn/reachability.h"
 #include "spn/scc.h"
+#include "util/arena.h"
 
 namespace midas::spn {
 
@@ -41,6 +42,47 @@ struct AbsorbingResult {
   std::size_t solver_blocks = 0;
 };
 
+/// What solve(edge_rates, opts) materialises.  Callers that only read
+/// mtta (benchmark loops, convergence probes) skip the two full-state
+/// n-sized vector assignments the default result pays for.
+struct SolveOptions {
+  bool sojourn = true;             ///< fill AbsorbingResult::sojourn
+  bool absorb_probability = true;  ///< fill absorb_probability
+};
+
+/// Knobs of the batched multi-point solve.
+struct BatchSolveOptions {
+  /// Deduplicate dense SCC blocks across points: every block is
+  /// normalised by the power of two bracketing its first diagonal
+  /// entry (the head state's exit rate), and points whose normalised
+  /// blocks are BITWISE identical — identical blocks, or exact
+  /// power-of-two multiples, as in rate-scaled sweeps — share one LU
+  /// factorisation via solve_many with per-point scaled right-hand
+  /// sides.  Because the match is intrinsic to each point's normalised
+  /// block (not to which points happen to share a batch), results never
+  /// depend on batch or shard grouping; and because a power-of-two
+  /// scaling is exact in floating point, the shared-factor solves are
+  /// bitwise the per-point raw-block solves — reuse shares work without
+  /// perturbing the arithmetic (the spec-level gate is <= 1e-12
+  /// relative; in practice both settings are bitwise the scalar path).
+  bool factor_reuse = true;
+};
+
+/// Point-major answers of solve_batch: entry [s*num_points + p] is
+/// state s's value for batch point p.  The spans live in the arena the
+/// caller passed (or the calling thread's scratch arena) and stay valid
+/// until that arena is reset.
+struct AbsorbingBatchResult {
+  std::size_t num_points = 0;
+  std::span<double> mtta;     ///< [P]
+  std::span<double> sojourn;  ///< [n][P]; absorbing rows identically 0
+  std::span<double> absorb_probability;  ///< [n][P]; transient rows 0
+  bool converged = false;
+  std::size_t solver_blocks = 0;    ///< per point (structure-shared)
+  std::size_t blocks_factored = 0;  ///< LU factorisations performed
+  std::size_t blocks_reused = 0;    ///< point-solves served by a shared LU
+};
+
 class AbsorbingAnalyzer {
  public:
   /// The graph must contain at least one absorbing state, reachable
@@ -54,7 +96,9 @@ class AbsorbingAnalyzer {
   explicit AbsorbingAnalyzer(const ReachabilityGraph& graph);
 
   /// Solves from the graph's initial state with the rates stored on the
-  /// graph's edges.
+  /// graph's edges.  Uses the rate snapshot taken at construction — no
+  /// per-call copy of the edge list (the graph is referenced const, so
+  /// the stored rates cannot have changed).
   [[nodiscard]] AbsorbingResult solve() const;
 
   /// Solves with per-edge rates overriding the stored ones:
@@ -64,6 +108,33 @@ class AbsorbingAnalyzer {
   /// Thread-safe: const, no shared mutable state.
   [[nodiscard]] AbsorbingResult solve(
       std::span<const double> edge_rates) const;
+
+  /// As above, with control over which full-state vectors the result
+  /// materialises.  A result built with `opts.sojourn == false` must
+  /// not be passed to the reward accessors (they index res.sojourn).
+  [[nodiscard]] AbsorbingResult solve(std::span<const double> edge_rates,
+                                      const SolveOptions& opts) const;
+
+  /// Batched multi-point solve: `edge_rates` is the point-major
+  /// [edge][point] matrix ReachabilityGraph::compute_rates_batch fills
+  /// (edge_rates[i*num_points + p] = edge i's rate at point p; size
+  /// edges·num_points).  One pass over the structure serves all points:
+  /// exit rates, singleton-SCC taus and absorption flows are point-major
+  /// inner loops over num_points contiguous doubles, and dense SCC
+  /// blocks are assembled point-major then solved per point — or, with
+  /// opts.factor_reuse, shared across points whose normalised blocks
+  /// coincide (see BatchSolveOptions).  All scratch and the result spans
+  /// come from `arena` (the calling thread's scratch arena when null);
+  /// the caller resets the arena between batches.
+  ///
+  /// Numerics gate: with factor_reuse OFF, point p's mtta/sojourn/
+  /// absorb_probability are BITWISE the scalar solve(edge_rates_p)
+  /// answers; with reuse ON they agree to <= 1e-12 relative and are
+  /// independent of how points are grouped into batches.
+  [[nodiscard]] AbsorbingBatchResult solve_batch(
+      std::span<const double> edge_rates, std::size_t num_points,
+      const BatchSolveOptions& opts = {},
+      util::Arena* arena = nullptr) const;
 
   /// Expected accumulated rate reward  Σ τ_i · reward(state_i).
   [[nodiscard]] double accumulated_rate_reward(
@@ -111,6 +182,13 @@ class AbsorbingAnalyzer {
     std::uint32_t edge;
   };
 
+  /// An outgoing transient→absorbing edge: global edge index plus the
+  /// (full-index) absorbing destination.
+  struct AbsEdge {
+    std::uint32_t edge;
+    std::uint32_t dst;
+  };
+
   const ReachabilityGraph& graph_;
   std::vector<char> absorbing_;
   std::vector<std::uint32_t> compact_;  // full → compact (UINT32_MAX = absorbing)
@@ -119,9 +197,20 @@ class AbsorbingAnalyzer {
   // Incoming transient→transient edges, CSR by destination.
   std::vector<std::uint32_t> in_offsets_;
   std::vector<InEdge> in_edges_;
+  // Exit-rate structure hoisted out of solve(): per transient state, the
+  // global indices of its non-self-loop out-edges (graph CSR order) —
+  // the `e.src != e.dst` test runs once here instead of per sweep point.
+  std::vector<std::uint32_t> exit_offsets_;
+  std::vector<std::uint32_t> exit_edges_;
+  // Absorption flows, likewise compacted: transient→absorbing edges.
+  std::vector<std::uint32_t> abs_offsets_;
+  std::vector<AbsEdge> abs_edges_;
+  // Rates stored on the graph edges at construction (no-arg solve()).
+  std::vector<double> stored_rates_;
   // Condensation of the transient subgraph.
   SccResult scc_;
   std::vector<std::vector<std::uint32_t>> components_;
+  std::size_t max_block_ = 0;  // largest SCC (dense-block scratch sizing)
 };
 
 }  // namespace midas::spn

@@ -106,6 +106,63 @@ void ReachabilityGraph::compute_rates(const PetriNet& net,
   }
 }
 
+void ReachabilityGraph::compute_rates_batch(
+    std::span<const PetriNet* const> nets, std::span<double> rates,
+    std::span<double> impulses, const BatchRateFn& fast) const {
+  const std::size_t P = nets.size();
+  if (P == 0) {
+    throw std::invalid_argument("compute_rates_batch: empty net batch");
+  }
+  if (rates.size() != edges.size() * P || impulses.size() != edges.size() * P) {
+    throw std::invalid_argument(
+        "compute_rates_batch: output spans must be edge count x batch size");
+  }
+  std::vector<double> base_rate(P, 0.0);
+  std::vector<double> timed_impulse(P, 0.0);
+  for (StateId s = 0; s < states.size(); ++s) {
+    const Marking& m = states[s];
+    const auto begin = edge_offsets[s];
+    const auto end = edge_offsets[s + 1];
+    // As in compute_rates, one (transition, marking) evaluation serves
+    // every vanishing-expansion edge of the firing — here for all P
+    // points at once.
+    TransitionId last_t = UINT32_MAX;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const Edge& e = edges[i];
+      if (e.transition != last_t) {
+        last_t = e.transition;
+        // The hook evaluates all P points in one call (hoisting the
+        // marking-derived work a per-net evaluation repeats P times);
+        // declined pairs take the generic per-net path.  Both produce
+        // bitwise-identical values (BatchRateFn contract).
+        if (!fast || !fast(e.transition, m, base_rate, timed_impulse)) {
+          for (std::size_t p = 0; p < P; ++p) {
+            base_rate[p] = nets[p]->rate(e.transition, m);
+            timed_impulse[p] = nets[p]->impulse(e.transition, m);
+          }
+        }
+      }
+      double* rate_row = rates.data() + static_cast<std::size_t>(i) * P;
+      double* imp_row = impulses.data() + static_cast<std::size_t>(i) * P;
+      for (std::size_t p = 0; p < P; ++p) {
+        const double rate = base_rate[p] * e.prob;
+        if (rate <= 0.0) {
+          throw std::runtime_error(
+              "compute_rates_batch: edge " + std::to_string(i) + " (" +
+              std::to_string(e.src) + " -> " + std::to_string(e.dst) +
+              ", transition " + nets[p]->transition_name(e.transition) +
+              ") re-rates to " + std::to_string(rate) + " at marking " +
+              m.to_string() + " for batch point " + std::to_string(p) +
+              "; the parameter change alters the edge structure and "
+              "requires a fresh exploration");
+        }
+        rate_row[p] = rate;
+        imp_row[p] = timed_impulse[p] + e.vanishing_impulse;
+      }
+    }
+  }
+}
+
 void ReachabilityGraph::refresh_rates(const PetriNet& net) {
   std::vector<double> rates(edges.size());
   std::vector<double> impulses(edges.size());

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,19 @@
 namespace midas::spn {
 
 using StateId = std::uint32_t;
+
+/// Optional fast path for compute_rates_batch: fills `rates[p]` and
+/// `impulses[p]` with nets[p]'s rate/impulse of `t` fired from `m`, for
+/// every batch point p in one call — letting the caller hoist the
+/// marking-derived quantities (group sizes, memo-table indices) that a
+/// per-net spn-level evaluation would recompute P times.  Returns false
+/// to decline the pair, in which case compute_rates_batch falls back to
+/// the generic per-net rate()/impulse() calls.  CONTRACT: the values
+/// written must be bitwise what nets[p]->rate(t, m) / ->impulse(t, m)
+/// return (the hook is a scheduling optimisation, not a re-definition).
+using BatchRateFn = std::function<bool(
+    TransitionId t, const Marking& m, std::span<double> rates,
+    std::span<double> impulses)>;
 
 struct Edge {
   StateId src;
@@ -67,6 +81,25 @@ struct ReachabilityGraph {
   /// to a non-positive value (structure mismatch).
   void compute_rates(const PetriNet& net, std::span<double> rates,
                      std::span<double> impulses) const;
+
+  /// Batched compute_rates: ONE pass over the structure fills
+  /// point-major [edge][point] rate/impulse matrices for P nets that
+  /// share this graph's structure — rates[i*P + p] is edge i's rate
+  /// under nets[p].  The (transition, marking) evaluation is still
+  /// deduplicated across the vanishing-expansion edges of each firing,
+  /// exactly as in compute_rates, and each point's values are bitwise
+  /// the per-point compute_rates answers.  Spans must hold
+  /// edges.size()·P doubles.  Throws std::runtime_error naming the
+  /// edge, transition, marking and batch point when a stored edge
+  /// re-rates to a non-positive value (structure mismatch).
+  ///
+  /// `fast` (optional) answers whole (transition, marking) pairs across
+  /// all P points at once (see BatchRateFn); pairs it declines — and
+  /// everything, when it is empty — take the generic per-net path.
+  void compute_rates_batch(std::span<const PetriNet* const> nets,
+                           std::span<double> rates,
+                           std::span<double> impulses,
+                           const BatchRateFn& fast = {}) const;
 
   /// In-place variant of compute_rates(): overwrites every edge's rate
   /// and impulse.  Same structural contract.

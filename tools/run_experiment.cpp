@@ -113,6 +113,25 @@ bool parity_check(const core::ExperimentSpec& spec,
                 "%.3e (tolerance %.0e) -> %s\n",
                 max_diff, tolerance, max_diff <= tolerance ? "ok" : "FAIL");
     ok = ok && max_diff <= tolerance;
+    // The legacy run above exercises the same batched kernels as the
+    // service; additionally gate against the scalar per-point path
+    // (batch width 1) so the batched solve itself is cross-checked.
+    std::vector<core::Params> pts;
+    pts.reserve(run->evals.size());
+    for (std::size_t i = result.range.begin; i < result.range.end; ++i) {
+      pts.push_back(grid.point(spec.base, i));
+    }
+    const auto scalar = engine.evaluate(pts, 1);
+    double max_scalar = 0.0;
+    for (std::size_t i = 0; i < run->evals.size(); ++i) {
+      max_scalar =
+          std::max(max_scalar, eval_rel_diff(run->evals[i], scalar[i]));
+    }
+    std::printf("parity analytic (scalar batch=1 path):     max rel diff "
+                "%.3e (tolerance %.0e) -> %s\n",
+                max_scalar, tolerance,
+                max_scalar <= tolerance ? "ok" : "FAIL");
+    ok = ok && max_scalar <= tolerance;
   }
   if (const auto* run = result.find(core::BackendKind::Des)) {
     const auto legacy = engine.run_mc(grid, spec.base, spec.mc);
