@@ -1,0 +1,119 @@
+// Scenario-model bench: runs every pluggable detector and attacker
+// model through the experiment service — one spec per scenario, so
+// each gets its own wall clock — and gates on
+//   * every Monte-Carlo point converged at the preset CI target, and
+//   * for the analytic-compatible scenarios (entropy/static detectors,
+//     poisson attacker), the analytic SPN answer inside the DES 95%
+//     CI at (almost) every point — the DES-vs-analytic agreement the
+//     paper's validation methodology demands, now per scenario.
+// Time-dependent models (cusum, logistic) and non-Poisson arrival
+// structures (bursty, coordinated) have no analytic twin — their
+// entries record wall clock + convergence only, which is exactly the
+// routing the spec validator enforces.
+//
+// Writes BENCH_scenarios.json.  `--smoke` thins the TIDS axis for CI.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace midas;
+
+/// The preset's model axis narrowed to ONE level: everything else
+/// (TIDS axis, MC schedule, backends) stays the preset's, so a
+/// scenario entry is the preset grid's row for that model.
+core::ExperimentSpec scenario_spec(const std::string& preset, bool smoke,
+                                   const std::string& level,
+                                   bool analytic_twin) {
+  core::ExperimentSpec spec = core::experiment_preset(preset, smoke);
+  spec.axes[0].levels = {level};
+  if (analytic_twin) {
+    spec.backends = {core::BackendKind::Analytic, core::BackendKind::Des};
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::print_header(
+      "scenario models: pluggable detectors & attackers",
+      "per-scenario MTTSF curves; DES inside analytic 95% CI where the "
+      "SPN applies (static/entropy + poisson)");
+
+  struct Scenario {
+    const char* preset;
+    const char* level;
+    bool analytic_twin;  // time-homogeneous → SPN cross-check applies
+  };
+  const std::vector<Scenario> scenarios = {
+      {"detector_matrix", "static", true},
+      {"detector_matrix", "entropy", true},
+      {"detector_matrix", "cusum", false},
+      {"detector_matrix", "logistic", false},
+      {"attacker_matrix_v2", "poisson", true},
+      {"attacker_matrix_v2", "bursty", false},
+      {"attacker_matrix_v2", "coordinated", false},
+  };
+
+  core::ExperimentService service;  // shared: exploration cache reuse
+  auto json = bench::artifact("scenarios", smoke, scenarios.size());
+  auto entries = util::Json::array();
+  bool ok = true;
+
+  for (const auto& sc : scenarios) {
+    const auto spec =
+        scenario_spec(sc.preset, smoke, sc.level, sc.analytic_twin);
+    std::printf("--- %s / %s (%s)\n", sc.preset, sc.level,
+                sc.analytic_twin ? "DES + analytic cross-check"
+                                 : "DES only — outside the analytic SPN");
+    const util::Stopwatch watch;
+    const auto result = service.run(spec);
+    const double seconds = watch.seconds();
+
+    const auto& des = result.at(core::BackendKind::Des);
+    bool converged = true;
+    for (const auto& pt : des.mc) converged = converged && pt.converged;
+
+    auto entry = util::Json::object();
+    entry.set("preset", util::Json(std::string(sc.preset)));
+    entry.set("scenario", util::Json(std::string(sc.level)));
+    entry.set("seconds", util::Json::number(seconds));
+    entry.set("points", util::Json(static_cast<double>(des.mc.size())));
+    entry.set("replications",
+              util::Json(static_cast<double>(des.mc_stats.replications)));
+    entry.set("converged", util::Json(std::string(converged ? "yes" : "no")));
+
+    if (sc.analytic_twin) {
+      const bool agrees = bench::report_validation(result, entry);
+      ok = ok && agrees;
+    } else {
+      const auto grid = spec.grid();
+      util::Table table({"point", "TTSF sim (95% CI)", "reps"});
+      for (std::size_t i = 0; i < des.mc.size(); ++i) {
+        table.add_row({grid.label(result.range.begin + i),
+                       util::Table::sci(des.mc[i].ttsf.mean) + " ± " +
+                           util::Table::sci(des.mc[i].ttsf.ci_half_width, 1),
+                       std::to_string(des.mc[i].replications)});
+      }
+      table.print(std::cout);
+    }
+    std::printf("scenario wall clock: %.2f s, %zu trajectories, "
+                "converged %s\n\n",
+                seconds, des.mc_stats.replications,
+                converged ? "all" : "NOT ALL");
+    ok = ok && converged;
+    entries.push_back(std::move(entry));
+  }
+
+  json.set("scenarios", std::move(entries));
+  json.set("gate", util::Json(std::string(ok ? "ok" : "FAIL")));
+  bench::write_artifact(json, "BENCH_scenarios.json");
+  std::printf("\nscenario gate: %s\n", ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -32,6 +32,22 @@ cmake --build build -j"${JOBS}"
                    --parity-check 1 --out fig2_experiment.json
 )
 
+# --- Scenario-model gate: the pluggable detector/attacker grids run
+# end-to-end from their spec files.  The legacy-parity sections skip
+# themselves (the pre-plugin engine cannot express these models); the
+# plugin-path check still gates that a re-parsed spec reruns to
+# CANONICALLY IDENTICAL bytes, and --round-trip-check that the model
+# descriptors serialise canonically.
+for preset in detector_matrix attacker_matrix_v2; do
+  (
+    cd build
+    ./run_experiment --preset "${preset}" --smoke 1 \
+                     --spec-out "${preset}_spec.json"
+    ./run_experiment --spec "${preset}_spec.json" --round-trip-check 1 \
+                     --parity-check 1 --out "${preset}_experiment.json"
+  )
+done
+
 # --- Sweep-engine smoke: exits non-zero if the cached-rate path diverges
 # from fresh per-point exploration, and records BENCH_sweep.json.
 (cd build && ./bench_sweep --smoke)
@@ -101,6 +117,14 @@ for b in fig2_mttsf_vs_m fig3_cost_vs_m fig4_mttsf_vs_detection \
          val_protocol_sim ext_mission_reliability; do
   (cd build && "./${b}" --smoke)
 done
+
+# --- Scenario-model bench: every pluggable detector and attacker model
+# as its own experiment — per-scenario wall clock, convergence at the
+# preset CI target, and (for the analytic-compatible scenarios:
+# static/entropy detectors, poisson attacker) the SPN answer inside the
+# DES 95% CI.  Non-zero exit on any gate flip.  Records
+# BENCH_scenarios.json.
+(cd build && ./bench_scenarios --smoke)
 
 # --- Batched-solver kernel bench: standalone (always built), so it runs
 # unconditionally.  Exits non-zero if the batched solve falls below its

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -170,28 +171,63 @@ const std::vector<std::string>& known_metrics() {
 
 // --- Generic numeric axis registry. -----------------------------------
 
+/// Compact value rendering for validation messages ("1.3", not
+/// "1.300000").
+std::string fmt_value(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Range predicates shared by axis values and the base params; each
+/// returns nullptr when the value is admissible, else the constraint
+/// text appended after the value in the error message.
+const char* check_unit_interval(double v) {
+  return (v >= 0.0 && v <= 1.0) ? nullptr : "outside [0,1]";
+}
+const char* check_nonnegative_rate(double v) {
+  return v >= 0.0 ? nullptr : "is a negative rate";
+}
+const char* check_open_unit_interval(double v) {
+  return (v > 0.0 && v < 1.0) ? nullptr : "outside (0,1)";
+}
+const char* check_p_index(double v) {
+  return v > 1.0 ? nullptr : "must be > 1";
+}
+
 struct NumericAxisDef {
   const char* name;
   void (*set)(Params&, double);
+  /// nullptr = unconstrained; else rejects bad values at
+  /// spec-validation time instead of surfacing as NaN/negative rates
+  /// deep in a backend.
+  const char* (*check)(double);
 };
 
 constexpr NumericAxisDef kNumericAxes[] = {
-    {"lambda_join", [](Params& p, double v) { p.lambda_join = v; }},
-    {"mu_leave", [](Params& p, double v) { p.mu_leave = v; }},
-    {"lambda_q", [](Params& p, double v) { p.lambda_q = v; }},
-    {"lambda_c", [](Params& p, double v) { p.lambda_c = v; }},
-    {"p_index", [](Params& p, double v) { p.p_index = v; }},
-    {"p1", [](Params& p, double v) { p.p1 = v; }},
-    {"p2", [](Params& p, double v) { p.p2 = v; }},
+    {"lambda_join", [](Params& p, double v) { p.lambda_join = v; },
+     check_nonnegative_rate},
+    {"mu_leave", [](Params& p, double v) { p.mu_leave = v; },
+     check_nonnegative_rate},
+    {"lambda_q", [](Params& p, double v) { p.lambda_q = v; },
+     check_nonnegative_rate},
+    {"lambda_c", [](Params& p, double v) { p.lambda_c = v; },
+     check_nonnegative_rate},
+    {"p_index", [](Params& p, double v) { p.p_index = v; }, check_p_index},
+    {"p1", [](Params& p, double v) { p.p1 = v; }, check_unit_interval},
+    {"p2", [](Params& p, double v) { p.p2 = v; }, check_unit_interval},
     {"host_ids_error",
      [](Params& p, double v) {
        p.p1 = v;
        p.p2 = v;
-     }},
+     },
+     check_unit_interval},
     {"byzantine_fraction",
-     [](Params& p, double v) { p.byzantine_fraction = v; }},
+     [](Params& p, double v) { p.byzantine_fraction = v; },
+     check_open_unit_interval},
     {"n_init",
-     [](Params& p, double v) { p.n_init = static_cast<std::int32_t>(v); }},
+     [](Params& p, double v) { p.n_init = static_cast<std::int32_t>(v); },
+     nullptr},
 };
 
 const NumericAxisDef* find_numeric_axis(const std::string& name) {
@@ -201,13 +237,39 @@ const NumericAxisDef* find_numeric_axis(const std::string& name) {
   return nullptr;
 }
 
+/// Pluggable-model axes: levels are detector/attacker kind names and
+/// apply by swapping Params::detector.kind / Params::attacker.kind
+/// (the model's knobs come from the base point).
+bool is_model_axis(const std::string& name) {
+  return name == "detector_model" || name == "attacker_model";
+}
+
 bool is_categorical_axis(const std::string& name) {
-  return name == "detection_shape" || name == "attacker_shape";
+  return name == "detection_shape" || name == "attacker_shape" ||
+         is_model_axis(name);
 }
 
 bool is_known_axis(const std::string& name) {
   return name == "t_ids" || name == "num_voters" ||
          is_categorical_axis(name) || find_numeric_axis(name) != nullptr;
+}
+
+ids::DetectorKind detector_kind_from(const std::string& name,
+                                     const std::string& path) {
+  try {
+    return ids::detector_kind_from_string(name);
+  } catch (const std::exception& e) {
+    fail(path, e.what());
+  }
+}
+
+sim::AttackerKind attacker_kind_from(const std::string& name,
+                                     const std::string& path) {
+  try {
+    return sim::attacker_kind_from_string(name);
+  } catch (const std::exception& e) {
+    fail(path, e.what());
+  }
 }
 
 /// "spec.grid.axes[i]" — every axis-level error anchors here.
@@ -229,8 +291,15 @@ void check_axis(const AxisSpec& axis, std::size_t i) {
       fail(path + ".levels", "axis '" + axis.param + "' has no levels");
     }
     for (std::size_t k = 0; k < axis.levels.size(); ++k) {
-      (void)shape_from(axis.levels[k],
-                       path + ".levels[" + std::to_string(k) + "]");
+      const std::string level_path =
+          path + ".levels[" + std::to_string(k) + "]";
+      if (axis.param == "detector_model") {
+        (void)detector_kind_from(axis.levels[k], level_path);
+      } else if (axis.param == "attacker_model") {
+        (void)attacker_kind_from(axis.levels[k], level_path);
+      } else {
+        (void)shape_from(axis.levels[k], level_path);
+      }
     }
     return;
   }
@@ -247,6 +316,23 @@ void check_axis(const AxisSpec& axis, std::size_t i) {
       if (!(v >= 1.0) || v != std::floor(v)) {
         fail(path + ".values[" + std::to_string(k) + "]",
              "axis '" + axis.param + "' needs positive integers");
+      }
+    }
+  }
+  if (axis.param == "t_ids") {
+    for (std::size_t k = 0; k < axis.values.size(); ++k) {
+      if (!(axis.values[k] > 0.0)) {
+        fail(path + ".values[" + std::to_string(k) + "]",
+             fmt_value(axis.values[k]) + " must be positive");
+      }
+    }
+  }
+  if (const NumericAxisDef* def = find_numeric_axis(axis.param);
+      def != nullptr && def->check != nullptr) {
+    for (std::size_t k = 0; k < axis.values.size(); ++k) {
+      if (const char* err = def->check(axis.values[k])) {
+        fail(path + ".values[" + std::to_string(k) + "]",
+             fmt_value(axis.values[k]) + " " + err);
       }
     }
   }
@@ -292,11 +378,37 @@ util::Json params_to_json(const Params& p) {
   j.set("lambda_c", util::Json::number(p.lambda_c));
   j.set("p_index", util::Json::number(p.p_index));
   j.set("attacker_progress", util::Json(progress_name(p.attacker_progress)));
+  // The attacker model descriptor is always serialised in full (every
+  // knob, whatever the kind) so canonical round-trips are byte-stable
+  // across kind changes.
+  auto attacker = util::Json::object();
+  attacker.set("kind", util::Json(sim::to_string(p.attacker.kind)));
+  attacker.set("burst_on_s", util::Json::number(p.attacker.burst_on_s));
+  attacker.set("burst_off_s", util::Json::number(p.attacker.burst_off_s));
+  attacker.set("batch", util::Json(static_cast<double>(p.attacker.batch)));
+  j.set("attacker", std::move(attacker));
   j.set("detection_shape", util::Json(ids::to_string(p.detection_shape)));
   j.set("t_ids", util::Json::number(p.t_ids));
   j.set("num_voters", util::Json(static_cast<double>(p.num_voters)));
   j.set("p1", util::Json::number(p.p1));
   j.set("p2", util::Json::number(p.p2));
+  // Detector model descriptor: always full, like "attacker" above.
+  auto detector = util::Json::object();
+  detector.set("kind", util::Json(ids::to_string(p.detector.kind)));
+  detector.set("entropy_weight",
+               util::Json::number(p.detector.entropy_weight));
+  detector.set("cusum_gain", util::Json::number(p.detector.cusum_gain));
+  detector.set("cusum_drift", util::Json::number(p.detector.cusum_drift));
+  detector.set("cusum_threshold",
+               util::Json::number(p.detector.cusum_threshold));
+  detector.set("cusum_alarm_factor",
+               util::Json::number(p.detector.cusum_alarm_factor));
+  detector.set("logistic_bias", util::Json::number(p.detector.logistic_bias));
+  detector.set("logistic_compromise_weight",
+               util::Json::number(p.detector.logistic_compromise_weight));
+  detector.set("logistic_time_weight",
+               util::Json::number(p.detector.logistic_time_weight));
+  j.set("detector", std::move(detector));
   j.set("byzantine_fraction", util::Json::number(p.byzantine_fraction));
   j.set("max_groups", util::Json(static_cast<double>(p.max_groups)));
   j.set("partition_rates", numbers_to_json(p.partition_rates));
@@ -337,12 +449,30 @@ Params params_from_json(const util::Json& j, const std::string& path) {
   p.p_index = r.number("p_index");
   p.attacker_progress = progress_from(r.str("attacker_progress"),
                                       path + ".attacker_progress");
+  const Reader attacker = r.child("attacker");
+  p.attacker.kind =
+      attacker_kind_from(attacker.str("kind"), path + ".attacker.kind");
+  p.attacker.burst_on_s = attacker.number("burst_on_s");
+  p.attacker.burst_off_s = attacker.number("burst_off_s");
+  p.attacker.batch = static_cast<std::int64_t>(attacker.size("batch"));
   p.detection_shape =
       shape_from(r.str("detection_shape"), path + ".detection_shape");
   p.t_ids = r.number("t_ids");
   p.num_voters = static_cast<std::int64_t>(r.size("num_voters"));
   p.p1 = r.number("p1");
   p.p2 = r.number("p2");
+  const Reader detector = r.child("detector");
+  p.detector.kind =
+      detector_kind_from(detector.str("kind"), path + ".detector.kind");
+  p.detector.entropy_weight = detector.number("entropy_weight");
+  p.detector.cusum_gain = detector.number("cusum_gain");
+  p.detector.cusum_drift = detector.number("cusum_drift");
+  p.detector.cusum_threshold = detector.number("cusum_threshold");
+  p.detector.cusum_alarm_factor = detector.number("cusum_alarm_factor");
+  p.detector.logistic_bias = detector.number("logistic_bias");
+  p.detector.logistic_compromise_weight =
+      detector.number("logistic_compromise_weight");
+  p.detector.logistic_time_weight = detector.number("logistic_time_weight");
   p.byzantine_fraction = r.number("byzantine_fraction");
   p.max_groups = static_cast<std::int32_t>(r.size("max_groups"));
   p.partition_rates = r.numbers("partition_rates");
@@ -386,6 +516,26 @@ GridSpec ExperimentSpec::grid() const {
           m.push_back(static_cast<std::int64_t>(v));
         }
         spec.num_voters(std::move(m));
+      } else if (axis.param == "detector_model") {
+        std::vector<ids::DetectorKind> kinds;
+        kinds.reserve(axis.levels.size());
+        for (const auto& level : axis.levels) {
+          kinds.push_back(detector_kind_from(level, axis_path(i)));
+        }
+        spec.axis("detector_model", axis.levels,
+                  [kinds = std::move(kinds)](Params& p, std::size_t k) {
+                    p.detector.kind = kinds[k];
+                  });
+      } else if (axis.param == "attacker_model") {
+        std::vector<sim::AttackerKind> kinds;
+        kinds.reserve(axis.levels.size());
+        for (const auto& level : axis.levels) {
+          kinds.push_back(attacker_kind_from(level, axis_path(i)));
+        }
+        spec.axis("attacker_model", axis.levels,
+                  [kinds = std::move(kinds)](Params& p, std::size_t k) {
+                    p.attacker.kind = kinds[k];
+                  });
       } else if (is_categorical_axis(axis.param)) {
         std::vector<ids::Shape> shapes;
         shapes.reserve(axis.levels.size());
@@ -430,6 +580,23 @@ ShardRange ExperimentSpec::resolve_range(const GridSpec& g) const {
 }
 
 void ExperimentSpec::validate() const {
+  // Field-level range checks first, so the error names the exact
+  // offending path instead of the generic "spec.base" wrapper below.
+  if (const char* err = check_unit_interval(base.p1)) {
+    fail("spec.base.p1", fmt_value(base.p1) + " " + err);
+  }
+  if (const char* err = check_unit_interval(base.p2)) {
+    fail("spec.base.p2", fmt_value(base.p2) + " " + err);
+  }
+  try {
+    base.detector.validate();
+    base.attacker.validate();
+  } catch (const std::exception& e) {
+    // The model validators throw "detector.<field>: <msg>" /
+    // "attacker.<field>: <msg>" — anchor the path at spec.base.
+    throw std::invalid_argument("ExperimentSpec: spec.base." +
+                                std::string(e.what()));
+  }
   try {
     base.validate();
   } catch (const std::exception& e) {
@@ -448,6 +615,49 @@ void ExperimentSpec::validate() const {
 
   if (backends.empty()) {
     fail("spec.backends", "at least one backend is required");
+  }
+
+  // The analytic backend solves a time-homogeneous CTMC; any point of
+  // the grid carrying a model outside that class must be rejected HERE,
+  // by name, with the routing advice — not as a solver failure later.
+  if (wants(BackendKind::Analytic)) {
+    const auto reject_detector = [&](ids::DetectorKind kind,
+                                     const std::string& path) {
+      ids::DetectorModel probe;
+      probe.kind = kind;
+      if (!probe.analytic_compatible()) {
+        fail(path, std::string("detector model '") + ids::to_string(kind) +
+                       "' is time-dependent and outside the analytic SPN; "
+                       "drop 'analytic' from spec.backends and "
+                       "cross-validate with des/protocol_sim");
+      }
+    };
+    const auto reject_attacker = [&](sim::AttackerKind kind,
+                                     const std::string& path) {
+      sim::AttackerModel probe;
+      probe.kind = kind;
+      if (!probe.analytic_compatible()) {
+        fail(path, std::string("attacker model '") + sim::to_string(kind) +
+                       "' is not a memoryless single-victim process and "
+                       "outside the analytic SPN; drop 'analytic' from "
+                       "spec.backends and cross-validate with "
+                       "des/protocol_sim");
+      }
+    };
+    reject_detector(base.detector.kind, "spec.base.detector.kind");
+    reject_attacker(base.attacker.kind, "spec.base.attacker.kind");
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+      if (!is_model_axis(axes[i].param)) continue;
+      for (std::size_t k = 0; k < axes[i].levels.size(); ++k) {
+        const std::string path =
+            axis_path(i) + ".levels[" + std::to_string(k) + "]";
+        if (axes[i].param == "detector_model") {
+          reject_detector(detector_kind_from(axes[i].levels[k], path), path);
+        } else {
+          reject_attacker(attacker_kind_from(axes[i].levels[k], path), path);
+        }
+      }
+    }
   }
   if (analytic.batch == 0) {
     fail("spec.analytic.batch", "must be positive (1 = scalar path)");

@@ -67,6 +67,8 @@ std::vector<std::string> experiment_preset_names() {
           "fig5_val",
           "attacker_matrix",
           "attacker_matrix_val",
+          "detector_matrix",
+          "attacker_matrix_v2",
           "sensitivity_surface",
           "host_ids_quality",
           "val_des",
@@ -118,6 +120,40 @@ ExperimentSpec experiment_preset(const std::string& name, bool smoke) {
       spec.backends = {BackendKind::Analytic, BackendKind::Des};
       spec.mc = validation_mc(smoke);
     }
+    return spec;
+  }
+  if (name == "detector_matrix") {
+    // Pluggable host-IDS error models × TIDS: the fig2-style curve
+    // regenerated per detector scenario.  Cusum/logistic are
+    // time-dependent, so the grid runs on the DES only (the analytic
+    // SPN would reject those levels by name); DES-vs-analytic
+    // cross-checks for the analytic-compatible levels live in
+    // bench_scenarios.
+    ExperimentSpec spec = named(name, smoke);
+    AxisSpec detector;
+    detector.param = "detector_model";
+    detector.levels = {"static", "entropy", "cusum", "logistic"};
+    spec.axes = {std::move(detector),
+                 t_ids_of(smoke ? std::vector<double>{120}
+                                : std::vector<double>{15, 120, 1200})};
+    spec.backends = {BackendKind::Des};
+    spec.mc = validation_mc(smoke);
+    return spec;
+  }
+  if (name == "attacker_matrix_v2") {
+    // Pluggable inter-compromise processes × TIDS (the model-kind
+    // successor of attacker_matrix, which sweeps the A(mc) shape).
+    // Bursty/coordinated leave the birth–death SPN, so DES-only —
+    // same routing as detector_matrix.
+    ExperimentSpec spec = named(name, smoke);
+    AxisSpec attacker;
+    attacker.param = "attacker_model";
+    attacker.levels = {"poisson", "bursty", "coordinated"};
+    spec.axes = {std::move(attacker),
+                 t_ids_of(smoke ? std::vector<double>{120}
+                                : std::vector<double>{15, 120, 1200})};
+    spec.backends = {BackendKind::Des};
+    spec.mc = validation_mc(smoke);
     return spec;
   }
   if (name == "sensitivity_surface") {

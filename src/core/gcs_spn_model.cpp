@@ -26,6 +26,26 @@ std::int64_t per_group(std::int64_t total, std::int64_t groups) {
 
 GcsSpnModel::GcsSpnModel(Params params) : params_(std::move(params)) {
   params_.validate();
+  // The analytic backend solves a time-homogeneous CTMC: a detector or
+  // attacker whose behaviour depends on anything outside the marking
+  // (elapsed time, hidden phase, batch jumps) has no such chain.  Name
+  // the model and route the caller to the simulators — the spec
+  // validator raises the same complaint earlier with a JSON path.
+  if (!params_.detector.analytic_compatible()) {
+    throw std::invalid_argument(
+        std::string("GcsSpnModel: detector model \"") +
+        ids::to_string(params_.detector.kind) +
+        "\" is time-dependent and cannot be expressed as a "
+        "time-homogeneous CTMC; use the des or protocol_sim backend");
+  }
+  if (!params_.attacker.analytic_compatible()) {
+    throw std::invalid_argument(
+        std::string("GcsSpnModel: attacker model \"") +
+        sim::to_string(params_.attacker.kind) +
+        "\" is not a memoryless single-victim process and cannot be "
+        "expressed in the birth-death SPN; use the des or protocol_sim "
+        "backend");
+  }
   voting_ = ids::shared_voting_table(
       ids::VotingParams{params_.num_voters, params_.p1, params_.p2},
       params_.n_init, params_.n_init);
@@ -77,8 +97,73 @@ double GcsSpnModel::md(const spn::Marking& m) const {
 ids::VotingErrorRates GcsSpnModel::voting_rates(
     const spn::Marking& m) const {
   const std::int64_t groups = std::max<std::int64_t>(m[ng_], 1);
-  return voting_->at(per_group(m[tm_], groups),
-                     per_group(m[ucm_], groups));
+  return voting_rates_keyed(m[tm_], m[ucm_], groups,
+                            per_group(m[tm_], groups),
+                            per_group(m[ucm_], groups));
+}
+
+ids::DetectorState GcsSpnModel::detector_state(std::int64_t tm,
+                                               std::int64_t ucm) const {
+  ids::DetectorState s;
+  s.compromised = ucm;
+  s.evicted = std::max<std::int64_t>(params_.n_init - tm - ucm, 0);
+  s.population = tm + ucm;
+  s.elapsed_s = 0.0;  // analytic-compatible detectors never read it
+  return s;
+}
+
+double GcsSpnModel::effective_p1(std::int64_t tm, std::int64_t ucm) const {
+  if (params_.detector.kind == ids::DetectorKind::Static) {
+    // The base constant itself — keeps T_DRQ's rate expression bitwise
+    // the legacy p1·λq·UCm.
+    return params_.p1;
+  }
+  const auto compute = [&] {
+    return params_.detector
+        .effective(params_.p1, params_.p2, detector_state(tm, ucm))
+        .p1;
+  };
+  if (memo_enabled_ && !dyn_p1_memo_.empty()) {
+    const std::int64_t n = params_.n_init;
+    if (tm >= 0 && tm <= n && ucm >= 0 && ucm <= n) {
+      double& slot =
+          dyn_p1_memo_[static_cast<std::size_t>(tm * (n + 1) + ucm)];
+      if (std::isnan(slot)) slot = compute();
+      return slot;
+    }
+  }
+  return compute();
+}
+
+ids::VotingErrorRates GcsSpnModel::voting_rates_keyed(
+    std::int64_t tm, std::int64_t ucm, std::int64_t groups,
+    std::int64_t g_tm, std::int64_t g_ucm) const {
+  if (params_.detector.kind == ids::DetectorKind::Static) {
+    return voting_->at(g_tm, g_ucm);
+  }
+  // State-dependent (p1,p2): the precomputed table keyed only on the
+  // voting pools no longer applies — re-evaluate Equation 1 with the
+  // detector's effective rates, memoised per (Tm, UCm, NG) since both
+  // the effective rates (via Tm,UCm) and the pools (via NG) hang off
+  // that triple.
+  const auto compute = [&] {
+    const auto eff = params_.detector.effective(params_.p1, params_.p2,
+                                                detector_state(tm, ucm));
+    return ids::voting_error_rates(
+        ids::VotingParams{params_.num_voters, eff.p1, eff.p2}, g_tm, g_ucm);
+  };
+  if (memo_enabled_ && !dyn_vote_memo_.empty()) {
+    const std::int64_t n = params_.n_init;
+    const std::int64_t gmax = std::max<std::int32_t>(params_.max_groups, 1);
+    if (tm >= 0 && tm <= n && ucm >= 0 && ucm <= n && groups >= 1 &&
+        groups <= gmax) {
+      auto& slot = dyn_vote_memo_[static_cast<std::size_t>(
+          (tm * (n + 1) + ucm) * gmax + (groups - 1))];
+      if (std::isnan(slot.pfn)) slot = compute();
+      return slot;
+    }
+  }
+  return compute();
 }
 
 void GcsSpnModel::enable_factor_memo() {
@@ -94,6 +179,13 @@ void GcsSpnModel::enable_factor_memo() {
   const auto gmax =
       static_cast<std::size_t>(std::max<std::int32_t>(params_.max_groups, 1));
   evict_memo_.assign((n + 1) * gmax, nan);
+  if (params_.detector.state_dependent()) {
+    // ≈ (N+1)²·G entries (~30k at N=100, G=3): the price of keying the
+    // voting memo on the detector state instead of the pool sizes.
+    dyn_vote_memo_.assign((n + 1) * (n + 1) * gmax,
+                          ids::VotingErrorRates{nan, nan});
+    dyn_p1_memo_.assign((n + 1) * (n + 1), nan);
+  }
   memo_enabled_ = true;
 }
 
@@ -212,39 +304,53 @@ spn::BatchRateFn GcsSpnModel::batch_rate_fn(
         // Token counts, memo keys and the per-group voting-pool indices
         // depend on the marking alone — hoist them out of the point
         // loop.  The per-point expression is exactly the T_IDS rate
-        // lambda's.
-        const double ucm = static_cast<double>(m[m0.ucm_]);
-        const std::int64_t members = m[m0.tm_] + m[m0.ucm_];
+        // lambda's: voting_rates_keyed serves the static table lookup
+        // for static detectors and the (Tm,UCm,NG)-keyed dynamic memo
+        // for state-dependent ones.
+        const std::int64_t tm_tok = m[m0.tm_];
+        const std::int64_t ucm_tok = m[m0.ucm_];
+        const double ucm = static_cast<double>(ucm_tok);
+        const std::int64_t members = tm_tok + ucm_tok;
         const std::int64_t groups = std::max<std::int64_t>(m[m0.ng_], 1);
-        const std::int64_t g_tm = per_group(m[m0.tm_], groups);
-        const std::int64_t g_ucm = per_group(m[m0.ucm_], groups);
+        const std::int64_t g_tm = per_group(tm_tok, groups);
+        const std::int64_t g_ucm = per_group(ucm_tok, groups);
         for (std::size_t p = 0; p < P; ++p) {
           const GcsSpnModel& mod = *models[p];
-          rates[p] = clamp(ucm * mod.detection_rate_memo(members, m) *
-                           (1.0 - mod.voting_->at(g_tm, g_ucm).pfn));
+          rates[p] =
+              clamp(ucm * mod.detection_rate_memo(members, m) *
+                    (1.0 - mod.voting_rates_keyed(tm_tok, ucm_tok, groups,
+                                                  g_tm, g_ucm)
+                               .pfn));
           impulses[p] = mod.eviction_impulse_memo(members, groups);
         }
         return true;
       }
       case Role::FA: {
-        const double tm = static_cast<double>(m[m0.tm_]);
-        const std::int64_t members = m[m0.tm_] + m[m0.ucm_];
+        const std::int64_t tm_tok = m[m0.tm_];
+        const std::int64_t ucm_tok = m[m0.ucm_];
+        const double tm = static_cast<double>(tm_tok);
+        const std::int64_t members = tm_tok + ucm_tok;
         const std::int64_t groups = std::max<std::int64_t>(m[m0.ng_], 1);
-        const std::int64_t g_tm = per_group(m[m0.tm_], groups);
-        const std::int64_t g_ucm = per_group(m[m0.ucm_], groups);
+        const std::int64_t g_tm = per_group(tm_tok, groups);
+        const std::int64_t g_ucm = per_group(ucm_tok, groups);
         for (std::size_t p = 0; p < P; ++p) {
           const GcsSpnModel& mod = *models[p];
           rates[p] = clamp(tm * mod.detection_rate_memo(members, m) *
-                           mod.voting_->at(g_tm, g_ucm).pfp);
+                           mod.voting_rates_keyed(tm_tok, ucm_tok, groups,
+                                                  g_tm, g_ucm)
+                               .pfp);
           impulses[p] = mod.eviction_impulse_memo(members, groups);
         }
         return true;
       }
       case Role::DRQ: {
-        const double ucm = static_cast<double>(m[m0.ucm_]);
+        const std::int64_t tm_tok = m[m0.tm_];
+        const std::int64_t ucm_tok = m[m0.ucm_];
+        const double ucm = static_cast<double>(ucm_tok);
         for (std::size_t p = 0; p < P; ++p) {
-          const auto& prm = models[p]->params_;
-          rates[p] = clamp(prm.p1 * prm.lambda_q * ucm);
+          const GcsSpnModel& mod = *models[p];
+          rates[p] = clamp(mod.effective_p1(tm_tok, ucm_tok) *
+                           mod.params_.lambda_q * ucm);
           impulses[p] = 0.0;
         }
         return true;
@@ -348,12 +454,13 @@ void GcsSpnModel::build() {
       .add();
 
   // T_DRQ: an undetected compromised member requests and obtains data —
-  // host IDS misses with probability p1 — and the group leaks (C1).
+  // host IDS misses with (detector-effective) probability p1 — and the
+  // group leaks (C1).
   net_.transition("T_DRQ")
       .input(ucm_)
       .output(gf_)
       .rate([this](const spn::Marking& m) {
-        return params_.p1 * params_.lambda_q *
+        return effective_p1(m[tm_], m[ucm_]) * params_.lambda_q *
                static_cast<double>(m[ucm_]);
       })
       .guard(alive_guard)

@@ -54,6 +54,13 @@ struct Evaluation {
 
 class GcsSpnModel {
  public:
+  /// Throws std::invalid_argument if `params` carries a detector or
+  /// attacker model the time-homogeneous CTMC cannot express (cusum/
+  /// logistic detectors, bursty/coordinated attackers), naming the
+  /// model and pointing at the des/protocol_sim backends.  The entropy
+  /// detector IS expressible — its effective (p1,p2) depends only on
+  /// marking token counts — and enters through the per-marking voting
+  /// path below.
   explicit GcsSpnModel(Params params);
 
   /// Solves the model: reachability → CTMC → absorbing analysis →
@@ -170,6 +177,25 @@ class GcsSpnModel {
   [[nodiscard]] double eviction_impulse_memo(std::int64_t members,
                                              std::int64_t groups) const;
 
+  // Detector plumbing.  The detector observes the marking through token
+  // counts only (evicted = n_init − Tm − UCm by conservation — the SPN
+  // has no join/leave transitions), so every helper is keyed on
+  // (Tm, UCm[, NG]) and memoisable under enable_factor_memo().
+  [[nodiscard]] ids::DetectorState detector_state(std::int64_t tm,
+                                                  std::int64_t ucm) const;
+  /// Effective host-IDS false-negative probability in marking (tm,ucm)
+  /// — feeds T_DRQ.  Static detector: returns params_.p1 itself, so
+  /// the rate expression stays bitwise the legacy one.
+  [[nodiscard]] double effective_p1(std::int64_t tm, std::int64_t ucm) const;
+  /// Voting error rates with detector-adjusted (p1,p2) — feeds
+  /// T_IDS/T_FA.  Static detector: exactly the shared precomputed
+  /// table lookup.  State-dependent detectors recompute Equation 1 per
+  /// (Tm, UCm, NG) key, memoised when the factor memo is on (this is
+  /// the batched path's "memo keyed on detector state").
+  [[nodiscard]] ids::VotingErrorRates voting_rates_keyed(
+      std::int64_t tm, std::int64_t ucm, std::int64_t groups,
+      std::int64_t g_tm, std::int64_t g_ucm) const;
+
   Params params_;
   std::shared_ptr<const ids::VotingTable> voting_;
   std::shared_ptr<const gcs::CostModel> cost_;
@@ -181,6 +207,10 @@ class GcsSpnModel {
   mutable std::vector<double> det_memo_;  // keyed by Tm+UCm
   mutable std::vector<double> atk_memo_;  // keyed by (Tm,UCm) or UCm+DCm
   mutable std::vector<double> evict_memo_;  // keyed by (Tm+UCm, NG)
+  // Detector-state memos, allocated only for state-dependent detectors
+  // (NaN pfn / NaN value = slot not yet computed).
+  mutable std::vector<ids::VotingErrorRates> dyn_vote_memo_;  // (Tm,UCm,NG)
+  mutable std::vector<double> dyn_p1_memo_;                   // (Tm,UCm)
 
   // Lazily explored graph (evaluate() + reliability_at() share it).
   mutable std::once_flag graph_once_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace midas::core {
 
@@ -59,9 +60,16 @@ void Params::validate() const {
   if (num_voters < 1) {
     throw std::invalid_argument("Params: num_voters must be >= 1");
   }
-  if (p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1) {
-    throw std::invalid_argument("Params: p1/p2 out of [0,1]");
+  if (p1 < 0 || p1 > 1) {
+    throw std::invalid_argument("Params: p1 " + std::to_string(p1) +
+                                " outside [0,1]");
   }
+  if (p2 < 0 || p2 > 1) {
+    throw std::invalid_argument("Params: p2 " + std::to_string(p2) +
+                                " outside [0,1]");
+  }
+  detector.validate();  // throws "detector.<field>: ..."
+  attacker.validate();  // throws "attacker.<field>: ..."
   if (byzantine_fraction <= 0 || byzantine_fraction >= 1) {
     throw std::invalid_argument("Params: byzantine_fraction out of (0,1)");
   }

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "gcs/cost_model.h"
+#include "ids/detector_model.h"
 #include "ids/functions.h"
 #include "manet/partition_estimator.h"
+#include "sim/attacker_model.h"
 
 namespace midas::core {
 
@@ -35,6 +37,9 @@ struct Params {
   double lambda_c = 1.0 / 43200.0;     // λc: base compromise rate (1/12hr)
   double p_index = 3.0;                // p: base index for log/poly shapes
   AttackerProgress attacker_progress = AttackerProgress::CompromiseRatio;
+  /// Inter-compromise arrival structure around the base rate A(mc).
+  /// Default poisson == the paper's process; see sim/attacker_model.h.
+  sim::AttackerModel attacker;
 
   // --- Intrusion detection.
   ids::Shape detection_shape = ids::Shape::Linear;
@@ -42,6 +47,10 @@ struct Params {
   std::int64_t num_voters = 5;         // m: vote-participants
   double p1 = 0.01;                    // host-IDS false negative
   double p2 = 0.01;                    // host-IDS false positive
+  /// Host-IDS error model turning (p1,p2) into state-dependent
+  /// effective rates.  Default static == the paper's constants; see
+  /// ids/detector_model.h.
+  ids::DetectorModel detector;
 
   // --- Security failure definition.
   // C2 trips when UCm/(Tm+UCm) > byzantine_fraction (paper: 1/3).

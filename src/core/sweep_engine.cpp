@@ -77,6 +77,21 @@ std::string structure_key(const Params& p) {
       p.p2 <= 0.0 || p.p2 >= 1.0) {
     key << '|' << p.num_voters;
   }
+  // State-dependent detectors move the effective (p1,p2) per marking,
+  // so the zero-pattern reasoning above no longer covers T_IDS/T_FA/
+  // T_DRQ: key the full detector descriptor (plus m, since the
+  // effective corner cases become m-dependent) and let only identical
+  // detector configurations share a structure.  Static detectors add
+  // nothing — their keys (and hence the sharing and the bitwise
+  // results) are exactly the pre-plugin ones.
+  if (p.detector.kind != ids::DetectorKind::Static) {
+    key << '|' << ids::to_string(p.detector.kind) << ','
+        << p.detector.entropy_weight << ',' << p.detector.cusum_gain << ','
+        << p.detector.cusum_drift << ',' << p.detector.cusum_threshold << ','
+        << p.detector.cusum_alarm_factor << ',' << p.detector.logistic_bias
+        << ',' << p.detector.logistic_compromise_weight << ','
+        << p.detector.logistic_time_weight << ',' << p.num_voters;
+  }
   return key.str();
 }
 

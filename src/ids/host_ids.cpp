@@ -1,6 +1,7 @@
 #include "ids/host_ids.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace midas::ids {
 
@@ -9,19 +10,34 @@ HostIdsParams HostIdsParams::misuse_detection() { return {0.03, 0.005}; }
 HostIdsParams HostIdsParams::anomaly_detection() { return {0.005, 0.03}; }
 
 HostIds::HostIds(HostIdsParams params, std::uint64_t seed)
-    : params_(params), rng_(seed) {
-  if (params.p1 < 0.0 || params.p1 > 1.0 || params.p2 < 0.0 ||
-      params.p2 > 1.0) {
-    throw std::invalid_argument("HostIds: p1/p2 out of [0,1]");
+    : params_(params), draw_(seed) {
+  if (params.p1 < 0.0 || params.p1 > 1.0) {
+    throw std::invalid_argument("HostIds: p1 " + std::to_string(params.p1) +
+                                " outside [0,1]");
+  }
+  if (params.p2 < 0.0 || params.p2 > 1.0) {
+    throw std::invalid_argument("HostIds: p2 " + std::to_string(params.p2) +
+                                " outside [0,1]");
   }
 }
 
 Verdict HostIds::classify(bool actually_compromised) {
-  const double u = uni_(rng_);
+  const double u = draw_();
   if (actually_compromised) {
     return u < params_.p1 ? Verdict::Trusted : Verdict::Compromised;
   }
   return u < params_.p2 ? Verdict::Compromised : Verdict::Trusted;
+}
+
+Verdict HostIds::classify(bool actually_compromised,
+                          const DetectorModel& model,
+                          const DetectorState& state) {
+  const auto eff = model.effective(params_.p1, params_.p2, state);
+  const double u = draw_();
+  if (actually_compromised) {
+    return u < eff.p1 ? Verdict::Trusted : Verdict::Compromised;
+  }
+  return u < eff.p2 ? Verdict::Compromised : Verdict::Trusted;
 }
 
 }  // namespace midas::ids

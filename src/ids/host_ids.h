@@ -4,10 +4,19 @@
 // sampling interface used by the discrete-event simulator and the GDH
 // demo, plus the misuse/anomaly presets the paper discusses (misuse:
 // higher p1, lower p2; anomaly: lower p1, higher p2).
+//
+// Draws come from sim::UniformStream — the same substream substrate as
+// every simulator — so host-IDS verdicts are portable across standard
+// libraries and participate in CRN/antithetic keying.  A plain stream
+// reproduces the std::uniform_real_distribution<double>-over-mt19937_64
+// sequence exactly, so same-seed verdicts are bitwise what the
+// pre-stream implementation produced (no compat shim needed).
 #pragma once
 
 #include <cstdint>
-#include <random>
+
+#include "ids/detector_model.h"
+#include "sim/rng.h"
 
 namespace midas::ids {
 
@@ -31,14 +40,22 @@ class HostIds {
   /// Classifies a neighbor whose true state is `actually_compromised`.
   [[nodiscard]] Verdict classify(bool actually_compromised);
 
+  /// Classifies through a pluggable detector model: the base (p1,p2)
+  /// are first adjusted to the model's effective rates for `state`.
+  /// With the static model this is exactly classify(bool) — effective()
+  /// returns the base constants untouched, and the single stream draw
+  /// is shared.
+  [[nodiscard]] Verdict classify(bool actually_compromised,
+                                 const DetectorModel& model,
+                                 const DetectorState& state);
+
   [[nodiscard]] const HostIdsParams& params() const noexcept {
     return params_;
   }
 
  private:
   HostIdsParams params_;
-  std::mt19937_64 rng_;
-  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+  sim::UniformStream draw_;
 };
 
 }  // namespace midas::ids

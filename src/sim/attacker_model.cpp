@@ -1,0 +1,46 @@
+#include "sim/attacker_model.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace midas::sim {
+
+void AttackerModel::validate() const {
+  if (!(burst_on_s > 0.0) || !std::isfinite(burst_on_s)) {
+    throw std::invalid_argument("attacker.burst_on_s: " +
+                                std::to_string(burst_on_s) +
+                                " must be a positive finite duration");
+  }
+  if (!(burst_off_s > 0.0) || !std::isfinite(burst_off_s)) {
+    throw std::invalid_argument("attacker.burst_off_s: " +
+                                std::to_string(burst_off_s) +
+                                " must be a positive finite duration");
+  }
+  if (batch < 1) {
+    throw std::invalid_argument("attacker.batch: " + std::to_string(batch) +
+                                " must be >= 1");
+  }
+}
+
+const char* to_string(AttackerKind kind) noexcept {
+  switch (kind) {
+    case AttackerKind::Poisson:
+      return "poisson";
+    case AttackerKind::Bursty:
+      return "bursty";
+    case AttackerKind::Coordinated:
+      return "coordinated";
+  }
+  return "poisson";
+}
+
+AttackerKind attacker_kind_from_string(const std::string& name) {
+  if (name == "poisson") return AttackerKind::Poisson;
+  if (name == "bursty") return AttackerKind::Bursty;
+  if (name == "coordinated") return AttackerKind::Coordinated;
+  throw std::invalid_argument("unknown attacker kind \"" + name +
+                              "\" (expected poisson|bursty|coordinated)");
+}
+
+}  // namespace midas::sim

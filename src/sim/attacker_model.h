@@ -1,0 +1,113 @@
+// Pluggable inter-compromise processes.  The paper's attacker
+// compromises one node at a time through a Poisson process whose rate
+// is the SPN's A(mc); the model here generalises the ARRIVAL
+// STRUCTURE around that base rate while keeping the long-run mean
+// compromise rate equal to it, so scenarios are comparable:
+//
+//   poisson      today's process — exponential inter-arrivals at the
+//                base rate, one victim per arrival.  The only
+//                structure a time-homogeneous CTMC can express:
+//                analytic-compatible.
+//   bursty       an on/off (interrupted-Poisson) modulation: the
+//                attacker alternates exponential ON phases (mean
+//                burst_on_s) where it strikes at base/duty — duty =
+//                on/(on+off) — and OFF phases where it is silent.
+//                Mean rate over a full cycle equals the base rate
+//                exactly.  Phase is hidden state: NOT
+//                analytic-compatible.
+//   coordinated  batch arrivals — a colluding cell strikes `batch`
+//                victims at once, with arrivals thinned to base/batch
+//                so the mean per-node compromise rate is unchanged.
+//                Batch jumps leave the birth–death structure: NOT
+//                analytic-compatible (batch == 1 degenerates to
+//                poisson but is still routed to simulation for
+//                uniformity).
+//
+// Like ids::DetectorModel this is a pure descriptor: simulators own
+// the phase state and draw through sim::UniformStream so CRN and
+// antithetic pairing keep applying.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace midas::sim {
+
+enum class AttackerKind : std::uint8_t { Poisson, Bursty, Coordinated };
+
+struct AttackerModel {
+  AttackerKind kind = AttackerKind::Poisson;
+
+  // bursty: mean phase durations (s).
+  double burst_on_s = 1800.0;
+  double burst_off_s = 5400.0;
+
+  // coordinated: victims per arrival.
+  std::int64_t batch = 3;
+
+  /// ON-phase duty cycle on/(on+off); 1 for non-bursty kinds.
+  [[nodiscard]] double duty() const noexcept {
+    if (kind != AttackerKind::Bursty) return 1.0;
+    return burst_on_s / (burst_on_s + burst_off_s);
+  }
+
+  /// Instantaneous arrival rate given the base (mean) rate and the
+  /// current phase.  Poisson: base.  Bursty: base/duty when ON, 0 when
+  /// OFF (mean over a cycle == base).  Coordinated: base/batch (each
+  /// arrival compromises `batch` nodes, so the mean per-node rate ==
+  /// base).
+  [[nodiscard]] double event_rate(double base_rate, bool on) const noexcept {
+    switch (kind) {
+      case AttackerKind::Poisson:
+        return base_rate;
+      case AttackerKind::Bursty:
+        return on ? base_rate / duty() : 0.0;
+      case AttackerKind::Coordinated:
+        return base_rate / static_cast<double>(batch);
+    }
+    return base_rate;
+  }
+
+  /// Rate of leaving the current on/off phase; 0 for non-bursty kinds
+  /// (the phase never flips, and simulators add 0.0 to their total
+  /// rate — IEEE-exact, so poisson totals are bitwise unchanged).
+  [[nodiscard]] double phase_rate(bool on) const noexcept {
+    if (kind != AttackerKind::Bursty) return 0.0;
+    return on ? 1.0 / burst_on_s : 1.0 / burst_off_s;
+  }
+
+  /// Victims per arrival event.
+  [[nodiscard]] std::int64_t batch_size() const noexcept {
+    return kind == AttackerKind::Coordinated ? batch : 1;
+  }
+
+  /// Long-run mean per-node compromise rate, rebuilt from the
+  /// constituent pieces (ON rate × duty × victims-per-arrival) — equals
+  /// base_rate for every kind by construction, the invariant the
+  /// bursty/coordinated unit tests pin.
+  [[nodiscard]] double mean_rate(double base_rate) const noexcept {
+    return event_rate(base_rate, /*on=*/true) * duty() *
+           static_cast<double>(batch_size());
+  }
+
+  /// Only the memoryless single-victim process is expressible in the
+  /// time-homogeneous birth–death SPN.
+  [[nodiscard]] bool analytic_compatible() const noexcept {
+    return kind == AttackerKind::Poisson;
+  }
+
+  /// Throws std::invalid_argument naming the offending field as
+  /// "attacker.<field>: ...".
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const AttackerModel&) const = default;
+};
+
+/// Canonical lower-case name ("poisson", "bursty", "coordinated").
+[[nodiscard]] const char* to_string(AttackerKind kind) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument listing the
+/// valid names.
+[[nodiscard]] AttackerKind attacker_kind_from_string(const std::string& name);
+
+}  // namespace midas::sim

@@ -1,5 +1,6 @@
 #include "sim/des.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <stdexcept>
@@ -65,6 +66,27 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
 
   Trajectory traj;
   double now = 0.0;
+  // Attacker phase (bursty on/off modulation).  Non-bursty attackers
+  // never flip it: phase_rate() is 0.0 there, which adds nothing to the
+  // total rate (IEEE-exact) and the flip branch below is gated on
+  // r_phase > 0.0 — so poisson trajectories consume the exact legacy
+  // draw sequence.
+  bool atk_on = true;
+  const bool static_detector =
+      params.detector.kind == ids::DetectorKind::Static;
+
+  // Detector state observed by the plug-in model: DCm follows from
+  // token conservation (evicted = N − Tm − UCm; the DES has no
+  // join/leave events, mirroring the SPN).
+  auto detector_state = [&] {
+    ids::DetectorState ds;
+    ds.compromised = s.ucm;
+    ds.evicted = std::max<std::int64_t>(
+        params.n_init - s.members(), 0);
+    ds.population = s.members();
+    ds.elapsed_s = now;
+    return ds;
+  };
 
   auto c2_failed = [&] {
     if (s.members() == 0) return true;
@@ -95,19 +117,33 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
         1.0, static_cast<double>(params.n_init) /
                  static_cast<double>(std::max<std::int64_t>(s.members(), 1)));
 
-    const double attack =
+    const double attack_base =
         s.tm > 0 ? ids::attacker_rate(params.attacker_shape, params.lambda_c,
                                       mc, params.p_index)
                  : 0.0;
+    // Poisson: event_rate returns the base unchanged (bitwise).
+    const double attack = params.attacker.event_rate(attack_base, atk_on);
+    const double r_phase = params.attacker.phase_rate(atk_on);
     const double det = ids::detection_rate(params.detection_shape,
                                            params.t_ids, md, params.p_index);
+    // Static detector: effective (p1,p2) == (p1,p2), so the shared
+    // precomputed voting table applies and r_drq is the exact legacy
+    // expression.  State-dependent detectors re-evaluate Equation 1
+    // with the effective rates each event (no table can be keyed ahead
+    // of time once elapsed time enters).
+    const auto eff = params.detector.effective(params.p1, params.p2,
+                                               detector_state());
     const auto rates =
-        voting.at(per_group(s.tm, s.ng), per_group(s.ucm, s.ng));
+        static_detector
+            ? voting.at(per_group(s.tm, s.ng), per_group(s.ucm, s.ng))
+            : ids::voting_error_rates(
+                  ids::VotingParams{params.num_voters, eff.p1, eff.p2},
+                  per_group(s.tm, s.ng), per_group(s.ucm, s.ng));
     const double r_ids =
         static_cast<double>(s.ucm) * det * (1.0 - rates.pfn);
     const double r_fa = static_cast<double>(s.tm) * det * rates.pfp;
     const double r_drq =
-        params.p1 * params.lambda_q * static_cast<double>(s.ucm);
+        eff.p1 * params.lambda_q * static_cast<double>(s.ucm);
 
     double r_par = 0.0, r_mer = 0.0;
     if (params.max_groups > 1) {
@@ -122,7 +158,7 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
     }
 
     const double total =
-        attack + r_ids + r_fa + r_drq + r_par + r_mer;
+        attack + r_ids + r_fa + r_drq + r_par + r_mer + r_phase;
     if (total <= 0.0) {
       throw std::runtime_error(
           "simulate_group: deadlocked in a non-failure state");
@@ -146,9 +182,14 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
     // Pick the event (Gillespie direct method).
     double u = draw() * total;
     if ((u -= attack) < 0.0) {
-      --s.tm;
-      ++s.ucm;
-      ++traj.compromises;
+      // Coordinated attackers strike batch_size() victims at once
+      // (capped by the trusted pool); single-victim kinds take the
+      // legacy one-node step.
+      const std::int64_t k =
+          std::min<std::int64_t>(params.attacker.batch_size(), s.tm);
+      s.tm -= k;
+      s.ucm += k;
+      traj.compromises += static_cast<std::size_t>(k);
       continue;
     }
     if ((u -= r_ids) < 0.0) {
@@ -170,6 +211,17 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
     }
     if ((u -= r_par) < 0.0) {
       ++s.ng;
+      continue;
+    }
+    if (r_phase > 0.0) {
+      // Only bursty attackers have a phase event; the guard keeps the
+      // legacy unchecked-merge fallback (and its floating-point
+      // behaviour) intact for every other attacker kind.
+      if ((u -= r_mer) < 0.0) {
+        --s.ng;
+        continue;
+      }
+      atk_on = !atk_on;  // on/off flip (fallback event)
       continue;
     }
     --s.ng;  // merge

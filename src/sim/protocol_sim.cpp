@@ -140,6 +140,20 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     return c;
   };
 
+  // Detector state as observed at the current instant; the effective
+  // (p1,p2) feed every host-IDS draw below.  For the static detector
+  // effective() returns mp.p1/mp.p2 themselves, so comparisons and draw
+  // counts are bitwise the legacy ones.
+  double now = 0.0;
+  auto effective_rates = [&] {
+    ids::DetectorState ds;
+    ds.compromised = static_cast<std::int64_t>(undetected_compromised());
+    ds.population = static_cast<std::int64_t>(live_members());
+    ds.evicted = static_cast<std::int64_t>(mp.n_init) - ds.population;
+    ds.elapsed_s = now;
+    return mp.detector.effective(mp.p1, mp.p2, ds);
+  };
+
   // Index helpers over the live population.
   auto pick_live = [&](auto pred) -> Node* {
     std::vector<Node*> pool;
@@ -152,6 +166,10 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
 
   // --- Voting round: every live member is evaluated by m voters.
   auto ids_round = [&] {
+    // One detector evaluation per round: every voter in the round works
+    // from the same alert level (pure arithmetic — no stream draws, so
+    // CRN/antithetic pairing is untouched).
+    const auto eff = effective_rates();
     // Snapshot the live membership first: evictions within the round
     // must not change the voter pool mid-iteration.
     std::vector<std::size_t> live_idx;
@@ -177,9 +195,9 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
         if (voter.compromised) {
           vote_evict = !subject.compromised;  // collusion
         } else if (subject.compromised) {
-          vote_evict = draw() >= mp.p1;       // miss w.p. p1
+          vote_evict = draw() >= eff.p1;      // miss w.p. effective p1
         } else {
-          vote_evict = draw() < mp.p2;        // false alarm w.p. p2
+          vote_evict = draw() < eff.p2;       // false alarm w.p. eff. p2
         }
         negative += vote_evict ? 1 : 0;
         ++result.vote_messages;
@@ -205,10 +223,13 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     }
   };
 
-  // --- Main loop.
-  double now = 0.0;
+  // --- Main loop.  (`now` is declared above effective_rates, which
+  // reads it.)
   double next_topology = params.topology_refresh_s;
   double next_ids_round = mp.t_ids;
+  // Bursty attacker phase; other kinds never draw for it, keeping the
+  // legacy per-tick draw sequence.
+  bool atk_on = true;
 
   while (now < params.max_time_s) {
     const double live = static_cast<double>(live_members());
@@ -240,9 +261,24 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     }
     const double attack_rate =
         ids::attacker_rate(mp.attacker_shape, mp.lambda_c, mc, mp.p_index);
-    if (draw() < -std::expm1(-attack_rate * params.tick_s)) {
-      if (Node* victim =
-              pick_live([](const Node& x) { return !x.compromised; })) {
+    // Bursty modulation: one extra thinning draw per tick flips the
+    // on/off phase (gated on the kind, so other attackers keep the
+    // legacy draw sequence).
+    if (mp.attacker.kind == AttackerKind::Bursty &&
+        draw() < -std::expm1(-mp.attacker.phase_rate(atk_on) *
+                             params.tick_s)) {
+      atk_on = !atk_on;
+    }
+    // Arrival thinning at the kind's event rate (poisson: the base rate
+    // itself, bitwise); coordinated arrivals compromise up to
+    // batch_size() victims at once.
+    const double arrival_rate = mp.attacker.event_rate(attack_rate, atk_on);
+    if (draw() < -std::expm1(-arrival_rate * params.tick_s)) {
+      const std::int64_t batch = mp.attacker.batch_size();
+      for (std::int64_t b = 0; b < batch; ++b) {
+        Node* victim =
+            pick_live([](const Node& x) { return !x.compromised; });
+        if (victim == nullptr) break;
         victim->compromised = true;
         ++result.compromises;
       }
@@ -256,9 +292,10 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     for (std::size_t pk = 0; pk < packets; ++pk) {
       ++result.data_messages;
       result.traffic_hop_bits += data_bits * live * mean_hops;
-      // Which member sent this one?
+      // Which member sent this one?  A compromised sender leaks iff the
+      // serving host IDS misses at the detector's CURRENT effective p1.
       const bool sender_compromised = draw() < bad / live;
-      if (sender_compromised && draw() < mp.p1) {
+      if (sender_compromised && draw() < effective_rates().p1) {
         result.ttsf = now;
         result.failed_by_c1 = true;
         return result;

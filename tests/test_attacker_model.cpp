@@ -1,0 +1,116 @@
+#include "sim/attacker_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using namespace midas::sim;
+
+// --- Poisson: the bitwise-identity anchor.
+
+TEST(AttackerModel, PoissonIsTheIdentityProcess) {
+  AttackerModel model;  // kind defaults to Poisson
+  const double base = 1.0 / 3456.789;
+  EXPECT_EQ(model.event_rate(base, true), base);   // bitwise, no arithmetic
+  EXPECT_EQ(model.event_rate(base, false), base);  // phase is ignored
+  EXPECT_EQ(model.phase_rate(true), 0.0);
+  EXPECT_EQ(model.phase_rate(false), 0.0);
+  EXPECT_EQ(model.batch_size(), 1);
+  EXPECT_EQ(model.duty(), 1.0);
+  EXPECT_TRUE(model.analytic_compatible());
+}
+
+// --- Bursty: interrupted Poisson with the mean-rate invariant.
+
+TEST(AttackerModel, BurstyMeanRateEqualsBaseRate) {
+  AttackerModel model;
+  model.kind = AttackerKind::Bursty;
+  model.burst_on_s = 1800.0;
+  model.burst_off_s = 5400.0;
+  const double base = 1.0 / 2000.0;
+  // duty = 1800/7200 = 1/4; ON rate = 4×base; OFF rate = 0.
+  EXPECT_DOUBLE_EQ(model.duty(), 0.25);
+  EXPECT_DOUBLE_EQ(model.event_rate(base, true), 4.0 * base);
+  EXPECT_DOUBLE_EQ(model.event_rate(base, false), 0.0);
+  // Long-run mean over a cycle == base, the comparability invariant.
+  EXPECT_DOUBLE_EQ(model.mean_rate(base), base);
+  // Phase-change rates are the reciprocal mean durations.
+  EXPECT_DOUBLE_EQ(model.phase_rate(true), 1.0 / 1800.0);
+  EXPECT_DOUBLE_EQ(model.phase_rate(false), 1.0 / 5400.0);
+  EXPECT_FALSE(model.analytic_compatible());
+}
+
+TEST(AttackerModel, BurstyMeanRateInvariantAcrossDutyCycles) {
+  const double base = 1.0 / 2000.0;
+  for (const double on : {60.0, 600.0, 3600.0}) {
+    for (const double off : {60.0, 1800.0, 7200.0}) {
+      AttackerModel model;
+      model.kind = AttackerKind::Bursty;
+      model.burst_on_s = on;
+      model.burst_off_s = off;
+      EXPECT_DOUBLE_EQ(model.mean_rate(base), base)
+          << "on=" << on << " off=" << off;
+    }
+  }
+}
+
+// --- Coordinated: batch arrivals thinned to preserve the mean.
+
+TEST(AttackerModel, CoordinatedThinsArrivalsByBatch) {
+  AttackerModel model;
+  model.kind = AttackerKind::Coordinated;
+  model.batch = 3;
+  const double base = 1.0 / 2000.0;
+  EXPECT_DOUBLE_EQ(model.event_rate(base, true), base / 3.0);
+  EXPECT_EQ(model.batch_size(), 3);
+  EXPECT_DOUBLE_EQ(model.mean_rate(base), base);
+  EXPECT_EQ(model.phase_rate(true), 0.0);
+  EXPECT_FALSE(model.analytic_compatible());
+}
+
+// --- Validation and naming.
+
+TEST(AttackerModel, ValidateNamesTheOffendingField) {
+  AttackerModel model;
+  model.kind = AttackerKind::Bursty;
+  model.burst_on_s = 0.0;
+  try {
+    model.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("attacker.burst_on_s"),
+              std::string::npos)
+        << e.what();
+  }
+
+  AttackerModel bad_off;
+  bad_off.kind = AttackerKind::Bursty;
+  bad_off.burst_off_s = -1.0;
+  EXPECT_THROW(bad_off.validate(), std::invalid_argument);
+
+  AttackerModel bad_batch;
+  bad_batch.kind = AttackerKind::Coordinated;
+  bad_batch.batch = 0;
+  try {
+    bad_batch.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("attacker.batch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AttackerModel, KindNamesRoundTrip) {
+  for (const auto kind : {AttackerKind::Poisson, AttackerKind::Bursty,
+                          AttackerKind::Coordinated}) {
+    EXPECT_EQ(attacker_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)attacker_kind_from_string("stealth"),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+
 namespace {
 
 using namespace midas::ids;
@@ -37,6 +40,63 @@ TEST(HostIds, PerfectDetectorNeverErrs) {
 TEST(HostIds, InvalidProbabilitiesThrow) {
   EXPECT_THROW(HostIds({-0.1, 0.0}, 1), std::invalid_argument);
   EXPECT_THROW(HostIds({0.0, 1.5}, 1), std::invalid_argument);
+}
+
+TEST(HostIds, StreamMigrationPreservesTheLegacyDrawSequence) {
+  // HostIds now draws through sim::UniformStream, which reproduces the
+  // std::uniform_real_distribution<double>-over-mt19937_64 sequence of
+  // the pre-stream implementation exactly — so same-seed verdicts are
+  // bitwise the legacy ones.  Replay the legacy generator directly and
+  // compare verdict-for-verdict.
+  const std::uint64_t seed = 0xBEEF;
+  HostIds ids({0.3, 0.4}, seed);
+  std::mt19937_64 legacy_rng(seed);
+  std::uniform_real_distribution<double> legacy_uni(0.0, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const bool compromised = i % 3 == 0;
+    const double u = legacy_uni(legacy_rng);
+    const Verdict expected =
+        compromised ? (u < 0.3 ? Verdict::Trusted : Verdict::Compromised)
+                    : (u < 0.4 ? Verdict::Compromised : Verdict::Trusted);
+    EXPECT_EQ(ids.classify(compromised), expected) << i;
+  }
+}
+
+TEST(HostIds, StaticModelClassifyMatchesPlainClassify) {
+  // The model-aware overload with the static detector consumes ONE
+  // stream draw and compares against the base constants — twin
+  // instances over one seed must agree verdict-for-verdict.
+  HostIds plain({0.1, 0.2}, 77);
+  HostIds modelled({0.1, 0.2}, 77);
+  const DetectorModel model;  // static
+  DetectorState state;
+  state.compromised = 5;
+  state.evicted = 2;
+  state.population = 40;
+  state.elapsed_s = 1234.5;
+  for (int i = 0; i < 2000; ++i) {
+    const bool compromised = i % 2 == 0;
+    EXPECT_EQ(plain.classify(compromised),
+              modelled.classify(compromised, model, state))
+        << i;
+  }
+}
+
+TEST(HostIds, ModelAwareClassifyUsesEffectiveRates) {
+  // An alarmed CUSUM detector drives effective p1 to 0 × factor ... use
+  // a saturating logistic instead: q → 1 makes every good node look
+  // compromised (p2_eff = 1) and every compromised node get caught
+  // (p1_eff = 0), regardless of the stream.
+  DetectorModel model;
+  model.kind = DetectorKind::Logistic;
+  model.logistic_bias = 60.0;  // sigmoid saturates to 1
+  DetectorState state;
+  state.population = 10;
+  HostIds ids({0.5, 0.5}, 9);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(ids.classify(true, model, state), Verdict::Compromised);
+    EXPECT_EQ(ids.classify(false, model, state), Verdict::Compromised);
+  }
 }
 
 TEST(HostIds, PresetsMatchPaperCharacterisation) {

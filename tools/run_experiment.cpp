@@ -94,13 +94,37 @@ void print_points(const core::ExperimentSpec& spec,
   table.print(std::cout);
 }
 
+/// True when every point of the slice carries legacy-expressible
+/// models: the pre-plugin SweepEngine entry points build an SPN for
+/// every point (run_mc computes the analytic eval alongside the MC
+/// estimate), so time-dependent detectors / non-Poisson attackers have
+/// no legacy twin to compare against.
+bool legacy_expressible(const core::ExperimentSpec& spec,
+                        const core::GridSpec& grid, core::ShardRange range) {
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const core::Params p = grid.point(spec.base, i);
+    if (!p.detector.analytic_compatible() ||
+        !p.attacker.analytic_compatible()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Re-answers the spec via the legacy entry points and gates equality.
 bool parity_check(const core::ExperimentSpec& spec,
                   const core::GridSpec& grid,
                   const core::ExperimentResult& result, double tolerance) {
   bool ok = true;
+  const bool models_legacy = legacy_expressible(spec, grid, result.range);
+  if (!models_legacy) {
+    std::printf("parity legacy entry points:                skipped — the "
+                "grid sweeps models the pre-plugin engine cannot express\n");
+  }
   core::SweepEngine engine;
-  if (const auto* run = result.find(core::BackendKind::Analytic)) {
+  if (const auto* run = models_legacy
+          ? result.find(core::BackendKind::Analytic)
+          : nullptr) {
     const auto legacy = engine.run(grid, spec.base);
     double max_diff = 0.0;
     for (std::size_t i = 0; i < run->evals.size(); ++i) {
@@ -133,12 +157,13 @@ bool parity_check(const core::ExperimentSpec& spec,
                 max_scalar <= tolerance ? "ok" : "FAIL");
     ok = ok && max_scalar <= tolerance;
   }
-  if (const auto* run = result.find(core::BackendKind::Des)) {
-    const auto legacy = engine.run_mc(grid, spec.base, spec.mc);
+  if (const auto* run =
+          models_legacy ? result.find(core::BackendKind::Des) : nullptr) {
+    const auto legacy_result = engine.run_mc(grid, spec.base, spec.mc);
     std::size_t mismatches = 0;
     for (std::size_t i = 0; i < run->mc.size(); ++i) {
       if (!mc_bitwise_equal(run->mc[i],
-                            legacy.points[result.range.begin + i].mc)) {
+                            legacy_result.points[result.range.begin + i].mc)) {
         ++mismatches;
       }
     }
@@ -147,6 +172,23 @@ bool parity_check(const core::ExperimentSpec& spec,
                 run->mc.size() - mismatches, run->mc.size(),
                 mismatches == 0 ? "ok" : "FAIL");
     ok = ok && mismatches == 0;
+  }
+  {
+    // Plugin-path parity: the detector/attacker model descriptors must
+    // survive the wire unchanged.  Round-trip the spec through its JSON
+    // form, answer the re-parsed spec with a FRESH service (no shared
+    // caches), and byte-compare the canonical result forms — any codec
+    // drift in a model field would change the answer and fail here.
+    const auto reparsed =
+        core::ExperimentSpec::from_json(util::Json::parse(spec.to_json().dump()));
+    core::ExperimentService fresh;
+    const auto rerun = fresh.run(reparsed);
+    const bool same = rerun.canonical_json().dump() ==
+                      result.canonical_json().dump();
+    std::printf("parity plugin path (re-parsed spec rerun): canonical %s "
+                "-> %s\n",
+                same ? "bytes equal" : "BYTES DIFFER", same ? "ok" : "FAIL");
+    ok = ok && same;
   }
   if (const auto* run = result.find(core::BackendKind::ProtocolSim)) {
     std::vector<sim::ProtocolSimParams> points;
