@@ -38,7 +38,8 @@ cmake --build build -j"${JOBS}"
 # plugin-path check still gates that a re-parsed spec reruns to
 # CANONICALLY IDENTICAL bytes, and --round-trip-check that the model
 # descriptors serialise canonically.
-for preset in detector_matrix attacker_matrix_v2; do
+for preset in detector_matrix attacker_matrix_v2 mission_phased \
+              attacker_surge; do
   (
     cd build
     ./run_experiment --preset "${preset}" --smoke 1 \
@@ -117,6 +118,14 @@ for b in fig2_mttsf_vs_m fig3_cost_vs_m fig4_mttsf_vs_detection \
          val_protocol_sim ext_mission_reliability; do
   (cd build && "./${b}" --smoke)
 done
+
+# --- Phased-mission gate: constant schedules/missions must reproduce
+# the no-schedule canonical backend payloads BYTE-FOR-BYTE, the chained
+# analytic R(t)/MTTSF must sit inside the DES confidence intervals on
+# the 3-phase mission_phased preset at paper N=100, and the λc×4
+# attacker_surge schedule must agree across all three backends.
+# Non-zero exit on any gate flip.  Records BENCH_mission.json.
+(cd build && ./bench_mission --smoke)
 
 # --- Scenario-model bench: every pluggable detector and attacker model
 # as its own experiment — per-scenario wall clock, convergence at the

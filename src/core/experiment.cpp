@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/mission.h"
 #include "ids/functions.h"
 #include "sim/protocol_sim.h"
+#include "sim/thread_pool.h"
 #include "util/stopwatch.h"
 
 namespace midas::core {
@@ -116,6 +118,103 @@ util::Json numbers_to_json(std::span<const double> values) {
   auto arr = util::Json::array();
   for (const double v : values) arr.push_back(util::Json::number(v));
   return arr;
+}
+
+// --- Schedule / mission codecs. ---------------------------------------
+// Both fields are always serialised (empty arrays for the constant
+// model) so canonical spec documents stay byte-stable; on read they are
+// OPTIONAL, keeping every pre-PR-9 spec file parseable.  Non-finite
+// values (the last segment's infinite duration, NaN inherit-overrides)
+// travel via util::Json::number's "inf"/"nan" string encoding, which
+// to_double() reverses exactly.
+
+util::Json schedule_to_json(const RateSchedule& s) {
+  auto j = util::Json::object();
+  auto segments = util::Json::array();
+  for (const auto& seg : s.segments) {
+    auto o = util::Json::object();
+    o.set("name", util::Json(seg.name));
+    o.set("duration_s", util::Json::number(seg.duration_s));
+    o.set("lambda_c", util::Json::number(seg.mult.lambda_c));
+    o.set("t_ids", util::Json::number(seg.mult.t_ids));
+    o.set("lambda_q", util::Json::number(seg.mult.lambda_q));
+    o.set("partition", util::Json::number(seg.mult.partition));
+    o.set("merge", util::Json::number(seg.mult.merge));
+    segments.push_back(std::move(o));
+  }
+  j.set("segments", std::move(segments));
+  return j;
+}
+
+RateSchedule schedule_from_json(const util::Json& j,
+                                const std::string& path) {
+  const Reader r{j, path};
+  const auto& arr = r.at("segments");
+  if (arr.type() != util::Json::Type::Array) {
+    fail(path + ".segments", "expected an array");
+  }
+  RateSchedule s;
+  s.segments.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const Reader seg{arr.at(i),
+                     path + ".segments[" + std::to_string(i) + "]"};
+    ScheduleSegment out;
+    out.name = seg.str("name");
+    out.duration_s = seg.number("duration_s");
+    out.mult.lambda_c = seg.number("lambda_c");
+    out.mult.t_ids = seg.number("t_ids");
+    out.mult.lambda_q = seg.number("lambda_q");
+    out.mult.partition = seg.number("partition");
+    out.mult.merge = seg.number("merge");
+    s.segments.push_back(std::move(out));
+  }
+  return s;
+}
+
+util::Json mission_to_json(const MissionProfile& m) {
+  auto j = util::Json::object();
+  auto phases = util::Json::array();
+  for (const auto& ph : m.phases) {
+    auto o = util::Json::object();
+    o.set("name", util::Json(ph.name));
+    o.set("duration_s", util::Json::number(ph.duration_s));
+    o.set("t_ids", util::Json::number(ph.t_ids));
+    o.set("lambda_c", util::Json::number(ph.lambda_c));
+    o.set("lambda_q", util::Json::number(ph.lambda_q));
+    o.set("p1", util::Json::number(ph.p1));
+    o.set("p2", util::Json::number(ph.p2));
+    o.set("detection_shape", util::Json(ph.detection_shape));
+    o.set("attacker_shape", util::Json(ph.attacker_shape));
+    phases.push_back(std::move(o));
+  }
+  j.set("phases", std::move(phases));
+  return j;
+}
+
+MissionProfile mission_from_json(const util::Json& j,
+                                 const std::string& path) {
+  const Reader r{j, path};
+  const auto& arr = r.at("phases");
+  if (arr.type() != util::Json::Type::Array) {
+    fail(path + ".phases", "expected an array");
+  }
+  MissionProfile m;
+  m.phases.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const Reader ph{arr.at(i), path + ".phases[" + std::to_string(i) + "]"};
+    MissionPhase out;
+    out.name = ph.str("name");
+    out.duration_s = ph.number("duration_s");
+    out.t_ids = ph.number("t_ids");
+    out.lambda_c = ph.number("lambda_c");
+    out.lambda_q = ph.number("lambda_q");
+    out.p1 = ph.number("p1");
+    out.p2 = ph.number("p2");
+    out.detection_shape = ph.str("detection_shape");
+    out.attacker_shape = ph.str("attacker_shape");
+    m.phases.push_back(std::move(out));
+  }
+  return m;
 }
 
 // --- Enum codecs. -----------------------------------------------------
@@ -433,6 +532,8 @@ util::Json params_to_json(const Params& p) {
   rekey.set("bandwidth_bps", util::Json::number(p.cost.rekey.bandwidth_bps));
   cost.set("rekey", std::move(rekey));
   j.set("cost", std::move(cost));
+  j.set("schedule", schedule_to_json(p.schedule));
+  j.set("mission", mission_to_json(p.mission));
   return j;
 }
 
@@ -492,6 +593,14 @@ Params params_from_json(const util::Json& j, const std::string& path) {
   p.cost.rekey.key_element_bits = rekey.number("key_element_bits");
   p.cost.rekey.mean_hops = rekey.number("mean_hops");
   p.cost.rekey.bandwidth_bps = rekey.number("bandwidth_bps");
+  // Optional on read (pre-PR-9 spec documents carry neither field);
+  // absent = the constant model.
+  if (const util::Json* sched = j.find("schedule")) {
+    p.schedule = schedule_from_json(*sched, path + ".schedule");
+  }
+  if (const util::Json* mission = j.find("mission")) {
+    p.mission = mission_from_json(*mission, path + ".mission");
+  }
   return p;
 }
 
@@ -589,6 +698,14 @@ void ExperimentSpec::validate() const {
     fail("spec.base.p2", fmt_value(base.p2) + " " + err);
   }
   try {
+    // These throw "<prefix>.segments[i].<field>: ..." — already fully
+    // path-named, so anchor without the generic "spec.base" wrapper.
+    base.schedule.validate("spec.base.schedule");
+    base.mission.validate("spec.base.mission");
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("ExperimentSpec: " + std::string(e.what()));
+  }
+  try {
     base.detector.validate();
     base.attacker.validate();
   } catch (const std::exception& e) {
@@ -629,7 +746,11 @@ void ExperimentSpec::validate() const {
         fail(path, std::string("detector model '") + ids::to_string(kind) +
                        "' is time-dependent and outside the analytic SPN; "
                        "drop 'analytic' from spec.backends and "
-                       "cross-validate with des/protocol_sim");
+                       "cross-validate with des/protocol_sim — or, if the "
+                       "time dependence is piecewise-constant, express it "
+                       "with the first-class spec.base.schedule / "
+                       "spec.base.mission fields, which the analytic "
+                       "backend chains exactly");
       }
     };
     const auto reject_attacker = [&](sim::AttackerKind kind,
@@ -1246,7 +1367,8 @@ namespace {
 
 class AnalyticBackend final : public Backend {
  public:
-  explicit AnalyticBackend(SweepEngine& engine) : engine_(engine) {}
+  AnalyticBackend(SweepEngine& engine, std::size_t threads)
+      : engine_(engine), threads_(threads) {}
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::Analytic;
   }
@@ -1256,13 +1378,38 @@ class AnalyticBackend final : public Backend {
     const util::Stopwatch watch;
     BackendRun out;
     out.kind = BackendKind::Analytic;
-    out.evals = engine_.evaluate(points, spec.analytic.batch);
+    if (!spec.base.time_varying()) {
+      out.evals = engine_.evaluate(points, spec.analytic.batch);
+    } else if (resolve_timeline(spec.base).size() == 1) {
+      // Constant variation (identity or a single always-on scaling):
+      // resolve each point to its one constant segment and keep the
+      // batched sweep path.  Identity multipliers are IEEE-exact, so
+      // this payload is bitwise the no-schedule one.
+      std::vector<Params> constant;
+      constant.reserve(points.size());
+      for (const auto& p : points) {
+        constant.push_back(resolve_timeline(p).front().params);
+      }
+      out.evals = engine_.evaluate(constant, spec.analytic.batch);
+    } else {
+      // Phased mission: chain the transient solver across boundaries,
+      // one analyzer per grid point.  Points are independent, so the
+      // MC thread pool shape applies.
+      out.evals.resize(points.size());
+      sim::parallel_for(
+          points.size(),
+          [&](std::size_t i) {
+            out.evals[i] = MissionAnalyzer(points[i]).evaluate();
+          },
+          threads_);
+    }
     out.seconds = watch.seconds();
     return out;
   }
 
  private:
   SweepEngine& engine_;
+  std::size_t threads_;
 };
 
 /// Shard-invariant MC options: stream keys shifted to GLOBAL point
@@ -1343,7 +1490,8 @@ SweepEngineOptions resolve_sweep_options(const ExperimentServiceOptions& o) {
 
 ExperimentService::ExperimentService(ExperimentServiceOptions opts)
     : opts_(opts), engine_(resolve_sweep_options(opts)) {
-  backends_.push_back(std::make_unique<AnalyticBackend>(engine_));
+  backends_.push_back(
+      std::make_unique<AnalyticBackend>(engine_, opts_.threads));
   backends_.push_back(std::make_unique<DesBackend>(opts_.threads));
   backends_.push_back(std::make_unique<ProtocolSimBackend>(opts_.threads));
 }

@@ -73,7 +73,9 @@ std::vector<std::string> experiment_preset_names() {
           "host_ids_quality",
           "val_des",
           "val_protocol",
-          "mission"};
+          "mission",
+          "mission_phased",
+          "attacker_surge"};
 }
 
 ExperimentSpec experiment_preset(const std::string& name, bool smoke) {
@@ -231,6 +233,75 @@ ExperimentSpec experiment_preset(const std::string& name, bool smoke) {
     for (const double hours : {6.0, 24.0, 72.0, 168.0, 336.0}) {
       spec.mc.survival_horizons.push_back(hours * 3600.0);
     }
+    return spec;
+  }
+  if (name == "mission_phased") {
+    // Phased mission at the paper's N=100: a quiet infiltration day, a
+    // two-day assault with the attacker four times hotter, then an
+    // open-ended recovery at the base rate.  The analytic backend
+    // chains the transient solver across the phase boundaries
+    // (core::MissionAnalyzer); the DES truncates its Gillespie dwells
+    // at the same breakpoints, so the two R(t) curves are gated
+    // against each other in bench_mission.
+    ExperimentSpec spec = named(name, smoke);
+    const double lc0 = spec.base.lambda_c;
+    MissionPhase infiltration;
+    infiltration.name = "infiltration";
+    infiltration.duration_s = 24.0 * 3600.0;
+    infiltration.lambda_c = 0.25 * lc0;
+    MissionPhase assault;
+    assault.name = "assault";
+    assault.duration_s = 48.0 * 3600.0;
+    assault.lambda_c = 4.0 * lc0;
+    MissionPhase recovery;  // inherits everything, runs forever
+    recovery.name = "recovery";
+    spec.base.mission.phases = {infiltration, assault, recovery};
+    spec.axes = {t_ids_of(smoke ? std::vector<double>{60.0, 240.0}
+                                : std::vector<double>{15.0, 60.0, 240.0,
+                                                      1200.0})};
+    spec.backends = {BackendKind::Analytic, BackendKind::Des};
+    spec.mc.base_seed = 0x9147A5ED;
+    spec.mc.rel_ci_target = 0.0;
+    spec.mc.min_replications = smoke ? 150 : 400;
+    spec.mc.max_replications = spec.mc.min_replications;
+    for (const double hours : {6.0, 24.0, 72.0, 168.0, 336.0}) {
+      spec.mc.survival_horizons.push_back(hours * 3600.0);
+    }
+    return spec;
+  }
+  if (name == "attacker_surge") {
+    // Rate-schedule counterpart of mission_phased on the small packet-
+    // level population: a baseline window, a one-hour λc×4 surge, then
+    // stand-down at the base rate — run through all three backends so
+    // the per-tick protocol simulator exercises the schedule too.
+    ExperimentSpec spec = named(name, smoke);
+    const auto defaults = sim::ProtocolSimParams::small_defaults();
+    spec.base = defaults.model;
+    spec.base.cost.mean_hops = 1.6;  // measured for this field/range
+    spec.base.cost.sync_rekey_params();
+    ScheduleSegment baseline;
+    baseline.name = "baseline";
+    baseline.duration_s = 600.0;
+    ScheduleSegment surge;
+    surge.name = "surge";
+    surge.duration_s = 3600.0;
+    surge.mult.lambda_c = 4.0;
+    ScheduleSegment stand_down;  // identity multipliers, runs forever
+    stand_down.name = "stand-down";
+    spec.base.schedule.segments = {baseline, surge, stand_down};
+    spec.axes = {t_ids_of({30.0, 120.0, 600.0})};
+    spec.backends = {BackendKind::Analytic, BackendKind::Des,
+                     BackendKind::ProtocolSim};
+    spec.mc.base_seed = 0x5E9E;
+    spec.mc.rel_ci_target = 0.0;
+    spec.mc.min_replications = smoke ? 12 : 24;
+    spec.mc.max_replications = spec.mc.min_replications;
+    spec.mc.block = 4;
+    spec.protocol.mobility = defaults.mobility;
+    spec.protocol.radio_range_m = defaults.radio_range_m;
+    spec.protocol.tick_s = defaults.tick_s;
+    spec.protocol.topology_refresh_s = defaults.topology_refresh_s;
+    spec.protocol.max_time_s = defaults.max_time_s;
     return spec;
   }
 

@@ -14,6 +14,10 @@
 //   val_des                         scaled-down DES validation grid
 //   val_protocol                    packet-level protocol validation
 //   mission                         survival-horizon reliability grid
+//   mission_phased                  3-phase mission (infiltration /
+//                                   assault / recovery) at paper N=100
+//   attacker_surge                  λc×4 surge schedule through all
+//                                   three backends (small population)
 #pragma once
 
 #include <string>

@@ -31,12 +31,25 @@ GcsSpnModel::GcsSpnModel(Params params) : params_(std::move(params)) {
   // (elapsed time, hidden phase, batch jumps) has no such chain.  Name
   // the model and route the caller to the simulators — the spec
   // validator raises the same complaint earlier with a JSON path.
+  // Piecewise-constant variation is a separate case with its own
+  // analytic answer: params carrying a schedule/mission must go through
+  // core::MissionAnalyzer, which chains this model per timeline
+  // segment.
+  if (params_.time_varying()) {
+    throw std::invalid_argument(
+        "GcsSpnModel: params carry a schedule/mission (time-varying "
+        "rates), which a single time-homogeneous CTMC cannot express; "
+        "use core::MissionAnalyzer (the analytic backend routes there "
+        "automatically) or the des/protocol_sim backends");
+  }
   if (!params_.detector.analytic_compatible()) {
     throw std::invalid_argument(
         std::string("GcsSpnModel: detector model \"") +
         ids::to_string(params_.detector.kind) +
         "\" is time-dependent and cannot be expressed as a "
-        "time-homogeneous CTMC; use the des or protocol_sim backend");
+        "time-homogeneous CTMC; use the des or protocol_sim backend "
+        "(for piecewise-constant rate variation, use the first-class "
+        "schedule/mission fields instead)");
   }
   if (!params_.attacker.analytic_compatible()) {
     throw std::invalid_argument(

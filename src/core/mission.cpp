@@ -1,0 +1,240 @@
+#include "core/mission.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/sweep_engine.h"
+#include "spn/marking.h"
+
+namespace midas::core {
+
+MissionAnalyzer::MissionAnalyzer(Params params, MissionOptions options)
+    : options_(options) {
+  params.validate();
+  timeline_ = resolve_timeline(params);
+  segments_.reserve(timeline_.size());
+  for (const auto& seg : timeline_) {
+    Segment s;
+    s.model = std::make_unique<GcsSpnModel>(seg.params);
+    segments_.push_back(std::move(s));
+  }
+  if (segments_.size() == 1) return;  // constant: the model IS the answer
+
+  // Graph per segment: the first segment explores; later segments with
+  // the same structure key re-rate that graph (one rate vector per
+  // phase — the sweep-engine reuse idiom), others explore their own.
+  const auto& graph0 = segments_[0].model->graph();
+  const std::string key0 = structure_key(timeline_[0].params);
+  for (std::size_t k = 0; k < segments_.size(); ++k) {
+    auto& s = segments_[k];
+    if (k > 0 && structure_key(timeline_[k].params) == key0) {
+      s.graph = &graph0;
+      s.rates.resize(graph0.edges.size());
+      s.impulses.resize(graph0.edges.size());
+      graph0.compute_rates(s.model->net(), s.rates, s.impulses);
+    } else {
+      s.graph = k == 0 ? &graph0 : &s.model->graph();
+      s.rates.reserve(s.graph->edges.size());
+      s.impulses.reserve(s.graph->edges.size());
+      for (const auto& e : s.graph->edges) {
+        s.rates.push_back(e.rate);
+        s.impulses.push_back(e.impulse);
+      }
+    }
+  }
+}
+
+std::vector<double> MissionAnalyzer::remap_weights(
+    std::span<const double> weights, std::size_t from,
+    std::size_t to) const {
+  const auto& src = *segments_[from].graph;
+  const auto& dst = *segments_[to].graph;
+  if (&src == &dst) return {weights.begin(), weights.end()};
+
+  std::unordered_map<spn::Marking, spn::StateId, spn::MarkingHash> index;
+  index.reserve(dst.num_states());
+  for (std::size_t s = 0; s < dst.num_states(); ++s) {
+    index.emplace(dst.states[s], static_cast<spn::StateId>(s));
+  }
+  std::vector<double> out(dst.num_states(), 0.0);
+  double total = 0.0;
+  double lost = 0.0;
+  const spn::Marking* first_lost = nullptr;
+  for (std::size_t s = 0; s < src.num_states(); ++s) {
+    const double w = weights[s];
+    if (w == 0.0) continue;
+    total += w;
+    const auto it = index.find(src.states[s]);
+    if (it != index.end()) {
+      out[it->second] = w;
+    } else {
+      lost += w;
+      if (first_lost == nullptr) first_lost = &src.states[s];
+    }
+  }
+  if (lost > 1e-12 * std::max(total, 1e-300)) {
+    throw std::runtime_error(
+        "MissionAnalyzer: phase boundary '" + timeline_[from].label +
+        "' -> '" + timeline_[to].label + "' leaves probability mass " +
+        std::to_string(lost) + " in marking " + first_lost->to_string() +
+        " (and possibly others) that the next phase's chain cannot "
+        "represent — its rate structure makes the marking unreachable; "
+        "keep the phases structurally compatible (same zero-rate "
+        "pattern) or route the spec to the des backend");
+  }
+  return out;
+}
+
+Evaluation MissionAnalyzer::evaluate() const {
+  if (segments_.size() == 1) return segments_[0].model->evaluate();
+
+  // Functional layout per segment: 6 cost components in CostBreakdown
+  // member order, then eviction impulse flux, then C1/C2 absorption
+  // fluxes.
+  constexpr std::size_t kEvict = 6, kC1 = 7, kC2 = 8, kNumF = 9;
+  std::vector<double> w;  // boundary weights (full-state, per graph)
+  double mttsf = 0.0;
+  std::array<double, kNumF> acc{};
+
+  for (std::size_t k = 0; k + 1 < segments_.size(); ++k) {
+    const auto& seg = segments_[k];
+    const auto& graph = *seg.graph;
+    const std::size_t n = graph.num_states();
+    const auto absorbing = graph.absorbing_mask();
+
+    std::vector<std::vector<double>> f(kNumF, std::vector<double>(n, 0.0));
+    for (std::size_t s = 0; s < n; ++s) {
+      if (absorbing[s]) continue;
+      const auto c = seg.model->cost_rates(graph.states[s]);
+      f[0][s] = c.group_comm;
+      f[1][s] = c.status;
+      f[2][s] = c.rekey;
+      f[3][s] = c.ids;
+      f[4][s] = c.beacon;
+      f[5][s] = c.partition_merge;
+    }
+    for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+      const auto& e = graph.edges[i];
+      if (seg.impulses[i] != 0.0) {
+        f[kEvict][e.src] += seg.rates[i] * seg.impulses[i];
+      }
+      if (e.src != e.dst && absorbing[e.dst]) {
+        if (seg.model->failed_c1(graph.states[e.dst])) {
+          f[kC1][e.src] += seg.rates[i];
+        } else if (seg.model->failed_c2(graph.states[e.dst])) {
+          f[kC2][e.src] += seg.rates[i];
+        }
+      }
+    }
+
+    const double duration =
+        timeline_[k + 1].start_s - timeline_[k].start_s;
+    const spn::ReliabilityOde ode(graph, seg.rates);
+    const auto res = ode.propagate(w, duration, f, {}, options_.ode);
+    mttsf += res.survival_integral;
+    for (std::size_t j = 0; j < kNumF; ++j) {
+      acc[j] += res.functional_integrals[j];
+    }
+    w = remap_weights(res.weights, k, k + 1);
+  }
+
+  // Final (infinite-horizon) segment: close the chain analytically from
+  // the boundary distribution.
+  const std::size_t last = segments_.size() - 1;
+  const auto& seg = segments_[last];
+  const spn::AbsorbingAnalyzer analyzer(*seg.graph);
+  const auto res = analyzer.solve_from(w, seg.rates);
+  mttsf += res.mtta;
+  const auto tail_cost = [&](double gcs::CostBreakdown::*member) {
+    return analyzer.accumulated_rate_reward(
+        res, [&](const spn::Marking& m) {
+          return seg.model->cost_rates(m).*member;
+        });
+  };
+  acc[0] += tail_cost(&gcs::CostBreakdown::group_comm);
+  acc[1] += tail_cost(&gcs::CostBreakdown::status);
+  acc[2] += tail_cost(&gcs::CostBreakdown::rekey);
+  acc[3] += tail_cost(&gcs::CostBreakdown::ids);
+  acc[4] += tail_cost(&gcs::CostBreakdown::beacon);
+  acc[5] += tail_cost(&gcs::CostBreakdown::partition_merge);
+  acc[kEvict] +=
+      analyzer.accumulated_impulse_reward(res, seg.rates, seg.impulses);
+  acc[kC1] += analyzer.absorption_probability_where(
+      res, [&](const spn::Marking& m) { return seg.model->failed_c1(m); });
+  acc[kC2] += analyzer.absorption_probability_where(
+      res, [&](const spn::Marking& m) {
+        return !seg.model->failed_c1(m) && seg.model->failed_c2(m);
+      });
+
+  Evaluation ev;
+  ev.num_states = segments_[0].graph->num_states();
+  ev.solver_blocks = res.solver_blocks;
+  ev.mttsf = mttsf;
+  ev.p_failure_c1 = acc[kC1];
+  ev.p_failure_c2 = acc[kC2];
+  if (ev.mttsf > 0.0) {
+    ev.cost_rates.group_comm = acc[0] / ev.mttsf;
+    ev.cost_rates.status = acc[1] / ev.mttsf;
+    ev.cost_rates.rekey = acc[2] / ev.mttsf;
+    ev.cost_rates.ids = acc[3] / ev.mttsf;
+    ev.cost_rates.beacon = acc[4] / ev.mttsf;
+    ev.cost_rates.partition_merge = acc[5] / ev.mttsf;
+    ev.eviction_cost_rate = acc[kEvict] / ev.mttsf;
+    ev.ctotal = ev.cost_rates.total() + ev.eviction_cost_rate;
+  }
+  return ev;
+}
+
+std::vector<double> MissionAnalyzer::reliability_at(
+    std::span<const double> times) const {
+  if (segments_.size() == 1) {
+    return segments_[0].model->reliability_at(times);
+  }
+  if (!std::is_sorted(times.begin(), times.end())) {
+    throw std::invalid_argument(
+        "MissionAnalyzer::reliability_at: times must be ascending");
+  }
+  for (const double t : times) {
+    if (t < 0.0 || !std::isfinite(t)) {
+      throw std::invalid_argument(
+          "MissionAnalyzer::reliability_at: times must be finite and "
+          "non-negative");
+    }
+  }
+  std::vector<double> out(times.size(), 1.0);
+  if (times.empty()) return out;
+
+  std::vector<double> w;
+  std::size_t next = 0;
+  for (std::size_t k = 0; k < segments_.size() && next < times.size();
+       ++k) {
+    const double start = timeline_[k].start_s;
+    // The last segment only needs to reach the last requested time; the
+    // infinite horizon never enters a forward integration.
+    const double end = k + 1 < segments_.size()
+                           ? timeline_[k + 1].start_s
+                           : std::max(times.back(), start);
+    std::vector<double> emit;
+    std::size_t first = next;
+    while (next < times.size() && times[next] <= end) {
+      emit.push_back(times[next] - start);
+      ++next;
+    }
+    const spn::ReliabilityOde ode(*segments_[k].graph,
+                                  segments_[k].rates);
+    const auto res =
+        ode.propagate(w, end - start, {}, emit, options_.ode);
+    for (std::size_t j = 0; j < emit.size(); ++j) {
+      out[first + j] = res.survival_at[j];
+    }
+    if (k + 1 < segments_.size()) {
+      w = remap_weights(res.weights, k, k + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace midas::core

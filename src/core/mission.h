@@ -1,0 +1,93 @@
+// Phased-mission analytic solver: MTTSF, Ĉtotal and R(t) for a
+// time-varying parameterisation (core::RateSchedule / MissionProfile)
+// by chaining the constant-rate machinery across the resolved timeline.
+//
+// Method: resolve_timeline() yields ordered constant segments.  Within
+// each non-final segment the transient distribution advances through
+// the adjoint backward-Kolmogorov integrator
+// (spn::ReliabilityOde::propagate), accumulating the segment's
+// survival-time integral (its MTTSF share), the six cost-rate
+// integrals, the eviction impulse flux and the C1/C2 absorption
+// fluxes; the weights at each boundary seed the next segment.  The
+// final segment (infinite horizon) closes the chain analytically with
+// spn::AbsorbingAnalyzer::solve_from on the boundary distribution.
+//
+// Structure reuse: segments whose core::structure_key matches the
+// first segment's re-rate the first segment's reachability graph
+// (ReachabilityGraph::compute_rates — the sweep-engine idiom), so
+// phase boundaries cost one rate vector, not one exploration.
+// Structurally different segments explore their own graph and the
+// boundary weights are remapped marking-by-marking; mass at a marking
+// the next segment cannot represent is an error naming both segments
+// (a zero-rate phase can orphan states this way).
+//
+// A single-segment timeline — no schedule/mission, or a constant one —
+// routes straight through GcsSpnModel::evaluate()/reliability_at(),
+// making the constant case bitwise the legacy analytic path.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/gcs_spn_model.h"
+#include "core/params.h"
+#include "spn/absorbing.h"
+#include "spn/reliability_ode.h"
+
+namespace midas::core {
+
+struct MissionOptions {
+  /// Per-segment integrator settings for the forward propagation
+  /// (theta method / grid; see spn::ReliabilityOdeOptions).
+  spn::ReliabilityOdeOptions ode;
+};
+
+class MissionAnalyzer {
+ public:
+  /// Validates `params` (which may be constant or time-varying) and
+  /// builds one GcsSpnModel per resolved timeline segment — so the
+  /// same detector/attacker expressibility rules apply per segment.
+  explicit MissionAnalyzer(Params params, MissionOptions options = {});
+
+  /// The resolved piecewise-constant timeline this analyzer chains
+  /// over (size 1 for a constant parameterisation).
+  [[nodiscard]] const std::vector<TimelineSegment>& timeline()
+      const noexcept {
+    return timeline_;
+  }
+
+  /// MTTSF, Ĉtotal, cost components and C1/C2 split for the phased
+  /// mission.  Single-segment timelines return
+  /// GcsSpnModel::evaluate() bitwise.
+  [[nodiscard]] Evaluation evaluate() const;
+
+  /// Mission reliability R(t) at ascending non-negative times, chained
+  /// across phase boundaries.  Single-segment timelines return
+  /// GcsSpnModel::reliability_at() bitwise.
+  [[nodiscard]] std::vector<double> reliability_at(
+      std::span<const double> times) const;
+
+ private:
+  struct Segment {
+    std::unique_ptr<GcsSpnModel> model;
+    /// The graph this segment integrates on: the first segment's (re-
+    /// rated) when the structure key matches, else the model's own.
+    const spn::ReachabilityGraph* graph = nullptr;
+    std::vector<double> rates;     // per-edge rates on `graph`
+    std::vector<double> impulses;  // per-edge impulses on `graph`
+  };
+
+  /// Carries boundary weights from `from`'s graph to `to`'s graph by
+  /// marking identity; throws when unrepresentable mass exceeds 1e-12
+  /// of the total.
+  [[nodiscard]] std::vector<double> remap_weights(
+      std::span<const double> weights, std::size_t from,
+      std::size_t to) const;
+
+  MissionOptions options_;
+  std::vector<TimelineSegment> timeline_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace midas::core

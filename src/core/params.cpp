@@ -1,10 +1,46 @@
 #include "core/params.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
 namespace midas::core {
+
+namespace {
+
+/// The constant effective Params of one timeline segment: mission-phase
+/// overrides (absolute, NaN/empty = inherit), then schedule multipliers
+/// (×1.0 is IEEE-exact, so identity segments keep every rate bitwise).
+/// The result's own schedule/mission are cleared — it describes ONE
+/// homogeneous piece.
+Params effective_params(const Params& base, const MissionPhase* phase,
+                        const RateMultipliers& mult) {
+  Params p = base;
+  p.schedule = RateSchedule{};
+  p.mission = MissionProfile{};
+  if (phase != nullptr) {
+    if (!std::isnan(phase->t_ids)) p.t_ids = phase->t_ids;
+    if (!std::isnan(phase->lambda_c)) p.lambda_c = phase->lambda_c;
+    if (!std::isnan(phase->lambda_q)) p.lambda_q = phase->lambda_q;
+    if (!std::isnan(phase->p1)) p.p1 = phase->p1;
+    if (!std::isnan(phase->p2)) p.p2 = phase->p2;
+    if (!phase->detection_shape.empty()) {
+      p.detection_shape = ids::shape_from_string(phase->detection_shape);
+    }
+    if (!phase->attacker_shape.empty()) {
+      p.attacker_shape = ids::shape_from_string(phase->attacker_shape);
+    }
+  }
+  p.lambda_c *= mult.lambda_c;
+  p.t_ids *= mult.t_ids;
+  p.lambda_q *= mult.lambda_q;
+  for (double& r : p.partition_rates) r *= mult.partition;
+  for (double& r : p.merge_rates) r *= mult.merge;
+  return p;
+}
+
+}  // namespace
 
 Params Params::paper_defaults() {
   Params p;
@@ -87,6 +123,52 @@ void Params::validate() const {
           "Params: partition/merge rate tables must cover 0..max_groups");
     }
   }
+  schedule.validate("Params: schedule");  // "Params: schedule.segments[i]..."
+  mission.validate("Params: mission");
+  if (time_varying()) {
+    // Every resolved segment must itself be a valid constant
+    // parameterisation (segment params carry no schedule/mission, so
+    // this cannot recurse).
+    for (const auto& seg : resolve_timeline(*this)) {
+      try {
+        seg.params.validate();
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("Params: timeline segment '" +
+                                    seg.label + "': " + e.what());
+      }
+    }
+  }
+}
+
+std::vector<TimelineSegment> resolve_timeline(const Params& base) {
+  // Boundaries: t = 0 plus the union of mission and schedule
+  // breakpoints (sorted, exact-duplicate boundaries collapse).
+  std::vector<double> bounds{0.0};
+  for (const double t : base.mission.breakpoints()) bounds.push_back(t);
+  for (const double t : base.schedule.breakpoints()) bounds.push_back(t);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::vector<TimelineSegment> out;
+  out.reserve(bounds.size());
+  for (const double start : bounds) {
+    const MissionPhase* phase =
+        base.mission.empty() ? nullptr : &base.mission.at(start);
+    static const RateMultipliers kIdentity{};
+    const RateMultipliers& mult =
+        base.schedule.empty() ? kIdentity : base.schedule.at(start).mult;
+    TimelineSegment seg;
+    seg.start_s = start;
+    if (phase != nullptr && !phase->name.empty()) seg.label = phase->name;
+    if (!base.schedule.empty() && !base.schedule.at(start).name.empty()) {
+      if (!seg.label.empty()) seg.label += "/";
+      seg.label += base.schedule.at(start).name;
+    }
+    if (seg.label.empty()) seg.label = "t>=" + std::to_string(start);
+    seg.params = effective_params(base, phase, mult);
+    out.push_back(std::move(seg));
+  }
+  return out;
 }
 
 }  // namespace midas::core

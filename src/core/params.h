@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/schedule.h"
 #include "gcs/cost_model.h"
 #include "ids/detector_model.h"
 #include "ids/functions.h"
@@ -67,6 +68,21 @@ struct Params {
   // --- Communication cost model.
   gcs::CostParams cost;
 
+  // --- Time-inhomogeneous dynamics (see core/schedule.h).  Both empty
+  // by default: the legacy constant model.  At any instant the
+  // effective point is base + mission-phase overrides, then schedule
+  // multipliers; resolve_timeline() materialises the piecewise-constant
+  // segments every backend chains over.
+  RateSchedule schedule;
+  MissionProfile mission;
+
+  /// True when the params carry ANY schedule/mission structure (even a
+  /// constant one) and must be resolved through resolve_timeline()
+  /// before reaching a constant-rate consumer such as GcsSpnModel.
+  [[nodiscard]] bool time_varying() const noexcept {
+    return !schedule.empty() || !mission.empty();
+  }
+
   /// Paper Section 5 defaults: N=100, radius 500 m, λ=1/hr, μ=1/4hr,
   /// λq=1/min, λc=1/12hr, p1=p2=1 %, BW=1 Mb/s, m=5, p=3, linear
   /// attacker and detection.
@@ -77,7 +93,29 @@ struct Params {
   void apply_mobility_estimate(const manet::PartitionEstimate& est);
 
   /// Sanity checks; throws std::invalid_argument with a description.
+  /// For time-varying params every resolved timeline segment must
+  /// itself be a valid constant parameterisation.
   void validate() const;
 };
+
+/// One constant piece of a time-varying parameterisation: from start_s
+/// until the next segment's start (the last extends forever), the
+/// process runs the time-homogeneous chain of `params` — whose own
+/// schedule/mission fields are cleared, so a segment is always safe to
+/// hand to a constant-rate consumer.
+struct TimelineSegment {
+  double start_s = 0.0;
+  std::string label;  ///< "phase/segment" names for error messages
+  Params params;
+};
+
+/// Resolves base + mission + schedule into ordered constant segments:
+/// boundaries are the union of mission-phase and schedule breakpoints,
+/// and each segment's params apply the active phase's overrides then
+/// the active segment's multipliers.  Exactly one segment (bitwise the
+/// base rates) when the variation is constant — including the empty
+/// and the single-identity-segment cases, since ×1.0 is IEEE-exact.
+[[nodiscard]] std::vector<TimelineSegment> resolve_timeline(
+    const Params& base);
 
 }  // namespace midas::core

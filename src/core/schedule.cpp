@@ -1,0 +1,140 @@
+#include "core/schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ids/functions.h"
+
+namespace midas::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& prefix, std::size_t index,
+                       const std::string& what) {
+  throw std::invalid_argument(prefix + "[" + std::to_string(index) + "]" +
+                              what);
+}
+
+/// Shared duration contract of segments and phases: positive, finite
+/// except in the last slot (which extends forever).
+void check_duration(const std::string& prefix, std::size_t index,
+                    double duration_s, bool last) {
+  if (std::isnan(duration_s) || duration_s <= 0.0) {
+    fail(prefix, index, ".duration_s must be positive");
+  }
+  if (!last && std::isinf(duration_s)) {
+    fail(prefix, index,
+         ".duration_s is infinite but the segment is not last — later "
+         "entries would be unreachable");
+  }
+}
+
+/// Breakpoints shared by both containers: cumulative starts of entries
+/// 1..n-1 (validate() guarantees only the last duration may be
+/// infinite, so these are finite and strictly ascending).
+template <typename Entry>
+std::vector<double> starts(const std::vector<Entry>& entries) {
+  std::vector<double> out;
+  double t = 0.0;
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    t += entries[i].duration_s;
+    out.push_back(t);
+  }
+  return out;
+}
+
+template <typename Entry>
+const Entry& active_at(const std::vector<Entry>& entries, double t,
+                       const char* who) {
+  if (entries.empty()) {
+    throw std::logic_error(std::string(who) + "::at on an empty container");
+  }
+  double start = 0.0;
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    start += entries[i].duration_s;
+    if (t < start) return entries[i];
+  }
+  return entries.back();
+}
+
+void check_multiplier(const std::string& prefix, std::size_t index,
+                      const char* field, double m, bool strictly_positive) {
+  if (!std::isfinite(m) || m < 0.0 || (strictly_positive && m == 0.0)) {
+    fail(prefix, index,
+         std::string(".") + field + " multiplier must be finite and " +
+             (strictly_positive ? "> 0" : ">= 0"));
+  }
+}
+
+/// NaN = inherit; anything set must land in [lo, hi] (hi may be inf).
+void check_override(const std::string& prefix, std::size_t index,
+                    const char* field, double v, double lo, double hi,
+                    bool allow_lo) {
+  if (std::isnan(v)) return;  // inherit
+  const bool ok = std::isfinite(v) && (allow_lo ? v >= lo : v > lo) &&
+                  v <= hi;
+  if (!ok) {
+    fail(prefix, index,
+         std::string(".") + field + " override " + std::to_string(v) +
+             " out of range");
+  }
+}
+
+void check_shape(const std::string& prefix, std::size_t index,
+                 const char* field, const std::string& name) {
+  if (name.empty()) return;  // inherit
+  try {
+    (void)ids::shape_from_string(name);
+  } catch (const std::exception& e) {
+    fail(prefix, index, std::string(".") + field + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+void RateSchedule::validate(const std::string& prefix) const {
+  const std::string p = prefix + ".segments";
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& s = segments[i];
+    check_duration(p, i, s.duration_s, i + 1 == segments.size());
+    check_multiplier(p, i, "lambda_c", s.mult.lambda_c, false);
+    check_multiplier(p, i, "t_ids", s.mult.t_ids, true);
+    check_multiplier(p, i, "lambda_q", s.mult.lambda_q, false);
+    check_multiplier(p, i, "partition", s.mult.partition, false);
+    check_multiplier(p, i, "merge", s.mult.merge, false);
+  }
+}
+
+std::vector<double> RateSchedule::breakpoints() const {
+  return starts(segments);
+}
+
+const ScheduleSegment& RateSchedule::at(double t) const {
+  return active_at(segments, t, "RateSchedule");
+}
+
+void MissionProfile::validate(const std::string& prefix) const {
+  const std::string p = prefix + ".phases";
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& ph = phases[i];
+    check_duration(p, i, ph.duration_s, i + 1 == phases.size());
+    check_override(p, i, "t_ids", ph.t_ids, 0.0, inf, false);
+    check_override(p, i, "lambda_c", ph.lambda_c, 0.0, inf, true);
+    check_override(p, i, "lambda_q", ph.lambda_q, 0.0, inf, true);
+    check_override(p, i, "p1", ph.p1, 0.0, 1.0, true);
+    check_override(p, i, "p2", ph.p2, 0.0, 1.0, true);
+    check_shape(p, i, "detection_shape", ph.detection_shape);
+    check_shape(p, i, "attacker_shape", ph.attacker_shape);
+  }
+}
+
+std::vector<double> MissionProfile::breakpoints() const {
+  return starts(phases);
+}
+
+const MissionPhase& MissionProfile::at(double t) const {
+  return active_at(phases, t, "MissionProfile");
+}
+
+}  // namespace midas::core

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <random>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "sim/mc_engine.h"
 #include "sim/rng.h"
@@ -54,8 +57,35 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
                           const DesContext& context) {
   params.validate();
 
-  const ids::VotingTable& voting = *context.voting;
   const gcs::CostModel& cost = context.cost;
+
+  // Time-varying rates: resolve the schedule/mission into constant
+  // segments and treat each breakpoint as a rate-change event.  The
+  // constant case keeps `cur` pointing at `params` itself and the
+  // boundary at infinity, so every read below is bitwise the legacy
+  // one and the truncation branch never fires.  Per-segment voting
+  // tables come from the shared memo (identity segments re-use the
+  // context's table allocation-free for bitwise-equal (m, p1, p2)).
+  const bool timed = params.time_varying();
+  std::vector<core::TimelineSegment> timeline;
+  std::vector<std::shared_ptr<const ids::VotingTable>> segment_voting;
+  std::size_t seg_idx = 0;
+  const core::Params* cur = &params;
+  const ids::VotingTable* voting = context.voting.get();
+  double next_boundary = std::numeric_limits<double>::infinity();
+  if (timed) {
+    timeline = core::resolve_timeline(params);
+    segment_voting.reserve(timeline.size());
+    for (const auto& seg : timeline) {
+      segment_voting.push_back(ids::shared_voting_table(
+          ids::VotingParams{seg.params.num_voters, seg.params.p1,
+                            seg.params.p2},
+          seg.params.n_init, seg.params.n_init));
+    }
+    cur = &timeline[0].params;
+    voting = segment_voting[0].get();
+    if (timeline.size() > 1) next_boundary = timeline[1].start_s;
+  }
 
   auto exp_sample = [&](double rate) {
     return -std::log1p(-draw()) / rate;
@@ -118,24 +148,24 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
                  static_cast<double>(std::max<std::int64_t>(s.members(), 1)));
 
     const double attack_base =
-        s.tm > 0 ? ids::attacker_rate(params.attacker_shape, params.lambda_c,
-                                      mc, params.p_index)
+        s.tm > 0 ? ids::attacker_rate(cur->attacker_shape, cur->lambda_c,
+                                      mc, cur->p_index)
                  : 0.0;
     // Poisson: event_rate returns the base unchanged (bitwise).
     const double attack = params.attacker.event_rate(attack_base, atk_on);
     const double r_phase = params.attacker.phase_rate(atk_on);
-    const double det = ids::detection_rate(params.detection_shape,
-                                           params.t_ids, md, params.p_index);
+    const double det = ids::detection_rate(cur->detection_shape,
+                                           cur->t_ids, md, cur->p_index);
     // Static detector: effective (p1,p2) == (p1,p2), so the shared
     // precomputed voting table applies and r_drq is the exact legacy
     // expression.  State-dependent detectors re-evaluate Equation 1
     // with the effective rates each event (no table can be keyed ahead
     // of time once elapsed time enters).
-    const auto eff = params.detector.effective(params.p1, params.p2,
+    const auto eff = params.detector.effective(cur->p1, cur->p2,
                                                detector_state());
     const auto rates =
         static_detector
-            ? voting.at(per_group(s.tm, s.ng), per_group(s.ucm, s.ng))
+            ? voting->at(per_group(s.tm, s.ng), per_group(s.ucm, s.ng))
             : ids::voting_error_rates(
                   ids::VotingParams{params.num_voters, eff.p1, eff.p2},
                   per_group(s.tm, s.ng), per_group(s.ucm, s.ng));
@@ -143,17 +173,17 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
         static_cast<double>(s.ucm) * det * (1.0 - rates.pfn);
     const double r_fa = static_cast<double>(s.tm) * det * rates.pfp;
     const double r_drq =
-        eff.p1 * params.lambda_q * static_cast<double>(s.ucm);
+        eff.p1 * cur->lambda_q * static_cast<double>(s.ucm);
 
     double r_par = 0.0, r_mer = 0.0;
     if (params.max_groups > 1) {
       const auto g = static_cast<std::size_t>(s.ng);
       if (s.ng < params.max_groups && s.members() > s.ng &&
-          g < params.partition_rates.size()) {
-        r_par = params.partition_rates[g];
+          g < cur->partition_rates.size()) {
+        r_par = cur->partition_rates[g];
       }
-      if (s.ng >= 2 && g < params.merge_rates.size()) {
-        r_mer = params.merge_rates[g];
+      if (s.ng >= 2 && g < cur->merge_rates.size()) {
+        r_mer = cur->merge_rates[g];
       }
     }
 
@@ -170,12 +200,27 @@ Trajectory simulate_group(const core::Params& params, UniformStream& draw,
     gs.groups = static_cast<double>(s.ng);
     gs.initial_size = static_cast<double>(params.n_init);
     const auto breakdown =
-        cost.breakdown(gs, params.lambda_q, params.lambda_join,
+        cost.breakdown(gs, cur->lambda_q, params.lambda_join,
                        params.mu_leave, det,
                        static_cast<std::size_t>(params.num_voters),
                        r_par + r_mer);
 
     const double dt = exp_sample(total);
+    if (now + dt > next_boundary) {
+      // Schedule/mission breakpoint before the sampled event: accrue
+      // cost for the truncated dwell, switch segments and resample.
+      // The exponential dwell is memoryless, so restarting the clock
+      // under the new rates is exact, not an approximation.
+      traj.accumulated_cost += breakdown.total() * (next_boundary - now);
+      now = next_boundary;
+      ++seg_idx;
+      cur = &timeline[seg_idx].params;
+      voting = segment_voting[seg_idx].get();
+      next_boundary = seg_idx + 1 < timeline.size()
+                          ? timeline[seg_idx + 1].start_s
+                          : std::numeric_limits<double>::infinity();
+      continue;
+    }
     now += dt;
     traj.accumulated_cost += breakdown.total() * dt;
 

@@ -88,6 +88,22 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
   const auto& mp = params.model;
   UniformStream draw(seed, antithetic);
 
+  // Time-varying rates: the tick loop re-reads every rate each tick
+  // anyway, so the schedule/mission enters as a per-tick pointer to the
+  // active timeline segment's params (boundary granularity = one tick,
+  // consistent with every other per-tick discretisation here).  The
+  // constant case keeps `cur` = &mp itself: bitwise the legacy reads,
+  // and no draw-sequence change either way since rate evaluation never
+  // touches the stream.
+  const bool timed = mp.time_varying();
+  std::vector<core::TimelineSegment> timeline;
+  std::size_t seg_idx = 0;
+  const core::Params* cur = &mp;
+  if (timed) {
+    timeline = core::resolve_timeline(mp);
+    cur = &timeline[0].params;
+  }
+
   // --- Substrate instantiation.
   const auto n = static_cast<std::size_t>(mp.n_init);
   manet::RandomWaypointModel mobility(n, params.mobility, seed ^ 0x1);
@@ -151,7 +167,7 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     ds.population = static_cast<std::int64_t>(live_members());
     ds.evicted = static_cast<std::int64_t>(mp.n_init) - ds.population;
     ds.elapsed_s = now;
-    return mp.detector.effective(mp.p1, mp.p2, ds);
+    return mp.detector.effective(cur->p1, cur->p2, ds);
   };
 
   // Index helpers over the live population.
@@ -226,12 +242,17 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
   // --- Main loop.  (`now` is declared above effective_rates, which
   // reads it.)
   double next_topology = params.topology_refresh_s;
-  double next_ids_round = mp.t_ids;
+  double next_ids_round = cur->t_ids;
   // Bursty attacker phase; other kinds never draw for it, keeping the
   // legacy per-tick draw sequence.
   bool atk_on = true;
 
   while (now < params.max_time_s) {
+    while (timed && seg_idx + 1 < timeline.size() &&
+           now >= timeline[seg_idx + 1].start_s) {
+      ++seg_idx;
+      cur = &timeline[seg_idx].params;
+    }
     const double live = static_cast<double>(live_members());
     const double bad = static_cast<double>(undetected_compromised());
 
@@ -260,7 +281,8 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
       mc = tm > 0.0 ? live / tm : 1.0;
     }
     const double attack_rate =
-        ids::attacker_rate(mp.attacker_shape, mp.lambda_c, mc, mp.p_index);
+        ids::attacker_rate(cur->attacker_shape, cur->lambda_c, mc,
+                           cur->p_index);
     // Bursty modulation: one extra thinning draw per tick flips the
     // on/off phase (gated on the kind, so other attackers keep the
     // legacy draw sequence).
@@ -287,7 +309,7 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
     // Data-plane traffic: each live member multicasts at λq; a
     // compromised member's request leaks data if the serving node's
     // host IDS misses (probability p1) — condition C1.
-    const double expected_sends = live * mp.lambda_q * params.tick_s;
+    const double expected_sends = live * cur->lambda_q * params.tick_s;
     const std::size_t packets = poisson_inverse(expected_sends, draw());
     for (std::size_t pk = 0; pk < packets; ++pk) {
       ++result.data_messages;
@@ -311,8 +333,8 @@ ProtocolSimResult run_protocol_sim(const ProtocolSimParams& params,
       const double md =
           std::max(1.0, static_cast<double>(mp.n_init) /
                             std::max(1.0, static_cast<double>(live_members())));
-      const double d = ids::detection_rate(mp.detection_shape, mp.t_ids, md,
-                                           mp.p_index);
+      const double d = ids::detection_rate(cur->detection_shape, cur->t_ids,
+                                           md, cur->p_index);
       next_ids_round = now + 1.0 / std::max(d, 1e-9);
     }
   }

@@ -193,6 +193,25 @@ AbsorbingResult AbsorbingAnalyzer::solve(
 
 AbsorbingResult AbsorbingAnalyzer::solve(std::span<const double> edge_rates,
                                          const SolveOptions& opts) const {
+  return solve_impl({}, edge_rates, opts);
+}
+
+AbsorbingResult AbsorbingAnalyzer::solve_from(
+    std::span<const double> initial_mass, std::span<const double> edge_rates,
+    const SolveOptions& opts) const {
+  if (!initial_mass.empty() && initial_mass.size() != graph_.num_states()) {
+    throw std::invalid_argument(
+        "AbsorbingAnalyzer::solve_from: initial_mass size " +
+        std::to_string(initial_mass.size()) +
+        " does not match state count " +
+        std::to_string(graph_.num_states()));
+  }
+  return solve_impl(initial_mass, edge_rates, opts);
+}
+
+AbsorbingResult AbsorbingAnalyzer::solve_impl(
+    std::span<const double> initial_mass, std::span<const double> edge_rates,
+    const SolveOptions& opts) const {
   if (edge_rates.size() != graph_.edges.size()) {
     throw std::invalid_argument(
         "AbsorbingAnalyzer::solve: edge_rates size " +
@@ -206,11 +225,13 @@ AbsorbingResult AbsorbingAnalyzer::solve(std::span<const double> edge_rates,
   if (opts.sojourn) res.sojourn.assign(n, 0.0);
 
   if (nt == 0) {
-    // Initial state itself is absorbing: MTTA = 0.
+    // Initial state itself is absorbing: MTTA = 0.  With a custom mass
+    // the contract puts nothing at absorbing states, so there is no
+    // transient mass at all and every expectation is 0.
     res.mtta = 0.0;
     if (opts.absorb_probability) {
       res.absorb_probability.assign(n, 0.0);
-      res.absorb_probability[graph_.initial] = 1.0;
+      if (initial_mass.empty()) res.absorb_probability[graph_.initial] = 1.0;
     }
     res.converged = true;
     return res;
@@ -236,9 +257,16 @@ AbsorbingResult AbsorbingAnalyzer::solve(std::span<const double> edge_rates,
   // exceed the security rates by many orders of magnitude.
   std::vector<double> tau(nt, 0.0);
   std::vector<std::uint32_t> local(nt, UINT32_MAX);  // reused across blocks
+  // π₀ hook: the default unit mass at the initial state, or the
+  // caller's full-state distribution (solve_from).  The empty branch is
+  // the literal legacy expression, so plain solves stay bitwise.
+  auto init_of = [&](std::uint32_t j) {
+    return initial_mass.empty() ? (j == init_compact_ ? 1.0 : 0.0)
+                                : initial_mass[expand_[j]];
+  };
   // External inflow (already-solved predecessors) + initial mass.
   auto external_b = [&](std::uint32_t j, std::uint32_t c) {
-    double b = j == init_compact_ ? 1.0 : 0.0;
+    double b = init_of(j);
     for (std::uint32_t k = in_offsets_[j]; k < in_offsets_[j + 1]; ++k) {
       const auto& in = in_edges_[k];
       if (scc_.component[in.src] != c) b += tau[in.src] * edge_rates[in.edge];

@@ -115,6 +115,21 @@ class AbsorbingAnalyzer {
   [[nodiscard]] AbsorbingResult solve(std::span<const double> edge_rates,
                                       const SolveOptions& opts) const;
 
+  /// Solves from an arbitrary initial distribution instead of the
+  /// graph's initial state: `initial_mass` is full-state indexed and
+  /// its entries at absorbing states must be zero (mass that has
+  /// already been absorbed has left the problem — mission chaining
+  /// hands in spn::ReliabilityOde::propagate weights, which satisfy
+  /// this by construction).  The mass need not sum to 1: mtta, rewards
+  /// and absorb probabilities scale linearly, so a sub-stochastic tail
+  /// distribution yields the correctly weighted partial expectations.
+  /// An empty span means the graph's initial state and is bitwise the
+  /// plain solve(edge_rates, opts).
+  [[nodiscard]] AbsorbingResult solve_from(
+      std::span<const double> initial_mass,
+      std::span<const double> edge_rates,
+      const SolveOptions& opts = {}) const;
+
   /// Batched multi-point solve: `edge_rates` is the point-major
   /// [edge][point] matrix ReachabilityGraph::compute_rates_batch fills
   /// (edge_rates[i*num_points + p] = edge i's rate at point p; size
@@ -175,6 +190,12 @@ class AbsorbingAnalyzer {
   }
 
  private:
+  /// Shared core of solve()/solve_from(): empty `initial_mass` takes
+  /// the legacy unit-mass-at-initial branch bitwise.
+  [[nodiscard]] AbsorbingResult solve_impl(
+      std::span<const double> initial_mass,
+      std::span<const double> edge_rates, const SolveOptions& opts) const;
+
   /// An incoming transient→transient edge: compact source index plus the
   /// global edge index (for per-sweep-point rate lookup).
   struct InEdge {

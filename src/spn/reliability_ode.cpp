@@ -7,51 +7,109 @@
 namespace midas::spn {
 
 ReliabilityOde::ReliabilityOde(const ReachabilityGraph& graph)
+    : ReliabilityOde(graph, {}) {}
+
+ReliabilityOde::ReliabilityOde(const ReachabilityGraph& graph,
+                               std::span<const double> edge_rates)
     : graph_(graph) {
+  if (!edge_rates.empty() && edge_rates.size() != graph.edges.size()) {
+    throw std::invalid_argument(
+        "ReliabilityOde: edge_rates size " +
+        std::to_string(edge_rates.size()) + " does not match edge count " +
+        std::to_string(graph.edges.size()));
+  }
   const auto absorbing = graph.absorbing_mask();
   const std::size_t n = graph.num_states();
   compact_.assign(n, UINT32_MAX);
   for (std::size_t s = 0; s < n; ++s) {
     if (!absorbing[s]) {
       compact_[s] = static_cast<std::uint32_t>(num_transient_++);
+      expand_.push_back(static_cast<std::uint32_t>(s));
     }
   }
   initial_absorbing_ = absorbing[graph.initial];
   if (!initial_absorbing_) {
     initial_compact_ = compact_[graph.initial];
   }
+  assemble(edge_rates);
+}
 
+void ReliabilityOde::assemble(std::span<const double> edge_rates) {
   // Assemble Q_TT rows: for each transient src, off-diagonal entries to
   // transient dst plus total exit rate (including flows to absorbing
-  // states, which only appear in the diagonal).
+  // states, which only appear in the diagonal).  The transpose rows
+  // (incoming edges) are collected in the same pass for propagate().
   std::vector<std::vector<std::pair<std::uint32_t, double>>> rows(
       num_transient_);
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> trows(
+      num_transient_);
   exit_.assign(num_transient_, 0.0);
-  for (const auto& e : graph.edges) {
+  for (std::size_t i = 0; i < graph_.edges.size(); ++i) {
+    const auto& e = graph_.edges[i];
     if (e.src == e.dst) continue;
     const auto cs = compact_[e.src];
     if (cs == UINT32_MAX) continue;
-    exit_[cs] += e.rate;
+    const double rate = edge_rates.empty() ? e.rate : edge_rates[i];
+    exit_[cs] += rate;
     const auto cd = compact_[e.dst];
     if (cd != UINT32_MAX) {
-      rows[cs].emplace_back(cd, e.rate);
+      rows[cs].emplace_back(cd, rate);
+      trows[cd].emplace_back(cs, rate);
     }
   }
-  row_ptr_.assign(num_transient_ + 1, 0);
-  for (std::size_t r = 0; r < num_transient_; ++r) {
-    row_ptr_[r + 1] =
-        row_ptr_[r] + static_cast<std::uint32_t>(rows[r].size());
-  }
-  col_.resize(row_ptr_.back());
-  val_.resize(row_ptr_.back());
-  for (std::size_t r = 0; r < num_transient_; ++r) {
-    std::size_t k = row_ptr_[r];
-    for (const auto& [c, v] : rows[r]) {
-      col_[k] = c;
-      val_[k] = v;
-      ++k;
+  auto pack = [this](
+                  const std::vector<
+                      std::vector<std::pair<std::uint32_t, double>>>& src,
+                  std::vector<std::uint32_t>& ptr,
+                  std::vector<std::uint32_t>& col,
+                  std::vector<double>& val) {
+    ptr.assign(num_transient_ + 1, 0);
+    for (std::size_t r = 0; r < num_transient_; ++r) {
+      ptr[r + 1] = ptr[r] + static_cast<std::uint32_t>(src[r].size());
     }
+    col.resize(ptr.back());
+    val.resize(ptr.back());
+    for (std::size_t r = 0; r < num_transient_; ++r) {
+      std::size_t k = ptr[r];
+      for (const auto& [c, v] : src[r]) {
+        col[k] = c;
+        val[k] = v;
+        ++k;
+      }
+    }
+  };
+  pack(rows, row_ptr_, col_, val_);
+  pack(trows, trow_ptr_, tcol_, tval_);
+}
+
+std::vector<double> ReliabilityOde::make_grid(
+    double horizon, const ReliabilityOdeOptions& opts) const {
+  std::vector<double> grid{0.0};
+  if (opts.uniform_step_s > 0.0) {
+    // Uniform steps: k·h up to the horizon (last step truncated).  A
+    // horizon split at an exact multiple of h reproduces the unsplit
+    // step sequence exactly.
+    const double h = opts.uniform_step_s;
+    const auto whole = static_cast<std::size_t>(std::floor(horizon / h));
+    grid.reserve(whole + 2);
+    for (std::size_t j = 1; j <= whole; ++j) {
+      grid.push_back(static_cast<double>(j) * h);
+    }
+    if (grid.back() < horizon) grid.push_back(horizon);
+    return grid;
   }
+  // Log-spaced integration grid: small first steps resolve the fast
+  // initial transient; the per-step relative growth stays at
+  // 10^(decades/steps) − 1 (≈ 2.3% at the defaults), well inside the
+  // θ-method's accurate regime.
+  grid.reserve(opts.steps + 1);
+  for (std::size_t j = 1; j <= opts.steps; ++j) {
+    const double frac = static_cast<double>(j) /
+                        static_cast<double>(opts.steps);
+    grid.push_back(horizon *
+                   std::pow(10.0, -opts.decades * (1.0 - frac)));
+  }
+  return grid;
 }
 
 std::vector<double> ReliabilityOde::survival_at(
@@ -72,18 +130,7 @@ std::vector<double> ReliabilityOde::survival_at(
   const double horizon = times.back();
   if (horizon == 0.0) return out;
 
-  // Log-spaced integration grid: small first steps resolve the fast
-  // initial transient; the per-step relative growth stays at
-  // 10^(decades/steps) − 1 (≈ 2.3% at the defaults), well inside the
-  // θ-method's accurate regime.
-  std::vector<double> grid{0.0};
-  grid.reserve(opts.steps + 1);
-  for (std::size_t j = 1; j <= opts.steps; ++j) {
-    const double frac = static_cast<double>(j) /
-                        static_cast<double>(opts.steps);
-    grid.push_back(horizon *
-                   std::pow(10.0, -opts.decades * (1.0 - frac)));
-  }
+  const std::vector<double> grid = make_grid(horizon, opts);
 
   std::vector<double> u(num_transient_, 1.0);
   std::vector<double> rhs(num_transient_);
@@ -143,6 +190,160 @@ std::vector<double> ReliabilityOde::survival_at(
     r_prev = r_now;
   }
   return out;
+}
+
+ForwardResult ReliabilityOde::propagate(
+    std::span<const double> initial, double duration,
+    std::span<const std::vector<double>> functionals,
+    std::span<const double> emit_times,
+    const ReliabilityOdeOptions& opts) const {
+  if (opts.theta < 0.5 || opts.theta > 1.0) {
+    throw std::invalid_argument("propagate: theta must be in [0.5, 1]");
+  }
+  if (!(duration >= 0.0) || std::isinf(duration)) {
+    throw std::invalid_argument(
+        "propagate: duration must be finite and non-negative");
+  }
+  const std::size_t n = graph_.num_states();
+  if (!initial.empty() && initial.size() != n) {
+    throw std::invalid_argument(
+        "propagate: initial size " + std::to_string(initial.size()) +
+        " does not match state count " + std::to_string(n));
+  }
+  for (const auto& f : functionals) {
+    if (f.size() != n) {
+      throw std::invalid_argument(
+          "propagate: functional size does not match state count");
+    }
+  }
+  for (std::size_t i = 0; i < emit_times.size(); ++i) {
+    if (emit_times[i] < 0.0 || emit_times[i] > duration ||
+        (i > 0 && emit_times[i] < emit_times[i - 1])) {
+      throw std::invalid_argument(
+          "propagate: emit_times must be ascending within [0, duration]");
+    }
+  }
+
+  ForwardResult res;
+  res.weights.assign(n, 0.0);
+  res.functional_integrals.assign(functionals.size(), 0.0);
+  res.survival_at.assign(emit_times.size(), 0.0);
+  if (num_transient_ == 0) return res;
+
+  // Compact working distribution.
+  std::vector<double> w(num_transient_, 0.0);
+  if (initial.empty()) {
+    if (initial_absorbing_) return res;
+    w[initial_compact_] = 1.0;
+  } else {
+    for (std::size_t c = 0; c < num_transient_; ++c) {
+      w[c] = initial[expand_[c]];
+    }
+  }
+
+  const auto total = [&](const std::vector<double>& x) {
+    double acc = 0.0;
+    for (const double v : x) acc += v;
+    return acc;
+  };
+  // ⟨f, w⟩ with f full-state indexed and w compact.
+  const auto dot = [&](const std::vector<double>& f,
+                       const std::vector<double>& x) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < num_transient_; ++c) {
+      acc += f[expand_[c]] * x[c];
+    }
+    return acc;
+  };
+
+  const auto scatter = [&] {
+    for (std::size_t c = 0; c < num_transient_; ++c) {
+      res.weights[expand_[c]] = w[c];
+    }
+  };
+
+  std::size_t next_emit = 0;
+  double s_prev = total(w);
+  auto emit_upto = [&](double prev_now, double now, double s_now) {
+    while (next_emit < emit_times.size() && emit_times[next_emit] <= now) {
+      const double t = emit_times[next_emit];
+      const double frac =
+          now > prev_now ? (t - prev_now) / (now - prev_now) : 1.0;
+      res.survival_at[next_emit] =
+          std::clamp(s_prev + frac * (s_now - s_prev), 0.0, 1.0);
+      ++next_emit;
+    }
+  };
+  if (duration == 0.0) {
+    emit_upto(0.0, 0.0, s_prev);
+    scatter();
+    return res;
+  }
+
+  const std::vector<double> grid = make_grid(duration, opts);
+
+  std::vector<double> rhs(num_transient_);
+  std::vector<double> qtw(num_transient_);
+  std::vector<double> fdot_prev(functionals.size());
+  for (std::size_t k = 0; k < functionals.size(); ++k) {
+    fdot_prev[k] = dot(functionals[k], w);
+  }
+
+  // Q_TTᵀ · x via the transpose CSR (row r = incoming edges of r).
+  auto apply_qt = [&](const std::vector<double>& x,
+                      std::vector<double>& y) {
+    for (std::size_t r = 0; r < num_transient_; ++r) {
+      double acc = -exit_[r] * x[r];
+      for (std::uint32_t k = trow_ptr_[r]; k < trow_ptr_[r + 1]; ++k) {
+        acc += tval_[k] * x[tcol_[k]];
+      }
+      y[r] = acc;
+    }
+  };
+
+  double prev_now = 0.0;
+  for (std::size_t j = 1; j < grid.size(); ++j) {
+    // θ-step of the adjoint system:
+    //   (I − θh Qᵀ) w_new = w_old + (1−θ)h Qᵀ w_old.
+    const double step = grid[j] - grid[j - 1];
+    apply_qt(w, qtw);
+    for (std::size_t r = 0; r < num_transient_; ++r) {
+      rhs[r] = w[r] + (1.0 - opts.theta) * step * qtw[r];
+    }
+    // Gauss–Seidel: the implicit adjoint operator is strictly
+    // diagonally dominant by columns (its columns are the backward
+    // operator's rows), which is equally sufficient for convergence.
+    const double th = opts.theta * step;
+    for (std::size_t sweep = 0; sweep < 1000; ++sweep) {
+      double max_delta = 0.0;
+      for (std::size_t r = 0; r < num_transient_; ++r) {
+        double acc = rhs[r];
+        for (std::uint32_t k = trow_ptr_[r]; k < trow_ptr_[r + 1]; ++k) {
+          acc += th * tval_[k] * w[tcol_[k]];
+        }
+        const double next_val = acc / (1.0 + th * exit_[r]);
+        max_delta = std::max(max_delta, std::abs(next_val - w[r]));
+        w[r] = next_val;
+      }
+      if (max_delta <= opts.gs_tolerance) break;
+    }
+
+    // Trapezoid accumulation of the survival-time and rate integrals
+    // over this step, then interpolated emissions.
+    const double now = grid[j];
+    const double s_now = total(w);
+    res.survival_integral += 0.5 * step * (s_prev + s_now);
+    for (std::size_t k = 0; k < functionals.size(); ++k) {
+      const double fd = dot(functionals[k], w);
+      res.functional_integrals[k] += 0.5 * step * (fdot_prev[k] + fd);
+      fdot_prev[k] = fd;
+    }
+    emit_upto(prev_now, now, s_now);
+    prev_now = now;
+    s_prev = s_now;
+  }
+  scatter();
+  return res;
 }
 
 }  // namespace midas::spn

@@ -11,6 +11,17 @@
 // steps limited only by accuracy, not by Λ.  The implicit operator
 // (I − θh·Q_TT) is row-wise strictly diagonally dominant for every
 // h > 0, so Gauss–Seidel is guaranteed to converge at each step.
+//
+// Phased missions (core::MissionAnalyzer) chain the same integrator
+// across piecewise-constant segments through propagate(): the ADJOINT
+// system w'(t) = Q_TTᵀ·w(t) advances the transient state DISTRIBUTION
+// forward, so the weights at a phase boundary seed the next phase's
+// integration and R(t) = Σ_i w_i(t).  The implicit adjoint operator
+// (I − θh·Q_TTᵀ) is strictly diagonally dominant by COLUMNS (its
+// columns are the backward operator's rows), which guarantees
+// Gauss–Seidel convergence just the same.  Per-phase generators come
+// from the edge-rate constructor overload (the sweep-engine re-rating
+// idiom), so one explored graph serves every structure-invariant phase.
 #pragma once
 
 #include <span>
@@ -25,11 +36,39 @@ struct ReliabilityOdeOptions {
   std::size_t steps = 800;  // integration grid size (log-spaced)
   double decades = 8.0;     // grid spans horizon·10^-decades .. horizon
   double gs_tolerance = 1e-12;
+  /// > 0 replaces the log-spaced grid with UNIFORM steps of this size
+  /// (the last step truncated to the horizon).  Splitting a horizon at
+  /// an exact multiple of the step then reproduces the unsplit step
+  /// sequence exactly — the phase-boundary chaining tests rely on it.
+  double uniform_step_s = 0.0;
+};
+
+/// What one propagate() call accumulated over its phase.
+struct ForwardResult {
+  /// Transient distribution w(duration), full-state indexing
+  /// (identically 0 at absorbing states).
+  std::vector<double> weights;
+  /// ∫₀^duration Σ_i w_i(t) dt — the phase's survival-time integral
+  /// (its MTTSF contribution).
+  double survival_integral = 0.0;
+  /// ∫₀^duration ⟨f_k, w(t)⟩ dt per supplied functional f_k (rate
+  /// rewards: cost components, absorption fluxes, ...).
+  std::vector<double> functional_integrals;
+  /// Σ_i w_i(t_j) at each requested emit time (linear interpolation on
+  /// the integration grid, clamped to [0, 1]).
+  std::vector<double> survival_at;
 };
 
 class ReliabilityOde {
  public:
   explicit ReliabilityOde(const ReachabilityGraph& graph);
+
+  /// As above with per-edge rates overriding the stored ones —
+  /// `edge_rates[i]` replaces `graph.edges[i].rate` (the
+  /// AbsorbingAnalyzer::solve(edge_rates) idiom: one explored
+  /// structure, one rate vector per sweep point or mission phase).
+  ReliabilityOde(const ReachabilityGraph& graph,
+                 std::span<const double> edge_rates);
 
   /// Survival probabilities R(t_j) = P[no absorption by t_j], starting
   /// from the graph's initial state.  `times` must be ascending and
@@ -38,10 +77,35 @@ class ReliabilityOde {
       std::span<const double> times,
       const ReliabilityOdeOptions& opts = {}) const;
 
+  /// Advances the transient distribution `initial` (full-state
+  /// indexing; entries at absorbing states must be zero — absorbed mass
+  /// has left the survival problem) through `duration` seconds of this
+  /// generator, integrating w' = Q_TTᵀw with the same θ-method/grid as
+  /// survival_at.  Accumulates the survival-time integral, one rate
+  /// integral per functional in `functionals` (each full-state
+  /// indexed), and Σw at each `emit_times` entry (ascending, within
+  /// [0, duration]).  Empty `initial` means the graph's initial state.
+  [[nodiscard]] ForwardResult propagate(
+      std::span<const double> initial, double duration,
+      std::span<const std::vector<double>> functionals,
+      std::span<const double> emit_times,
+      const ReliabilityOdeOptions& opts = {}) const;
+
+  [[nodiscard]] std::size_t num_transient() const noexcept {
+    return num_transient_;
+  }
+
  private:
+  void assemble(std::span<const double> edge_rates);
+  /// The θ-grid over [0, horizon]: log-spaced by default, uniform when
+  /// opts.uniform_step_s > 0.
+  [[nodiscard]] std::vector<double> make_grid(
+      double horizon, const ReliabilityOdeOptions& opts) const;
+
   const ReachabilityGraph& graph_;
   // Transient-state subsystem in compact indexing.
   std::vector<std::uint32_t> compact_;  // full → compact (UINT32_MAX = absorbing)
+  std::vector<std::uint32_t> expand_;   // compact → full
   std::size_t num_transient_ = 0;
   std::uint32_t initial_compact_ = 0;
   bool initial_absorbing_ = false;
@@ -50,6 +114,10 @@ class ReliabilityOde {
   std::vector<std::uint32_t> col_;
   std::vector<double> val_;     // off-diagonal rates into transient states
   std::vector<double> exit_;    // total exit rate per transient state
+  // Q_TTᵀ rows (incoming transient→transient edges), for propagate().
+  std::vector<std::uint32_t> trow_ptr_;
+  std::vector<std::uint32_t> tcol_;
+  std::vector<double> tval_;
 };
 
 }  // namespace midas::spn

@@ -200,8 +200,9 @@ struct TcpServer::Impl {
   util::TcpListener listener;
 };
 
-TcpServer::TcpServer(std::uint16_t port) : impl_(new Impl) {
-  impl_->listener = util::TcpListener::bind_loopback(port);
+TcpServer::TcpServer(std::uint16_t port, const std::string& bind_address)
+    : impl_(new Impl) {
+  impl_->listener = util::TcpListener::bind_to(bind_address, port);
 }
 
 TcpServer::~TcpServer() = default;
@@ -219,10 +220,11 @@ std::shared_ptr<Connection> TcpServer::accept(double timeout_s) {
 void TcpServer::close() { impl_->listener.close(); }
 
 std::shared_ptr<Connection> tcp_connect(std::uint16_t port,
-                                        double timeout_s) {
+                                        double timeout_s,
+                                        const std::string& host) {
   return std::make_shared<TcpConnection>(
-      util::TcpStream::connect_loopback(port, timeout_s),
-      "127.0.0.1:" + std::to_string(port));
+      util::TcpStream::connect_to(host, port, timeout_s),
+      host + ":" + std::to_string(port));
 }
 
 // --- In-memory --------------------------------------------------------

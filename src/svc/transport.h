@@ -3,7 +3,8 @@
 // a Listener accepts Connections.  Two implementations share the
 // exact same framing and error surface:
 //
-//   * TCP on 127.0.0.1 (util/socket.h) — the real multi-process fleet;
+//   * TCP (util/socket.h; loopback by default, any IPv4 address via
+//     the fleet tools' --bind/--host) — the real multi-process fleet;
 //   * an in-memory byte-pipe pair — same-process tests, byte-faithful:
 //     because it carries BYTES (not parsed messages), tests can inject
 //     the same truncated/duplicated/interleaved-frame faults the wire
@@ -74,12 +75,16 @@ class Listener {
       double timeout_s) = 0;
 };
 
-// --- TCP (127.0.0.1) --------------------------------------------------
+// --- TCP (loopback by default) ----------------------------------------
 
-/// Listener bound to 127.0.0.1:`port` (0 = ephemeral; port() tells).
+/// Listener bound to `bind_address`:`port` (0 = ephemeral; port()
+/// tells).  The default address keeps the fleet loopback-only; pass
+/// "0.0.0.0" (an IPv4 dotted quad — no name resolution) to accept
+/// remote workers.
 class TcpServer final : public Listener {
  public:
-  explicit TcpServer(std::uint16_t port);
+  explicit TcpServer(std::uint16_t port,
+                     const std::string& bind_address = "127.0.0.1");
   ~TcpServer() override;
   [[nodiscard]] std::uint16_t port() const noexcept;
   [[nodiscard]] std::shared_ptr<Connection> accept(
@@ -91,9 +96,12 @@ class TcpServer final : public Listener {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Connects to a TcpServer on 127.0.0.1.  Throws on refusal/timeout.
+/// Connects to a TcpServer at `host`:`port` (IPv4 dotted quad;
+/// loopback by default).  Throws on a malformed address, refusal or
+/// timeout.
 [[nodiscard]] std::shared_ptr<Connection> tcp_connect(
-    std::uint16_t port, double timeout_s = 5.0);
+    std::uint16_t port, double timeout_s = 5.0,
+    const std::string& host = "127.0.0.1");
 
 // --- In-memory --------------------------------------------------------
 

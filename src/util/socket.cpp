@@ -26,11 +26,16 @@ int poll_timeout_ms(double timeout_s) {
   return ms > 2.0e9 ? 2000000000 : static_cast<int>(ms);
 }
 
-sockaddr_in loopback_addr(std::uint16_t port) {
+/// Numeric IPv4 only: a typo'd address must fail fast with its text,
+/// not hang in a resolver.
+sockaddr_in ipv4_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("'" + host +
+                             "' is not an IPv4 dotted-quad address");
+  }
   return addr;
 }
 
@@ -50,6 +55,12 @@ TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
 }
 
 TcpStream TcpStream::connect_loopback(std::uint16_t port, double timeout_s) {
+  return connect_to("127.0.0.1", port, timeout_s);
+}
+
+TcpStream TcpStream::connect_to(const std::string& host, std::uint16_t port,
+                                double timeout_s) {
+  const sockaddr_in addr = ipv4_addr(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
   TcpStream stream(fd);
@@ -58,7 +69,6 @@ TcpStream TcpStream::connect_loopback(std::uint16_t port, double timeout_s) {
   // is unresponsive.
   const int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  const sockaddr_in addr = loopback_addr(port);
   int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                      sizeof addr);
   if (rc != 0 && errno != EINPROGRESS) fail("connect");
@@ -149,16 +159,21 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
 }
 
 TcpListener TcpListener::bind_loopback(std::uint16_t port) {
+  return bind_to("127.0.0.1", port);
+}
+
+TcpListener TcpListener::bind_to(const std::string& address,
+                                 std::uint16_t port) {
+  sockaddr_in addr = ipv4_addr(address, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
   TcpListener listener;
   listener.fd_ = fd;
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr = loopback_addr(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    fail("bind 127.0.0.1:" + std::to_string(port));
+    fail("bind " + address + ":" + std::to_string(port));
   }
   if (::listen(fd, 64) != 0) fail("listen");
   socklen_t len = sizeof addr;

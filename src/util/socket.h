@@ -1,9 +1,13 @@
-// Minimal loopback TCP wrapper for the fleet runtime (svc/): a
-// listener bound to 127.0.0.1 and a blocking byte stream with poll()
-// timeouts.  Deliberately loopback-only — the coordinator/worker
-// protocol is a local-machine fleet, not an exposed network service —
-// and deliberately tiny: no buffering (util::FrameBuffer owns that),
-// no readiness loop (each Connection has its own reader thread).
+// Minimal IPv4 TCP wrapper for the fleet runtime (svc/): a listener
+// bound to a dotted-quad address and a blocking byte stream with
+// poll() timeouts.  The DEFAULT everywhere is 127.0.0.1 — the
+// coordinator/worker protocol is a local-machine fleet unless the
+// operator explicitly binds elsewhere (fleet tools: --bind / --host) —
+// and the wrapper is deliberately tiny: no buffering
+// (util::FrameBuffer owns that), no readiness loop (each Connection
+// has its own reader thread), no name resolution (numeric addresses
+// only, so a bad address fails fast instead of blocking in a
+// resolver).
 //
 // All calls throw std::runtime_error (with errno text) on OS-level
 // failure; orderly peer close is reported as a 0-byte read, not an
@@ -31,8 +35,13 @@ class TcpStream {
   TcpStream(const TcpStream&) = delete;
   TcpStream& operator=(const TcpStream&) = delete;
 
-  /// Connects to 127.0.0.1:port, waiting at most timeout_s.  Throws on
-  /// refusal/timeout.
+  /// Connects to host:port (IPv4 dotted quad), waiting at most
+  /// timeout_s.  Throws on a malformed address, refusal or timeout.
+  [[nodiscard]] static TcpStream connect_to(const std::string& host,
+                                            std::uint16_t port,
+                                            double timeout_s);
+
+  /// connect_to("127.0.0.1", ...).
   [[nodiscard]] static TcpStream connect_loopback(std::uint16_t port,
                                                   double timeout_s);
 
@@ -59,8 +68,8 @@ class TcpStream {
   int fd_ = -1;
 };
 
-/// Loopback listener.  Port 0 binds an ephemeral port; port() reports
-/// the one actually bound.
+/// IPv4 listener (loopback by default).  Port 0 binds an ephemeral
+/// port; port() reports the one actually bound.
 class TcpListener {
  public:
   TcpListener() = default;
@@ -70,6 +79,12 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
+  /// Binds address:port.  `address` is an IPv4 dotted quad — e.g.
+  /// "0.0.0.0" to accept remote workers; throws on a malformed address.
+  [[nodiscard]] static TcpListener bind_to(const std::string& address,
+                                           std::uint16_t port);
+
+  /// bind_to("127.0.0.1", port).
   [[nodiscard]] static TcpListener bind_loopback(std::uint16_t port);
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }

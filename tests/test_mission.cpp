@@ -1,0 +1,177 @@
+// Phased-mission analytic solver: the constant case must route bitwise
+// through GcsSpnModel, phase-boundary chaining must be exact on a
+// uniform integration grid (two half-phases == one whole phase), and
+// structurally incompatible phases must fail loudly, naming both
+// segments.
+#include "core/mission.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gcs_spn_model.h"
+#include "core/params.h"
+
+namespace {
+
+using namespace midas;
+using core::MissionAnalyzer;
+using core::MissionOptions;
+using core::MissionPhase;
+using core::Params;
+using core::ScheduleSegment;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Small single-group model: a few hundred states, fast to chain.
+Params small_params() {
+  Params p = Params::paper_defaults();
+  p.n_init = 10;
+  p.max_groups = 1;
+  return p;
+}
+
+void expect_bitwise(const core::Evaluation& a, const core::Evaluation& b) {
+  EXPECT_EQ(a.mttsf, b.mttsf);
+  EXPECT_EQ(a.ctotal, b.ctotal);
+  EXPECT_EQ(a.eviction_cost_rate, b.eviction_cost_rate);
+  EXPECT_EQ(a.p_failure_c1, b.p_failure_c1);
+  EXPECT_EQ(a.p_failure_c2, b.p_failure_c2);
+  EXPECT_EQ(a.cost_rates.total(), b.cost_rates.total());
+  EXPECT_EQ(a.num_states, b.num_states);
+}
+
+void expect_close(double a, double b, double rel) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  EXPECT_LE(std::abs(a - b), rel * scale) << a << " vs " << b;
+}
+
+// --- Constant parameterisations ARE the legacy analytic path.
+
+TEST(Mission, ConstantParamsRouteBitwiseThroughSpnModel) {
+  const Params p = small_params();
+  const core::Evaluation direct = core::GcsSpnModel(p).evaluate();
+
+  const MissionAnalyzer plain(p);
+  ASSERT_EQ(plain.timeline().size(), 1u);
+  expect_bitwise(plain.evaluate(), direct);
+
+  Params scheduled = p;
+  scheduled.schedule.segments = {ScheduleSegment{"constant", kInf, {}}};
+  scheduled.mission.phases = {MissionPhase{}};
+  const MissionAnalyzer identity(scheduled);
+  ASSERT_EQ(identity.timeline().size(), 1u);
+  expect_bitwise(identity.evaluate(), direct);
+
+  const std::vector<double> times{0.0, 3600.0, 86400.0};
+  const auto r_direct = core::GcsSpnModel(p).reliability_at(times);
+  const auto r_mission = identity.reliability_at(times);
+  ASSERT_EQ(r_direct.size(), r_mission.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(r_direct[i], r_mission[i]) << "t=" << times[i];
+  }
+}
+
+// --- Phase-boundary chaining: splitting a phase at an exact multiple
+// of the uniform integration step must not change anything (the grid
+// restart reproduces the unsplit step sequence).
+
+TEST(Mission, TwoHalfPhasesMatchOneWholePhase) {
+  Params whole = small_params();
+  const double lc0 = whole.lambda_c;
+  whole.mission.phases = {MissionPhase{}, MissionPhase{}};
+  whole.mission.phases[0].name = "surge";
+  whole.mission.phases[0].duration_s = 7200.0;
+  whole.mission.phases[0].lambda_c = 3.0 * lc0;
+  whole.mission.phases[1].name = "recovery";
+
+  Params halved = small_params();
+  halved.mission.phases = {MissionPhase{}, MissionPhase{}, MissionPhase{}};
+  halved.mission.phases[0].name = "surge-a";
+  halved.mission.phases[0].duration_s = 3600.0;
+  halved.mission.phases[0].lambda_c = 3.0 * lc0;
+  halved.mission.phases[1].name = "surge-b";
+  halved.mission.phases[1].duration_s = 3600.0;
+  halved.mission.phases[1].lambda_c = 3.0 * lc0;
+  halved.mission.phases[2].name = "recovery";
+
+  MissionOptions opts;
+  opts.ode.uniform_step_s = 60.0;  // 3600 is an exact multiple
+  const MissionAnalyzer a(whole, opts);
+  const MissionAnalyzer b(halved, opts);
+  ASSERT_EQ(a.timeline().size(), 2u);
+  ASSERT_EQ(b.timeline().size(), 3u);
+
+  const auto ea = a.evaluate();
+  const auto eb = b.evaluate();
+  expect_close(ea.mttsf, eb.mttsf, 1e-12);
+  expect_close(ea.ctotal, eb.ctotal, 1e-12);
+  expect_close(ea.eviction_cost_rate, eb.eviction_cost_rate, 1e-12);
+  expect_close(ea.p_failure_c1, eb.p_failure_c1, 1e-12);
+  expect_close(ea.p_failure_c2, eb.p_failure_c2, 1e-12);
+
+  const std::vector<double> times{0.0, 1800.0, 3600.0, 7200.0, 14400.0};
+  const auto ra = a.reliability_at(times);
+  const auto rb = b.reliability_at(times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    expect_close(ra[i], rb[i], 1e-12);
+  }
+}
+
+// --- A phased mission actually moves the answer (the chain is not a
+// no-op), and in the direction the rates say it must.
+
+TEST(Mission, AttackerSurgeShortensMttsfAndReliability) {
+  Params surged = small_params();
+  surged.schedule.segments = {ScheduleSegment{"calm", 3600.0, {}},
+                              ScheduleSegment{"surge", kInf, {}}};
+  surged.schedule.segments[1].mult.lambda_c = 5.0;
+
+  const auto constant = core::GcsSpnModel(small_params()).evaluate();
+  const MissionAnalyzer analyzer(surged);
+  ASSERT_EQ(analyzer.timeline().size(), 2u);
+  const auto phased = analyzer.evaluate();
+  EXPECT_LT(phased.mttsf, constant.mttsf);
+  EXPECT_GT(phased.mttsf, 0.0);
+
+  const std::vector<double> times{86400.0};
+  const auto r_constant =
+      core::GcsSpnModel(small_params()).reliability_at(times);
+  const auto r_phased = analyzer.reliability_at(times);
+  EXPECT_LT(r_phased[0], r_constant[0]);
+  EXPECT_GT(r_phased[0], 0.0);
+}
+
+// --- Structurally incompatible phases: mass parked at a marking the
+// next phase cannot reach must raise an error naming both segments.
+
+TEST(Mission, RemapErrorNamesBothSegmentLabels) {
+  Params p = Params::paper_defaults();
+  p.n_init = 10;
+  p.max_groups = 2;
+  p.partition_rates = {0.0, 1e-3, 0.0};
+  p.merge_rates = {0.0, 0.0, 1e-3};
+  // Segment 1 partitions freely; segment 2 multiplies the partition
+  // rates to zero, which REMOVES the T_PAR edges from its chain — the
+  // NG=2 markings populated during segment 1 become unrepresentable.
+  p.schedule.segments = {ScheduleSegment{"mobile", 36000.0, {}},
+                         ScheduleSegment{"frozen", kInf, {}}};
+  p.schedule.segments[1].mult.partition = 0.0;
+
+  const MissionAnalyzer analyzer(p);
+  ASSERT_EQ(analyzer.timeline().size(), 2u);
+  try {
+    (void)analyzer.evaluate();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'mobile'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'frozen'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("des backend"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace

@@ -132,6 +132,111 @@ TEST(ReliabilityOde, InputValidation) {
   EXPECT_THROW((void)ode.survival_at(ok, opts), std::invalid_argument);
 }
 
+// --- propagate(): the adjoint forward integrator that phased missions
+// chain across segment boundaries (core::MissionAnalyzer).
+
+TEST(ReliabilityOde, PropagateSurvivalMatchesBackwardIntegrator) {
+  // Same θ-grid, transposed operator: the forward weight sum Σw(t) and
+  // the backward u_init(t) solve the same linear recurrence and must
+  // agree to Gauss–Seidel tolerance.
+  PetriNet net;
+  const auto a = net.add_place("A", 6);
+  net.transition("die")
+      .input(a)
+      .rate([a](const Marking& m) { return 0.4 * m[a]; })
+      .add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  const std::vector<double> times{0.5, 1.5, 3.0, 6.0};
+  const auto backward = ode.survival_at(times);
+  const auto fwd = ode.propagate({}, times.back(), {}, times);
+  ASSERT_EQ(fwd.survival_at.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(fwd.survival_at[i], backward[i], 1e-9)
+        << "t=" << times[i];
+  }
+  // The boundary weights are the surviving distribution: their sum is
+  // the survival at the horizon.
+  double mass = 0.0;
+  for (const double w : fwd.weights) mass += w;
+  EXPECT_NEAR(mass, backward.back(), 1e-9);
+}
+
+TEST(ReliabilityOde, PropagateAgreesWithUniformisationShortHorizon) {
+  // Cross-check against the completely independent uniformisation
+  // solver on a short, non-stiff horizon (where both are sharp).
+  PetriNet net;
+  const auto p = net.add_place("Stages", 3);
+  net.transition("stage").input(p).rate(1.5).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+  const TransientAnalyzer uni(g);
+
+  const std::vector<double> times{0.25, 0.75, 1.5, 3.0};
+  const auto fwd = ode.propagate({}, times.back(), {}, times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(fwd.survival_at[i],
+                1.0 - uni.absorbed_probability_at(times[i]), 1e-4)
+        << "t=" << times[i];
+  }
+}
+
+TEST(ReliabilityOde, UniformStepChainingReproducesUnsplitRun) {
+  // The phased-mission contract: splitting a horizon at an exact
+  // multiple of the uniform step and re-seeding from the boundary
+  // weights reproduces the unsplit integration essentially exactly.
+  PetriNet net;
+  const auto a = net.add_place("A", 5);
+  net.transition("die")
+      .input(a)
+      .rate([a](const Marking& m) { return 0.3 * m[a]; })
+      .add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  ReliabilityOdeOptions opts;
+  opts.uniform_step_s = 0.1;
+  const auto whole = ode.propagate({}, 4.0, {}, {}, opts);
+  const auto first = ode.propagate({}, 2.0, {}, {}, opts);
+  const auto second = ode.propagate(first.weights, 2.0, {}, {}, opts);
+
+  ASSERT_EQ(whole.weights.size(), second.weights.size());
+  for (std::size_t s = 0; s < whole.weights.size(); ++s) {
+    EXPECT_NEAR(whole.weights[s], second.weights[s],
+                1e-12 * std::max(1.0, std::abs(whole.weights[s])))
+        << "state " << s;
+  }
+  EXPECT_NEAR(whole.survival_integral,
+              first.survival_integral + second.survival_integral,
+              1e-12 * whole.survival_integral);
+}
+
+TEST(ReliabilityOde, PropagateAccumulatesFunctionalIntegrals) {
+  // One state, rate λ: with f ≡ c on the transient state,
+  // ∫ f·w dt over [0, T] = c·(1 − e^{-λT})/λ.
+  const double lambda = 0.8, c = 3.0, horizon = 2.0;
+  PetriNet net;
+  const auto p = net.add_place("P", 1);
+  net.transition("fail").input(p).rate(lambda).add();
+  const auto g = explore(net);
+  const ReliabilityOde ode(g);
+
+  std::vector<std::vector<double>> f(1);
+  f[0].assign(g.num_states(), 0.0);
+  const auto absorbing = g.absorbing_mask();
+  for (std::size_t s = 0; s < g.num_states(); ++s) {
+    if (!absorbing[s]) f[0][s] = c;
+  }
+  const auto res = ode.propagate({}, horizon, f, {});
+  ASSERT_EQ(res.functional_integrals.size(), 1u);
+  const double expected =
+      c * (1.0 - std::exp(-lambda * horizon)) / lambda;
+  EXPECT_NEAR(res.functional_integrals[0], expected, 1e-3 * expected);
+  EXPECT_NEAR(res.survival_integral, expected / c,
+              1e-3 * expected / c);
+}
+
 TEST(ReliabilityOde, EmptyTimesAndZeroHorizon) {
   PetriNet net;
   const auto p = net.add_place("P", 1);

@@ -7,6 +7,7 @@
 // introduce, not merely on run-to-run nondeterminism.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -52,6 +53,34 @@ TEST(ScenarioParity, ValProtocolSmokeMatchesPreRefactorGoldenBitwise) {
             strip_newlines(midas::testing::kGoldenValProtocolSmokeBackends));
 }
 
+// --- Constant-schedule parity (PR 9): a single identity segment or an
+// all-inherit mission phase resolves to the base point bitwise, so the
+// backend payloads must still equal the pre-refactor goldens.
+
+std::string canonical_backends_of(const ExperimentSpec& spec) {
+  core::ExperimentService service;
+  return strip_newlines(
+      service.run(spec).canonical_json().at("backends").dump());
+}
+
+TEST(ScenarioParity, IdentityScheduleMatchesPreRefactorGoldenBitwise) {
+  ExperimentSpec spec = core::experiment_preset("fig2_val", /*smoke=*/true);
+  core::ScheduleSegment seg;  // identity multipliers, runs forever
+  seg.name = "constant";
+  spec.base.schedule.segments = {seg};
+  EXPECT_EQ(canonical_backends_of(spec),
+            strip_newlines(midas::testing::kGoldenFig2ValSmokeBackends));
+}
+
+TEST(ScenarioParity, AllInheritMissionMatchesPreRefactorGoldenBitwise) {
+  ExperimentSpec spec = core::experiment_preset("fig2_val", /*smoke=*/true);
+  core::MissionPhase phase;  // every override NaN/empty = inherit
+  phase.name = "whole-mission";
+  spec.base.mission.phases = {phase};
+  EXPECT_EQ(canonical_backends_of(spec),
+            strip_newlines(midas::testing::kGoldenFig2ValSmokeBackends));
+}
+
 // --- Spec round-trip: every model descriptor survives the wire
 // byte-stably (17-significant-digit doubles, canonical kind names).
 
@@ -88,6 +117,57 @@ TEST(ScenarioParity, SpecRoundTripsByteStablyForEveryModelDescriptor) {
   }
 }
 
+TEST(ScenarioParity, ScheduleAndMissionRoundTripByteStably) {
+  ExperimentSpec spec = core::experiment_preset("fig2_val", /*smoke=*/true);
+  spec.backends = {BackendKind::Des};
+  // Non-trivial values including the awkward encodings: an infinite
+  // final duration and NaN (= inherit) numeric overrides.
+  core::ScheduleSegment surge;
+  surge.name = "surge";
+  surge.duration_s = 3600.5;
+  surge.mult.lambda_c = 4.25;
+  surge.mult.t_ids = 1.0 / 3.0;
+  core::ScheduleSegment tail;
+  tail.name = "stand-down";
+  spec.base.schedule.segments = {surge, tail};
+  core::MissionPhase phase;
+  phase.name = "assault";
+  phase.duration_s = 1234.75;
+  phase.lambda_c = 1.0 / 7200.0;
+  phase.detection_shape = "polynomial";
+  core::MissionPhase rest;
+  rest.name = "recovery";
+  spec.base.mission.phases = {phase, rest};
+
+  const std::string first = spec.to_json().dump();
+  const auto reparsed = ExperimentSpec::from_json(util::Json::parse(first));
+  ASSERT_EQ(reparsed.base.schedule.segments.size(), 2u);
+  EXPECT_EQ(reparsed.base.schedule.segments[0].name, "surge");
+  EXPECT_EQ(reparsed.base.schedule.segments[0].mult.lambda_c, 4.25);
+  EXPECT_TRUE(std::isinf(reparsed.base.schedule.segments[1].duration_s));
+  ASSERT_EQ(reparsed.base.mission.phases.size(), 2u);
+  EXPECT_TRUE(std::isnan(reparsed.base.mission.phases[0].t_ids));
+  EXPECT_EQ(reparsed.base.mission.phases[0].lambda_c, 1.0 / 7200.0);
+  EXPECT_EQ(reparsed.base.mission.phases[0].detection_shape, "polynomial");
+  EXPECT_EQ(reparsed.to_json().dump(), first);
+}
+
+TEST(ScenarioParity, PreScheduleSpecJsonStillParses) {
+  // Spec files written before the schedule/mission fields existed carry
+  // neither key; the codec must default both to empty (= constant).
+  ExperimentSpec spec = core::experiment_preset("fig2_val", /*smoke=*/true);
+  util::Json j = spec.to_json();
+  util::Json base = util::Json::object();
+  for (const auto& [key, value] : j.at("base").members()) {
+    if (key != "schedule" && key != "mission") base.set(key, value);
+  }
+  j.set("base", base);
+  const auto reparsed = ExperimentSpec::from_json(j);
+  EXPECT_TRUE(reparsed.base.schedule.empty());
+  EXPECT_TRUE(reparsed.base.mission.empty());
+  EXPECT_FALSE(reparsed.base.time_varying());
+}
+
 // --- Analytic-compatibility routing: the validator rejects by NAME
 // and says where to go instead.
 
@@ -103,6 +183,42 @@ TEST(ScenarioParity, ValidatorRejectsTimeDependentDetectorForAnalytic) {
     EXPECT_NE(msg.find("cusum"), std::string::npos) << msg;
     EXPECT_NE(msg.find("time-dependent"), std::string::npos) << msg;
     EXPECT_NE(msg.find("protocol_sim"), std::string::npos) << msg;
+    // PR 9 routing advice: piecewise-constant time dependence has a
+    // first-class expression the analytic backend CAN chain.
+    EXPECT_NE(msg.find("spec.base.schedule"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioParity, ValidatorNamesBadScheduleSegmentByPath) {
+  ExperimentSpec spec = core::experiment_preset("fig2_val", /*smoke=*/true);
+  core::ScheduleSegment seg;
+  seg.duration_s = -1.0;
+  spec.base.schedule.segments = {seg};
+  try {
+    spec.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("spec.base.schedule.segments[0]"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("duration_s"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioParity, ValidatorNamesBadMissionPhaseByPath) {
+  ExperimentSpec spec = core::experiment_preset("fig2_val", /*smoke=*/true);
+  core::MissionPhase phase;
+  phase.lambda_c = -2.0;
+  spec.base.mission.phases = {phase};
+  try {
+    spec.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("spec.base.mission.phases[0].lambda_c"),
+              std::string::npos)
+        << msg;
   }
 }
 

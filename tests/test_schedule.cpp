@@ -1,0 +1,260 @@
+// RateSchedule / MissionProfile containers and the timeline resolver:
+// validation with path-named errors, breakpoint arithmetic, and the
+// central PR 9 contract — a constant (empty or identity) schedule
+// resolves to exactly one segment that is bitwise the base point, so
+// every backend keeps its legacy numeric path.
+#include "core/schedule.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+#include "sim/des.h"
+
+namespace {
+
+using namespace midas;
+using core::MissionPhase;
+using core::MissionProfile;
+using core::Params;
+using core::RateSchedule;
+using core::ScheduleSegment;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string validation_error(const RateSchedule& s, const char* prefix) {
+  try {
+    s.validate(prefix);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+std::string validation_error(const MissionProfile& m, const char* prefix) {
+  try {
+    m.validate(prefix);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+// --- Validation: errors name the offending entry by spec path.
+
+TEST(Schedule, ValidateNamesNonPositiveDurationByPath) {
+  RateSchedule s;
+  s.segments = {ScheduleSegment{"bad", -5.0, {}}};
+  const std::string msg = validation_error(s, "spec.base.schedule");
+  EXPECT_NE(msg.find("spec.base.schedule.segments[0]"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("duration_s must be positive"), std::string::npos)
+      << msg;
+}
+
+TEST(Schedule, ValidateRejectsInteriorInfiniteDuration) {
+  RateSchedule s;
+  s.segments = {ScheduleSegment{"forever", kInf, {}},
+                ScheduleSegment{"never", kInf, {}}};
+  const std::string msg = validation_error(s, "schedule");
+  EXPECT_NE(msg.find("schedule.segments[0]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unreachable"), std::string::npos) << msg;
+}
+
+TEST(Schedule, ValidateRejectsBadMultipliers) {
+  RateSchedule s;
+  s.segments = {ScheduleSegment{"zero-ids", kInf, {}}};
+  s.segments[0].mult.t_ids = 0.0;  // would divide detection by zero
+  std::string msg = validation_error(s, "schedule");
+  EXPECT_NE(msg.find("schedule.segments[0].t_ids"), std::string::npos)
+      << msg;
+
+  s.segments[0].mult.t_ids = 1.0;
+  s.segments[0].mult.lambda_c = -0.5;
+  msg = validation_error(s, "schedule");
+  EXPECT_NE(msg.find("schedule.segments[0].lambda_c"), std::string::npos)
+      << msg;
+
+  // Zero is a legal rate multiplier (it disables the process).
+  s.segments[0].mult.lambda_c = 0.0;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Schedule, MissionValidateNamesBadOverrideAndShape) {
+  MissionProfile m;
+  m.phases = {MissionPhase{}};
+  m.phases[0].name = "assault";
+  m.phases[0].p1 = 1.5;
+  std::string msg = validation_error(m, "spec.base.mission");
+  EXPECT_NE(msg.find("spec.base.mission.phases[0].p1"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+
+  m.phases[0].p1 = std::numeric_limits<double>::quiet_NaN();  // inherit
+  m.phases[0].detection_shape = "parabolic";
+  msg = validation_error(m, "mission");
+  EXPECT_NE(msg.find("mission.phases[0].detection_shape"),
+            std::string::npos)
+      << msg;
+
+  m.phases[0].detection_shape = "polynomial";
+  EXPECT_NO_THROW(m.validate());
+}
+
+// --- Breakpoints and the active-entry lookup.
+
+TEST(Schedule, BreakpointsAreCumulativeStartsAndBoundaryOpensNext) {
+  RateSchedule s;
+  s.segments = {ScheduleSegment{"a", 10.0, {}},
+                ScheduleSegment{"b", 20.0, {}},
+                ScheduleSegment{"c", kInf, {}}};
+  const auto bp = s.breakpoints();
+  ASSERT_EQ(bp.size(), 2u);
+  EXPECT_DOUBLE_EQ(bp[0], 10.0);
+  EXPECT_DOUBLE_EQ(bp[1], 30.0);
+  EXPECT_EQ(s.at(0.0).name, "a");
+  EXPECT_EQ(s.at(9.999).name, "a");
+  EXPECT_EQ(s.at(10.0).name, "b");  // boundary belongs to the new segment
+  EXPECT_EQ(s.at(30.0).name, "c");
+  EXPECT_EQ(s.at(1e12).name, "c");
+
+  RateSchedule constant;
+  constant.segments = {ScheduleSegment{"only", kInf, {}}};
+  EXPECT_TRUE(constant.breakpoints().empty());
+}
+
+// --- resolve_timeline: the constant cases are bitwise the base point.
+
+TEST(Schedule, EmptyScheduleResolvesToOneBitwiseSegment) {
+  const Params base = Params::paper_defaults();
+  ASSERT_FALSE(base.time_varying());
+  const auto timeline = core::resolve_timeline(base);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_DOUBLE_EQ(timeline[0].start_s, 0.0);
+  const Params& seg = timeline[0].params;
+  EXPECT_FALSE(seg.time_varying());
+  EXPECT_EQ(seg.lambda_c, base.lambda_c);
+  EXPECT_EQ(seg.t_ids, base.t_ids);
+  EXPECT_EQ(seg.lambda_q, base.lambda_q);
+  EXPECT_EQ(seg.partition_rates, base.partition_rates);
+  EXPECT_EQ(seg.merge_rates, base.merge_rates);
+}
+
+TEST(Schedule, IdentityScheduleResolvesToOneBitwiseSegment) {
+  Params base = Params::paper_defaults();
+  base.schedule.segments = {ScheduleSegment{"constant", kInf, {}}};
+  base.mission.phases = {MissionPhase{}};  // all-inherit phase
+  base.mission.phases[0].name = "whole-mission";
+  ASSERT_TRUE(base.time_varying());
+  const auto timeline = core::resolve_timeline(base);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].label, "whole-mission/constant");
+  const Params& seg = timeline[0].params;
+  // ×1.0 is IEEE-exact and NaN overrides inherit: bitwise the base.
+  EXPECT_FALSE(seg.time_varying());
+  EXPECT_EQ(seg.lambda_c, base.lambda_c);
+  EXPECT_EQ(seg.t_ids, base.t_ids);
+  EXPECT_EQ(seg.lambda_q, base.lambda_q);
+  EXPECT_EQ(seg.partition_rates, base.partition_rates);
+  EXPECT_EQ(seg.merge_rates, base.merge_rates);
+  EXPECT_EQ(seg.p1, base.p1);
+  EXPECT_EQ(seg.p2, base.p2);
+}
+
+TEST(Schedule, TimelineUnionsMissionAndScheduleBreakpoints) {
+  Params base = Params::paper_defaults();
+  const double lc0 = base.lambda_c;
+  base.mission.phases = {MissionPhase{}, MissionPhase{}};
+  base.mission.phases[0].name = "quiet";
+  base.mission.phases[0].duration_s = 100.0;
+  base.mission.phases[1].name = "loud";
+  base.mission.phases[1].lambda_c = 2.0 * lc0;
+  base.schedule.segments = {ScheduleSegment{"s0", 50.0, {}},
+                            ScheduleSegment{"s1", 100.0, {}},
+                            ScheduleSegment{"s2", kInf, {}}};
+  base.schedule.segments[1].mult.lambda_c = 3.0;
+
+  const auto timeline = core::resolve_timeline(base);
+  ASSERT_EQ(timeline.size(), 4u);  // boundaries 0, 50, 100, 150
+  EXPECT_DOUBLE_EQ(timeline[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[1].start_s, 50.0);
+  EXPECT_DOUBLE_EQ(timeline[2].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(timeline[3].start_s, 150.0);
+  EXPECT_EQ(timeline[0].label, "quiet/s0");
+  EXPECT_EQ(timeline[1].label, "quiet/s1");
+  EXPECT_EQ(timeline[2].label, "loud/s1");
+  EXPECT_EQ(timeline[3].label, "loud/s2");
+  // Phase override applies first, then the segment multiplier.
+  EXPECT_EQ(timeline[0].params.lambda_c, lc0);
+  EXPECT_EQ(timeline[1].params.lambda_c, 3.0 * lc0);
+  EXPECT_EQ(timeline[2].params.lambda_c, 3.0 * (2.0 * lc0));
+  EXPECT_EQ(timeline[3].params.lambda_c, 2.0 * lc0);
+}
+
+TEST(Schedule, ParamsValidateRoutesThroughScheduleAndMission) {
+  Params base = Params::paper_defaults();
+  base.schedule.segments = {ScheduleSegment{"bad", 0.0, {}}};
+  try {
+    base.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("Params: schedule.segments[0]"), std::string::npos)
+        << msg;
+  }
+
+  // A well-formed phased composition passes, including the per-segment
+  // re-validation of every resolved constant piece.
+  base.schedule.segments = {ScheduleSegment{"calm", 600.0, {}},
+                            ScheduleSegment{"surge", kInf, {}}};
+  base.schedule.segments[1].mult.lambda_c = 4.0;
+  base.mission.phases = {MissionPhase{}, MissionPhase{}};
+  base.mission.phases[0].duration_s = 7200.0;
+  base.mission.phases[1].t_ids = 60.0;
+  EXPECT_NO_THROW(base.validate());
+}
+
+// --- DES: constant schedule keeps the legacy draw sequence bitwise;
+// multi-segment runs stay deterministic per seed.
+
+TEST(Schedule, DesConstantScheduleIsBitwiseNoSchedule) {
+  Params p = Params::paper_defaults();
+  p.n_init = 20;
+  p.max_groups = 2;
+  p.lambda_c = 1.0 / 1000.0;  // fast attacker → short trajectories
+  const auto plain = sim::simulate_group(p, /*seed=*/1234);
+
+  Params scheduled = p;
+  scheduled.schedule.segments = {ScheduleSegment{"constant", kInf, {}}};
+  const auto constant = sim::simulate_group(scheduled, /*seed=*/1234);
+  EXPECT_EQ(plain.ttsf, constant.ttsf);
+  EXPECT_EQ(plain.accumulated_cost, constant.accumulated_cost);
+  EXPECT_EQ(plain.compromises, constant.compromises);
+  EXPECT_EQ(plain.true_evictions, constant.true_evictions);
+  EXPECT_EQ(plain.false_evictions, constant.false_evictions);
+  EXPECT_EQ(plain.failed_by_c1, constant.failed_by_c1);
+}
+
+TEST(Schedule, DesMultiSegmentRunIsDeterministicPerSeed) {
+  Params p = Params::paper_defaults();
+  p.n_init = 20;
+  p.max_groups = 2;
+  p.lambda_c = 1.0 / 1000.0;
+  p.schedule.segments = {ScheduleSegment{"calm", 600.0, {}},
+                         ScheduleSegment{"surge", 3600.0, {}},
+                         ScheduleSegment{"stand-down", kInf, {}}};
+  p.schedule.segments[1].mult.lambda_c = 8.0;
+
+  const auto a = sim::simulate_group(p, /*seed=*/7);
+  const auto b = sim::simulate_group(p, /*seed=*/7);
+  EXPECT_EQ(a.ttsf, b.ttsf);
+  EXPECT_EQ(a.accumulated_cost, b.accumulated_cost);
+  EXPECT_EQ(a.compromises, b.compromises);
+  const auto c = sim::simulate_group(p, /*seed=*/8);
+  EXPECT_NE(a.ttsf, c.ttsf);
+}
+
+}  // namespace

@@ -1,11 +1,13 @@
-// Standalone fleet coordinator: binds 127.0.0.1:--port and serves the
-// midas-fleet-v1 protocol (svc/coordinator.h) until SIGTERM/SIGINT,
-// then drains — workers get "shutdown", open requests get an error —
-// and exits 0.
+// Standalone fleet coordinator: binds --bind:--port (loopback by
+// default) and serves the midas-fleet-v1 protocol (svc/coordinator.h)
+// until SIGTERM/SIGINT, then drains — workers get "shutdown", open
+// requests get an error — and exits 0.
 //
 //   fleet_coordinator --port 4700
 //   fleet_worker --port 4700 --name w0 &   # any number of workers
 //   # clients send {"type":"request","id":...,"spec":...} frames
+//   fleet_coordinator --port 4700 --bind 0.0.0.0   # accept remote
+//   fleet_worker --port 4700 --host 10.0.0.7       # workers
 #include <csignal>
 #include <cstdio>
 #include <exception>
@@ -27,8 +29,11 @@ int main(int argc, char** argv) {
   util::Cli cli("fleet_coordinator",
                 "Fault-tolerant experiment fleet coordinator (loopback "
                 "TCP, newline-delimited JSON frames).");
-  cli.flag("port", 0, "loopback TCP port to bind (0 = ephemeral)")
+  cli.flag("port", 0, "TCP port to bind (0 = ephemeral)")
       .required("port")
+      .flag("bind", std::string("127.0.0.1"),
+            "IPv4 address to bind (default loopback; 0.0.0.0 accepts "
+            "remote workers)")
       .flag("shards-per-worker", 2, "target leases per registered worker")
       .flag("max-shards", 64, "cap on shards per request")
       .flag("heartbeat-timeout", 10.0,
@@ -57,8 +62,10 @@ int main(int argc, char** argv) {
     options.lease.max_attempts =
         static_cast<std::size_t>(cli.get_int("max-attempts"));
 
-    svc::TcpServer server(static_cast<std::uint16_t>(cli.get_int("port")));
-    std::printf("fleet_coordinator: listening on 127.0.0.1:%u\n",
+    const std::string bind = cli.get_string("bind");
+    svc::TcpServer server(static_cast<std::uint16_t>(cli.get_int("port")),
+                          bind);
+    std::printf("fleet_coordinator: listening on %s:%u\n", bind.c_str(),
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
 

@@ -2,7 +2,8 @@
 // coordinator/worker runtime.  One process hosts the coordinator; real
 // fleet_worker processes are fork/exec'd (some armed with FaultPlans
 // that kill them mid-run); client threads submit preset experiment
-// requests over loopback TCP; and every merged response is
+// requests over TCP (loopback unless --bind/--host say otherwise); and
+// every merged response is
 // byte-compared (ExperimentResult::canonical_json) against a crash-free
 // single-process ExperimentService::run of the same spec.  If recovery
 // is anything less than bitwise, this exits nonzero.
@@ -71,8 +72,9 @@ std::string self_dir() {
   return slash == std::string::npos ? "." : path.substr(0, slash);
 }
 
-pid_t spawn_worker(const std::string& binary, std::uint16_t port,
-                   const std::string& name, const std::string& fault) {
+pid_t spawn_worker(const std::string& binary, const std::string& host,
+                   std::uint16_t port, const std::string& name,
+                   const std::string& fault) {
   const pid_t pid = ::fork();
   if (pid < 0) throw std::runtime_error("fleet_soak: fork failed");
   if (pid == 0) {
@@ -83,8 +85,8 @@ pid_t spawn_worker(const std::string& binary, std::uint16_t port,
     }
     const std::string port_s = std::to_string(port);
     ::execl(binary.c_str(), binary.c_str(), "--port", port_s.c_str(),
-            "--name", name.c_str(), "--heartbeat", "0.5",
-            (char*)nullptr);
+            "--host", host.c_str(), "--name", name.c_str(),
+            "--heartbeat", "0.5", (char*)nullptr);
     std::perror("fleet_soak: execl fleet_worker");
     std::_Exit(127);
   }
@@ -99,11 +101,12 @@ struct ClientOutcome {
   std::size_t gaps = 0;
 };
 
-ClientOutcome run_client(std::uint16_t port, const std::string& id,
+ClientOutcome run_client(const std::string& host, std::uint16_t port,
+                         const std::string& id,
                          const util::Json& spec_json, double deadline_s) {
   ClientOutcome out;
   try {
-    auto connection = svc::tcp_connect(port, 10.0);
+    auto connection = svc::tcp_connect(port, 10.0, host);
     util::Json request = util::Json::object();
     request.set("type", util::Json("request"));
     request.set("id", util::Json(id));
@@ -155,6 +158,10 @@ int main(int argc, char** argv) {
       .flag("shards-per-worker", 2, "coordinator lease granularity")
       .flag("heartbeat-timeout", 3.0, "worker liveness timeout (s)")
       .flag("lease-deadline", 60.0, "base per-lease deadline (s)")
+      .flag("bind", std::string("127.0.0.1"),
+            "IPv4 address the coordinator binds (default loopback)")
+      .flag("host", std::string("127.0.0.1"),
+            "IPv4 address workers and clients dial (default loopback)")
       .flag("backoff-base", 0.2, "re-dispatch backoff base (s)")
       .flag("timeout", 600.0, "overall harness deadline (s)")
       .flag("out", std::string(), "JSON artifact path (optional)");
@@ -197,7 +204,9 @@ int main(int argc, char** argv) {
     options.lease.heartbeat_timeout_s = cli.get_double("heartbeat-timeout");
     options.lease.lease_deadline_s = cli.get_double("lease-deadline");
     options.lease.backoff_base_s = cli.get_double("backoff-base");
-    svc::TcpServer server(0);
+    const std::string bind = cli.get_string("bind");
+    const std::string host = cli.get_string("host");
+    svc::TcpServer server(0, bind);
     const std::uint16_t port = server.port();
     svc::Coordinator coordinator(options);
     std::thread serve_thread(
@@ -210,7 +219,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(i) < fault_plans.size()
               ? fault_plans[static_cast<std::size_t>(i)]
               : std::string();
-      pids.push_back(spawn_worker(worker_binary, port,
+      pids.push_back(spawn_worker(worker_binary, host, port,
                                   "w" + std::to_string(i), fault));
     }
 
@@ -231,7 +240,7 @@ int main(int argc, char** argv) {
     for (int i = 0; i < num_clients; ++i) {
       clients.emplace_back([&, i] {
         outcomes[static_cast<std::size_t>(i)] =
-            run_client(port, "c" + std::to_string(i), spec_json,
+            run_client(host, port, "c" + std::to_string(i), spec_json,
                        timeout_s);
       });
     }

@@ -1,5 +1,6 @@
-// Fleet worker process: connects to a coordinator on 127.0.0.1:--port,
-// computes shard leases with its own core::ExperimentService, and
+// Fleet worker process: connects to a coordinator at --host:--port
+// (loopback by default), computes shard leases with its own
+// core::ExperimentService, and
 // heartbeats while doing so.  Reconnects with capped, jittered backoff
 // when the connection drops; exits 0 on a coordinator-initiated
 // shutdown, 1 when the coordinator stays unreachable.
@@ -27,8 +28,10 @@ int main(int argc, char** argv) {
   using namespace midas;
   util::Cli cli("fleet_worker",
                 "Experiment fleet worker (connects to fleet_coordinator).");
-  cli.flag("port", 0, "coordinator port on 127.0.0.1")
+  cli.flag("port", 0, "coordinator TCP port")
       .required("port")
+      .flag("host", std::string("127.0.0.1"),
+            "coordinator IPv4 address (default loopback)")
       .flag("name", std::string("worker"), "worker name (hello frame)")
       .flag("heartbeat", 1.0, "heartbeat interval in seconds")
       .flag("threads", 0, "compute threads (0 = hardware)")
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
                    options.faults.to_string().c_str());
     }
     const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+    const std::string host = cli.get_string("host");
     const int max_reconnects = cli.get_int("max-reconnects");
 
     svc::Worker worker(options);
@@ -71,7 +75,7 @@ int main(int argc, char** argv) {
     while (true) {
       std::shared_ptr<svc::Connection> connection;
       try {
-        connection = svc::tcp_connect(port, 5.0);
+        connection = svc::tcp_connect(port, 5.0, host);
         failed_connects = 0;
       } catch (const std::exception& e) {
         ++failed_connects;

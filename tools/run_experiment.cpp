@@ -16,7 +16,12 @@
 //                          MonteCarloEngine::run_protocol) and fail
 //                          unless analytic values agree to --tolerance
 //                          (in practice exactly) and Monte-Carlo
-//                          accumulator states are bitwise identical.
+//                          accumulator states are bitwise identical;
+//                          constant specs additionally rerun with an
+//                          identity one-segment schedule attached and
+//                          gate the canonical backend payloads
+//                          byte-for-byte (a constant schedule must BE
+//                          the constant model).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -101,6 +106,9 @@ void print_points(const core::ExperimentSpec& spec,
 /// no legacy twin to compare against.
 bool legacy_expressible(const core::ExperimentSpec& spec,
                         const core::GridSpec& grid, core::ShardRange range) {
+  // Time-varying params have no legacy twin either: the pre-PR-9 entry
+  // points hand every point to a single time-homogeneous GcsSpnModel.
+  if (spec.base.time_varying()) return false;
   for (std::size_t i = range.begin; i < range.end; ++i) {
     const core::Params p = grid.point(spec.base, i);
     if (!p.detector.analytic_compatible() ||
@@ -189,6 +197,27 @@ bool parity_check(const core::ExperimentSpec& spec,
                 "-> %s\n",
                 same ? "bytes equal" : "BYTES DIFFER", same ? "ok" : "FAIL");
     ok = ok && same;
+  }
+  if (!spec.base.time_varying()) {
+    // Constant-schedule parity: an identity one-segment schedule is the
+    // SAME model (×1.0 is IEEE-exact, one timeline segment resolves),
+    // so attaching it must leave every backend payload byte-identical.
+    core::ExperimentSpec scheduled = spec;
+    core::ScheduleSegment seg;  // identity multipliers, runs forever
+    seg.name = "constant";
+    scheduled.base.schedule.segments = {seg};
+    core::ExperimentService fresh;
+    const auto rerun = fresh.run(scheduled);
+    const bool same =
+        rerun.canonical_json().at("backends").dump() ==
+        result.canonical_json().at("backends").dump();
+    std::printf("parity constant schedule (identity rerun): backends %s "
+                "-> %s\n",
+                same ? "bytes equal" : "BYTES DIFFER", same ? "ok" : "FAIL");
+    ok = ok && same;
+  } else {
+    std::printf("parity constant schedule:                  skipped — the "
+                "spec is already time-varying\n");
   }
   if (const auto* run = result.find(core::BackendKind::ProtocolSim)) {
     std::vector<sim::ProtocolSimParams> points;
