@@ -37,9 +37,12 @@ cmake --build build -j"${JOBS}"
 # themselves (the pre-plugin engine cannot express these models); the
 # plugin-path check still gates that a re-parsed spec reruns to
 # CANONICALLY IDENTICAL bytes, and --round-trip-check that the model
-# descriptors serialise canonically.
+# descriptors serialise canonically.  rare_event additionally exercises
+# the spec.mc.vr round-trip and the vr-neutral parity gate (stripping
+# the vr block must leave the DES mc payload bitwise), val_protocol_ci
+# the CI-targeted pair-averaged stopping on the protocol backend.
 for preset in detector_matrix attacker_matrix_v2 mission_phased \
-              attacker_surge; do
+              attacker_surge rare_event val_protocol_ci; do
   (
     cd build
     ./run_experiment --preset "${preset}" --smoke 1 \
@@ -126,6 +129,16 @@ done
 # attacker_surge schedule must agree across all three backends.
 # Non-zero exit on any gate flip.  Records BENCH_mission.json.
 (cd build && ./bench_mission --smoke)
+
+# --- Variance-reduction gate: the rare_event preset through the vr
+# subsystem.  Non-zero exit if the sobol/cv/splitting payloads stop
+# being bitwise identical across 1/2/4 worker threads, if the TTSF
+# control variate's work-normalised efficiency drops below 5x at the
+# hot-λq corner, if the multilevel-splitting estimate leaves 2x its CI
+# around the analytic p_failure_c2 ~ 3e-6 tail, or if the plain pass
+# stops flagging its zero-C2 failure proportion one-sided.  Records
+# BENCH_vr.json.
+(cd build && ./bench_vr --smoke)
 
 # --- Scenario-model bench: every pluggable detector and attacker model
 # as its own experiment — per-scenario wall clock, convergence at the

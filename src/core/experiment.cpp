@@ -120,6 +120,95 @@ util::Json numbers_to_json(std::span<const double> values) {
   return arr;
 }
 
+// --- spec.mc.vr codec. ------------------------------------------------
+// Canonical key order; emitted only when vr.any() (so pre-vr spec bytes
+// never change) and OPTIONAL on read (pre-vr spec files and embedded
+// golden specs keep parsing).  Disabled sub-blocks are omitted for the
+// same byte-stability reason.
+
+util::Json vr_options_to_json(const vr::VrOptions& v) {
+  auto j = util::Json::object();
+  if (v.sobol.enabled) {
+    auto s = util::Json::object();
+    s.set("replicates", json_size(v.sobol.replicates,
+                                  "spec.mc.vr.sobol.replicates"));
+    s.set("samples_per_replicate",
+          json_size(v.sobol.samples_per_replicate,
+                    "spec.mc.vr.sobol.samples_per_replicate"));
+    j.set("sobol", std::move(s));
+  }
+  if (v.cv.enabled) {
+    auto c = util::Json::object();
+    c.set("pilot", json_size(v.cv.pilot, "spec.mc.vr.cv.pilot"));
+    c.set("replications",
+          json_size(v.cv.replications, "spec.mc.vr.cv.replications"));
+    j.set("cv", std::move(c));
+  }
+  if (v.splitting.enabled) {
+    auto s = util::Json::object();
+    s.set("target", util::Json(v.splitting.target));
+    auto levels = util::Json::array();
+    for (const std::int64_t t : v.splitting.levels) {
+      levels.push_back(json_size(static_cast<std::uint64_t>(t),
+                                 "spec.mc.vr.splitting.levels"));
+    }
+    s.set("levels", std::move(levels));
+    s.set("scheme", util::Json(v.splitting.scheme));
+    s.set("effort",
+          json_size(v.splitting.effort, "spec.mc.vr.splitting.effort"));
+    s.set("splitting_factor",
+          json_size(v.splitting.splitting_factor,
+                    "spec.mc.vr.splitting.splitting_factor"));
+    s.set("replicates", json_size(v.splitting.replicates,
+                                  "spec.mc.vr.splitting.replicates"));
+    j.set("splitting", std::move(s));
+  }
+  return j;
+}
+
+vr::VrOptions vr_options_from_json(const util::Json& j,
+                                   const std::string& path) {
+  const Reader r{j, path};
+  vr::VrOptions v;
+  if (j.type() != util::Json::Type::Object) fail(path, "expected an object");
+  if (j.find("sobol") != nullptr) {
+    const Reader s = r.child("sobol");
+    v.sobol.enabled = true;
+    v.sobol.replicates = s.size("replicates");
+    v.sobol.samples_per_replicate = s.size("samples_per_replicate");
+  }
+  if (j.find("cv") != nullptr) {
+    const Reader c = r.child("cv");
+    v.cv.enabled = true;
+    v.cv.pilot = c.size("pilot");
+    v.cv.replications = c.size("replications");
+  }
+  if (j.find("splitting") != nullptr) {
+    const Reader s = r.child("splitting");
+    v.splitting.enabled = true;
+    v.splitting.target = s.str("target");
+    v.splitting.levels.clear();
+    const auto& levels = s.at("levels");
+    if (levels.type() != util::Json::Type::Array) {
+      fail(path + ".splitting.levels", "expected an array");
+    }
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      try {
+        v.splitting.levels.push_back(
+            static_cast<std::int64_t>(levels.at(i).as_size()));
+      } catch (const std::exception& e) {
+        fail(path + ".splitting.levels[" + std::to_string(i) + "]",
+             e.what());
+      }
+    }
+    v.splitting.scheme = s.str("scheme");
+    v.splitting.effort = s.size("effort");
+    v.splitting.splitting_factor = s.size("splitting_factor");
+    v.splitting.replicates = s.size("replicates");
+  }
+  return v;
+}
+
 // --- Schedule / mission codecs. ---------------------------------------
 // Both fields are always serialised (empty arrays for the constant
 // model) so canonical spec documents stay byte-stable; on read they are
@@ -814,6 +903,78 @@ void ExperimentSpec::validate() const {
     }
   }
 
+  if (vr.any()) {
+    // Structural checks first (throws "spec.mc.vr.<field>: ..." —
+    // already fully path-named, so anchor like the schedule validator).
+    try {
+      vr.validate("spec.mc.vr");
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("ExperimentSpec: " +
+                                  std::string(e.what()));
+    }
+    if (!wants(BackendKind::Des)) {
+      fail("spec.mc.vr",
+           "variance reduction layers over the des backend; add \"des\" "
+           "to spec.backends");
+    }
+    if (vr.sobol.enabled && mc.antithetic) {
+      fail("spec.mc.vr.sobol",
+           "Sobol substreams replace the whole draw stream and cannot "
+           "compose with spec.mc.antithetic pair flipping; disable one");
+    }
+    if (vr.cv.enabled) {
+      // The control means come from the analytic SPN solution, so the
+      // cv estimator inherits the analytic backend's model class.
+      if (base.time_varying()) {
+        fail("spec.mc.vr.cv",
+             "control variates need the exact analytic control means of "
+             "the time-homogeneous model; spec.base carries a "
+             "schedule/mission");
+      }
+      if (!base.detector.analytic_compatible()) {
+        fail("spec.mc.vr.cv",
+             std::string("detector model '") +
+                 ids::to_string(base.detector.kind) +
+                 "' has no analytic control means; use a static/entropy "
+                 "detector or disable cv");
+      }
+      if (!base.attacker.analytic_compatible()) {
+        fail("spec.mc.vr.cv",
+             std::string("attacker model '") +
+                 sim::to_string(base.attacker.kind) +
+                 "' has no analytic control means; use a poisson "
+                 "attacker or disable cv");
+      }
+      for (std::size_t i = 0; i < axes.size(); ++i) {
+        if (!is_model_axis(axes[i].param)) continue;
+        for (std::size_t k = 0; k < axes[i].levels.size(); ++k) {
+          const std::string path =
+              axis_path(i) + ".levels[" + std::to_string(k) + "]";
+          const bool ok =
+              axes[i].param == "detector_model"
+                  ? [&] {
+                      ids::DetectorModel probe;
+                      probe.kind =
+                          detector_kind_from(axes[i].levels[k], path);
+                      return probe.analytic_compatible();
+                    }()
+                  : [&] {
+                      sim::AttackerModel probe;
+                      probe.kind =
+                          attacker_kind_from(axes[i].levels[k], path);
+                      return probe.analytic_compatible();
+                    }();
+          if (!ok) {
+            fail(path,
+                 "model level '" + axes[i].levels[k] +
+                     "' has no analytic control means required by "
+                     "spec.mc.vr.cv");
+          }
+        }
+      }
+    }
+  }
+
   if (wants(BackendKind::ProtocolSim)) {
     if (!(protocol.tick_s > 0.0)) {
       fail("spec.protocol.tick_s", "must be positive");
@@ -908,6 +1069,9 @@ util::Json ExperimentSpec::to_json() const {
   mc_json.set("threads", json_size(mc.threads, "spec.mc.threads"));
   mc_json.set("capture_trajectories", util::Json(mc.capture_trajectories));
   mc_json.set("survival_horizons", numbers_to_json(mc.survival_horizons));
+  // Emitted only when the vr layer is on: a default spec's bytes (and
+  // every pre-vr golden) stay untouched.
+  if (vr.any()) mc_json.set("vr", vr_options_to_json(vr));
   j.set("mc", std::move(mc_json));
 
   auto protocol_json = util::Json::object();
@@ -1007,6 +1171,10 @@ ExperimentSpec ExperimentSpec::from_json(const util::Json& j) {
   spec.mc.threads = mc.size("threads");
   spec.mc.capture_trajectories = mc.boolean("capture_trajectories");
   spec.mc.survival_horizons = mc.numbers("survival_horizons");
+  // Optional (pre-vr files carry no "vr" key and parse unchanged).
+  if (const util::Json* vr_json = mc.j.find("vr")) {
+    spec.vr = vr_options_from_json(*vr_json, "spec.mc.vr");
+  }
 
   const Reader protocol = r.child("protocol");
   const Reader mobility = protocol.child("mobility");
@@ -1120,6 +1288,7 @@ sim::McPointResult mc_point_from_json(const util::Json& j) {
                        ? static_cast<double>(r.failures_c1) /
                              static_cast<double>(r.replications)
                        : 0.0;
+  r.p_failure = sim::binomial_summary(r.replications, r.failures_c1);
   r.converged = j.at("converged").as_bool();
   r.keys_always_agreed = j.at("keys_always_agreed").as_bool();
   r.timeouts = j.at("timeouts").as_size();
@@ -1149,6 +1318,135 @@ sim::MonteCarloEngine::Stats mc_stats_from_json(const util::Json& j) {
   s.rounds = j.at("rounds").as_size();
   s.seconds = j.at("seconds").to_double();
   return s;
+}
+
+namespace {
+
+// The vr codecs follow the mc-point convention: raw accumulator states,
+// replicate estimates, and counts only — every Summary is re-derived on
+// read, which keeps round-trips and shard merges bitwise.
+
+util::Json cv_metric_to_json(const vr::CvMetric& m) {
+  auto j = util::Json::object();
+  j.set("beta", util::Json::number(m.beta));
+  j.set("control_mean", util::Json::number(m.control_mean));
+  j.set("correlation", util::Json::number(m.correlation));
+  j.set("plain", welford_to_json(m.plain_state));
+  j.set("adjusted", welford_to_json(m.adjusted_state));
+  return j;
+}
+
+vr::CvMetric cv_metric_from_json(const util::Json& j) {
+  vr::CvMetric m;
+  m.beta = j.at("beta").to_double();
+  m.control_mean = j.at("control_mean").to_double();
+  m.correlation = j.at("correlation").to_double();
+  m.plain_state = welford_from_json(j.at("plain"));
+  m.adjusted_state = welford_from_json(j.at("adjusted"));
+  m.finalize();
+  return m;
+}
+
+util::Json doubles_json(const std::vector<double>& values) {
+  auto a = util::Json::array();
+  for (const double v : values) a.push_back(util::Json::number(v));
+  return a;
+}
+
+std::vector<double> doubles_from_json(const util::Json& j) {
+  std::vector<double> out;
+  out.reserve(j.size());
+  for (const auto& v : j.elements()) out.push_back(v.to_double());
+  return out;
+}
+
+}  // namespace
+
+util::Json vr_point_to_json(const vr::VrPointResult& r) {
+  auto j = util::Json::object();
+  if (r.has_sobol) {
+    auto s = util::Json::object();
+    s.set("replicates",
+          util::Json(static_cast<double>(r.sobol.replicates)));
+    s.set("samples_per_replicate",
+          util::Json(static_cast<double>(r.sobol.samples_per_replicate)));
+    s.set("ttsf_means", doubles_json(r.sobol.ttsf_means));
+    s.set("cost_rate_means", doubles_json(r.sobol.cost_rate_means));
+    j.set("sobol", std::move(s));
+  }
+  if (r.has_cv) {
+    auto c = util::Json::object();
+    c.set("pilot", util::Json(static_cast<double>(r.cv.pilot)));
+    c.set("replications",
+          util::Json(static_cast<double>(r.cv.replications)));
+    c.set("ttsf", cv_metric_to_json(r.cv.ttsf));
+    c.set("cost", cv_metric_to_json(r.cv.cost));
+    j.set("cv", std::move(c));
+  }
+  if (r.has_splitting) {
+    auto s = util::Json::object();
+    s.set("target", util::Json(r.splitting.target));
+    s.set("scheme", util::Json(r.splitting.scheme));
+    s.set("replicates",
+          util::Json(static_cast<double>(r.splitting.replicates)));
+    s.set("effort", util::Json(static_cast<double>(r.splitting.effort)));
+    s.set("trajectories",
+          util::Json(static_cast<double>(r.splitting.trajectories)));
+    s.set("estimates", doubles_json(r.splitting.estimates));
+    auto levels = util::Json::array();
+    for (const auto& lv : r.splitting.levels) {
+      auto l = util::Json::object();
+      l.set("threshold", util::Json(static_cast<double>(lv.threshold)));
+      l.set("p_up", util::Json::number(lv.p_up));
+      l.set("p_absorb", util::Json::number(lv.p_absorb));
+      levels.push_back(std::move(l));
+    }
+    s.set("levels", std::move(levels));
+    j.set("splitting", std::move(s));
+  }
+  return j;
+}
+
+vr::VrPointResult vr_point_from_json(const util::Json& j) {
+  vr::VrPointResult r;
+  if (const util::Json* s = j.find("sobol")) {
+    r.has_sobol = true;
+    r.sobol.replicates = s->at("replicates").as_size();
+    r.sobol.samples_per_replicate =
+        s->at("samples_per_replicate").as_size();
+    r.sobol.ttsf_means = doubles_from_json(s->at("ttsf_means"));
+    r.sobol.cost_rate_means = doubles_from_json(s->at("cost_rate_means"));
+    r.sobol.ttsf = sim::summarize(r.sobol.ttsf_means);
+    r.sobol.cost_rate = sim::summarize(r.sobol.cost_rate_means);
+  }
+  if (const util::Json* c = j.find("cv")) {
+    r.has_cv = true;
+    r.cv.pilot = c->at("pilot").as_size();
+    r.cv.replications = c->at("replications").as_size();
+    r.cv.ttsf = cv_metric_from_json(c->at("ttsf"));
+    r.cv.cost = cv_metric_from_json(c->at("cost"));
+  }
+  if (const util::Json* s = j.find("splitting")) {
+    r.has_splitting = true;
+    r.splitting.target = s->at("target").as_string();
+    r.splitting.scheme = s->at("scheme").as_string();
+    r.splitting.replicates = s->at("replicates").as_size();
+    r.splitting.effort = s->at("effort").as_size();
+    r.splitting.trajectories = s->at("trajectories").as_size();
+    r.splitting.estimates = doubles_from_json(s->at("estimates"));
+    for (const auto& lv : s->at("levels").elements()) {
+      vr::SplittingLevel level;
+      level.threshold =
+          static_cast<std::int64_t>(lv.at("threshold").to_double());
+      level.p_up = lv.at("p_up").to_double();
+      level.p_absorb = lv.at("p_absorb").to_double();
+      r.splitting.levels.push_back(level);
+    }
+    r.splitting.probability = vr::splitting_probability_summary(
+        r.splitting.estimates,
+        r.splitting.replicates * r.splitting.effort);
+  }
+  return r;
 }
 
 // --- ExperimentResult. ------------------------------------------------
@@ -1200,6 +1498,13 @@ util::Json ExperimentResult::to_json() const {
       for (const auto& r : run.mc) mc.push_back(mc_point_to_json(r));
       b.set("mc", std::move(mc));
       b.set("mc_stats", mc_stats_to_json(run.mc_stats));
+      if (!run.vr.empty()) {
+        auto vr_json = util::Json::array();
+        for (const auto& v : run.vr) {
+          vr_json.push_back(vr_point_to_json(v));
+        }
+        b.set("vr", std::move(vr_json));
+      }
     }
     backends_json.push_back(std::move(b));
   }
@@ -1237,6 +1542,11 @@ ExperimentResult ExperimentResult::from_json(const util::Json& j) {
         run.mc.push_back(mc_point_from_json(p));
       }
       run.mc_stats = mc_stats_from_json(b.at("mc_stats"));
+      if (const util::Json* vr_json = b.j.find("vr")) {
+        for (const auto& v : vr_json->elements()) {
+          run.vr.push_back(vr_point_from_json(v));
+        }
+      }
     }
     result.backends.push_back(std::move(run));
   }
@@ -1306,6 +1616,18 @@ ExperimentResult merge_experiment_results(
             std::to_string(part.shard_index) + " backend '" +
             to_string(run.kind) + "' payload size does not match its range");
       }
+      if (run.vr.empty() != parts.front().backends[b].vr.empty()) {
+        throw std::invalid_argument(
+            "merge_experiment_results: shard " +
+            std::to_string(part.shard_index) + " backend '" +
+            to_string(run.kind) + "' vr payload presence differs");
+      }
+      if (!run.vr.empty() && run.vr.size() != part.range.size()) {
+        throw std::invalid_argument(
+            "merge_experiment_results: shard " +
+            std::to_string(part.shard_index) + " backend '" +
+            to_string(run.kind) + "' vr payload size does not match its range");
+      }
     }
     if (part.shard_index < seen.size()) {
       if (seen[part.shard_index]) {
@@ -1334,6 +1656,7 @@ ExperimentResult merge_experiment_results(
       run.evals.resize(points);
     } else {
       run.mc.resize(points);
+      if (!ref_run.vr.empty()) run.vr.resize(points);
     }
     merged.backends.push_back(std::move(run));
   }
@@ -1348,6 +1671,9 @@ ExperimentResult merge_experiment_results(
       } else {
         std::copy(src.mc.begin(), src.mc.end(),
                   dst.mc.begin() +
+                      static_cast<std::ptrdiff_t>(part.range.begin));
+        std::copy(src.vr.begin(), src.vr.end(),
+                  dst.vr.begin() +
                       static_cast<std::ptrdiff_t>(part.range.begin));
         dst.mc_stats.points += src.mc_stats.points;
         dst.mc_stats.replications += src.mc_stats.replications;
@@ -1432,11 +1758,16 @@ class DesBackend final : public Backend {
                                std::span<const Params> points,
                                ShardRange range) override {
     const util::Stopwatch watch;
-    sim::MonteCarloEngine engine(effective_mc(spec, range, threads_));
+    const sim::McOptions mc = effective_mc(spec, range, threads_);
+    sim::MonteCarloEngine engine(mc);
     BackendRun out;
     out.kind = BackendKind::Des;
     out.mc = engine.run_des(points);
     out.mc_stats = engine.stats();
+    // The vr layer runs AFTER the plain pass on its own tagged seed
+    // domains: the mc payload above is bitwise the payload of a vr-less
+    // run of the same spec (the parity harness checks exactly this).
+    if (spec.vr.any()) out.vr = vr::run_vr(spec.vr, mc, points);
     out.seconds = watch.seconds();
     return out;
   }

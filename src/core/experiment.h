@@ -43,6 +43,8 @@
 #include "manet/mobility.h"
 #include "sim/mc_engine.h"
 #include "util/json.h"
+#include "vr/engine.h"
+#include "vr/options.h"
 
 namespace midas::core {
 
@@ -122,6 +124,14 @@ struct ExperimentSpec {
   /// Replication schedule for the simulation backends (Des +
   /// ProtocolSim share it — that is the point of one spec).
   sim::McOptions mc;
+  /// Variance-reduction layer over the DES backend (Sobol substreams,
+  /// analytic control variates, multilevel splitting).  Default-off;
+  /// serialised as "vr" INSIDE the "mc" object, and only when enabled,
+  /// so pre-existing spec files and their bytes are untouched.  When
+  /// enabled, the plain DES replication pass still runs unchanged (its
+  /// mc payload stays bitwise identical to a vr-less run) and the vr
+  /// estimates ride alongside in BackendRun::vr.
+  vr::VrOptions vr;
   ProtocolOptions protocol;
   ShardSpec shard;
   /// Requested metric names (subset of {"mttsf", "ctotal",
@@ -152,6 +162,8 @@ struct ExperimentSpec {
 [[nodiscard]] Evaluation evaluation_from_json(const util::Json& j);
 [[nodiscard]] util::Json mc_point_to_json(const sim::McPointResult& r);
 [[nodiscard]] sim::McPointResult mc_point_from_json(const util::Json& j);
+[[nodiscard]] util::Json vr_point_to_json(const vr::VrPointResult& r);
+[[nodiscard]] vr::VrPointResult vr_point_from_json(const util::Json& j);
 [[nodiscard]] util::Json mc_stats_to_json(
     const sim::MonteCarloEngine::Stats& s);
 [[nodiscard]] sim::MonteCarloEngine::Stats mc_stats_from_json(
@@ -167,6 +179,13 @@ struct BackendRun {
   BackendKind kind = BackendKind::Analytic;
   std::vector<Evaluation> evals;
   std::vector<sim::McPointResult> mc;
+  /// Variance-reduction estimates (Des backend with spec.mc.vr
+  /// enabled): entry i answers grid point range.begin + i, exactly
+  /// like `mc`.  Empty otherwise; the "vr" JSON key is emitted only
+  /// when non-empty, keeping pre-vr result bytes stable.  Carries no
+  /// timing fields — it participates in the canonical payload
+  /// identity as-is.
+  std::vector<vr::VrPointResult> vr;
   sim::MonteCarloEngine::Stats mc_stats;
   double seconds = 0.0;  ///< wall clock inside this backend
 };

@@ -73,6 +73,8 @@ std::vector<std::string> experiment_preset_names() {
           "host_ids_quality",
           "val_des",
           "val_protocol",
+          "val_protocol_ci",
+          "rare_event",
           "mission",
           "mission_phased",
           "attacker_surge"};
@@ -218,6 +220,79 @@ ExperimentSpec experiment_preset(const std::string& name, bool smoke) {
     spec.protocol.tick_s = defaults.tick_s;
     spec.protocol.topology_refresh_s = defaults.topology_refresh_s;
     spec.protocol.max_time_s = defaults.max_time_s;
+    return spec;
+  }
+  if (name == "val_protocol_ci") {
+    // val_protocol's grid under CI-TARGETED stopping instead of a fixed
+    // budget: antithetic pairs are averaged into one sample each, and
+    // the engine keeps adding pair blocks until every metric's 95%
+    // interval is within ±10% of its mean (±15% in smoke mode).  A
+    // separate preset so val_protocol's golden-pinned bytes never move.
+    ExperimentSpec spec = named(name, smoke);
+    const auto defaults = sim::ProtocolSimParams::small_defaults();
+    spec.base = defaults.model;
+    spec.base.cost.mean_hops = 1.6;  // measured for this field/range
+    spec.base.cost.sync_rekey_params();
+    spec.axes = {t_ids_of({30.0, 120.0, 600.0})};
+    spec.backends = {BackendKind::Analytic, BackendKind::ProtocolSim};
+    spec.mc.base_seed = 0xCAFE;
+    spec.mc.antithetic = true;
+    spec.mc.rel_ci_target = smoke ? 0.15 : 0.10;
+    spec.mc.min_replications = smoke ? 8 : 16;
+    spec.mc.max_replications = smoke ? 48 : 192;
+    spec.mc.block = 4;
+    spec.protocol.mobility = defaults.mobility;
+    spec.protocol.radio_range_m = defaults.radio_range_m;
+    spec.protocol.tick_s = defaults.tick_s;
+    spec.protocol.topology_refresh_s = defaults.topology_refresh_s;
+    spec.protocol.max_time_s = defaults.max_time_s;
+    return spec;
+  }
+  if (name == "rare_event") {
+    // The variance-reduction showcase: a hot per-node data rate
+    // (λq = 1/s, so an undetected compromise leaks quickly) over the
+    // 2×2 grid t_ids × n_init.  The two gated corners:
+    //  * (t_ids=15, N=20): fast detection makes each compromise a
+    //    leak/detect/evict race, so trajectory LENGTH is geometric and
+    //    the free conditional-expectation control carries most of the
+    //    TTSF variance — the CV regime (bench_vr gates its
+    //    work-normalised efficiency at >= 5x on MTTSF).
+    //  * (t_ids=1200, N=12): detection is negligible, so C2 capture
+    //    means climbing UCm 1→5 before any of the UCm-proportional
+    //    leaks fires — P(C2) ≈ 3e-6, invisible to the plain-MC budget
+    //    (whose p_failure Summary goes one-sided Wilson at 0 observed
+    //    C1 failures), and a textbook fit for the UCm splitting ladder
+    //    (gated against the analytic p_failure_c2).
+    // Scrambled-Sobol replicate groups run on every point.
+    ExperimentSpec spec = named(name, smoke);
+    spec.base.max_groups = 1;
+    spec.base.num_voters = 9;
+    spec.base.lambda_c = 1.0 / 2000.0;
+    spec.base.lambda_q = 1.0;
+    AxisSpec t_ids;
+    t_ids.param = "t_ids";
+    t_ids.values = {15.0, 1200.0};
+    AxisSpec n_init;
+    n_init.param = "n_init";
+    n_init.values = {20, 12};
+    spec.axes = {std::move(t_ids), std::move(n_init)};
+    spec.backends = {BackendKind::Analytic, BackendKind::Des};
+    spec.mc.base_seed = 0x7A11;
+    spec.mc.rel_ci_target = 0.0;  // fixed budget: vr comparisons need it
+    spec.mc.min_replications = smoke ? 256 : 1024;
+    spec.mc.max_replications = spec.mc.min_replications;
+    spec.vr.sobol.enabled = true;
+    spec.vr.sobol.replicates = 8;
+    spec.vr.sobol.samples_per_replicate = smoke ? 64 : 256;
+    spec.vr.cv.enabled = true;
+    spec.vr.cv.pilot = 128;
+    spec.vr.cv.replications = smoke ? 1024 : 2048;
+    spec.vr.splitting.enabled = true;
+    spec.vr.splitting.target = "c2";
+    spec.vr.splitting.levels = {2, 3, 4};
+    spec.vr.splitting.scheme = "fixed_effort";
+    spec.vr.splitting.effort = smoke ? 1024 : 2048;
+    spec.vr.splitting.replicates = smoke ? 16 : 24;
     return spec;
   }
   if (name == "mission") {

@@ -17,15 +17,6 @@ namespace midas::sim {
 
 namespace {
 
-/// Mutable simulation state mirroring the SPN's places.
-struct State {
-  std::int64_t tm = 0;   // trusted members
-  std::int64_t ucm = 0;  // compromised, undetected
-  std::int64_t ng = 1;   // groups
-
-  [[nodiscard]] std::int64_t members() const { return tm + ucm; }
-};
-
 std::int64_t per_group(std::int64_t total, std::int64_t groups) {
   if (groups <= 1) return total;
   return static_cast<std::int64_t>(std::llround(
@@ -53,224 +44,272 @@ DesContext DesContext::fresh(const core::Params& params) {
       gcs::CostModel(params.cost));
 }
 
-Trajectory simulate_group(const core::Params& params, UniformStream& draw,
-                          const DesContext& context) {
+GroupSimulator::GroupSimulator(const core::Params& params,
+                               const DesContext& context)
+    : params_(&params), cost_(&context.cost) {
   params.validate();
-
-  const gcs::CostModel& cost = context.cost;
 
   // Time-varying rates: resolve the schedule/mission into constant
   // segments and treat each breakpoint as a rate-change event.  The
-  // constant case keeps `cur` pointing at `params` itself and the
+  // constant case keeps `cur_` pointing at `params` itself and the
   // boundary at infinity, so every read below is bitwise the legacy
   // one and the truncation branch never fires.  Per-segment voting
   // tables come from the shared memo (identity segments re-use the
   // context's table allocation-free for bitwise-equal (m, p1, p2)).
-  const bool timed = params.time_varying();
-  std::vector<core::TimelineSegment> timeline;
-  std::vector<std::shared_ptr<const ids::VotingTable>> segment_voting;
-  std::size_t seg_idx = 0;
-  const core::Params* cur = &params;
-  const ids::VotingTable* voting = context.voting.get();
-  double next_boundary = std::numeric_limits<double>::infinity();
-  if (timed) {
-    timeline = core::resolve_timeline(params);
-    segment_voting.reserve(timeline.size());
-    for (const auto& seg : timeline) {
-      segment_voting.push_back(ids::shared_voting_table(
+  timed_ = params.time_varying();
+  cur_ = &params;
+  voting_ = context.voting.get();
+  next_boundary_ = std::numeric_limits<double>::infinity();
+  if (timed_) {
+    timeline_ = core::resolve_timeline(params);
+    segment_voting_.reserve(timeline_.size());
+    for (const auto& seg : timeline_) {
+      segment_voting_.push_back(ids::shared_voting_table(
           ids::VotingParams{seg.params.num_voters, seg.params.p1,
                             seg.params.p2},
           seg.params.n_init, seg.params.n_init));
     }
-    cur = &timeline[0].params;
-    voting = segment_voting[0].get();
-    if (timeline.size() > 1) next_boundary = timeline[1].start_s;
+    cur_ = &timeline_[0].params;
+    voting_ = segment_voting_[0].get();
+    if (timeline_.size() > 1) next_boundary_ = timeline_[1].start_s;
   }
 
-  auto exp_sample = [&](double rate) {
-    return -std::log1p(-draw()) / rate;
-  };
-
-  State s;
-  s.tm = params.n_init;
-
-  Trajectory traj;
-  double now = 0.0;
+  s_.tm = params.n_init;
   // Attacker phase (bursty on/off modulation).  Non-bursty attackers
   // never flip it: phase_rate() is 0.0 there, which adds nothing to the
   // total rate (IEEE-exact) and the flip branch below is gated on
   // r_phase > 0.0 — so poisson trajectories consume the exact legacy
   // draw sequence.
-  bool atk_on = true;
-  const bool static_detector =
-      params.detector.kind == ids::DetectorKind::Static;
+  atk_on_ = true;
+  static_detector_ = params.detector.kind == ids::DetectorKind::Static;
+}
+
+std::int64_t GroupSimulator::compromised() const noexcept { return s_.ucm; }
+
+bool GroupSimulator::c2_failed() const {
+  if (s_.members() == 0) return true;
+  return static_cast<double>(s_.ucm) >
+         params_->byzantine_fraction * static_cast<double>(s_.members()) +
+             1e-9;
+}
+
+GroupSimulator::Snapshot GroupSimulator::snapshot() const {
+  Snapshot snap;
+  snap.tm = s_.tm;
+  snap.ucm = s_.ucm;
+  snap.ng = s_.ng;
+  snap.now = now_;
+  snap.atk_on = atk_on_;
+  snap.seg_idx = seg_idx_;
+  snap.traj = traj_;
+  snap.status = status_;
+  return snap;
+}
+
+void GroupSimulator::restore(const Snapshot& snap) {
+  s_.tm = snap.tm;
+  s_.ucm = snap.ucm;
+  s_.ng = snap.ng;
+  now_ = snap.now;
+  atk_on_ = snap.atk_on;
+  traj_ = snap.traj;
+  status_ = snap.status;
+  seg_idx_ = snap.seg_idx;
+  if (timed_) {
+    cur_ = &timeline_[seg_idx_].params;
+    voting_ = segment_voting_[seg_idx_].get();
+    next_boundary_ = seg_idx_ + 1 < timeline_.size()
+                         ? timeline_[seg_idx_ + 1].start_s
+                         : std::numeric_limits<double>::infinity();
+  }
+}
+
+GroupSimulator::Status GroupSimulator::step(RandomSource& draw) {
+  if (status_ != Status::Running) {
+    throw std::logic_error("GroupSimulator::step: already absorbed");
+  }
+  const core::Params& params = *params_;
+  const gcs::CostModel& cost = *cost_;
+
+  if (c2_failed()) {
+    traj_.ttsf = now_;
+    traj_.failed_by_c1 = false;
+    status_ = Status::FailedC2;
+    return status_;
+  }
 
   // Detector state observed by the plug-in model: DCm follows from
   // token conservation (evicted = N − Tm − UCm; the DES has no
   // join/leave events, mirroring the SPN).
   auto detector_state = [&] {
     ids::DetectorState ds;
-    ds.compromised = s.ucm;
-    ds.evicted = std::max<std::int64_t>(
-        params.n_init - s.members(), 0);
-    ds.population = s.members();
-    ds.elapsed_s = now;
+    ds.compromised = s_.ucm;
+    ds.evicted = std::max<std::int64_t>(params.n_init - s_.members(), 0);
+    ds.population = s_.members();
+    ds.elapsed_s = now_;
     return ds;
   };
 
-  auto c2_failed = [&] {
-    if (s.members() == 0) return true;
-    return static_cast<double>(s.ucm) >
-           params.byzantine_fraction * static_cast<double>(s.members()) +
-               1e-9;
-  };
-
-  while (true) {
-    if (c2_failed()) {
-      traj.ttsf = now;
-      traj.failed_by_c1 = false;
-      return traj;
-    }
-
-    // Rates in the current state (mirrors GcsSpnModel::build()).
-    double mc;
-    if (params.attacker_progress ==
-        core::AttackerProgress::CampaignProgress) {
-      // DCm follows from token conservation: evicted = N − Tm − UCm.
-      mc = 1.0 + static_cast<double>(params.n_init - s.tm);
-    } else {
-      mc = s.tm > 0 ? static_cast<double>(s.members()) /
-                          static_cast<double>(s.tm)
-                    : 1.0;
-    }
-    const double md = std::max(
-        1.0, static_cast<double>(params.n_init) /
-                 static_cast<double>(std::max<std::int64_t>(s.members(), 1)));
-
-    const double attack_base =
-        s.tm > 0 ? ids::attacker_rate(cur->attacker_shape, cur->lambda_c,
-                                      mc, cur->p_index)
-                 : 0.0;
-    // Poisson: event_rate returns the base unchanged (bitwise).
-    const double attack = params.attacker.event_rate(attack_base, atk_on);
-    const double r_phase = params.attacker.phase_rate(atk_on);
-    const double det = ids::detection_rate(cur->detection_shape,
-                                           cur->t_ids, md, cur->p_index);
-    // Static detector: effective (p1,p2) == (p1,p2), so the shared
-    // precomputed voting table applies and r_drq is the exact legacy
-    // expression.  State-dependent detectors re-evaluate Equation 1
-    // with the effective rates each event (no table can be keyed ahead
-    // of time once elapsed time enters).
-    const auto eff = params.detector.effective(cur->p1, cur->p2,
-                                               detector_state());
-    const auto rates =
-        static_detector
-            ? voting->at(per_group(s.tm, s.ng), per_group(s.ucm, s.ng))
-            : ids::voting_error_rates(
-                  ids::VotingParams{params.num_voters, eff.p1, eff.p2},
-                  per_group(s.tm, s.ng), per_group(s.ucm, s.ng));
-    const double r_ids =
-        static_cast<double>(s.ucm) * det * (1.0 - rates.pfn);
-    const double r_fa = static_cast<double>(s.tm) * det * rates.pfp;
-    const double r_drq =
-        eff.p1 * cur->lambda_q * static_cast<double>(s.ucm);
-
-    double r_par = 0.0, r_mer = 0.0;
-    if (params.max_groups > 1) {
-      const auto g = static_cast<std::size_t>(s.ng);
-      if (s.ng < params.max_groups && s.members() > s.ng &&
-          g < cur->partition_rates.size()) {
-        r_par = cur->partition_rates[g];
-      }
-      if (s.ng >= 2 && g < cur->merge_rates.size()) {
-        r_mer = cur->merge_rates[g];
-      }
-    }
-
-    const double total =
-        attack + r_ids + r_fa + r_drq + r_par + r_mer + r_phase;
-    if (total <= 0.0) {
-      throw std::runtime_error(
-          "simulate_group: deadlocked in a non-failure state");
-    }
-
-    // Cost accrues at the state's rate until the next event.
-    gcs::GroupState gs;
-    gs.members = static_cast<double>(s.members());
-    gs.groups = static_cast<double>(s.ng);
-    gs.initial_size = static_cast<double>(params.n_init);
-    const auto breakdown =
-        cost.breakdown(gs, cur->lambda_q, params.lambda_join,
-                       params.mu_leave, det,
-                       static_cast<std::size_t>(params.num_voters),
-                       r_par + r_mer);
-
-    const double dt = exp_sample(total);
-    if (now + dt > next_boundary) {
-      // Schedule/mission breakpoint before the sampled event: accrue
-      // cost for the truncated dwell, switch segments and resample.
-      // The exponential dwell is memoryless, so restarting the clock
-      // under the new rates is exact, not an approximation.
-      traj.accumulated_cost += breakdown.total() * (next_boundary - now);
-      now = next_boundary;
-      ++seg_idx;
-      cur = &timeline[seg_idx].params;
-      voting = segment_voting[seg_idx].get();
-      next_boundary = seg_idx + 1 < timeline.size()
-                          ? timeline[seg_idx + 1].start_s
-                          : std::numeric_limits<double>::infinity();
-      continue;
-    }
-    now += dt;
-    traj.accumulated_cost += breakdown.total() * dt;
-
-    // Pick the event (Gillespie direct method).
-    double u = draw() * total;
-    if ((u -= attack) < 0.0) {
-      // Coordinated attackers strike batch_size() victims at once
-      // (capped by the trusted pool); single-victim kinds take the
-      // legacy one-node step.
-      const std::int64_t k =
-          std::min<std::int64_t>(params.attacker.batch_size(), s.tm);
-      s.tm -= k;
-      s.ucm += k;
-      traj.compromises += static_cast<std::size_t>(k);
-      continue;
-    }
-    if ((u -= r_ids) < 0.0) {
-      --s.ucm;
-      ++traj.true_evictions;
-      traj.accumulated_cost += cost.eviction_impulse_bits(gs);
-      continue;
-    }
-    if ((u -= r_fa) < 0.0) {
-      --s.tm;
-      ++traj.false_evictions;
-      traj.accumulated_cost += cost.eviction_impulse_bits(gs);
-      continue;
-    }
-    if ((u -= r_drq) < 0.0) {
-      traj.ttsf = now;
-      traj.failed_by_c1 = true;  // data leak: C1
-      return traj;
-    }
-    if ((u -= r_par) < 0.0) {
-      ++s.ng;
-      continue;
-    }
-    if (r_phase > 0.0) {
-      // Only bursty attackers have a phase event; the guard keeps the
-      // legacy unchecked-merge fallback (and its floating-point
-      // behaviour) intact for every other attacker kind.
-      if ((u -= r_mer) < 0.0) {
-        --s.ng;
-        continue;
-      }
-      atk_on = !atk_on;  // on/off flip (fallback event)
-      continue;
-    }
-    --s.ng;  // merge
+  // Rates in the current state (mirrors GcsSpnModel::build()).
+  double mc;
+  if (params.attacker_progress == core::AttackerProgress::CampaignProgress) {
+    // DCm follows from token conservation: evicted = N − Tm − UCm.
+    mc = 1.0 + static_cast<double>(params.n_init - s_.tm);
+  } else {
+    mc = s_.tm > 0 ? static_cast<double>(s_.members()) /
+                         static_cast<double>(s_.tm)
+                   : 1.0;
   }
+  const double md = std::max(
+      1.0, static_cast<double>(params.n_init) /
+               static_cast<double>(std::max<std::int64_t>(s_.members(), 1)));
+
+  const double attack_base =
+      s_.tm > 0 ? ids::attacker_rate(cur_->attacker_shape, cur_->lambda_c,
+                                     mc, cur_->p_index)
+                : 0.0;
+  // Poisson: event_rate returns the base unchanged (bitwise).
+  const double attack = params.attacker.event_rate(attack_base, atk_on_);
+  const double r_phase = params.attacker.phase_rate(atk_on_);
+  const double det = ids::detection_rate(cur_->detection_shape, cur_->t_ids,
+                                         md, cur_->p_index);
+  // Static detector: effective (p1,p2) == (p1,p2), so the shared
+  // precomputed voting table applies and r_drq is the exact legacy
+  // expression.  State-dependent detectors re-evaluate Equation 1
+  // with the effective rates each event (no table can be keyed ahead
+  // of time once elapsed time enters).
+  const auto eff =
+      params.detector.effective(cur_->p1, cur_->p2, detector_state());
+  const auto rates =
+      static_detector_
+          ? voting_->at(per_group(s_.tm, s_.ng), per_group(s_.ucm, s_.ng))
+          : ids::voting_error_rates(
+                ids::VotingParams{params.num_voters, eff.p1, eff.p2},
+                per_group(s_.tm, s_.ng), per_group(s_.ucm, s_.ng));
+  const double r_ids = static_cast<double>(s_.ucm) * det * (1.0 - rates.pfn);
+  const double r_fa = static_cast<double>(s_.tm) * det * rates.pfp;
+  const double r_drq = eff.p1 * cur_->lambda_q * static_cast<double>(s_.ucm);
+
+  double r_par = 0.0, r_mer = 0.0;
+  if (params.max_groups > 1) {
+    const auto g = static_cast<std::size_t>(s_.ng);
+    if (s_.ng < params.max_groups && s_.members() > s_.ng &&
+        g < cur_->partition_rates.size()) {
+      r_par = cur_->partition_rates[g];
+    }
+    if (s_.ng >= 2 && g < cur_->merge_rates.size()) {
+      r_mer = cur_->merge_rates[g];
+    }
+  }
+
+  const double total = attack + r_ids + r_fa + r_drq + r_par + r_mer + r_phase;
+  if (total <= 0.0) {
+    throw std::runtime_error(
+        "simulate_group: deadlocked in a non-failure state");
+  }
+
+  // Cost accrues at the state's rate until the next event.
+  gcs::GroupState gs;
+  gs.members = static_cast<double>(s_.members());
+  gs.groups = static_cast<double>(s_.ng);
+  gs.initial_size = static_cast<double>(params.n_init);
+  const auto breakdown =
+      cost.breakdown(gs, cur_->lambda_q, params.lambda_join, params.mu_leave,
+                     det, static_cast<std::size_t>(params.num_voters),
+                     r_par + r_mer);
+
+  const double dt = -std::log1p(-draw()) / total;
+  if (now_ + dt > next_boundary_) {
+    // Schedule/mission breakpoint before the sampled event: accrue
+    // cost for the truncated dwell, switch segments and resample.
+    // The exponential dwell is memoryless, so restarting the clock
+    // under the new rates is exact, not an approximation.  The control
+    // accumulators take the truncated dwell as-is (deterministic given
+    // the path); their exact-mean property is claimed only for the
+    // time-homogeneous model, where this branch never fires.
+    traj_.accumulated_cost += breakdown.total() * (next_boundary_ - now_);
+    traj_.expected_dwell += next_boundary_ - now_;
+    traj_.expected_cost += breakdown.total() * (next_boundary_ - now_);
+    now_ = next_boundary_;
+    ++seg_idx_;
+    cur_ = &timeline_[seg_idx_].params;
+    voting_ = segment_voting_[seg_idx_].get();
+    next_boundary_ = seg_idx_ + 1 < timeline_.size()
+                         ? timeline_[seg_idx_ + 1].start_s
+                         : std::numeric_limits<double>::infinity();
+    return status_;
+  }
+  now_ += dt;
+  traj_.accumulated_cost += breakdown.total() * dt;
+  // The conditional-expectation controls: E[dt | state] = 1/total and
+  // E[dwell cost | state] = rate/total; dt and the event choice are
+  // drawn independently, so summing these over the realised jump path
+  // gives E[TTSF | path] / E[cost | path] exactly (time-homogeneous).
+  traj_.expected_dwell += 1.0 / total;
+  traj_.expected_cost += breakdown.total() / total;
+
+  // Pick the event (Gillespie direct method).
+  double u = draw() * total;
+  if ((u -= attack) < 0.0) {
+    // Coordinated attackers strike batch_size() victims at once
+    // (capped by the trusted pool); single-victim kinds take the
+    // legacy one-node step.
+    const std::int64_t k =
+        std::min<std::int64_t>(params.attacker.batch_size(), s_.tm);
+    s_.tm -= k;
+    s_.ucm += k;
+    traj_.compromises += static_cast<std::size_t>(k);
+    return status_;
+  }
+  if ((u -= r_ids) < 0.0) {
+    --s_.ucm;
+    ++traj_.true_evictions;
+    traj_.accumulated_cost += cost.eviction_impulse_bits(gs);
+    traj_.expected_cost += cost.eviction_impulse_bits(gs);
+    return status_;
+  }
+  if ((u -= r_fa) < 0.0) {
+    --s_.tm;
+    ++traj_.false_evictions;
+    traj_.accumulated_cost += cost.eviction_impulse_bits(gs);
+    traj_.expected_cost += cost.eviction_impulse_bits(gs);
+    return status_;
+  }
+  if ((u -= r_drq) < 0.0) {
+    traj_.ttsf = now_;
+    traj_.failed_by_c1 = true;  // data leak: C1
+    status_ = Status::FailedC1;
+    return status_;
+  }
+  if ((u -= r_par) < 0.0) {
+    ++s_.ng;
+    return status_;
+  }
+  if (r_phase > 0.0) {
+    // Only bursty attackers have a phase event; the guard keeps the
+    // legacy unchecked-merge fallback (and its floating-point
+    // behaviour) intact for every other attacker kind.
+    if ((u -= r_mer) < 0.0) {
+      --s_.ng;
+      return status_;
+    }
+    atk_on_ = !atk_on_;  // on/off flip (fallback event)
+    return status_;
+  }
+  --s_.ng;  // merge
+  return status_;
+}
+
+GroupSimulator::Status GroupSimulator::run(RandomSource& draw) {
+  while (status_ == Status::Running) step(draw);
+  return status_;
+}
+
+Trajectory simulate_group(const core::Params& params, RandomSource& draw,
+                          const DesContext& context) {
+  GroupSimulator sim(params, context);
+  sim.run(draw);
+  return sim.trajectory();
 }
 
 Trajectory simulate_group(const core::Params& params, std::uint64_t seed,

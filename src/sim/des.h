@@ -27,6 +27,17 @@ struct Trajectory {
   std::size_t compromises = 0;
   std::size_t true_evictions = 0;
   std::size_t false_evictions = 0;
+  /// Conditional-expectation controls, accumulated for free alongside
+  /// the trajectory: expected_dwell = Σ 1/total_rate over the visited
+  /// states (= E[TTSF | jump path], whose mean is EXACTLY the analytic
+  /// MTTSF in the time-homogeneous model) and expected_cost = the same
+  /// sum weighted by the state cost rates plus the deterministic
+  /// eviction impulses (mean = analytic ctotal × MTTSF).  The vr
+  /// control-variate estimator regresses TTSF/cost on these: they
+  /// carry the entire jump-path variance, leaving only the exponential
+  /// holding-time noise behind.
+  double expected_dwell = 0.0;
+  double expected_cost = 0.0;
 
   [[nodiscard]] double mean_cost_rate() const {
     return ttsf > 0.0 ? accumulated_cost / ttsf : 0.0;
@@ -56,13 +67,94 @@ struct DesContext {
              gcs::CostModel c);
 };
 
+/// Step-wise form of the group DES — the same Gillespie loop as
+/// simulate_group (which is now a thin wrapper over this class),
+/// exposed one event at a time so estimation layers can interleave:
+/// the vr multilevel-splitting runner watches the compromise count
+/// between steps, snapshots the full simulation state at level
+/// upcrossings and restarts clones from those entrance states.
+/// Draws come from the RandomSource seam, so a clone continues under
+/// a fresh independent stream while the state is an exact copy.
+class GroupSimulator {
+ public:
+  enum class Status { Running, FailedC1, FailedC2 };
+
+  /// Resolves the timeline/voting tables once; `context` must be built
+  /// from the same params.  Throws like simulate_group on invalid
+  /// params.
+  GroupSimulator(const core::Params& params, const DesContext& context);
+
+  /// Advances by one Gillespie iteration (one event, or one
+  /// schedule-boundary hop which consumes one dwell draw and no event
+  /// draw).  Consumes draws in EXACTLY the simulate_group order.
+  /// Calling step() after absorption throws std::logic_error.
+  Status step(RandomSource& draw);
+
+  /// Runs step() to absorption and returns the terminal status.
+  Status run(RandomSource& draw);
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  /// Undetected-compromised count UCm — the importance function the
+  /// splitting levels threshold on.
+  [[nodiscard]] std::int64_t compromised() const noexcept;
+  [[nodiscard]] double now() const noexcept { return now_; }
+  /// Counters so far; ttsf/failed_by_c1 are final once absorbed.
+  [[nodiscard]] const Trajectory& trajectory() const noexcept {
+    return traj_;
+  }
+
+  /// Full copyable mid-trajectory state (places, clock, attacker
+  /// phase, schedule segment, counters).  restore() on the simulator
+  /// that produced it — or any simulator built from the same params —
+  /// reproduces the exact continuation distribution.
+  struct Snapshot {
+    std::int64_t tm = 0;
+    std::int64_t ucm = 0;
+    std::int64_t ng = 1;
+    double now = 0.0;
+    bool atk_on = true;
+    std::size_t seg_idx = 0;
+    Trajectory traj;
+    Status status = Status::Running;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  struct State {
+    std::int64_t tm = 0;
+    std::int64_t ucm = 0;
+    std::int64_t ng = 1;
+    [[nodiscard]] std::int64_t members() const { return tm + ucm; }
+  };
+
+  [[nodiscard]] bool c2_failed() const;
+
+  const core::Params* params_;
+  const gcs::CostModel* cost_;
+  bool timed_ = false;
+  bool static_detector_ = true;
+  std::vector<core::TimelineSegment> timeline_;
+  std::vector<std::shared_ptr<const ids::VotingTable>> segment_voting_;
+  std::size_t seg_idx_ = 0;
+  const core::Params* cur_;
+  const ids::VotingTable* voting_;
+  double next_boundary_ = 0.0;
+
+  State s_;
+  Trajectory traj_;
+  double now_ = 0.0;
+  bool atk_on_ = true;
+  Status status_ = Status::Running;
+};
+
 /// Simulates one replication drawing from the given uniform stream —
 /// the antithetic-capable entry point: a (plain, flipped) pair of
 /// streams over one seed yields an antithetic trajectory pair.
 /// Deterministic in (params, stream state); `context` must be built
 /// from the same params.
 [[nodiscard]] Trajectory simulate_group(const core::Params& params,
-                                        UniformStream& draw,
+                                        RandomSource& draw,
                                         const DesContext& context);
 
 /// Simulates one replication with the given seed and shared context

@@ -173,7 +173,7 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
           for (std::size_t k = 0; k < item.count; ++k) {
             const std::size_t rep = item.first_rep + k;
             const std::uint64_t seed = replication_seed(item.point, rep);
-            const Sample s = sample(item.point, seed, false);
+            const Sample s = sample(item.point, rep, seed, false);
             record(s);
             if (!opts_.antithetic) {
               acc.ttsf.push(s.traj.ttsf);
@@ -183,7 +183,7 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
             // The pair's flipped member shares the seed; one Welford
             // sample per pair keeps the CI (and the stopping rule)
             // honest about the negative within-pair correlation.
-            const Sample t = sample(item.point, seed, true);
+            const Sample t = sample(item.point, rep, seed, true);
             record(t);
             acc.ttsf.push(0.5 * (s.traj.ttsf + t.traj.ttsf));
             acc.cost_rate.push(
@@ -225,6 +225,7 @@ std::vector<McPointResult> MonteCarloEngine::run_grid(
                          ? static_cast<double>(st.accum.c1) /
                                static_cast<double>(r.replications)
                          : 0.0;
+    r.p_failure = binomial_summary(r.replications, st.accum.c1);
     r.converged = st.converged;
     r.survival.reserve(horizons);
     for (const std::size_t count : st.accum.survival) {
@@ -251,13 +252,28 @@ std::vector<McPointResult> MonteCarloEngine::run_des(
   contexts.reserve(points.size());
   for (const auto& p : points) contexts.emplace_back(p);
 
-  auto results = run_grid(
-      points.size(),
-      [&](std::size_t point, std::uint64_t seed, bool antithetic) -> Sample {
-        UniformStream draw(seed, antithetic);
-        return {simulate_group(points[point], draw, contexts[point]), true,
-                false};
-      });
+  std::vector<McPointResult> results;
+  if (opts_.stream_factory) {
+    results = run_grid(
+        points.size(),
+        [&](std::size_t point, std::size_t rep, std::uint64_t /*seed*/,
+            bool antithetic) -> Sample {
+          const std::uint64_t stream =
+              opts_.crn ? 0 : opts_.point_stream_offset + point + 1;
+          auto draw = opts_.stream_factory(stream, rep, antithetic);
+          return {simulate_group(points[point], *draw, contexts[point]),
+                  true, false};
+        });
+  } else {
+    results = run_grid(
+        points.size(),
+        [&](std::size_t point, std::size_t /*rep*/, std::uint64_t seed,
+            bool antithetic) -> Sample {
+          UniformStream draw(seed, antithetic);
+          return {simulate_group(points[point], draw, contexts[point]), true,
+                  false};
+        });
+  }
   stats_.seconds += watch.seconds();
   return results;
 }
@@ -272,7 +288,8 @@ std::vector<McPointResult> MonteCarloEngine::run_protocol(
   const util::Stopwatch watch;
   auto results = run_grid(
       points.size(),
-      [&](std::size_t point, std::uint64_t seed, bool antithetic) -> Sample {
+      [&](std::size_t point, std::size_t /*rep*/, std::uint64_t seed,
+          bool antithetic) -> Sample {
         const ProtocolSimResult r =
             run_protocol_sim(points[point], seed, antithetic);
         Sample s;

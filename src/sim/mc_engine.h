@@ -29,12 +29,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/params.h"
 #include "sim/des.h"
 #include "sim/protocol_sim.h"
+#include "sim/rng.h"
 #include "sim/stats.h"
 
 namespace midas::sim {
@@ -93,6 +96,21 @@ struct McOptions {
   /// R(t) = P[TTSF > t] at these times (survival indicator means with
   /// CIs) — the simulation cross-check of GcsSpnModel::reliability_at.
   std::vector<double> survival_horizons;
+
+  /// Draw-stream seam for DES grids: when set, run_des builds each
+  /// replication's U(0,1) stream through this factory instead of
+  /// UniformStream(seed, antithetic).  The factory is keyed exactly
+  /// like replication_seed — `stream_key` is the engine's substream id
+  /// (0 under CRN, point_stream_offset + point + 1 otherwise) and
+  /// `rep` the replication (pair) index — so a factory that derives
+  /// its randomisation from (stream_key, rep) inherits CRN semantics
+  /// and shard invariance by construction.  The vr subsystem injects
+  /// Owen-scrambled Sobol substreams here.  Must be thread-safe
+  /// (called concurrently from the engine's workers).  Ignored by
+  /// run_protocol.
+  std::function<std::unique_ptr<RandomSource>(
+      std::uint64_t stream_key, std::size_t rep, bool antithetic)>
+      stream_factory;
 };
 
 /// Per-point outcome of a grid run.
@@ -111,6 +129,12 @@ struct McPointResult {
   /// Raw trajectory count behind p_failure_c1 (= failures_c1 /
   /// replications).
   std::size_t failures_c1 = 0;
+  /// Rare-event-honest interval for the C1-failure proportion: a 95%
+  /// Wilson Summary over (failures_c1, replications), flagged
+  /// one_sided at 0 or all failures (see sim::binomial_summary).
+  /// Derived — recomputed from the raw counts wherever they travel,
+  /// never serialised.
+  Summary p_failure;
   /// Trajectories simulated for this point (2× `ttsf.n` when
   /// antithetic).
   std::size_t replications = 0;
@@ -176,9 +200,10 @@ class MonteCarloEngine {
     bool timed_out = false;
   };
 
-  /// `sample(point, seed, antithetic)` runs one trajectory; run_grid
-  /// calls it once per sample, or twice per pair (plain + flipped) in
-  /// antithetic mode.
+  /// `sample(point, rep, seed, antithetic)` runs one trajectory;
+  /// run_grid calls it once per sample, or twice per pair (plain +
+  /// flipped) in antithetic mode.  `seed` is replication_seed(point,
+  /// rep); `rep` rides along so stream factories can re-key.
   template <typename SampleFn>
   std::vector<McPointResult> run_grid(std::size_t num_points,
                                       const SampleFn& sample);

@@ -30,6 +30,26 @@ namespace midas::sim {
 [[nodiscard]] std::mt19937_64 make_stream(std::uint64_t base_seed,
                                           std::uint64_t index);
 
+/// The draw-stream seam of the simulators: every simulator consumes
+/// U(0,1) variates through this interface, so estimation layers can
+/// substitute the randomness source (the vr subsystem injects
+/// Owen-scrambled Sobol substreams here) without touching a single
+/// line of simulation logic.  operator() is non-virtual on purpose:
+/// concrete final streams used by value (the plain Monte-Carlo path)
+/// devirtualise completely, keeping that path's codegen — and its
+/// bitwise outputs — identical to the pre-seam UniformStream.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Next U(0,1) variate, already antithetic-flipped/clamped by the
+  /// concrete stream.
+  double operator()() { return next(); }
+
+ protected:
+  virtual double next() = 0;
+};
+
 /// The U(0,1) draw stream of one replication, optionally antithetic:
 /// in antithetic mode every draw u is flipped to 1−u, so two streams
 /// built from the SAME seed (one plain, one flipped) feed negatively
@@ -47,23 +67,24 @@ namespace midas::sim {
 /// `std::uniform_real_distribution<double>` over
 /// `std::mt19937_64(seed)`, so seed-addressed replications stay bitwise
 /// stable across the refactor that introduced this class.
-class UniformStream {
+class UniformStream final : public RandomSource {
  public:
   explicit UniformStream(std::uint64_t seed, bool antithetic = false)
       : gen_(seed), antithetic_(antithetic) {}
 
+  [[nodiscard]] bool antithetic() const noexcept { return antithetic_; }
+
+ protected:
   /// Next variate.  The flipped value 1−u lands in (0,1]; it is clamped
   /// below 1 so inverse-transform exponentials (−log1p(−u)) stay finite
   /// and Gillespie event selection (u·total) never walks past the last
   /// positive rate.
-  double operator()() {
+  double next() override {
     double u = uni_(gen_);
     if (antithetic_) u = 1.0 - u;
     if (u >= 1.0) u = std::nextafter(1.0, 0.0);
     return u;
   }
-
-  [[nodiscard]] bool antithetic() const noexcept { return antithetic_; }
 
  private:
   std::mt19937_64 gen_;

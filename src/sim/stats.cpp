@@ -63,7 +63,17 @@ Summary binomial_summary(std::size_t n, std::size_t successes) {
   const double spread =
       z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
   s.ci_half_width = std::max(center + spread - p, p - (center - spread));
+  // 0 or n successes: the symmetrised width IS the Wilson bound toward
+  // the interior (the boundary side is truncation, not evidence) — flag
+  // it so rare-event containment gates don't read ±bound as a measured
+  // two-sided interval.
+  s.one_sided = successes == 0 || successes == n;
   return s;
+}
+
+double rule_of_three_upper(std::size_t n) {
+  if (n == 0) return 1.0;
+  return std::min(1.0, 3.0 / static_cast<double>(n));
 }
 
 Welford Welford::from_state(const WelfordState& s) {
@@ -109,6 +119,64 @@ Summary Welford::summary() const {
   const double sem = std::sqrt(s.variance / static_cast<double>(n_));
   s.ci_half_width = t_quantile_95(n_ - 1) * sem;
   return s;
+}
+
+RegressionWelford RegressionWelford::from_state(
+    const RegressionWelfordState& s) {
+  if (s.m2_y < 0.0 || s.m2_c < 0.0 ||
+      (s.n == 0 && (s.mean_y != 0.0 || s.mean_c != 0.0 || s.m2_y != 0.0 ||
+                    s.m2_c != 0.0 || s.m2_yc != 0.0))) {
+    throw std::invalid_argument(
+        "RegressionWelford::from_state: invalid accumulator state");
+  }
+  RegressionWelford w;
+  w.n_ = s.n;
+  w.mean_y_ = s.mean_y;
+  w.mean_c_ = s.mean_c;
+  w.m2_y_ = s.m2_y;
+  w.m2_c_ = s.m2_c;
+  w.m2_yc_ = s.m2_yc;
+  return w;
+}
+
+void RegressionWelford::push(double y, double c) {
+  ++n_;
+  const double nd = static_cast<double>(n_);
+  const double dy = y - mean_y_;
+  const double dc = c - mean_c_;
+  mean_y_ += dy / nd;
+  mean_c_ += dc / nd;
+  // Co-moment update pairs the OLD deviation of one variable with the
+  // NEW deviation of the other — the exact single-pass identity.
+  const double dy2 = y - mean_y_;
+  const double dc2 = c - mean_c_;
+  m2_y_ += dy * dy2;
+  m2_c_ += dc * dc2;
+  m2_yc_ += dy * dc2;
+}
+
+void RegressionWelford::merge(const RegressionWelford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n_total = na + nb;
+  const double dy = other.mean_y_ - mean_y_;
+  const double dc = other.mean_c_ - mean_c_;
+  mean_y_ += dy * nb / n_total;
+  mean_c_ += dc * nb / n_total;
+  m2_y_ += other.m2_y_ + dy * dy * na * nb / n_total;
+  m2_c_ += other.m2_c_ + dc * dc * na * nb / n_total;
+  m2_yc_ += other.m2_yc_ + dy * dc * na * nb / n_total;
+  n_ += other.n_;
+}
+
+double RegressionWelford::correlation() const noexcept {
+  const double denom = std::sqrt(m2_y_ * m2_c_);
+  return denom > 0.0 ? m2_yc_ / denom : 0.0;
 }
 
 }  // namespace midas::sim

@@ -19,6 +19,14 @@ struct Summary {
   /// on whether a single replication landed exactly on the mean — the
   /// same honesty the Wilson interval brought to 0/1 proportions.
   double ci_half_width = std::numeric_limits<double>::infinity();
+  /// Rare-event honesty flag: true when the interval is really a
+  /// one-sided bound (a 0-successes proportion only bounds the tail
+  /// from ABOVE; an n-successes one only from below).  lower()/upper()
+  /// still bracket the estimate — the flag tells downstream gates that
+  /// the uninformative side is a truncation at the parameter boundary,
+  /// not a measured bound, so containment checks against it are
+  /// vacuous rather than evidence.
+  bool one_sided = false;
 
   [[nodiscard]] double lower() const { return mean - ci_half_width; }
   [[nodiscard]] double upper() const { return mean + ci_half_width; }
@@ -44,9 +52,18 @@ struct Summary {
 /// proportion.  Unlike the Student-t CI on 0/1 indicators, the width
 /// never degenerates to zero at proportions of exactly 0 or 1 — an
 /// all-survivors sample still carries its real statistical
-/// uncertainty.  n = 0 reports an infinite half-width.
+/// uncertainty.  At exactly 0 or n successes the Summary is flagged
+/// one_sided: the interval is a Wilson upper (resp. lower) bound —
+/// the finite-sample analogue of the rule of three (upper ≈ 3.84/n vs
+/// the classic 3/n) — and the other side is the parameter boundary,
+/// not a measurement.  n = 0 reports an infinite half-width.
 [[nodiscard]] Summary binomial_summary(std::size_t n,
                                        std::size_t successes);
+
+/// The rule-of-three upper bound for a proportion observed 0 times in
+/// n trials: P <= 3/n at ~95% confidence.  Exposed for rare-event
+/// reporting next to the Wilson bound binomial_summary already takes.
+[[nodiscard]] double rule_of_three_upper(std::size_t n);
 
 /// The full accumulator state of a Welford instance — everything needed
 /// to continue, merge, or summarise it later.  The sharded sweep service
@@ -92,6 +109,69 @@ class Welford {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;  // sum of squared deviations from the running mean
+};
+
+/// Raw accumulator state of a RegressionWelford — serialisable and
+/// mergeable for the same reasons as WelfordState.
+struct RegressionWelfordState {
+  std::size_t n = 0;
+  double mean_y = 0.0;
+  double mean_c = 0.0;
+  double m2_y = 0.0;   // Σ (y − ȳ)²
+  double m2_c = 0.0;   // Σ (c − c̄)²
+  double m2_yc = 0.0;  // Σ (y − ȳ)(c − c̄)
+};
+
+/// Streaming bivariate accumulator for control-variate regression: one
+/// (Y, C) pair per push, O(1) memory, exact single-pass co-moments
+/// (the bivariate extension of Welford's update, mergeable across
+/// blocks via the pairwise formula of Chan et al.).  The vr subsystem
+/// estimates the optimal control coefficient β* = Cov(Y, C)/Var(C)
+/// from a pilot block streamed through one of these, then reports the
+/// CV-adjusted estimator Y − β(C − E[C]) with a valid CI over the
+/// remaining replications.
+class RegressionWelford {
+ public:
+  void push(double y, double c);
+  void merge(const RegressionWelford& other);
+
+  [[nodiscard]] RegressionWelfordState state() const noexcept {
+    return {n_, mean_y_, mean_c_, m2_y_, m2_c_, m2_yc_};
+  }
+  /// Exact copy; throws std::invalid_argument on a negative variance
+  /// sum or a non-empty state with n = 0.
+  [[nodiscard]] static RegressionWelford from_state(
+      const RegressionWelfordState& s);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean_y() const noexcept { return mean_y_; }
+  [[nodiscard]] double mean_c() const noexcept { return mean_c_; }
+  /// Unbiased sample (co)variances (0 for n < 2).
+  [[nodiscard]] double variance_y() const noexcept {
+    return n_ > 1 ? m2_y_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double variance_c() const noexcept {
+    return n_ > 1 ? m2_c_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double covariance() const noexcept {
+    return n_ > 1 ? m2_yc_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  /// Estimated optimal control coefficient Cov(Y, C)/Var(C); 0 when
+  /// the control carries no variance (CV then degrades to plain MC
+  /// instead of dividing by zero).
+  [[nodiscard]] double beta() const noexcept {
+    return m2_c_ > 0.0 ? m2_yc_ / m2_c_ : 0.0;
+  }
+  /// Pearson correlation of the streamed pairs (0 when degenerate).
+  [[nodiscard]] double correlation() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_y_ = 0.0;
+  double mean_c_ = 0.0;
+  double m2_y_ = 0.0;
+  double m2_c_ = 0.0;
+  double m2_yc_ = 0.0;
 };
 
 }  // namespace midas::sim

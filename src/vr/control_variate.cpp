@@ -1,0 +1,19 @@
+#include "vr/control_variate.h"
+
+#include <limits>
+
+namespace midas::vr {
+
+void CvMetric::finalize() {
+  plain = sim::Welford::from_state(plain_state).summary();
+  adjusted = sim::Welford::from_state(adjusted_state).summary();
+  if (adjusted.variance > 0.0) {
+    variance_ratio = plain.variance / adjusted.variance;
+  } else if (plain.variance > 0.0) {
+    variance_ratio = std::numeric_limits<double>::infinity();
+  } else {
+    variance_ratio = 1.0;  // both degenerate: no reduction, no loss
+  }
+}
+
+}  // namespace midas::vr

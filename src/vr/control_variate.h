@@ -1,0 +1,69 @@
+// Analytic control variates for the DES estimators.  Every trajectory
+// already accumulates two conditional-expectation controls for free
+// (sim::Trajectory::expected_dwell / expected_cost — see des.h): given
+// the realised jump path, expected_dwell is E[TTSF | path] and
+// expected_cost is E[accumulated cost | path], and their unconditional
+// means are EXACTLY the analytic backend's MTTSF and Ĉtotal·MTTSF in
+// the time-homogeneous model.  The controls therefore carry the entire
+// jump-path variance; regressing the raw estimators on them removes
+// it, leaving only the exponential holding-time noise — a variance
+// reduction that grows with the number of events per trajectory.
+//
+// Protocol: a pilot block estimates β = Cov(Y,C)/Var(C) through a
+// sim::RegressionWelford; the CV-adjusted estimator
+//   Y_cv = Y − β·(C − E[C])
+// and its Student-t CI then run on the REMAINING replications only, so
+// the interval is exactly the i.i.d. sample CI of a fixed linear
+// combination (β's estimation noise never touches it).  Antithetic
+// mode composes transparently: both Y and C are pair-averaged before
+// they reach either accumulator.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/stats.h"
+
+namespace midas::vr {
+
+/// One metric's control-variate outcome.
+struct CvMetric {
+  /// Pilot-estimated control coefficient (theoretical optimum is 1 for
+  /// these conditional-expectation controls).
+  double beta = 0.0;
+  /// Exact analytic control mean E[C] (MTTSF, or Ĉtotal·MTTSF).
+  double control_mean = 0.0;
+  /// Pilot Pearson correlation of (Y, C) — the achievable variance
+  /// factor is 1 − ρ² at the optimal β.
+  double correlation = 0.0;
+  /// Raw accumulator states of the estimation block — the serialised
+  /// form (the derived fields below rebuild from these bitwise, the
+  /// same raw-states-only convention as McPointResult).
+  sim::WelfordState plain_state;
+  sim::WelfordState adjusted_state;
+  /// Unadjusted Y over the estimation block (the plain-MC comparator
+  /// on the SAME draws — work-identical by construction).
+  sim::Summary plain;
+  /// Y − β(C − E[C]) over the estimation block.
+  sim::Summary adjusted;
+  /// plain.variance / adjusted.variance; the work-normalised
+  /// efficiency factor, since the controls accumulate for free and
+  /// both estimators consume identical trajectories.
+  double variance_ratio = 0.0;
+
+  /// Rebuilds plain/adjusted/variance_ratio from the raw states
+  /// (degenerate zero-variance pairs report ratio 1, a variance-only
+  /// plain one infinity).
+  void finalize();
+};
+
+/// Per-point control-variate result.
+struct CvResult {
+  /// Pilot samples (pairs in antithetic mode) spent on β.
+  std::size_t pilot = 0;
+  /// Total trajectories simulated (2× samples when antithetic).
+  std::size_t replications = 0;
+  CvMetric ttsf;  // Y = TTSF,             C = expected_dwell
+  CvMetric cost;  // Y = accumulated cost, C = expected_cost
+};
+
+}  // namespace midas::vr

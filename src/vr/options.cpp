@@ -1,0 +1,79 @@
+#include "vr/options.h"
+
+#include <stdexcept>
+
+namespace midas::vr {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& msg) {
+  throw std::invalid_argument(path + ": " + msg);
+}
+
+}  // namespace
+
+void VrOptions::validate(const std::string& path) const {
+  if (sobol.enabled) {
+    const std::string p = path + ".sobol";
+    if (sobol.replicates < 2) {
+      fail(p + ".replicates",
+           "at least 2 randomised replicates are required for a CI");
+    }
+    if (sobol.samples_per_replicate == 0) {
+      fail(p + ".samples_per_replicate", "must be positive");
+    }
+  }
+  if (cv.enabled) {
+    const std::string p = path + ".cv";
+    if (cv.pilot < 2) {
+      fail(p + ".pilot",
+           "at least 2 pilot replications are needed to estimate beta");
+    }
+    if (cv.replications < cv.pilot + 2) {
+      fail(p + ".replications",
+           "must exceed pilot by at least 2 (the CV-adjusted CI runs on "
+           "the post-pilot replications)");
+    }
+  }
+  if (splitting.enabled) {
+    const std::string p = path + ".splitting";
+    if (splitting.target != "c1" && splitting.target != "c2") {
+      fail(p + ".target", "must be \"c1\" or \"c2\", got \"" +
+                              splitting.target + "\"");
+    }
+    if (splitting.scheme != "fixed_effort" &&
+        splitting.scheme != "fixed_splitting") {
+      fail(p + ".scheme",
+           "must be \"fixed_effort\" or \"fixed_splitting\", got \"" +
+               splitting.scheme + "\"");
+    }
+    if (splitting.levels.empty()) {
+      fail(p + ".levels", "at least one threshold is required");
+    }
+    for (std::size_t i = 0; i < splitting.levels.size(); ++i) {
+      if (splitting.levels[i] < 1) {
+        fail(p + ".levels[" + std::to_string(i) + "]",
+             "threshold " + std::to_string(splitting.levels[i]) +
+                 " must be a positive compromise count");
+      }
+      if (i > 0 && splitting.levels[i] <= splitting.levels[i - 1]) {
+        fail(p + ".levels[" + std::to_string(i) + "]",
+             "threshold " + std::to_string(splitting.levels[i]) +
+                 " not increasing");
+      }
+    }
+    if (splitting.effort == 0) {
+      fail(p + ".effort", "must be positive");
+    }
+    if (splitting.scheme == "fixed_splitting" &&
+        splitting.splitting_factor == 0) {
+      fail(p + ".splitting_factor", "must be positive");
+    }
+    if (splitting.replicates < 2) {
+      fail(p + ".replicates",
+           "at least 2 independent replicates are required for a CI");
+    }
+  }
+}
+
+}  // namespace midas::vr

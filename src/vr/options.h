@@ -1,0 +1,101 @@
+// Declarative configuration of the variance-reduction subsystem — the
+// `spec.mc.vr` block.  This header is deliberately dependency-free
+// (standard library only): core::ExperimentSpec embeds a VrOptions by
+// value and sim/vr code consumes it, so it must sit below both layers.
+//
+// Three estimators, each independently optional:
+//   sobol      — Owen-scrambled Sobol quasi-random replication streams
+//                injected through sim::McOptions::stream_factory, with
+//                R independently randomised replicate groups so the CI
+//                (over replicate means) stays statistically valid.
+//   cv         — analytic control variates: regress DES TTSF/cost on
+//                the conditional-expectation controls accumulated on
+//                every trajectory (sim::Trajectory::expected_dwell /
+//                expected_cost), whose exact means the analytic SPN
+//                backend supplies.
+//   splitting  — multilevel splitting on the undetected-compromise
+//                count for rare failure-tail probabilities, with
+//                trajectory cloning at level entrances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace midas::vr {
+
+/// Owen-scrambled Sobol substreams (randomised quasi-Monte-Carlo).
+struct SobolOptions {
+  bool enabled = false;
+  /// Independent randomisation groups: each replicate re-scrambles the
+  /// sequence under a fresh key and runs a full fixed-budget pass; the
+  /// reported CI is the Student-t interval over replicate means (plain
+  /// QMC has no within-run variance estimate).
+  std::size_t replicates = 8;
+  /// Replications per replicate group (the Sobol point index runs
+  /// 0..samples_per_replicate-1 within a group).
+  std::size_t samples_per_replicate = 256;
+};
+
+/// Analytic control variates on the DES TTSF / accumulated-cost
+/// estimators.
+struct ControlVariateOptions {
+  bool enabled = false;
+  /// Leading replications (pairs in antithetic mode) used only to
+  /// estimate the control coefficient β = Cov(Y,C)/Var(C); the
+  /// CV-adjusted mean and its CI come from the remaining replications,
+  /// so β's estimation noise never contaminates the interval.
+  std::size_t pilot = 128;
+  /// Total replications (pairs in antithetic mode), pilot included.
+  std::size_t replications = 1024;
+};
+
+/// Multilevel splitting on the compromise count.
+struct SplittingOptions {
+  bool enabled = false;
+  /// Which absorbing failure mode is the rare event: "c1" (data leak)
+  /// or "c2" (Byzantine fraction crossed).
+  std::string target = "c1";
+  /// Strictly increasing undetected-compromise thresholds; entering
+  /// level i means the trajectory first reached ucm >= levels[i].
+  std::vector<std::int64_t> levels;
+  /// "fixed_effort": every stage re-runs exactly `effort` trajectories
+  /// resampled (with replacement) from the previous level's entrance
+  /// pool — deterministic work, slightly conservative.
+  /// "fixed_splitting": every entrance state spawns `splitting_factor`
+  /// clones — an exactly unbiased product estimator with random work.
+  std::string scheme = "fixed_effort";
+  /// Trajectories per stage (fixed_effort) / at stage 0 (both schemes).
+  std::size_t effort = 256;
+  /// Clones per entrance state (fixed_splitting only).
+  std::size_t splitting_factor = 4;
+  /// Independent replicates of the whole multilevel pass; the reported
+  /// probability CI is the Student-t interval over replicate estimates.
+  std::size_t replicates = 8;
+};
+
+/// The `spec.mc.vr` block.  Default-constructed = subsystem off, in
+/// which case the experiment pipeline (and its serialised artifacts)
+/// are bitwise identical to a build without the subsystem.
+struct VrOptions {
+  SobolOptions sobol;
+  ControlVariateOptions cv;
+  SplittingOptions splitting;
+
+  /// True when any estimator is enabled — the spec serialiser emits the
+  /// "vr" key only then, keeping pre-existing spec bytes stable.
+  [[nodiscard]] bool any() const noexcept {
+    return sobol.enabled || cv.enabled || splitting.enabled;
+  }
+
+  /// Structural validation; throws std::invalid_argument with messages
+  /// rooted at `path` (e.g. "spec.mc.vr") naming the offending field —
+  /// "spec.mc.vr.splitting.levels[2]: threshold 7 not increasing".
+  /// Cross-field rules that need the rest of the spec (backend choice,
+  /// model compatibility, antithetic exclusion) live in
+  /// core::ExperimentSpec::validate.
+  void validate(const std::string& path) const;
+};
+
+}  // namespace midas::vr

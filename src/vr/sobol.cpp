@@ -1,0 +1,142 @@
+#include "vr/sobol.h"
+
+#include <array>
+#include <cmath>
+
+namespace midas::vr {
+
+namespace {
+
+/// Joe–Kuo D6 table prefix (new-joe-kuo-6): primitive polynomial
+/// degree s, coefficient bits a, and the s initial direction integers
+/// m_j (odd, m_j < 2^j).  Dimension 0 is the van der Corput sequence
+/// (all m_j = 1) and needs no row.
+struct JoeKuoRow {
+  std::uint32_t s;
+  std::uint32_t a;
+  std::array<std::uint32_t, 5> m;
+};
+
+constexpr std::array<JoeKuoRow, kSobolTabulatedDims - 1> kJoeKuo = {{
+    {1, 0, {1, 0, 0, 0, 0}},    // d = 2
+    {2, 1, {1, 3, 0, 0, 0}},    // d = 3
+    {3, 1, {1, 3, 1, 0, 0}},    // d = 4
+    {3, 2, {1, 1, 1, 0, 0}},    // d = 5
+    {4, 1, {1, 1, 3, 3, 0}},    // d = 6
+    {4, 4, {1, 3, 5, 13, 0}},   // d = 7
+    {5, 2, {1, 1, 5, 5, 17}},   // d = 8
+    {5, 4, {1, 1, 5, 5, 5}},    // d = 9
+    {5, 7, {1, 1, 7, 11, 19}},  // d = 10
+    {5, 11, {1, 1, 5, 1, 1}},   // d = 11
+    {5, 13, {1, 1, 1, 3, 11}},  // d = 12
+    {5, 14, {1, 3, 5, 5, 31}},  // d = 13
+}};
+
+constexpr std::uint32_t kBits = 32;
+
+/// V[dim][j]: direction number j of dimension dim, as a 32-bit
+/// fixed-point fraction (m_j scaled by 2^(32-j)), expanded from the
+/// table by the standard Joe–Kuo recurrence
+///   v_j = v_{j-s} ^ (v_{j-s} >> s) ^ a_1 v_{j-1} ^ ... ^ a_{s-1}
+///   v_{j-s+1}.
+struct DirectionTable {
+  std::uint32_t v[kSobolTabulatedDims][kBits];
+
+  DirectionTable() {
+    for (std::uint32_t j = 0; j < kBits; ++j) {
+      v[0][j] = 1u << (kBits - 1 - j);  // van der Corput
+    }
+    for (std::uint32_t d = 1; d < kSobolTabulatedDims; ++d) {
+      const JoeKuoRow& row = kJoeKuo[d - 1];
+      const std::uint32_t s = row.s;
+      for (std::uint32_t j = 0; j < kBits; ++j) {
+        if (j < s) {
+          v[d][j] = row.m[j] << (kBits - 1 - j);
+          continue;
+        }
+        std::uint32_t x = v[d][j - s] ^ (v[d][j - s] >> s);
+        for (std::uint32_t k = 1; k < s; ++k) {
+          if ((row.a >> (s - 1 - k)) & 1u) x ^= v[d][j - k];
+        }
+        v[d][j] = x;
+      }
+    }
+  }
+};
+
+const DirectionTable& direction_table() {
+  static const DirectionTable table;
+  return table;
+}
+
+/// Laine–Karras style hash permutation of the reversed digit string —
+/// a bijection for every seed whose avalanche cascades strictly from
+/// coarse digits to fine ones once sandwiched between bit reversals.
+std::uint32_t laine_karras_permutation(std::uint32_t x,
+                                       std::uint32_t seed) {
+  x += seed;
+  x ^= x * 0x6c50b47cu;
+  x ^= x * 0xb82f1e52u;
+  x ^= x * 0xc7afe638u;
+  x ^= x * 0x8d22f6e6u;
+  return x;
+}
+
+/// 32-bit mix of a 64-bit key (SplitMix64 finaliser, truncated).
+std::uint32_t mix32(std::uint64_t x) {
+  return static_cast<std::uint32_t>(sim::splitmix64(x) >> 32);
+}
+
+}  // namespace
+
+std::uint32_t sobol_raw(std::uint32_t index, std::uint32_t dim) {
+  const DirectionTable& table = direction_table();
+  std::uint32_t result = 0;
+  for (std::uint32_t j = 0; index != 0; index >>= 1, ++j) {
+    if (index & 1u) result ^= table.v[dim][j];
+  }
+  return result;
+}
+
+std::uint32_t owen_scramble(std::uint32_t value, std::uint32_t seed) {
+  // Reverse bits → permute → reverse back: the hash then acts on the
+  // digit hierarchy (most significant digit first), which is exactly a
+  // nested uniform scramble.
+  std::uint32_t r = value;
+  r = ((r & 0x55555555u) << 1) | ((r >> 1) & 0x55555555u);
+  r = ((r & 0x33333333u) << 2) | ((r >> 2) & 0x33333333u);
+  r = ((r & 0x0F0F0F0Fu) << 4) | ((r >> 4) & 0x0F0F0F0Fu);
+  r = ((r & 0x00FF00FFu) << 8) | ((r >> 8) & 0x00FF00FFu);
+  r = (r << 16) | (r >> 16);
+  r = laine_karras_permutation(r, seed);
+  r = ((r & 0x55555555u) << 1) | ((r >> 1) & 0x55555555u);
+  r = ((r & 0x33333333u) << 2) | ((r >> 2) & 0x33333333u);
+  r = ((r & 0x0F0F0F0Fu) << 4) | ((r >> 4) & 0x0F0F0F0Fu);
+  r = ((r & 0x00FF00FFu) << 8) | ((r >> 8) & 0x00FF00FFu);
+  r = (r << 16) | (r >> 16);
+  return r;
+}
+
+double SobolStream::next() {
+  const std::uint32_t d = dim_++;
+  double u;
+  if (d < kSobolTabulatedDims) {
+    const std::uint32_t seed =
+        mix32(key_ ^ (0x9E3779B97F4A7C15ull + d));
+    const std::uint32_t v = owen_scramble(sobol_raw(index_, d), seed);
+    // Centre of the 2^-32 cell: u lands strictly inside (0,1).
+    u = (static_cast<double>(v) + 0.5) * 0x1p-32;
+  } else {
+    // Past the tabulated prefix: keyed counter hash — i.i.d. uniforms,
+    // still deterministic in (key, index, d).
+    const std::uint64_t h = sim::splitmix64(
+        key_ ^ sim::splitmix64((static_cast<std::uint64_t>(index_) << 32) |
+                               d));
+    u = (static_cast<double>(h >> 11) + 0.5) * 0x1p-53;
+  }
+  if (antithetic_) u = 1.0 - u;
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return u;
+}
+
+}  // namespace midas::vr

@@ -1,0 +1,73 @@
+// Owen-scrambled Sobol draw streams for randomised quasi-Monte-Carlo
+// replication: one Sobol POINT per replication, one DIMENSION per draw.
+// A replication's stream therefore walks across the dimensions of its
+// point, so the leading draws of every trajectory — the early events
+// that decide whether a group survives its opening compromises, which
+// carry most of the estimator leverage — are stratified against each
+// other across the replication set.
+//
+// Scrambling is hash-based nested uniform (Owen) scrambling in the
+// Laine–Karras/Burley style: each dimension's 32-bit radical-inverse
+// value is permuted by a keyed hierarchical hash, which preserves the
+// (t,m,s)-net structure while making every coordinate exactly U(0,1).
+// Distinct keys give statistically independent randomisations, so the
+// vr engine runs R independently keyed replicate groups and reports a
+// Student-t CI over replicate means — the standard randomised-QMC
+// variance estimate.
+//
+// The tabulated direction numbers cover the leading
+// kSobolTabulatedDims dimensions (the Joe–Kuo D6 table prefix); draws
+// past the table fall back to keyed counter hashing — i.i.d. uniforms,
+// i.e. plain Monte Carlo for the deep tail of long trajectories.  The
+// estimator stays unbiased either way; the low-discrepancy structure
+// is spent where it pays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace midas::vr {
+
+/// Dimensions with real Sobol direction numbers; higher draw indices
+/// use keyed-hash padding.
+inline constexpr std::uint32_t kSobolTabulatedDims = 13;
+
+/// Raw (unscrambled) 32-bit Sobol radical-inverse value of point
+/// `index` in dimension `dim` (dim < kSobolTabulatedDims).  Exposed
+/// for tests.
+[[nodiscard]] std::uint32_t sobol_raw(std::uint32_t index,
+                                      std::uint32_t dim);
+
+/// Nested uniform (Owen-style) scramble of a 32-bit fixed-point value
+/// under `seed` — a bijection on [0, 2^32) for every seed, applied in
+/// reversed-bit (digit-hierarchy) order.  Exposed for tests.
+[[nodiscard]] std::uint32_t owen_scramble(std::uint32_t value,
+                                          std::uint32_t seed);
+
+/// The Sobol replication stream: RandomSource whose draw d yields the
+/// Owen-scrambled coordinate d of Sobol point `index` under
+/// `scramble_key` (per-dimension seeds are derived from the key, so
+/// one 64-bit key randomises the whole sequence).  Deterministic in
+/// (scramble_key, index, draw count) — thread count, shard layout and
+/// construction order cannot change a digit.
+class SobolStream final : public sim::RandomSource {
+ public:
+  SobolStream(std::uint64_t scramble_key, std::uint32_t index,
+              bool antithetic = false)
+      : key_(scramble_key), index_(index), antithetic_(antithetic) {}
+
+  [[nodiscard]] std::uint32_t draws() const noexcept { return dim_; }
+
+ protected:
+  double next() override;
+
+ private:
+  std::uint64_t key_;
+  std::uint32_t index_;
+  std::uint32_t dim_ = 0;
+  bool antithetic_ = false;
+};
+
+}  // namespace midas::vr

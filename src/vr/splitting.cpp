@@ -1,0 +1,209 @@
+#include "vr/splitting.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/des.h"
+#include "sim/rng.h"
+#include "sim/thread_pool.h"
+
+namespace midas::vr {
+
+namespace {
+
+using Snapshot = sim::GroupSimulator::Snapshot;
+using Status = sim::GroupSimulator::Status;
+
+bool is_target(Status st, bool target_c1) {
+  return target_c1 ? st == Status::FailedC1 : st == Status::FailedC2;
+}
+
+/// One replicate's raw outcome, merged across replicates in index
+/// order.
+struct ReplicateOutcome {
+  double estimate = 0.0;
+  std::size_t trajectories = 0;
+  std::vector<double> p_up;      // per level: conditional passage
+  std::vector<double> p_absorb;  // per stage (levels + 1): conditional
+                                 // target absorption
+};
+
+/// Runs one continuation from `start` until absorption or (when
+/// `threshold` >= 0) the first entrance past it.  Returns the terminal
+/// status, or Status::Running on an entrance with the entrance state
+/// appended to `next_pool`.  A start state already past the threshold
+/// (batch attacks can jump several levels in one event) is an
+/// immediate entrance consuming no draws.
+Status run_segment(sim::GroupSimulator& sim, const Snapshot& start,
+                   std::int64_t threshold, sim::RandomSource& draw,
+                   std::vector<Snapshot>* next_pool) {
+  sim.restore(start);
+  if (threshold >= 0 && sim.status() == Status::Running &&
+      sim.compromised() >= threshold) {
+    next_pool->push_back(start);
+    return Status::Running;
+  }
+  while (true) {
+    const Status st = sim.step(draw);
+    if (st != Status::Running) return st;
+    if (threshold >= 0 && sim.compromised() >= threshold) {
+      next_pool->push_back(sim.snapshot());
+      return Status::Running;
+    }
+  }
+}
+
+/// One full multilevel pass under replicate seed base `seed_r`.
+/// Streams: kind 0 = the entrance-pool resampling stream, kind 1 =
+/// per-segment simulation streams (one fresh stream per continuation,
+/// numbered sequentially, so clones of one entrance state evolve
+/// independently).
+ReplicateOutcome run_replicate(const SplittingOptions& opt,
+                               const core::Params& params,
+                               const sim::DesContext& ctx,
+                               std::uint64_t seed_r) {
+  sim::GroupSimulator sim(params, ctx);
+  const Snapshot initial = sim.snapshot();
+  const bool c1 = opt.target == "c1";
+  const bool fixed_effort = opt.scheme == "fixed_effort";
+  const std::size_t num_levels = opt.levels.size();
+
+  sim::UniformStream resample(sim::derive_seed2(seed_r, 0, 0));
+  std::uint64_t seq = 0;
+  auto segment_stream = [&] {
+    return sim::UniformStream(sim::derive_seed2(seed_r, 1, seq++));
+  };
+
+  ReplicateOutcome out;
+  out.p_up.assign(num_levels, 0.0);
+  out.p_absorb.assign(num_levels + 1, 0.0);
+
+  std::vector<Snapshot> pool;  // entrance states of the current level
+  double path_weight = 1.0;    // Π p̂_i so far (fixed_effort)
+
+  for (std::size_t stage = 0; stage <= num_levels; ++stage) {
+    const std::int64_t threshold =
+        stage < num_levels ? opt.levels[stage] : -1;
+    std::size_t runs;
+    if (stage == 0) {
+      runs = opt.effort;
+    } else if (pool.empty() || path_weight <= 0.0) {
+      break;  // nothing reached this level — later stages contribute 0
+    } else {
+      runs = fixed_effort ? opt.effort
+                          : pool.size() * opt.splitting_factor;
+    }
+
+    std::vector<Snapshot> next_pool;
+    std::size_t n_up = 0, n_target = 0;
+    for (std::size_t t = 0; t < runs; ++t) {
+      const Snapshot* start = &initial;
+      if (stage > 0) {
+        if (fixed_effort) {
+          // Resample with replacement from the entrance pool.
+          const double u = resample();
+          auto idx = static_cast<std::size_t>(
+              u * static_cast<double>(pool.size()));
+          if (idx >= pool.size()) idx = pool.size() - 1;
+          start = &pool[idx];
+        } else {
+          // Deterministic cloning: splitting_factor runs per entrance.
+          start = &pool[t / opt.splitting_factor];
+        }
+      }
+      sim::UniformStream draw = segment_stream();
+      ++out.trajectories;
+      const Status st = run_segment(sim, *start, threshold, draw,
+                                    &next_pool);
+      if (st == Status::Running) {
+        ++n_up;
+      } else if (is_target(st, c1)) {
+        ++n_target;
+      }
+    }
+
+    const double nd = static_cast<double>(runs);
+    const double c_hat = static_cast<double>(n_target) / nd;
+    out.p_absorb[stage] = c_hat;
+    if (fixed_effort) {
+      out.estimate += path_weight * c_hat;
+    } else {
+      // Every stage-j trajectory carries weight 1/(effort·factor^j):
+      // runs = pool·factor and pool entrances were counted at the
+      // previous stage's weight, so the per-stage weight telescopes to
+      // exactly that product.
+      double w = 1.0 / static_cast<double>(opt.effort);
+      for (std::size_t i = 0; i < stage; ++i) {
+        w /= static_cast<double>(opt.splitting_factor);
+      }
+      out.estimate += static_cast<double>(n_target) * w;
+    }
+    if (stage < num_levels) {
+      const double p_hat = static_cast<double>(n_up) / nd;
+      out.p_up[stage] = p_hat;
+      path_weight *= p_hat;
+      pool = std::move(next_pool);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+sim::Summary splitting_probability_summary(
+    std::span<const double> estimates, std::size_t stage0_trials) {
+  sim::Summary s = sim::summarize(estimates);
+  bool all_zero = true;
+  for (const double e : estimates) all_zero = all_zero && e == 0.0;
+  if (!estimates.empty() && all_zero) {
+    // No target absorption anywhere: a symmetric ±0 interval would be
+    // dishonest.  Report the conservative rule-of-three bound over the
+    // stage-0 trials (splitting only ever oversamples the tail, so the
+    // plain-MC bound holds a fortiori) and flag it one-sided.
+    s.one_sided = true;
+    s.ci_half_width = sim::rule_of_three_upper(stage0_trials);
+  }
+  return s;
+}
+
+SplittingResult run_splitting(const SplittingOptions& options,
+                              const core::Params& params,
+                              std::uint64_t seed_base,
+                              std::size_t threads) {
+  const sim::DesContext ctx(params);
+
+  std::vector<ReplicateOutcome> outcomes(options.replicates);
+  sim::parallel_for(
+      options.replicates,
+      [&](std::size_t r) {
+        outcomes[r] = run_replicate(options, params, ctx,
+                                    sim::derive_seed(seed_base, r));
+      },
+      threads);
+
+  SplittingResult res;
+  res.target = options.target;
+  res.scheme = options.scheme;
+  res.replicates = options.replicates;
+  res.effort = options.effort;
+  res.estimates.reserve(options.replicates);
+  res.levels.resize(options.levels.size());
+  const double rn = static_cast<double>(options.replicates);
+  for (std::size_t i = 0; i < options.levels.size(); ++i) {
+    res.levels[i].threshold = options.levels[i];
+  }
+  for (const ReplicateOutcome& o : outcomes) {  // merged in index order
+    res.trajectories += o.trajectories;
+    res.estimates.push_back(o.estimate);
+    for (std::size_t i = 0; i < res.levels.size(); ++i) {
+      res.levels[i].p_up += o.p_up[i] / rn;
+      res.levels[i].p_absorb += o.p_absorb[i] / rn;
+    }
+  }
+  res.probability = splitting_probability_summary(
+      res.estimates, options.replicates * options.effort);
+  return res;
+}
+
+}  // namespace midas::vr

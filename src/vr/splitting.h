@@ -1,0 +1,93 @@
+// Multilevel splitting for rare failure-tail probabilities.  The
+// importance function is the undetected-compromise count UCm (the
+// quantity both failure modes climb through: C2 is crossing the
+// Byzantine fraction, and the C1 leak rate is proportional to UCm), so
+// level i is "the trajectory first reached ucm >= levels[i]".
+//
+// The estimator decomposes by the highest level a trajectory enters:
+//   P(target) = Σ_j (Π_{i<j} p_i) · c_j
+// where p_i = P(enter level i+1 | entered level i) and c_j =
+// P(absorbed by the target mode before entering level j+1 | entered
+// level j).  Stage j simulates continuations from the entrance states
+// of level j (stage 0 from the initial state) through the step-wise
+// sim::GroupSimulator, snapshotting at upcrossings:
+//   fixed_effort    — exactly `effort` continuations per stage,
+//                     resampled with replacement from the entrance
+//                     pool (deterministic work at every stage);
+//   fixed_splitting — every entrance state spawns `splitting_factor`
+//                     clones, each carrying weight w/factor; the
+//                     weighted sum of target absorptions is the
+//                     exactly unbiased product estimator.
+// Either way the whole pass repeats `replicates` times under
+// independent seeds and the reported probability is the Student-t
+// interval over replicate estimates — valid regardless of the
+// within-pass dependence splitting introduces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/stats.h"
+#include "vr/options.h"
+
+namespace midas::vr {
+
+/// Per-level conditional estimates, averaged over replicates.
+struct SplittingLevel {
+  std::int64_t threshold = 0;
+  /// Mean conditional passage probability p_i into this level.
+  double p_up = 0.0;
+  /// Mean conditional target absorption c_j at the stage BELOW this
+  /// level (before entering it).
+  double p_absorb = 0.0;
+};
+
+struct SplittingResult {
+  std::string target;  // "c1" | "c2"
+  std::string scheme;  // "fixed_effort" | "fixed_splitting"
+  std::size_t replicates = 0;
+  /// Stage-0 trajectories per replicate (echoes the options; the
+  /// all-zero bound below needs it to rebuild after a round-trip).
+  std::size_t effort = 0;
+  /// Total trajectory segments simulated across all replicates/stages
+  /// — the work measure for normalised efficiency comparisons.
+  std::size_t trajectories = 0;
+  /// P(absorbed by target): mean and Student-t CI over the replicate
+  /// estimates.  When every replicate returns exactly 0 the Summary is
+  /// flagged one_sided and its half-width is the conservative
+  /// rule-of-three upper bound 3/n over the replicates' stage-0
+  /// trajectories (splitting oversamples the tail, so the plain-MC
+  /// bound is strictly conservative here) — never a misleading ±0.
+  sim::Summary probability;
+  /// The raw replicate estimates (serialised, so merged/round-tripped
+  /// results rebuild the CI bitwise).
+  std::vector<double> estimates;
+  /// One entry per configured level, plus the final absorption stage's
+  /// c_L folded into the estimate (not listed: it has no threshold).
+  std::vector<SplittingLevel> levels;
+};
+
+/// The probability Summary over replicate estimates: Student-t, except
+/// that an all-zero estimate set is flagged one_sided with the
+/// conservative rule-of-three half-width 3/`stage0_trials` (see
+/// SplittingResult::probability).  Shared by the runner and the result
+/// codec so round-tripped results rebuild the interval bitwise.
+[[nodiscard]] sim::Summary splitting_probability_summary(
+    std::span<const double> estimates, std::size_t stage0_trials);
+
+/// Runs the multilevel pass for one parameter point.  `seed_base` must
+/// be unique per (experiment, point) — the caller derives it from the
+/// engine base seed and the point's GLOBAL grid index, so shards
+/// reproduce the full-grid estimates.  Deterministic in (options,
+/// params, seed_base): replicates are seeded independently and merged
+/// in index order, so `threads` never changes a digit.
+[[nodiscard]] SplittingResult run_splitting(const SplittingOptions& options,
+                                            const core::Params& params,
+                                            std::uint64_t seed_base,
+                                            std::size_t threads = 0);
+
+}  // namespace midas::vr

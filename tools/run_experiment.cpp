@@ -202,15 +202,21 @@ bool parity_check(const core::ExperimentSpec& spec,
     // Constant-schedule parity: an identity one-segment schedule is the
     // SAME model (×1.0 is IEEE-exact, one timeline segment resolves),
     // so attaching it must leave every backend payload byte-identical.
+    // The vr block is stripped from both sides first — cv validation
+    // (correctly) refuses schedules, and vr-neutrality has its own gate
+    // below.
     core::ExperimentSpec scheduled = spec;
     core::ScheduleSegment seg;  // identity multipliers, runs forever
     seg.name = "constant";
     scheduled.base.schedule.segments = {seg};
+    scheduled.vr = vr::VrOptions{};
+    core::ExperimentResult reference = result;
+    for (auto& run : reference.backends) run.vr.clear();
     core::ExperimentService fresh;
     const auto rerun = fresh.run(scheduled);
     const bool same =
         rerun.canonical_json().at("backends").dump() ==
-        result.canonical_json().at("backends").dump();
+        reference.canonical_json().at("backends").dump();
     std::printf("parity constant schedule (identity rerun): backends %s "
                 "-> %s\n",
                 same ? "bytes equal" : "BYTES DIFFER", same ? "ok" : "FAIL");
@@ -218,6 +224,34 @@ bool parity_check(const core::ExperimentSpec& spec,
   } else {
     std::printf("parity constant schedule:                  skipped — the "
                 "spec is already time-varying\n");
+  }
+  if (spec.vr.any()) {
+    // VR-neutrality parity: the vr estimators ride ALONGSIDE the plain
+    // replication pass in their own tagged seed domains, so stripping
+    // spec.mc.vr and re-answering must reproduce the DES mc payload
+    // bitwise — enabling variance reduction can never change the plain
+    // estimates it is compared against.
+    core::ExperimentSpec plain = spec;
+    plain.vr = vr::VrOptions{};
+    core::ExperimentService fresh;
+    const auto rerun = fresh.run(plain);
+    const auto* with_vr = result.find(core::BackendKind::Des);
+    const auto* without = rerun.find(core::BackendKind::Des);
+    bool same = with_vr != nullptr && without != nullptr &&
+                with_vr->mc.size() == without->mc.size() &&
+                !with_vr->vr.empty() && without->vr.empty();
+    if (same) {
+      for (std::size_t i = 0; i < with_vr->mc.size(); ++i) {
+        if (!mc_bitwise_equal(with_vr->mc[i], without->mc[i])) {
+          same = false;
+          break;
+        }
+      }
+    }
+    std::printf("parity vr-neutral (spec.mc.vr stripped):   DES mc payload "
+                "%s -> %s\n",
+                same ? "bitwise equal" : "DIFFERS", same ? "ok" : "FAIL");
+    ok = ok && same;
   }
   if (const auto* run = result.find(core::BackendKind::ProtocolSim)) {
     std::vector<sim::ProtocolSimParams> points;
